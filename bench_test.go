@@ -1,0 +1,186 @@
+package tender_test
+
+import (
+	"io"
+	"testing"
+
+	"tender/internal/experiments"
+	"tender/internal/quant"
+	"tender/internal/schemes"
+	"tender/internal/sim/accel"
+	"tender/internal/sim/dram"
+	"tender/internal/sim/systolic"
+	"tender/internal/tender"
+	"tender/internal/tensor"
+	"tender/internal/workload"
+)
+
+// quick are the reduced-size options used by the per-table benchmarks so
+// `go test -bench=.` regenerates every experiment's shape in minutes; run
+// cmd/tenderbench (without -quick) for full fidelity.
+var quick = experiments.Options{Quick: true}
+
+func benchTable(b *testing.B, f func(experiments.Options) experiments.Table) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := f(quick)
+		t.Render(io.Discard)
+	}
+}
+
+// One benchmark per table and figure of the paper's evaluation.
+
+func BenchmarkTableI(b *testing.B)   { benchTable(b, experiments.TableI) }
+func BenchmarkTableII(b *testing.B)  { benchTable(b, experiments.TableII) }
+func BenchmarkTableIII(b *testing.B) { benchTable(b, experiments.TableIII) }
+func BenchmarkTableIV(b *testing.B)  { benchTable(b, experiments.TableIV) }
+func BenchmarkTableV(b *testing.B)   { benchTable(b, experiments.TableV) }
+func BenchmarkTableVI(b *testing.B)  { benchTable(b, experiments.TableVI) }
+func BenchmarkTableVII(b *testing.B) { benchTable(b, experiments.TableVII) }
+func BenchmarkFigure9(b *testing.B)  { benchTable(b, experiments.Figure9) }
+func BenchmarkFigure10(b *testing.B) { benchTable(b, experiments.Figure10) }
+func BenchmarkFigure11(b *testing.B) { benchTable(b, experiments.Figure11) }
+func BenchmarkFigure12(b *testing.B) { benchTable(b, experiments.Figure12) }
+func BenchmarkFigure13(b *testing.B) { benchTable(b, experiments.Figure13) }
+func BenchmarkFigure23(b *testing.B) { benchTable(b, experiments.Figure23Stats) }
+
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+
+func BenchmarkAblationAlpha(b *testing.B)      { benchTable(b, experiments.AblationAlpha) }
+func BenchmarkAblationRowChunk(b *testing.B)   { benchTable(b, experiments.AblationRowChunk) }
+func BenchmarkAblationBias(b *testing.B)       { benchTable(b, experiments.AblationBias) }
+func BenchmarkAblationClustering(b *testing.B) { benchTable(b, experiments.AblationClustering) }
+func BenchmarkAblationBits(b *testing.B)       { benchTable(b, experiments.AblationBits) }
+func BenchmarkAblationDataflow(b *testing.B)   { benchTable(b, experiments.AblationDataflow) }
+
+// Micro-benchmarks of the core kernels.
+
+func gemmFixtures() (*tensor.Matrix, *tensor.Matrix) {
+	x := workload.OPT67BAttentionInput(256, 512, 1)
+	rng := tensor.NewRNG(2)
+	w := tensor.RandNormal(rng, 512, 256, 0.05)
+	return x, w
+}
+
+func BenchmarkTenderCalibrate(b *testing.B) {
+	x, _ := gemmFixtures()
+	cfg := tender.DefaultConfig(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tender.Calibrate([]*tensor.Matrix{x}, cfg)
+	}
+}
+
+func BenchmarkTenderImplicitGEMM(b *testing.B) {
+	x, w := gemmFixtures()
+	cfg := tender.DefaultConfig(8)
+	cal := tender.Calibrate([]*tensor.Matrix{x}, cfg)
+	qw := tender.QuantizeWeights(w, cfg.Bits)
+	wf := qw.Dequantize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cal.MatMulImplicit(x, qw, wf)
+	}
+}
+
+func BenchmarkTenderExplicitGEMM(b *testing.B) {
+	x, w := gemmFixtures()
+	cfg := tender.DefaultConfig(8)
+	cal := tender.Calibrate([]*tensor.Matrix{x}, cfg)
+	qw := tender.QuantizeWeights(w, cfg.Bits)
+	wf := qw.Dequantize()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cal.MatMulExplicit(x, qw, wf)
+	}
+}
+
+func BenchmarkTenderFakeQuantGEMM(b *testing.B) {
+	x, w := gemmFixtures()
+	cfg := tender.DefaultConfig(8)
+	cal := tender.Calibrate([]*tensor.Matrix{x}, cfg)
+	qw := tender.QuantizeWeights(w, cfg.Bits)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cal.FakeQuantMatMul(x, qw)
+	}
+}
+
+func BenchmarkFloatGEMM(b *testing.B) {
+	x, w := gemmFixtures()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(x, w)
+	}
+}
+
+func BenchmarkUniformFakeQuant(b *testing.B) {
+	x, _ := gemmFixtures()
+	cfg := quant.Config{Bits: 8, Gran: quant.PerColumn}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		quant.FakeQuant(x, cfg)
+	}
+}
+
+func BenchmarkSmoothQuantSite(b *testing.B) {
+	x, w := gemmFixtures()
+	s := schemes.Tender{}
+	site := s.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		site.MatMul(x, w)
+	}
+}
+
+func BenchmarkSystolicArray32(b *testing.B) {
+	rng := tensor.NewRNG(3)
+	x := make([][]int8, 32)
+	for i := range x {
+		x[i] = make([]int8, 64)
+		for j := range x[i] {
+			x[i][j] = int8(rng.Intn(15) - 7)
+		}
+	}
+	w := make([][]int8, 64)
+	for i := range w {
+		w[i] = make([]int8, 32)
+		for j := range w[i] {
+			w[i][j] = int8(rng.Intn(15) - 7)
+		}
+	}
+	groups := make([][]int, 4)
+	for c := 0; c < 64; c++ {
+		groups[c%4] = append(groups[c%4], c)
+	}
+	plan := systolic.PrepareGrouped(x, w, groups)
+	arr := systolic.New(32, 32, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arr.Run(plan)
+	}
+}
+
+func BenchmarkDRAMStream(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := dram.New(dram.HBM2())
+		m.StreamCycles(0, 1<<16)
+	}
+}
+
+func BenchmarkAccelModelRun(b *testing.B) {
+	cfg := accel.Tender(4, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		accel.RunModel(cfg, "opt-6.7b", 512)
+	}
+}

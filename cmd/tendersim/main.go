@@ -1,0 +1,80 @@
+// Command tendersim runs the cycle-level accelerator simulator on one
+// model workload and reports cycles, wall time, utilization and the
+// energy breakdown.
+//
+// Usage:
+//
+//	tendersim -model opt-6.7b -accel tender -bits 4 -groups 8 -seq 2048
+//	tendersim -model llama-2-70b -accel ant
+//	tendersim -compare -model opt-13b        # all accelerators side by side
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tender/internal/sim/accel"
+)
+
+func configFor(name string, bits, groups int) (accel.Config, bool) {
+	switch name {
+	case "tender":
+		return accel.Tender(bits, groups), true
+	case "tender-explicit":
+		return accel.TenderExplicit(bits, groups), true
+	case "base":
+		return accel.PerTensorBase(bits), true
+	case "ant":
+		return accel.ANT(), true
+	case "olive":
+		return accel.OliVe(), true
+	case "olaccel":
+		return accel.OLAccel(), true
+	default:
+		return accel.Config{}, false
+	}
+}
+
+func report(cfg accel.Config, modelName string, seq int) {
+	r := accel.RunModel(cfg, modelName, seq)
+	b := r.Energy()
+	fmt.Printf("%-18s %s  prefill %d\n", cfg.Name, modelName, seq)
+	fmt.Printf("  array %dx%d  act/weight bits %d/%d\n", cfg.ArrayRows, cfg.ArrayCols, cfg.ActBits, cfg.WeightBits)
+	fmt.Printf("  cycles        %d (compute %d, memory %d)\n", r.Cycles, r.ComputeCycles, r.MemoryCycles)
+	fmt.Printf("  wall time     %.3f s @ %.1f GHz\n", r.Seconds, cfg.FreqGHz)
+	fmt.Printf("  DRAM traffic  %.2f GB\n", float64(r.Counters.DRAMBytes)/1e9)
+	tot := b.TotalPJ()
+	fmt.Printf("  energy        %.3f J (compute %.0f%%, decode %.0f%%, sram %.0f%%, fifo %.0f%%, dram %.0f%%, static %.0f%%)\n",
+		tot/1e12, 100*b.ComputePJ/tot, 100*b.DecodePJ/tot, 100*b.SRAMPJ/tot,
+		100*b.FIFOPJ/tot, 100*b.DRAMPJ/tot, 100*b.StaticPJ/tot)
+	fmt.Println()
+}
+
+func main() {
+	modelName := flag.String("model", "opt-6.7b", "model (opt-6.7b/13b/66b, llama-2-7b/13b/70b)")
+	accelName := flag.String("accel", "tender", "accelerator (tender, tender-explicit, base, ant, olive, olaccel)")
+	bits := flag.Int("bits", 4, "element precision for tender/base (4 or 8)")
+	groups := flag.Int("groups", 0, "channel groups (0 = per-model default)")
+	seq := flag.Int("seq", 2048, "prefill sequence length")
+	compare := flag.Bool("compare", false, "run all accelerators")
+	flag.Parse()
+
+	g := *groups
+	if g == 0 {
+		g = accel.GroupsFor(*modelName)
+	}
+	if *compare {
+		for _, name := range []string{"ant", "olaccel", "olive", "tender"} {
+			cfg, _ := configFor(name, *bits, g)
+			report(cfg, *modelName, *seq)
+		}
+		return
+	}
+	cfg, ok := configFor(*accelName, *bits, g)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown accelerator %q\n", *accelName)
+		os.Exit(1)
+	}
+	report(cfg, *modelName, *seq)
+}

@@ -1,0 +1,12 @@
+// Package tender is a from-scratch Go reproduction of "Tender:
+// Accelerating Large Language Models via Tensor Decomposition and Runtime
+// Requantization" (ISCA 2024): the decomposed PTQ algorithm with
+// power-of-2 channel grouping and implicit requantization, the baseline
+// quantization schemes it is evaluated against, a transformer model
+// substrate, and a cycle-level accelerator simulator.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
+// root package only anchors module documentation and the benchmark
+// harness (bench_test.go); all functionality lives under internal/.
+package tender

@@ -1,0 +1,46 @@
+// Accelerator example: simulate an OPT-13B prefill on the Tender
+// accelerator and the three outlier-aware baselines at iso-area, printing
+// speedup, utilization and energy — a miniature Figs. 10-11 — plus a
+// functional demonstration that the Multi-Scale Systolic Array's shift
+// rescaling is bit-exact.
+package main
+
+import (
+	"fmt"
+
+	"tender/internal/sim/accel"
+	"tender/internal/sim/systolic"
+)
+
+func main() {
+	const modelName = "opt-13b"
+	const seq = 1024
+
+	fmt.Printf("== %s prefill %d, iso-area accelerators ==\n", modelName, seq)
+	ant := accel.RunModel(accel.ANT(), modelName, seq)
+	for _, cfg := range []accel.Config{
+		accel.ANT(), accel.OLAccel(), accel.OliVe(),
+		accel.Tender(4, accel.GroupsFor(modelName)),
+	} {
+		r := accel.RunModel(cfg, modelName, seq)
+		fmt.Printf("%-12s %5.2fx speedup  %6.2f J  (%d PEs)\n",
+			cfg.Name,
+			float64(ant.Cycles)/float64(r.Cycles),
+			r.Energy().TotalPJ()/1e12,
+			cfg.ArrayRows*cfg.ArrayCols)
+	}
+
+	// Functional MSA demo: a 4-channel GEMM decomposed into 3 groups runs
+	// through the cycle-accurate array; the shift-based rescale matches
+	// the reference exactly and costs G-1 = 2 extra cycles.
+	fmt.Println("\n== Multi-Scale Systolic Array (functional) ==")
+	x := [][]int8{{7, -3, 2, 1}, {-5, 4, 0, 6}}
+	w := [][]int8{{1, 2}, {3, -1}, {-2, 4}, {5, 0}}
+	groups := [][]int{{1}, {0, 3}, {2}} // compute order: largest scale first
+	arr := systolic.New(4, 4, 2)
+	got := arr.Run(systolic.PrepareGrouped(x, w, groups))
+	want := systolic.ReferenceGrouped(x, w, groups, 2)
+	fmt.Printf("array result:     %v\n", got)
+	fmt.Printf("reference (Eq.2): %v\n", want)
+	fmt.Printf("cycles: %d (= K + (G-1) bubbles + skew)\n", arr.Cycles)
+}

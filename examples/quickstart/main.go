@@ -1,0 +1,55 @@
+// Quickstart: quantize an outlier-heavy activation matrix with Tender and
+// multiply it against INT8 weights three ways — the hardware-style
+// implicit integer path, the explicit-requantization path, and plain
+// per-tensor INT8 — and compare their error against the exact product.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"tender/internal/quant"
+	"tender/internal/tender"
+	"tender/internal/tensor"
+	"tender/internal/workload"
+)
+
+func main() {
+	// An activation tensor shaped like the paper's Fig. 2: a few channels
+	// carry values ~45x larger than the rest.
+	x := workload.OPT67BAttentionInput(128, 256, 1)
+	rng := tensor.NewRNG(2)
+	w := tensor.RandNormal(rng, 256, 64, 0.05)
+	exact := tensor.MatMul(x, w)
+
+	// Calibrate Tender offline: per-channel biases, power-of-2 channel
+	// groups, per-group scale factors (INT8, 8 groups, row chunks of 256).
+	cfg := tender.DefaultConfig(8)
+	cal := tender.Calibrate([]*tensor.Matrix{x}, cfg)
+
+	// Per-column INT8 weights, as the paper pairs with Tender.
+	qw := tender.QuantizeWeights(w, cfg.Bits)
+	wf := qw.Dequantize()
+
+	implicit := cal.MatMulImplicit(x, qw, wf) // integer + 1-bit shifts
+	explicit := cal.MatMulExplicit(x, qw, wf) // FP dequant per group
+
+	// Baseline: plain per-tensor INT8 activations.
+	ptA := quant.FakeQuant(x, quant.Config{Bits: 8, Gran: quant.PerTensor})
+	perTensor := tensor.MatMul(ptA, wf)
+
+	rel := func(m *tensor.Matrix) float64 {
+		return math.Sqrt(tensor.MSE(m, exact)) / exact.MeanAbs()
+	}
+	fmt.Println("relative RMS error vs exact FP product:")
+	fmt.Printf("  Tender (implicit requant) : %.5f\n", rel(implicit))
+	fmt.Printf("  Tender (explicit requant) : %.5f\n", rel(explicit))
+	fmt.Printf("  per-tensor INT8           : %.5f\n", rel(perTensor))
+	fmt.Printf("implicit == explicit (max |diff|): %.3g\n", tensor.MaxAbsDiff(implicit, explicit))
+
+	meta := cal.Chunks[0]
+	fmt.Printf("\nchannel groups (G=%d, alpha=%d):\n", cfg.Groups, cfg.Alpha)
+	for g := 0; g < cfg.Groups; g++ {
+		fmt.Printf("  group %d: %3d channels, scale %.5f\n", g, meta.GroupCounts[g], meta.Scales[g])
+	}
+}

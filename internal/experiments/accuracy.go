@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tender/internal/model"
+	"tender/internal/schemes"
+	"tender/internal/schemes/ant"
+	"tender/internal/schemes/mx"
+	"tender/internal/schemes/olive"
+)
+
+// glueTask pairs a GLUE task name with the paper's published FP32
+// accuracy (Table IV), used as the teacher-agreement target.
+type glueTask struct {
+	name   string
+	fp32   float64
+	seqLen int
+}
+
+var glueTasks = []glueTask{
+	{"CoLA", 60.20, 24},
+	{"SST-2", 93.12, 24},
+	{"MRPC", 91.58, 32},
+	{"STS-B", 89.94, 32},
+	{"QQP", 91.40, 24},
+	{"QNLI", 92.33, 32},
+}
+
+// TableIV reproduces Table IV: BERT-Large accuracy on GLUE-style tasks
+// with all matmuls quantized (including activation-activation).
+func TableIV(o Options) Table {
+	h := newHarness(o)
+	m := h.model("bert-large")
+	n := o.taskSize()
+	t := Table{
+		ID:      "table4",
+		Title:   "INT8/INT4 PTQ results (accuracy) on BERT-Large",
+		Note:    "higher is better; FP32 row = teacher accuracy on noisy labels (targets from the paper)",
+		Columns: append([]string{"Precision", "Scheme"}, taskNames()...),
+	}
+	tasks := make([]model.Task, len(glueTasks))
+	for i, g := range glueTasks {
+		tasks[i] = model.MakeClassificationTask(m, g.name, n, g.seqLen, g.fp32/100, 0x6E0+uint64(i)+o.Seed)
+	}
+	evalRow := func(label, scheme string, eng model.Engine) {
+		row := []string{label, scheme}
+		for _, task := range tasks {
+			row = append(row, FormatAcc(model.ClassificationAccuracy(m, eng, task)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	evalRow("FP32", "Base", model.Exact{})
+	for _, bits := range []int{8, 4} {
+		for _, s := range []schemes.Scheme{ant.New(), olive.New(), schemes.Tender{}} {
+			evalRow(fmt.Sprintf("INT%d", bits), s.Name(), h.engine("bert-large", s, bits, true))
+		}
+	}
+	return t
+}
+
+func taskNames() []string {
+	out := make([]string, len(glueTasks))
+	for i, g := range glueTasks {
+		out[i] = g.name
+	}
+	return out
+}
+
+// zeroShotTask pairs an lm-evaluation-harness task with its option count
+// and the paper's FP32 accuracies for OPT-6.7B and LLaMA-7B (Table VII).
+type zeroShotTask struct {
+	name    string
+	options int
+	optAcc  float64 // OPT-6.7B FP32
+	llaAcc  float64 // LLaMA-7B FP32
+}
+
+var zeroShotTasks = []zeroShotTask{
+	{"Hellaswag", 4, 67.16, 76.20},
+	{"WIC", 2, 48.12, 49.06},
+	{"Anli-r2", 3, 34.40, 36.10},
+	{"Winogrande", 2, 65.43, 70.01},
+	{"ARC easy", 4, 60.02, 72.85},
+	{"ARC challenge", 4, 34.73, 44.71},
+	{"Lambada", 4, 67.69, 73.61},
+	{"College CS", 4, 34.00, 26.00},
+	{"Int. law", 4, 37.19, 46.28},
+	{"Jurisprudence", 4, 21.30, 36.11},
+}
+
+// TableVII reproduces Table VII: zero-shot accuracy of Tender-INT4 vs the
+// SMX4 and MXFP4 microscaling formats on OPT-6.7B and LLaMA-7B, with all
+// matmuls quantized.
+func TableVII(o Options) Table {
+	h := newHarness(o)
+	models := []string{"opt-6.7b", "llama-7b"}
+	n := o.taskSize()
+	seqLen := 48
+	if o.Quick {
+		seqLen = 24
+	}
+	cols := []string{"Task"}
+	for _, m := range models {
+		for _, s := range []string{"FP32", "SMX4", "MXFP4", "Tender"} {
+			cols = append(cols, m+"/"+s)
+		}
+	}
+	t := Table{
+		ID:      "table7",
+		Title:   "Accuracy for lm-evaluation-harness zero-shot tasks",
+		Note:    "higher is better; Tender uses INT4; all matmuls quantized",
+		Columns: cols,
+	}
+	type cell struct{ vals []string }
+	rows := make([]cell, len(zeroShotTasks))
+	for i := range rows {
+		rows[i].vals = []string{zeroShotTasks[i].name}
+	}
+	for mi, name := range models {
+		m := h.model(name)
+		engines := []model.Engine{
+			model.Exact{},
+			h.engine(name, mx.NewSMX4(), 4, true),
+			h.engine(name, mx.NewMXFP4(), 4, true),
+			h.engine(name, schemes.Tender{}, 4, true),
+		}
+		for ti, zt := range zeroShotTasks {
+			target := zt.optAcc
+			if mi == 1 {
+				target = zt.llaAcc
+			}
+			task := model.MakeZeroShotTask(m, zt.name, n, seqLen, zt.options, target/100, 0x7E0+uint64(ti)+o.Seed)
+			for _, eng := range engines {
+				rows[ti].vals = append(rows[ti].vals, FormatAcc(model.ZeroShotAccuracy(m, eng, task)))
+			}
+		}
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, r.vals)
+	}
+	return t
+}

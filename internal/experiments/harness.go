@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sync"
+
+	"tender/internal/model"
+	"tender/internal/schemes"
+	"tender/internal/tensor"
+	"tender/internal/workload"
+)
+
+// paperFP16 anchors each (model, stream) base perplexity to the paper's
+// published FP16 value (Table II / Table VI); the softmax temperature is
+// calibrated so the reproduction's FP32 reference matches it, making
+// measured quantization deltas directly comparable (DESIGN.md §2).
+var paperFP16 = map[string]map[workload.Stream]float64{
+	"opt-6.7b":    {workload.Wiki: 10.86, workload.PTB: 13.09},
+	"opt-13b":     {workload.Wiki: 10.13, workload.PTB: 12.34},
+	"opt-66b":     {workload.Wiki: 9.34, workload.PTB: 11.36},
+	"llama-2-7b":  {workload.Wiki: 5.47, workload.PTB: 20.83},
+	"llama-2-13b": {workload.Wiki: 4.88, workload.PTB: 28.93},
+	"llama-2-70b": {workload.Wiki: 3.32, workload.PTB: 14.44},
+	"llama-7b":    {workload.Wiki: 5.68, workload.PTB: 8.80},
+	"llama-13b":   {workload.Wiki: 5.09, workload.PTB: 8.07},
+	"llama-65b":   {workload.Wiki: 3.56, workload.PTB: 10.00},
+}
+
+// harness caches models, calibration recordings, evaluation streams,
+// reference logits and calibrated temperatures across experiments.
+type harness struct {
+	opts Options
+
+	mu      sync.Mutex
+	models  map[string]*model.Model
+	recs    map[string]*model.Recorder
+	streams map[streamKey][]int
+	refs    map[streamKey]*tensor.Matrix
+	temps   map[streamKey]float64
+	engines map[engineKey]*model.SchemeEngine
+}
+
+type engineKey struct {
+	model  string
+	scheme string
+	bits   int
+	qaa    bool
+}
+
+type streamKey struct {
+	model  string
+	stream workload.Stream
+	seq    int
+}
+
+func newHarness(o Options) *harness {
+	return &harness{
+		opts:    o,
+		models:  make(map[string]*model.Model),
+		recs:    make(map[string]*model.Recorder),
+		streams: make(map[streamKey][]int),
+		refs:    make(map[streamKey]*tensor.Matrix),
+		temps:   make(map[streamKey]float64),
+		engines: make(map[engineKey]*model.SchemeEngine),
+	}
+}
+
+func (h *harness) model(name string) *model.Model {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if m, ok := h.models[name]; ok {
+		return m
+	}
+	m := model.New(model.Registry(name))
+	h.models[name] = m
+	return m
+}
+
+// recorder returns the cached calibration recording for a model.
+func (h *harness) recorder(name string) *model.Recorder {
+	m := h.model(name)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if r, ok := h.recs[name]; ok {
+		return r
+	}
+	count, length := h.opts.calibStreams()
+	rec := model.NewRecorder()
+	for _, toks := range workload.CalibrationStreams(1000+h.opts.Seed, count, length, m.Cfg.Vocab) {
+		if m.Cfg.Arch == model.Encoder {
+			m.ClassifyLogits(toks, rec)
+		} else {
+			m.Forward(toks, rec)
+		}
+	}
+	h.recs[name] = rec
+	return rec
+}
+
+// engine builds (or returns the cached) calibrated engine from the cached
+// recording. Cache keys include the scheme's descriptive name, so scheme
+// variants that share a Name (e.g. Tender with different group counts)
+// must come from distinct harnesses — experiment functions each build
+// their own harness, which keeps this safe.
+func (h *harness) engine(name string, s schemes.Scheme, bits int, quantActAct bool) *model.SchemeEngine {
+	k := engineKey{name, schemeCacheKey(s), bits, quantActAct}
+	h.mu.Lock()
+	if e, ok := h.engines[k]; ok {
+		h.mu.Unlock()
+		return e
+	}
+	h.mu.Unlock()
+	e := model.Calibrate(s, bits, quantActAct, h.recorder(name))
+	h.mu.Lock()
+	h.engines[k] = e
+	h.mu.Unlock()
+	return e
+}
+
+// schemeCacheKey disambiguates scheme variants beyond their display name.
+func schemeCacheKey(s schemes.Scheme) string {
+	if t, ok := s.(schemes.Tender); ok {
+		return fmt.Sprintf("Tender/g%d/a%d/rc%d/nrc%v/cl%v/b%v",
+			t.Groups, t.Alpha, t.RowChunk, t.NoRowChunk, t.UseClustering, t.DisableBias)
+	}
+	return s.Name()
+}
+
+// evalStream returns the cached evaluation token stream.
+func (h *harness) evalStream(name string, st workload.Stream, seq int) []int {
+	m := h.model(name)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	k := streamKey{name, st, seq}
+	if s, ok := h.streams[k]; ok {
+		return s
+	}
+	s := workload.TokenStream(st, 7+h.opts.Seed, seq, m.Cfg.Vocab)
+	h.streams[k] = s
+	return s
+}
+
+// refAndTemp returns cached reference logits and the anchored temperature.
+func (h *harness) refAndTemp(name string, st workload.Stream, seq int) (*tensor.Matrix, float64) {
+	m := h.model(name)
+	toks := h.evalStream(name, st, seq)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	k := streamKey{name, st, seq}
+	if ref, ok := h.refs[k]; ok {
+		return ref, h.temps[k]
+	}
+	target := paperFP16[name][st]
+	if target == 0 {
+		target = 10
+	}
+	temp := model.CalibrateTemperature(m, toks, target)
+	ref := m.Forward(toks, model.Exact{})
+	h.refs[k] = ref
+	h.temps[k] = temp
+	return ref, temp
+}
+
+// ppl evaluates one (model, scheme, bits, stream) cell.
+func (h *harness) ppl(name string, s schemes.Scheme, bits int, quantActAct bool, st workload.Stream) model.PerplexityResult {
+	return h.pplAt(name, s, bits, quantActAct, st, h.opts.evalSeq())
+}
+
+// pplAt evaluates at an explicit sequence length.
+func (h *harness) pplAt(name string, s schemes.Scheme, bits int, quantActAct bool, st workload.Stream, seq int) model.PerplexityResult {
+	m := h.model(name)
+	toks := h.evalStream(name, st, seq)
+	ref, temp := h.refAndTemp(name, st, seq)
+	eng := h.engine(name, s, bits, quantActAct)
+	return model.TeacherPerplexityAgainst(ref, m, eng, toks, temp)
+}
+
+// base returns the anchored FP16 base for a (model, stream).
+func (h *harness) base(name string, st workload.Stream) float64 {
+	_, temp := h.refAndTemp(name, st, h.opts.evalSeq())
+	_ = temp
+	r := h.pplAt(name, schemes.FP16{}, 8, false, st, h.opts.evalSeq())
+	return r.Base
+}

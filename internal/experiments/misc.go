@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"tender/internal/gpu"
+	"tender/internal/schemes"
+	"tender/internal/tender"
+	"tender/internal/tensor"
+	"tender/internal/workload"
+)
+
+// Figure12 reproduces Fig. 12: normalized GPU latency and measured MSE of
+// the software quantization strategies on RTX 3090 (OPT-6.7B query
+// projection) and A100 80GB (OPT-66B).
+func Figure12(o Options) Table {
+	t := Table{
+		ID:      "figure12",
+		Title:   "Comparison of Tender SW and other schemes on GPUs",
+		Note:    "latency normalized to FP16; MSE measured on an OPT-6.7B-like layer-16 query projection sample",
+		Columns: []string{"GPU", "Scheme", "Norm. latency", "MSE"},
+	}
+	cases := []struct {
+		dev    gpu.Device
+		dmodel int
+	}{
+		{gpu.RTX3090(), 4096},
+		{gpu.A100(), 9216},
+	}
+	for _, c := range cases {
+		for _, b := range gpu.Figure12(c.dev, 2048, c.dmodel, 1+o.Seed) {
+			t.Rows = append(t.Rows, []string{
+				c.dev.Name, b.Strategy.String(),
+				FormatX(b.Normalized), fmt.Sprintf("%.3g", b.MSE),
+			})
+		}
+	}
+	return t
+}
+
+// Figure23Stats reproduces the motivation data of Figs. 2-3: per-channel
+// magnitude statistics of an OPT-6.7B-like attention input, showing a few
+// fixed channels tens of times larger than the median.
+func Figure23Stats(o Options) Table {
+	x := workload.OPT67BAttentionInput(256, 512, 8+o.Seed)
+	st := workload.Channels(x)
+	med := medianOf(st.AbsMax)
+	t := Table{
+		ID:      "figure23",
+		Title:   "Activation channel statistics (Figs. 2-3 motivation)",
+		Note:    "top channels by |max| vs the median channel",
+		Columns: []string{"Rank", "Channel", "AbsMax", "xMedian"},
+	}
+	idx := topK(st.AbsMax, 8)
+	for rank, c := range idx {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", rank+1), fmt.Sprintf("%d", c),
+			fmt.Sprintf("%.2f", st.AbsMax[c]), FormatX(st.AbsMax[c] / med),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"-", "median", fmt.Sprintf("%.2f", med), "1.00"},
+		[]string{"-", fmt.Sprintf("channels >8x median: %d", st.OutlierChannelCount(8)), "", ""})
+	return t
+}
+
+func medianOf(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j-1] > cp[j]; j-- {
+			cp[j-1], cp[j] = cp[j], cp[j-1]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+func topK(xs []float64, k int) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k && i < len(idx); i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if xs[idx[j]] > xs[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// AblationAlpha sweeps the rescale factor α (only α=2 admits the 1-bit
+// shifter; larger α needs the multi-cycle split-accumulator path, §IV-B).
+func AblationAlpha(o Options) Table {
+	h := newHarness(o)
+	t := Table{
+		ID:      "ablation-alpha",
+		Title:   "Ablation: rescale factor alpha (Tender INT4, OPT-6.7B, Wiki)",
+		Note:    "alpha=2 enables the 1-cycle shift; others need multi-cycle rescale",
+		Columns: []string{"Alpha", "PPL", "Hardware rescale"},
+	}
+	rescale := map[int]string{2: "1-bit shift (1 cycle)", 3: "split-accumulator multiply", 4: "2-bit shift"}
+	for _, a := range []int{2, 3, 4} {
+		r := h.ppl("opt-6.7b", schemes.Tender{Alpha: a}, 4, false, workload.Wiki)
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", a), FormatPPL(r.PPL), rescale[a]})
+	}
+	return t
+}
+
+// AblationRowChunk sweeps the row-chunk size (§III-B Optimization).
+func AblationRowChunk(o Options) Table {
+	h := newHarness(o)
+	t := Table{
+		ID:      "ablation-rowchunk",
+		Title:   "Ablation: row chunk size (Tender INT4, OPT-6.7B, Wiki)",
+		Columns: []string{"Row chunk", "PPL"},
+	}
+	chunks := []int{0, 32, 64, 128, 256}
+	for _, c := range chunks {
+		s := schemes.Tender{RowChunk: c}
+		if c == 0 {
+			s = schemes.Tender{NoRowChunk: true}
+		}
+		label := fmt.Sprintf("%d", c)
+		if c == 0 {
+			label = "whole tensor"
+		}
+		r := h.ppl("opt-6.7b", s, 4, false, workload.Wiki)
+		t.Rows = append(t.Rows, []string{label, FormatPPL(r.PPL)})
+	}
+	return t
+}
+
+// AblationBias toggles the per-channel bias subtraction.
+func AblationBias(o Options) Table {
+	h := newHarness(o)
+	t := Table{
+		ID:      "ablation-bias",
+		Title:   "Ablation: channel bias subtraction (Tender INT4, OPT-6.7B, Wiki)",
+		Columns: []string{"Bias subtraction", "PPL"},
+	}
+	on := h.ppl("opt-6.7b", schemes.Tender{}, 4, false, workload.Wiki)
+	off := h.ppl("opt-6.7b", schemes.Tender{DisableBias: true}, 4, false, workload.Wiki)
+	t.Rows = append(t.Rows,
+		[]string{"on", FormatPPL(on.PPL)},
+		[]string{"off", FormatPPL(off.PPL)})
+	return t
+}
+
+// AblationBits sweeps the element bit width: §III-A notes Tender extends
+// to 5/6/7-bit integers with the same algorithm because it builds on
+// standard symmetric quantization.
+func AblationBits(o Options) Table {
+	h := newHarness(o)
+	t := Table{
+		ID:      "ablation-bits",
+		Title:   "Ablation: element bit width (Tender, OPT-6.7B, Wiki)",
+		Note:    "standard symmetric quantization extends to any width (§III-A)",
+		Columns: []string{"Bits", "PPL"},
+	}
+	for _, bits := range []int{4, 5, 6, 7, 8} {
+		r := h.ppl("opt-6.7b", schemes.Tender{}, bits, false, workload.Wiki)
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", bits), FormatPPL(r.PPL)})
+	}
+	return t
+}
+
+// AblationDataflow quantifies the §VI-D discussion: an output-stationary
+// array batches only up to its row count, so larger batches re-stream the
+// whole weight matrix once per 64-row pass; a weight-stationary array
+// loads each weight once and batches arbitrarily, but moves 32-bit
+// partial sums between reduction tiles. The table reports per-token
+// cycles and per-token weight-SRAM traffic for one d×d projection.
+func AblationDataflow(o Options) Table {
+	t := Table{
+		ID:    "ablation-dataflow",
+		Title: "Output- vs weight-stationary batching behaviour (§VI-D)",
+		Note:  "one 4096x4096 projection on a 64x64 array; INT4 weights, INT32 partial sums",
+		Columns: []string{"Batch", "OS cyc/token", "WS cyc/token",
+			"OS weight B/token", "WS weight B/token", "WS psum B/token"},
+	}
+	const d, arr = 4096, 64
+	for _, batch := range []int{1, 16, 64, 256, 1024} {
+		mPasses := (batch + arr - 1) / arr
+		nTiles := (d + arr - 1) / arr
+		kTiles := (d + arr - 1) / arr
+		// OS: every M-pass streams the full weight matrix again.
+		osCycles := int64(mPasses) * int64(nTiles) * int64(d+2*arr-2)
+		osWeightBytes := float64(mPasses) * float64(d) * float64(d) / 2
+		// WS: one load phase per weight tile (weights read once); every
+		// output element's INT32 partial sum crosses the accumulator once
+		// per reduction tile.
+		wsCycles := int64(kTiles)*int64(nTiles)*int64(arr) +
+			int64(kTiles)*int64(nTiles)*int64(batch+arr-1)
+		wsWeightBytes := float64(d) * float64(d) / 2
+		wsPsumBytes := float64(batch) * float64(d) * float64(kTiles) * 4 * 2
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", batch),
+			fmt.Sprintf("%.0f", float64(osCycles)/float64(batch)),
+			fmt.Sprintf("%.0f", float64(wsCycles)/float64(batch)),
+			fmt.Sprintf("%.0f", osWeightBytes/float64(batch)),
+			fmt.Sprintf("%.0f", wsWeightBytes/float64(batch)),
+			fmt.Sprintf("%.0f", wsPsumBytes/float64(batch)),
+		})
+	}
+	return t
+}
+
+// AblationClustering compares the power-of-2 classification rule with
+// RPTQ-style k-means clustering, including calibration cost (§III-B
+// "clustering ... is not likely applicable at runtime").
+func AblationClustering(o Options) Table {
+	t := Table{
+		ID:      "ablation-clustering",
+		Title:   "Ablation: classification vs clustering (activation quantization error)",
+		Note:    "MSE of INT4 activation quantization on an OPT-6.7B-like tensor + calibration wall time",
+		Columns: []string{"Grouping", "MSE", "Calibration", "Implicit requant"},
+	}
+	x := workload.OPT67BAttentionInput(512, 512, 11+o.Seed)
+	run := func(clustering bool) (float64, time.Duration) {
+		cfg := tender.DefaultConfig(4)
+		cfg.RowChunk = 0
+		cfg.UseClustering = clustering
+		start := time.Now()
+		cal := tender.Calibrate([]*tensor.Matrix{x}, cfg)
+		dur := time.Since(start)
+		return tensor.MSE(x, cal.FakeQuantActivation(x)), dur
+	}
+	mseC, durC := run(false)
+	mseK, durK := run(true)
+	t.Rows = append(t.Rows,
+		[]string{"power-of-2 classification", fmt.Sprintf("%.4g", mseC), durC.String(), "yes (1-bit shift)"},
+		[]string{"k-means clustering", fmt.Sprintf("%.4g", mseK), durK.String(), "no (arbitrary scales)"})
+	return t
+}

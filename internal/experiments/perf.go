@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tender/internal/sim/accel"
+	"tender/internal/sim/area"
+)
+
+// perfSeq returns the prefill length for the performance experiments.
+func (o Options) perfSeq() int {
+	if o.Quick {
+		return 512
+	}
+	return 2048
+}
+
+// TableV reproduces Table V: area and power of the Tender accelerator.
+func TableV(Options) Table {
+	t := Table{
+		ID:      "table5",
+		Title:   "Area and power characteristics of Tender (28 nm, 1 GHz)",
+		Columns: []string{"Component", "Setup", "Area [mm2]", "Power [W]"},
+	}
+	for _, c := range area.Tender() {
+		t.Rows = append(t.Rows, []string{
+			c.Name, c.Setup, fmt.Sprintf("%.2f", c.AreaMM2), fmt.Sprintf("%.2f", c.PowerW),
+		})
+	}
+	a, p := area.Totals(area.Tender())
+	t.Rows = append(t.Rows, []string{"Total", "", fmt.Sprintf("%.2f", a), fmt.Sprintf("%.2f", p)})
+	return t
+}
+
+// accelerators lists the Fig. 10/11 designs in paper order.
+func accelerators(modelName string) []accel.Config {
+	return []accel.Config{
+		accel.ANT(),
+		accel.OLAccel(),
+		accel.OliVe(),
+		accel.Tender(4, accel.GroupsFor(modelName)),
+	}
+}
+
+// Figure10 reproduces Fig. 10: speedup over ANT across the accelerators
+// (batch 1, sequence 2048:1).
+func Figure10(o Options) Table {
+	seq := o.perfSeq()
+	t := Table{
+		ID:      "figure10",
+		Title:   "Speedup comparison across the accelerators",
+		Note:    fmt.Sprintf("normalized to ANT; batch 1, prefill %d + 1 generated token", seq),
+		Columns: []string{"Model", "ANT", "OLAccel", "OliVe", "Tender"},
+	}
+	speedups := map[string][]float64{}
+	for _, m := range accel.PerfModels() {
+		row := []string{m}
+		ant := accel.RunModel(accel.ANT(), m, seq).Cycles
+		for _, cfg := range accelerators(m) {
+			s := float64(ant) / float64(accel.RunModel(cfg, m, seq).Cycles)
+			key := cfg.Name
+			if key != "ANT" && key != "OLAccel" && key != "OliVe" {
+				key = "Tender"
+			}
+			speedups[key] = append(speedups[key], s)
+			row = append(row, FormatX(s))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Rows = append(t.Rows, []string{
+		"Geomean",
+		FormatX(Geomean(speedups["ANT"])),
+		FormatX(Geomean(speedups["OLAccel"])),
+		FormatX(Geomean(speedups["OliVe"])),
+		FormatX(Geomean(speedups["Tender"])),
+	})
+	return t
+}
+
+// Figure11 reproduces Fig. 11: energy efficiency over ANT.
+func Figure11(o Options) Table {
+	seq := o.perfSeq()
+	t := Table{
+		ID:      "figure11",
+		Title:   "Energy efficiency comparison across the accelerators",
+		Note:    "normalized to ANT (higher is better)",
+		Columns: []string{"Model", "ANT", "OLAccel", "OliVe", "Tender"},
+	}
+	effs := map[string][]float64{}
+	for _, m := range accel.PerfModels() {
+		row := []string{m}
+		ant := accel.RunModel(accel.ANT(), m, seq).Energy().TotalPJ()
+		for _, cfg := range accelerators(m) {
+			e := ant / accel.RunModel(cfg, m, seq).Energy().TotalPJ()
+			key := cfg.Name
+			if key != "ANT" && key != "OLAccel" && key != "OliVe" {
+				key = "Tender"
+			}
+			effs[key] = append(effs[key], e)
+			row = append(row, FormatX(e))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Rows = append(t.Rows, []string{
+		"Geomean",
+		FormatX(Geomean(effs["ANT"])),
+		FormatX(Geomean(effs["OLAccel"])),
+		FormatX(Geomean(effs["OliVe"])),
+		FormatX(Geomean(effs["Tender"])),
+	})
+	return t
+}
+
+// Figure13 reproduces Fig. 13: end-to-end latency of implicit vs explicit
+// requantization, normalized to per-tensor quantization.
+func Figure13(o Options) Table {
+	seq := o.perfSeq()
+	t := Table{
+		ID:      "figure13",
+		Title:   "Comparison between implicit and explicit requantization",
+		Note:    "normalized to per-tensor quantization (Base = 1.00)",
+		Columns: []string{"Model", "Groups", "Base", "Explicit", "Tender (Implicit)"},
+	}
+	for _, g := range []int{8, 16} {
+		for _, m := range []string{"opt-6.7b", "llama-2-13b", "llama-2-70b"} {
+			base := accel.RunModel(accel.PerTensorBase(4), m, seq).Cycles
+			exp := accel.RunModel(accel.TenderExplicit(4, g), m, seq).Cycles
+			imp := accel.RunModel(accel.Tender(4, g), m, seq).Cycles
+			t.Rows = append(t.Rows, []string{
+				m, fmt.Sprintf("%d", g), "1.00",
+				FormatX(float64(exp) / float64(base)),
+				FormatX(float64(imp) / float64(base)),
+			})
+		}
+	}
+	return t
+}

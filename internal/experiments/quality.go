@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tender/internal/quant"
+	"tender/internal/schemes"
+	"tender/internal/schemes/ant"
+	"tender/internal/schemes/msfp"
+	"tender/internal/schemes/olive"
+	"tender/internal/schemes/smoothquant"
+	"tender/internal/workload"
+)
+
+// TableI reproduces Table I: perplexity at per-tensor / per-row /
+// per-column activation granularity for INT8 and INT4.
+func TableI(o Options) Table {
+	h := newHarness(o)
+	models := []string{"opt-6.7b", "opt-13b", "llama-2-7b", "llama-2-13b"}
+	grans := []quant.Granularity{quant.PerTensor, quant.PerRow, quant.PerColumn}
+	t := Table{
+		ID:      "table1",
+		Title:   "Model performance (perplexity) at different quantization granularities",
+		Note:    "Wiki stream; activations quantized at the row, lower is better",
+		Columns: append([]string{"Scheme"}, models...),
+	}
+	base := []string{"FP16"}
+	for _, m := range models {
+		base = append(base, FormatPPL(h.ppl(m, schemes.FP16{}, 8, false, workload.Wiki).PPL))
+	}
+	t.Rows = append(t.Rows, base)
+	for _, bits := range []int{8, 4} {
+		for _, g := range grans {
+			row := []string{fmt.Sprintf("INT%d %s", bits, g)}
+			for _, m := range models {
+				r := h.ppl(m, schemes.Uniform{ActGran: g, Dynamic: true}, bits, false, workload.Wiki)
+				row = append(row, FormatPPL(r.PPL))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}
+
+// quantSchemes are the Table II comparison schemes in paper order.
+func quantSchemes() []schemes.Scheme {
+	return []schemes.Scheme{
+		smoothquant.New(),
+		ant.New(),
+		olive.New(),
+		schemes.Tender{},
+	}
+}
+
+// TableII reproduces Table II: INT8/INT4 PTQ perplexity for eight models
+// on both streams. Activation-activation matmuls stay unquantized (the
+// paper's fair-comparison protocol).
+func TableII(o Options) Table {
+	h := newHarness(o)
+	models := []string{
+		"opt-6.7b", "opt-13b", "opt-66b",
+		"llama-2-7b", "llama-2-13b", "llama-2-70b",
+		"llama-7b", "llama-13b",
+	}
+	if o.Quick {
+		models = []string{"opt-6.7b", "llama-2-7b"}
+	}
+	cols := []string{"Precision", "Scheme"}
+	for _, m := range models {
+		cols = append(cols, m+"/Wiki", m+"/PTB")
+	}
+	t := Table{
+		ID:      "table2",
+		Title:   "INT8/INT4 PTQ results (perplexity) for large language models",
+		Note:    "lower is better; FP16 bases anchored to the paper's published values",
+		Columns: cols,
+	}
+	baseRow := []string{"FP16", "Base"}
+	for _, m := range models {
+		baseRow = append(baseRow,
+			FormatPPL(h.ppl(m, schemes.FP16{}, 8, false, workload.Wiki).PPL),
+			FormatPPL(h.ppl(m, schemes.FP16{}, 8, false, workload.PTB).PPL))
+	}
+	t.Rows = append(t.Rows, baseRow)
+	for _, bits := range []int{8, 4} {
+		for _, s := range quantSchemes() {
+			row := []string{fmt.Sprintf("INT%d", bits), s.Name()}
+			for _, m := range models {
+				row = append(row,
+					FormatPPL(h.ppl(m, s, bits, false, workload.Wiki).PPL),
+					FormatPPL(h.ppl(m, s, bits, false, workload.PTB).PPL))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t
+}
+
+// seqLengths maps the paper's 2048/256/32 sensitivity sweep onto the
+// reproduction's scaled sequence lengths.
+func seqLengths(o Options) ([]int, []string) {
+	if o.Quick {
+		return []int{64, 32, 16}, []string{"2048 (scaled 64)", "256 (scaled 32)", "32 (scaled 16)"}
+	}
+	return []int{256, 64, 32}, []string{"2048 (scaled 256)", "256 (scaled 64)", "32 (scaled 32)"}
+}
+
+// TableIII reproduces Table III: sequence-length sensitivity on OPT-6.7B,
+// including the Tender (all) variant that quantizes activation-activation
+// matmuls. Calibration uses only the longest length, as in the paper.
+func TableIII(o Options) Table {
+	h := newHarness(o)
+	const m = "opt-6.7b"
+	seqs, labels := seqLengths(o)
+	cols := []string{"Precision", "Scheme"}
+	for _, l := range labels {
+		cols = append(cols, l+"/Wiki", l+"/PTB")
+	}
+	t := Table{
+		ID:      "table3",
+		Title:   "INT8/INT4 PTQ results (perplexity) across different sequence lengths",
+		Note:    "OPT-6.7B; calibration at the longest length only",
+		Columns: cols,
+	}
+	addRow := func(label, scheme string, f func(st workload.Stream, seq int) float64) {
+		row := []string{label, scheme}
+		for _, seq := range seqs {
+			row = append(row, FormatPPL(f(workload.Wiki, seq)), FormatPPL(f(workload.PTB, seq)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	addRow("FP16", "Base", func(st workload.Stream, seq int) float64 {
+		return h.pplAt(m, schemes.FP16{}, 8, false, st, seq).PPL
+	})
+	for _, bits := range []int{8, 4} {
+		for _, s := range quantSchemes() {
+			s := s
+			addRow(fmt.Sprintf("INT%d", bits), s.Name(), func(st workload.Stream, seq int) float64 {
+				return h.pplAt(m, s, bits, false, st, seq).PPL
+			})
+		}
+		// Tender (all): quantizes the activation-activation matmuls too.
+		addRow(fmt.Sprintf("INT%d", bits), "Tender (all)", func(st workload.Stream, seq int) float64 {
+			return h.pplAt(m, schemes.Tender{}, bits, true, st, seq).PPL
+		})
+	}
+	return t
+}
+
+// TableVI reproduces Table VI: Tender-INT4 vs MSFP12 / MSFP12-OL on the
+// largest models (Wiki stream).
+func TableVI(o Options) Table {
+	h := newHarness(o)
+	models := []string{"opt-66b", "llama-2-70b", "llama-65b"}
+	if o.Quick {
+		models = []string{"opt-66b"}
+	}
+	t := Table{
+		ID:      "table6",
+		Title:   "PTQ perplexity of Tender and MSFP for WikiText-2",
+		Columns: append([]string{"Precision"}, models...),
+	}
+	rows := []struct {
+		name string
+		f    func(m string) float64
+	}{
+		{"FP16", func(m string) float64 { return h.ppl(m, schemes.FP16{}, 8, false, workload.Wiki).PPL }},
+		{"MSFP12", func(m string) float64 { return h.ppl(m, msfp.New(), 4, false, workload.Wiki).PPL }},
+		{"MSFP12-OL", func(m string) float64 { return h.ppl(m, msfp.NewOL(), 4, false, workload.Wiki).PPL }},
+		{"Tender-INT4", func(m string) float64 { return h.ppl(m, schemes.Tender{}, 4, false, workload.Wiki).PPL }},
+	}
+	for _, r := range rows {
+		row := []string{r.name}
+		for _, m := range models {
+			row = append(row, FormatPPL(r.f(m)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Figure9 reproduces Fig. 9: perplexity vs number of channel groups on
+// Llama-2-7B (PTB stream) for INT4 and INT8.
+func Figure9(o Options) Table {
+	h := newHarness(o)
+	const m = "llama-2-7b"
+	groups := []int{1, 2, 3, 4, 6, 8, 12, 16}
+	if o.Quick {
+		groups = []int{1, 2, 4, 8}
+	}
+	t := Table{
+		ID:      "figure9",
+		Title:   "Perplexity for the different number of groups",
+		Note:    "Llama-2-7B, PTB stream; lower is better",
+		Columns: []string{"Groups", "INT4", "INT8"},
+	}
+	for _, g := range groups {
+		r4 := h.ppl(m, schemes.Tender{Groups: g}, 4, false, workload.PTB)
+		r8 := h.ppl(m, schemes.Tender{Groups: g}, 8, false, workload.PTB)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", g), FormatPPL(r4.PPL), FormatPPL(r8.PPL),
+		})
+	}
+	return t
+}

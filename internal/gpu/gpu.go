@@ -1,0 +1,226 @@
+// Package gpu is the analytical CUTLASS-kernel cost model behind Fig. 12:
+// it estimates INT8/FP16 GEMM latency on tensor-core GPUs (RTX 3090 and
+// A100 80GB) for the quantization execution strategies the paper compares
+// — FP16, INT8 per-tensor, per-row, per-channel, and the Tender software
+// implementation — and pairs each with the real quantization MSE measured
+// by the quantization packages.
+//
+// The latency model captures the effects §VI-A identifies: INT8 tensor
+// cores double FP16 throughput; per-channel scaling forces decomposed
+// GEMMs with explicit dequantization epilogues; Tender SW adds sub-GEMM
+// launches and 128-bit-alignment padding of each channel group.
+package gpu
+
+import (
+	"tender/internal/quant"
+	"tender/internal/schemes"
+	"tender/internal/tender"
+	"tender/internal/tensor"
+	"tender/internal/workload"
+)
+
+// Device models one GPU.
+type Device struct {
+	Name string
+	// Peak dense tensor-core throughputs.
+	FP16TFLOPS float64
+	INT8TOPS   float64
+	// BWGBs is HBM/GDDR bandwidth in GB/s.
+	BWGBs float64
+	// LaunchUs is the per-kernel launch/tail latency in microseconds.
+	LaunchUs float64
+	// SaturateOutputs is the output size (M·N) scale below which the
+	// device does not reach peak throughput; INT8 needs twice the
+	// parallelism of FP16 to saturate — the §VI-A note that small models
+	// leave A100 tensor cores underutilized at INT8.
+	SaturateOutputs float64
+}
+
+// RTX3090 returns the GeForce RTX 3090 model.
+func RTX3090() Device {
+	return Device{
+		Name: "RTX 3090", FP16TFLOPS: 71, INT8TOPS: 142,
+		BWGBs: 936, LaunchUs: 6, SaturateOutputs: 4e6,
+	}
+}
+
+// A100 returns the A100 80GB model.
+func A100() Device {
+	return Device{
+		Name: "A100 80GB", FP16TFLOPS: 312, INT8TOPS: 624,
+		BWGBs: 1555, LaunchUs: 6, SaturateOutputs: 1.2e7,
+	}
+}
+
+// gemmSeconds returns the time of one dense GEMM at the given element
+// width including the memory stream and launch cost.
+func (d Device) gemmSeconds(m, k, n int, bits int) float64 {
+	macs := float64(m) * float64(k) * float64(n)
+	var peak float64 // MACs per second
+	switch {
+	case bits <= 8:
+		peak = d.INT8TOPS * 1e12 / 2 // TOPS counts mul+add as 2 ops
+	default:
+		peak = d.FP16TFLOPS * 1e12 / 2
+	}
+	// Utilization rolls off when the output tile count cannot fill the
+	// device (tile quantization, wave underutilization); INT8 needs twice
+	// the parallelism of FP16 to saturate.
+	knee := d.SaturateOutputs * 0.05
+	if bits <= 8 {
+		knee *= 2
+	}
+	mn := float64(m) * float64(n)
+	util := mn / (mn + knee)
+	compute := macs / (peak * util)
+	bytes := (float64(m*k)+float64(k*n))*float64(bits)/8 + float64(m*n)*2
+	mem := bytes / (d.BWGBs * 1e9)
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	return t + d.LaunchUs*1e-6
+}
+
+// dequantPass is one FP elementwise pass over an M×N fp32 buffer
+// (read-modify-write), the explicit dequantization cost of §VI-A.
+func (d Device) dequantPass(m, n int) float64 {
+	bytes := float64(m*n) * 4 * 2
+	return bytes/(d.BWGBs*1e9) + d.LaunchUs*1e-6
+}
+
+// Strategy is one bar of Fig. 12.
+type Strategy int
+
+const (
+	FP16 Strategy = iota
+	Int8PerTensor
+	Int8PerRow
+	Int8PerChannel
+	TenderSW
+)
+
+// String names the strategy as in the figure.
+func (s Strategy) String() string {
+	switch s {
+	case FP16:
+		return "FP16"
+	case Int8PerTensor:
+		return "INT8 (per-tensor)"
+	case Int8PerRow:
+		return "INT8 (per-row)"
+	case Int8PerChannel:
+		return "INT8 (per-channel)"
+	case TenderSW:
+		return "Tender SW"
+	default:
+		return "unknown"
+	}
+}
+
+// Strategies lists the Fig. 12 bars in order.
+func Strategies() []Strategy {
+	return []Strategy{FP16, Int8PerTensor, Int8PerRow, Int8PerChannel, TenderSW}
+}
+
+// padTo rounds n up to a multiple of align.
+func padTo(n, align int) int { return (n + align - 1) / align * align }
+
+// Latency returns the estimated execution time in seconds of the query
+// projection GEMM (m×k × k×n) under the strategy. groups is the Tender
+// group count; chanChunks the number of distinct-scale chunks a
+// per-channel kernel must decompose into.
+func (d Device) Latency(s Strategy, m, k, n, groups int) float64 {
+	switch s {
+	case FP16:
+		return d.gemmSeconds(m, k, n, 16)
+	case Int8PerTensor, Int8PerRow:
+		// Scales fold into one epilogue; a single INT8 kernel suffices.
+		return d.gemmSeconds(m, k, n, 8) + d.dequantPass(m, n)*0.25
+	case Int8PerChannel:
+		// Per-channel activation scales cannot fold outside the
+		// reduction: the GEMM splits into chunks of equal-scale channels,
+		// each followed by an explicit FP dequant-accumulate pass.
+		chunks := 32
+		kc := padTo(k/chunks, 16)
+		t := 0.0
+		for i := 0; i < chunks; i++ {
+			t += d.gemmSeconds(m, kc, n, 8) + d.dequantPass(m, n)
+		}
+		return t
+	case TenderSW:
+		// One sub-GEMM per channel group, each padded to the 128-bit
+		// alignment CUTLASS INT8 kernels require (§VI-A). The per-group
+		// rescale-accumulate rides the kernel epilogue (alpha/beta
+		// scaling), costing roughly the output write per group rather
+		// than a full read-modify-write pass.
+		if groups < 1 {
+			groups = 8
+		}
+		t := 0.0
+		for g := 0; g < groups; g++ {
+			kg := padTo(k/groups, 16)
+			t += d.gemmSeconds(m, kg, n, 8)
+			t += d.dequantPass(m, n) * 0.5
+		}
+		return t
+	default:
+		panic("gpu: unknown strategy")
+	}
+}
+
+// MSEInputs builds the activation/weight pair standing in for "a sample
+// from the query projection in Layer 16" (§VI-A) at a software-tractable
+// size.
+func MSEInputs(seed uint64) (x, w *tensor.Matrix) {
+	x = workload.OPT67BAttentionInput(256, 512, seed)
+	rng := tensor.NewRNG(seed + 1)
+	w = tensor.RandNormal(rng, 512, 256, 0.05)
+	return x, w
+}
+
+// MSE measures the real output MSE of the strategy on the Fig. 12 sample.
+func MSE(s Strategy, seed uint64) float64 {
+	x, w := MSEInputs(seed)
+	ref := tensor.MatMul(x, w)
+	var out *tensor.Matrix
+	switch s {
+	case FP16:
+		out = schemes.FP16{}.NewSite(nil, nil, 0).MatMul(x, w)
+	case Int8PerTensor:
+		out = schemes.Uniform{ActGran: quant.PerTensor, Dynamic: true}.
+			NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8).MatMul(x, w)
+	case Int8PerRow:
+		out = schemes.Uniform{ActGran: quant.PerRow, Dynamic: true}.
+			NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8).MatMul(x, w)
+	case Int8PerChannel:
+		out = schemes.Uniform{ActGran: quant.PerColumn, Dynamic: true}.
+			NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8).MatMul(x, w)
+	case TenderSW:
+		cal := tender.Calibrate([]*tensor.Matrix{x}, tender.DefaultConfig(8))
+		out = cal.FakeQuantMatMul(x, tender.QuantizeWeights(w, 8))
+	}
+	return tensor.MSE(ref, out)
+}
+
+// Bar is one Fig. 12 data point.
+type Bar struct {
+	Strategy   Strategy
+	Normalized float64 // latency normalized to FP16
+	MSE        float64
+}
+
+// Figure12 computes the five bars for dev on the model's query-projection
+// GEMM shape (m tokens, dmodel k=n).
+func Figure12(dev Device, m, dmodel int, seed uint64) []Bar {
+	fp16 := dev.Latency(FP16, m, dmodel, dmodel, 8)
+	var out []Bar
+	for _, s := range Strategies() {
+		out = append(out, Bar{
+			Strategy:   s,
+			Normalized: dev.Latency(s, m, dmodel, dmodel, 8) / fp16,
+			MSE:        MSE(s, seed),
+		})
+	}
+	return out
+}

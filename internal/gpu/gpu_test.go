@@ -1,0 +1,90 @@
+package gpu
+
+import "testing"
+
+func TestInt8FasterThanFP16OnLargeGEMM(t *testing.T) {
+	for _, dev := range []Device{RTX3090(), A100()} {
+		f := dev.Latency(FP16, 2048, 4096, 4096, 8)
+		i := dev.Latency(Int8PerTensor, 2048, 4096, 4096, 8)
+		if i >= f {
+			t.Fatalf("%s: INT8 (%.3gs) should beat FP16 (%.3gs) on large GEMMs", dev.Name, i, f)
+		}
+	}
+}
+
+func TestA100SmallModelParity(t *testing.T) {
+	// §VI-A: on A100 small GEMMs show similar INT8 and FP16 latency due
+	// to underutilization; large GEMMs show the 2x gap.
+	dev := A100()
+	smallRatio := dev.Latency(Int8PerTensor, 512, 1024, 1024, 8) / dev.Latency(FP16, 512, 1024, 1024, 8)
+	largeRatio := dev.Latency(Int8PerTensor, 2048, 9216, 9216, 8) / dev.Latency(FP16, 2048, 9216, 9216, 8)
+	if largeRatio >= smallRatio {
+		t.Fatalf("INT8 advantage should grow with GEMM size: small %.2f large %.2f", smallRatio, largeRatio)
+	}
+	if largeRatio > 0.75 {
+		t.Fatalf("large-GEMM INT8 ratio %.2f should approach ~0.5", largeRatio)
+	}
+}
+
+func TestPerChannelSlowestTenderSWBetweenFP16AndInt8(t *testing.T) {
+	// The Fig. 12 ordering: per-channel pays decomposed GEMMs + explicit
+	// dequant; Tender SW is slightly faster than FP16 but cannot reach
+	// plain INT8 speed.
+	bars := Figure12(RTX3090(), 2048, 4096, 1)
+	lat := map[Strategy]float64{}
+	for _, b := range bars {
+		lat[b.Strategy] = b.Normalized
+	}
+	if lat[FP16] != 1 {
+		t.Fatalf("FP16 must normalize to 1, got %v", lat[FP16])
+	}
+	if !(lat[Int8PerTensor] < lat[TenderSW] && lat[TenderSW] < lat[FP16]) {
+		t.Fatalf("ordering violated: per-tensor %.2f < TenderSW %.2f < FP16 1", lat[Int8PerTensor], lat[TenderSW])
+	}
+	if lat[Int8PerChannel] <= lat[FP16] {
+		t.Fatalf("per-channel (%.2f) should be slower than FP16", lat[Int8PerChannel])
+	}
+}
+
+func TestMSEOrdering(t *testing.T) {
+	// Tender SW must reach per-channel-level MSE; per-tensor/per-row are
+	// orders of magnitude worse on outlier-heavy activations (Fig. 12).
+	ms := map[Strategy]float64{}
+	for _, s := range Strategies() {
+		ms[s] = MSE(s, 1)
+	}
+	if ms[TenderSW] > ms[Int8PerChannel]*5 {
+		t.Fatalf("Tender MSE %.3g should be close to per-channel %.3g", ms[TenderSW], ms[Int8PerChannel])
+	}
+	if ms[Int8PerTensor] < 50*ms[Int8PerChannel] {
+		t.Fatalf("per-tensor MSE %.3g should dwarf per-channel %.3g", ms[Int8PerTensor], ms[Int8PerChannel])
+	}
+	if ms[FP16] > ms[Int8PerChannel] {
+		t.Fatalf("FP16 MSE %.3g should be smallest", ms[FP16])
+	}
+}
+
+func TestLaunchCostMattersForSmallGEMMs(t *testing.T) {
+	dev := RTX3090()
+	// For a tiny GEMM, the decomposed strategies pay many launches.
+	single := dev.Latency(Int8PerTensor, 64, 256, 256, 8)
+	split := dev.Latency(TenderSW, 64, 256, 256, 8)
+	if split < 2*single {
+		t.Fatalf("sub-GEMM launches should dominate tiny GEMMs: %.3g vs %.3g", split, single)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if len(Strategies()) != 5 {
+		t.Fatal("Fig. 12 has five bars")
+	}
+	if TenderSW.String() != "Tender SW" || Int8PerChannel.String() != "INT8 (per-channel)" {
+		t.Fatal("strategy names changed")
+	}
+}
+
+func TestPadTo(t *testing.T) {
+	if padTo(17, 16) != 32 || padTo(16, 16) != 16 || padTo(1, 16) != 16 {
+		t.Fatal("padTo broken")
+	}
+}

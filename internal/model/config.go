@@ -1,0 +1,130 @@
+// Package model implements the transformer substrate: scaled-down decoder
+// language models named after the paper's evaluation models (OPT, LLaMA,
+// Llama-2) and a BERT-style encoder classifier, with deterministic
+// pseudo-random weights whose LayerNorm gains reproduce the fixed-channel
+// activation outliers of §II-B, plus perplexity / accuracy / zero-shot
+// evaluation and per-site quantization-scheme plumbing.
+package model
+
+import "fmt"
+
+// Arch selects the transformer flavour.
+type Arch int
+
+const (
+	// Decoder is a causal (GPT/OPT/LLaMA-style) language model.
+	Decoder Arch = iota
+	// Encoder is a bidirectional (BERT-style) classifier.
+	Encoder
+)
+
+// Config describes a model instance. Dimensions are scaled down from the
+// real checkpoints but preserve the architectural ratios (heads ∝ dmodel,
+// FFN = 4·dmodel, layer count grows with model size).
+type Config struct {
+	Name   string
+	Arch   Arch
+	Layers int
+	DModel int
+	Heads  int
+	FFN    int
+	Vocab  int
+	MaxSeq int
+	// UseGELU switches the FFN activation (OPT/BERT use ReLU in the
+	// paper's Fig. 1; LLaMA-family models use a GELU-like nonlinearity).
+	UseGELU bool
+	// OutlierChannels is the number of high-gain LayerNorm channels that
+	// create activation outliers; OutlierGain their magnitude.
+	OutlierChannels int
+	OutlierGain     float64
+	// NumClasses is the classifier width for encoder models.
+	NumClasses int
+	Seed       uint64
+}
+
+// HeadDim returns DModel / Heads.
+func (c Config) HeadDim() int { return c.DModel / c.Heads }
+
+// Validate panics on inconsistent configurations.
+func (c Config) Validate() {
+	if c.DModel%c.Heads != 0 {
+		panic(fmt.Sprintf("model %s: dmodel %d not divisible by %d heads", c.Name, c.DModel, c.Heads))
+	}
+	if c.Layers < 1 || c.Vocab < 2 || c.MaxSeq < 2 {
+		panic(fmt.Sprintf("model %s: degenerate config %+v", c.Name, c))
+	}
+}
+
+// Registry returns the named model configuration. The six decoder entries
+// mirror the paper's evaluation models; bert-large is the Table IV
+// encoder. Larger paper models map to larger scaled configs so that
+// size-dependent trends (more layers → more error accumulation) survive.
+func Registry(name string) Config {
+	cfgs := map[string]Config{
+		"opt-6.7b": {
+			Name: "opt-6.7b", Arch: Decoder, Layers: 4, DModel: 128, Heads: 4,
+			FFN: 512, Vocab: 512, MaxSeq: 512,
+			OutlierChannels: 5, OutlierGain: 28, Seed: 0x0667,
+		},
+		"opt-13b": {
+			Name: "opt-13b", Arch: Decoder, Layers: 5, DModel: 160, Heads: 5,
+			FFN: 640, Vocab: 512, MaxSeq: 512,
+			OutlierChannels: 6, OutlierGain: 34, Seed: 0x1300,
+		},
+		"opt-66b": {
+			Name: "opt-66b", Arch: Decoder, Layers: 6, DModel: 192, Heads: 6,
+			FFN: 768, Vocab: 512, MaxSeq: 512,
+			OutlierChannels: 7, OutlierGain: 40, Seed: 0x6600,
+		},
+		"llama-2-7b": {
+			Name: "llama-2-7b", Arch: Decoder, Layers: 4, DModel: 128, Heads: 4,
+			FFN: 512, Vocab: 512, MaxSeq: 512, UseGELU: true,
+			OutlierChannels: 4, OutlierGain: 22, Seed: 0x2007,
+		},
+		"llama-2-13b": {
+			Name: "llama-2-13b", Arch: Decoder, Layers: 5, DModel: 160, Heads: 5,
+			FFN: 640, Vocab: 512, MaxSeq: 512, UseGELU: true,
+			OutlierChannels: 5, OutlierGain: 26, Seed: 0x2013,
+		},
+		"llama-2-70b": {
+			Name: "llama-2-70b", Arch: Decoder, Layers: 6, DModel: 192, Heads: 6,
+			FFN: 768, Vocab: 512, MaxSeq: 512, UseGELU: true,
+			OutlierChannels: 6, OutlierGain: 30, Seed: 0x2070,
+		},
+		"llama-7b": {
+			Name: "llama-7b", Arch: Decoder, Layers: 4, DModel: 128, Heads: 4,
+			FFN: 512, Vocab: 512, MaxSeq: 512, UseGELU: true,
+			OutlierChannels: 4, OutlierGain: 24, Seed: 0x1007,
+		},
+		"llama-13b": {
+			Name: "llama-13b", Arch: Decoder, Layers: 5, DModel: 160, Heads: 5,
+			FFN: 640, Vocab: 512, MaxSeq: 512, UseGELU: true,
+			OutlierChannels: 5, OutlierGain: 28, Seed: 0x1013,
+		},
+		"llama-65b": {
+			Name: "llama-65b", Arch: Decoder, Layers: 6, DModel: 192, Heads: 6,
+			FFN: 768, Vocab: 512, MaxSeq: 512, UseGELU: true,
+			OutlierChannels: 6, OutlierGain: 30, Seed: 0x1065,
+		},
+		"bert-large": {
+			Name: "bert-large", Arch: Encoder, Layers: 4, DModel: 128, Heads: 4,
+			FFN: 512, Vocab: 512, MaxSeq: 256, NumClasses: 2,
+			OutlierChannels: 3, OutlierGain: 9, Seed: 0xBE27,
+		},
+	}
+	c, ok := cfgs[name]
+	if !ok {
+		panic("model: unknown model " + name)
+	}
+	c.Validate()
+	return c
+}
+
+// TinyConfig returns a minimal decoder used by fast unit tests.
+func TinyConfig() Config {
+	return Config{
+		Name: "tiny", Arch: Decoder, Layers: 2, DModel: 32, Heads: 2,
+		FFN: 64, Vocab: 64, MaxSeq: 64,
+		OutlierChannels: 2, OutlierGain: 20, Seed: 7,
+	}
+}

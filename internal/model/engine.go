@@ -1,0 +1,121 @@
+package model
+
+import (
+	"tender/internal/quant"
+	"tender/internal/schemes"
+	"tender/internal/tensor"
+)
+
+// Recorder is an Engine that computes exactly while recording operand
+// samples per site, used for static PTQ calibration (§V-A).
+type Recorder struct {
+	X map[Site][]*tensor.Matrix
+	W map[Site][]*tensor.Matrix
+	// MaxSamplesPerSite bounds memory; 0 means unbounded.
+	MaxSamplesPerSite int
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		X: make(map[Site][]*tensor.Matrix),
+		W: make(map[Site][]*tensor.Matrix),
+	}
+}
+
+// MatMul implements Engine.
+func (r *Recorder) MatMul(site Site, x, w *tensor.Matrix) *tensor.Matrix {
+	if r.MaxSamplesPerSite == 0 || len(r.X[site]) < r.MaxSamplesPerSite {
+		r.X[site] = append(r.X[site], x.Clone())
+		r.W[site] = append(r.W[site], w.Clone())
+	}
+	return tensor.MatMul(x, w)
+}
+
+// SchemeEngine routes every matmul site through a calibrated SiteGEMM of
+// one quantization scheme.
+//
+// Activation-activation sites follow the paper's evaluation protocol:
+//
+//   - With QuantActAct = false (the "fair comparison" mode of Tables II
+//     and III) they execute in floating point.
+//   - With QuantActAct = true, the score site (XQ × XK^T) is quantized by
+//     the scheme per head, and the value site (XS × XV) uses the generic
+//     path — per-tensor static scales for the softmax probabilities
+//     (range [0, 1], no channel outliers) and per-column quantization for
+//     XV — for every scheme, since probabilities carry no channel
+//     structure for outlier-aware methods to exploit.
+type SchemeEngine struct {
+	Scheme      schemes.Scheme
+	Bits        int
+	QuantActAct bool
+	sites       map[Site]schemes.SiteGEMM
+	valueScales map[Site]float64
+}
+
+// Calibrate builds the engine from recorded calibration tensors.
+func Calibrate(s schemes.Scheme, bits int, quantActAct bool, rec *Recorder) *SchemeEngine {
+	e := &SchemeEngine{
+		Scheme: s, Bits: bits, QuantActAct: quantActAct,
+		sites:       make(map[Site]schemes.SiteGEMM),
+		valueScales: make(map[Site]float64),
+	}
+	for site, xs := range rec.X {
+		if site.Kind == KindValue {
+			var mx float64
+			for _, x := range xs {
+				if a := x.AbsMax(); a > mx {
+					mx = a
+				}
+			}
+			e.valueScales[site] = quant.Scale(mx, bits)
+			continue
+		}
+		e.sites[site] = s.NewSite(xs, rec.W[site], bits)
+	}
+	return e
+}
+
+// CalibrateModel records calibration forwards of m on the token streams
+// and returns the calibrated engine.
+func CalibrateModel(m *Model, s schemes.Scheme, bits int, quantActAct bool, streams [][]int) *SchemeEngine {
+	rec := NewRecorder()
+	for _, toks := range streams {
+		if m.Cfg.Arch == Encoder {
+			m.ClassifyLogits(toks, rec)
+		} else {
+			m.Forward(toks, rec)
+		}
+	}
+	return Calibrate(s, bits, quantActAct, rec)
+}
+
+// MatMul implements Engine.
+func (e *SchemeEngine) MatMul(site Site, x, w *tensor.Matrix) *tensor.Matrix {
+	if site.Kind.IsActAct() && !e.QuantActAct {
+		return tensor.MatMul(x, w)
+	}
+	if site.Kind == KindValue {
+		return e.valueMatMul(site, x, w)
+	}
+	g, ok := e.sites[site]
+	if !ok {
+		// Site unseen during calibration (e.g. deeper sequence): exact.
+		return tensor.MatMul(x, w)
+	}
+	return g.MatMul(x, w)
+}
+
+// valueMatMul is the generic act-act path for the XS × XV site.
+func (e *SchemeEngine) valueMatMul(site Site, x, w *tensor.Matrix) *tensor.Matrix {
+	s, ok := e.valueScales[site]
+	if !ok || s == 0 {
+		s = quant.Scale(1, e.Bits)
+	}
+	xq := tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		xq.Data[i] = float64(quant.QuantizeValue(v, s, e.Bits)) * s
+	}
+	wq := quant.FakeQuant(w, quant.Config{Bits: e.Bits, Gran: quant.PerColumn})
+	return tensor.MatMul(xq, wq)
+}

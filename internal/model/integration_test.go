@@ -1,0 +1,71 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"tender/internal/schemes"
+	"tender/internal/tensor"
+	"tender/internal/workload"
+)
+
+// TestTenderIntegerEngineEndToEnd runs the full transformer with the
+// bit-exact implicit integer GEMM at every weight site and checks the
+// logits match the fake-quant Tender engine — the end-to-end statement of
+// the paper's mathematical-equivalence claim (Eq. 1 ≡ Eq. 2).
+func TestTenderIntegerEngineEndToEnd(t *testing.T) {
+	m := tinyModel()
+	streams := [][]int{tinyTokens(21, 24)}
+	toks := tinyTokens(22, 24)
+	fq := CalibrateModel(m, schemes.Tender{NoRowChunk: true}, 8, false, streams)
+	ip := CalibrateModel(m, schemes.Tender{NoRowChunk: true, Integer: true}, 8, false, streams)
+	a := m.Forward(toks, fq)
+	b := m.Forward(toks, ip)
+	if tensor.MaxAbsDiff(a, b) > 1e-6*(a.AbsMax()+1) {
+		t.Fatalf("integer and fake-quant engines diverge by %g", tensor.MaxAbsDiff(a, b))
+	}
+}
+
+// TestSchemeZooEndToEnd runs every scheme through the full model once and
+// checks basic sanity: finite logits, and INT8 error below INT4 error.
+func TestSchemeZooEndToEnd(t *testing.T) {
+	m := tinyModel()
+	streams := [][]int{tinyTokens(23, 24)}
+	toks := tinyTokens(24, 24)
+	ref := m.Forward(toks, Exact{})
+	for _, s := range []schemes.Scheme{
+		schemes.FP16{},
+		schemes.Tender{},
+	} {
+		var prev float64 = -1
+		for _, bits := range []int{8, 4} {
+			eng := CalibrateModel(m, s, bits, true, streams)
+			out := m.Forward(toks, eng)
+			for _, v := range out.Data {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s INT%d produced non-finite logits", s.Name(), bits)
+				}
+			}
+			e := tensor.MSE(ref, out)
+			if prev >= 0 && s.Name() == "Tender" && e < prev {
+				t.Fatalf("%s: INT4 error %g should exceed INT8 error %g", s.Name(), e, prev)
+			}
+			prev = e
+		}
+	}
+}
+
+// TestCalibrationTransfersAcrossStreams checks static PTQ behaves like
+// the paper's protocol: metadata calibrated on one corpus evaluates
+// sanely on the other.
+func TestCalibrationTransfersAcrossStreams(t *testing.T) {
+	m := tinyModel()
+	wiki := [][]int{workload.TokenStream(workload.Wiki, 31, 24, m.Cfg.Vocab)}
+	ptb := workload.TokenStream(workload.PTB, 32, 24, m.Cfg.Vocab)
+	eng := CalibrateModel(m, schemes.Tender{}, 8, false, wiki)
+	temp := CalibrateTemperature(m, ptb, 9)
+	r := TeacherPerplexity(m, eng, ptb, temp)
+	if r.PPL < r.Base || r.PPL > r.Base*1.6 {
+		t.Fatalf("cross-stream INT8 Tender perplexity %v implausible vs base %v", r.PPL, r.Base)
+	}
+}

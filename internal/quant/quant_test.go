@@ -1,0 +1,214 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tender/internal/tensor"
+)
+
+func TestQMax(t *testing.T) {
+	cases := map[int]int{4: 7, 8: 127, 5: 15, 6: 31, 7: 63, 2: 1, 3: 3}
+	for bits, want := range cases {
+		if got := QMax(bits); got != want {
+			t.Fatalf("QMax(%d) = %d, want %d", bits, got, want)
+		}
+	}
+}
+
+func TestQMaxPanicsOutOfRange(t *testing.T) {
+	for _, bits := range []int{0, 1, 9, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("QMax(%d) should panic", bits)
+				}
+			}()
+			QMax(bits)
+		}()
+	}
+}
+
+func TestScale(t *testing.T) {
+	if got := Scale(127, 8); got != 1 {
+		t.Fatalf("Scale(127,8) = %v", got)
+	}
+	if got := Scale(7, 4); got != 1 {
+		t.Fatalf("Scale(7,4) = %v", got)
+	}
+	if got := Scale(0, 8); got != 1 {
+		t.Fatalf("Scale(0,8) = %v (zero tensors must not divide by zero)", got)
+	}
+}
+
+func TestQuantizeValueClamps(t *testing.T) {
+	if got := QuantizeValue(1000, 1, 8); got != 127 {
+		t.Fatalf("clamp high = %d", got)
+	}
+	if got := QuantizeValue(-1000, 1, 8); got != -127 {
+		t.Fatalf("clamp low = %d", got)
+	}
+	if got := QuantizeValue(3.6, 1, 4); got != 4 {
+		t.Fatalf("round = %d", got)
+	}
+}
+
+func TestQuantizeRoundTripExactValues(t *testing.T) {
+	// Values that are exact multiples of the scale survive the round trip.
+	m := tensor.FromSlice(1, 4, []float64{-127, -1, 1, 127})
+	got := FakeQuant(m, Config{Bits: 8, Gran: PerTensor})
+	if tensor.MaxAbsDiff(m, got) > 1e-12 {
+		t.Fatalf("exact multiples must round-trip: %v", got)
+	}
+}
+
+func TestQuantErrorBoundProperty(t *testing.T) {
+	// |x - q(x)| <= scale/2 for every in-range element: the classic uniform
+	// quantization error bound (§III-B "the maximum value of rounding error
+	// is 0.5").
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		m := tensor.RandNormal(rng, 8, 8, 5)
+		for _, cfg := range []Config{
+			{Bits: 8, Gran: PerTensor},
+			{Bits: 4, Gran: PerTensor},
+			{Bits: 8, Gran: PerRow},
+			{Bits: 8, Gran: PerColumn},
+			{Bits: 4, Gran: PerColumn},
+		} {
+			q := Quantize(m, cfg)
+			deq := q.Dequantize()
+			for r := 0; r < m.Rows; r++ {
+				for c := 0; c < m.Cols; c++ {
+					var s float64
+					switch cfg.Gran {
+					case PerTensor:
+						s = q.Scales[0]
+					case PerRow:
+						s = q.Scales[r]
+					case PerColumn:
+						s = q.Scales[c]
+					}
+					if math.Abs(m.At(r, c)-deq.At(r, c)) > s/2+1e-12 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGranularityOrdering(t *testing.T) {
+	// With channel-structured outliers, per-column error << per-row error
+	// << per-tensor error is the motivation for the whole paper (Table I).
+	rng := tensor.NewRNG(42)
+	m := tensor.RandNormal(rng, 64, 64, 1)
+	// Inject two outlier channels 50x the normal range.
+	for r := 0; r < m.Rows; r++ {
+		m.Set(r, 5, m.At(r, 5)*50)
+		m.Set(r, 40, m.At(r, 40)*50)
+	}
+	pt := QuantError(m, Config{Bits: 8, Gran: PerTensor})
+	pr := QuantError(m, Config{Bits: 8, Gran: PerRow})
+	pc := QuantError(m, Config{Bits: 8, Gran: PerColumn})
+	if !(pc < pr && pr <= pt*1.001) {
+		t.Fatalf("expected per-column < per-row <= per-tensor, got %g %g %g", pc, pr, pt)
+	}
+	if pc*10 > pt {
+		t.Fatalf("per-column should be far better with channel outliers: %g vs %g", pc, pt)
+	}
+}
+
+func TestInt4WorseThanInt8(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	m := tensor.RandNormal(rng, 32, 32, 1)
+	e8 := QuantError(m, Config{Bits: 8, Gran: PerTensor})
+	e4 := QuantError(m, Config{Bits: 4, Gran: PerTensor})
+	if e4 <= e8 {
+		t.Fatalf("INT4 must hurt more than INT8: %g vs %g", e4, e8)
+	}
+}
+
+func TestDequantizeShapes(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	m := tensor.RandNormal(rng, 3, 5, 1)
+	for _, g := range []Granularity{PerTensor, PerRow, PerColumn} {
+		q := Quantize(m, Config{Bits: 8, Gran: g})
+		wantScales := map[Granularity]int{PerTensor: 1, PerRow: 3, PerColumn: 5}[g]
+		if len(q.Scales) != wantScales {
+			t.Fatalf("%v: %d scales, want %d", g, len(q.Scales), wantScales)
+		}
+		d := q.Dequantize()
+		if d.Rows != 3 || d.Cols != 5 {
+			t.Fatalf("%v: dequantized shape %dx%d", g, d.Rows, d.Cols)
+		}
+	}
+}
+
+func TestGranularityString(t *testing.T) {
+	if PerTensor.String() != "per-tensor" || PerRow.String() != "per-row" || PerColumn.String() != "per-column" {
+		t.Fatal("granularity names changed")
+	}
+	if Granularity(99).String() == "" {
+		t.Fatal("unknown granularity must still render")
+	}
+}
+
+func TestMatMulIntDequantMatchesFakeQuantGEMM(t *testing.T) {
+	// Integer GEMM + outer dequantization must equal the float GEMM of the
+	// dequantized operands (mathematical identity for foldable scales).
+	rng := tensor.NewRNG(21)
+	x := tensor.RandNormal(rng, 12, 16, 2)
+	w := tensor.RandNormal(rng, 16, 10, 0.5)
+	for _, ag := range []Granularity{PerTensor, PerRow} {
+		for _, wg := range []Granularity{PerTensor, PerColumn} {
+			qa := Quantize(x, Config{Bits: 8, Gran: ag})
+			qw := Quantize(w, Config{Bits: 8, Gran: wg})
+			got := MatMulIntDequant(qa, qw)
+			want := tensor.MatMul(qa.Dequantize(), qw.Dequantize())
+			if tensor.MaxAbsDiff(got, want) > 1e-9 {
+				t.Fatalf("a=%v w=%v: integer and fake-quant GEMM diverge", ag, wg)
+			}
+		}
+	}
+}
+
+func TestMatMulIntDequantRejectsPerColumnActivations(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	x := Quantize(tensor.RandNormal(rng, 4, 4, 1), Config{Bits: 8, Gran: PerColumn})
+	w := Quantize(tensor.RandNormal(rng, 4, 4, 1), Config{Bits: 8, Gran: PerTensor})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("per-column activations must be rejected (motivation of the paper)")
+		}
+	}()
+	MatMulIntDequant(x, w)
+}
+
+func TestFakeQuantZeroTensor(t *testing.T) {
+	m := tensor.New(4, 4)
+	got := FakeQuant(m, Config{Bits: 4, Gran: PerTensor})
+	if got.AbsMax() != 0 {
+		t.Fatal("zero tensor must stay zero")
+	}
+}
+
+func TestQuantSymmetryProperty(t *testing.T) {
+	// q(-x) == -q(x) for symmetric quantization.
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		m := tensor.RandNormal(rng, 6, 6, 3)
+		neg := m.Clone().Scale(-1)
+		a := FakeQuant(m, Config{Bits: 8, Gran: PerTensor})
+		b := FakeQuant(neg, Config{Bits: 8, Gran: PerTensor})
+		return tensor.MaxAbsDiff(a, b.Scale(-1)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package ant implements the ANT baseline (Guo et al., MICRO 2022): each
+// tensor adaptively picks the numerical datatype — uniform int, power-of-two
+// (po2), or the hybrid "flint" float-int format — that minimizes its
+// quantization MSE, at per-tensor granularity. The custom datatypes are
+// modelled as codebooks; encoding quantizes to the nearest codebook entry.
+package ant
+
+import (
+	"math"
+	"sort"
+
+	"tender/internal/schemes"
+	"tender/internal/tensor"
+)
+
+// Datatype identifies one of ANT's candidate number formats.
+type Datatype int
+
+const (
+	// Int is uniform symmetric integer.
+	Int Datatype = iota
+	// Po2 is sign + power-of-two exponent (dense near zero, huge range).
+	Po2
+	// Flint is the float-int hybrid: float-like spacing for small values,
+	// int-like spacing for large values.
+	Flint
+)
+
+// String returns the datatype name.
+func (d Datatype) String() string {
+	switch d {
+	case Int:
+		return "int"
+	case Po2:
+		return "po2"
+	case Flint:
+		return "flint"
+	default:
+		return "unknown"
+	}
+}
+
+// Codebook returns the sorted non-negative representable magnitudes of the
+// datatype at the given bit width, normalized so the largest magnitude is
+// 1.0. Negative values mirror the positive ones (symmetric formats).
+func Codebook(d Datatype, bits int) []float64 {
+	var vals []float64
+	switch d {
+	case Int:
+		qmax := 1<<(bits-1) - 1
+		for i := 0; i <= qmax; i++ {
+			vals = append(vals, float64(i)/float64(qmax))
+		}
+	case Po2:
+		// sign bit + (bits-1)-bit exponent; one code reserved for zero.
+		levels := 1<<(bits-1) - 1
+		for e := 0; e < levels; e++ {
+			vals = append(vals, math.Pow(2, float64(e-(levels-1))))
+		}
+		vals = append(vals, 0)
+	case Flint:
+		// Float-int hybrid (ANT §4): the code space is split between a
+		// power-of-two ladder (fine near zero) and uniform int steps in
+		// the top octave. Total magnitudes = 2^(bits-1) including zero,
+		// matching the cardinality of a real b-bit format.
+		n := 1 << (bits - 1)
+		ladder := n/2 - 1
+		for k := 1; k <= ladder; k++ {
+			vals = append(vals, math.Pow(2, float64(-k-1)))
+		}
+		steps := n - 1 - ladder
+		for i := 1; i <= steps; i++ {
+			vals = append(vals, 0.5*(1+float64(i)/float64(steps)))
+		}
+		vals = append(vals, 0)
+	}
+	sort.Float64s(vals)
+	// Deduplicate.
+	out := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// nearest returns the codebook entry closest to |x| (codebook sorted asc).
+func nearest(cb []float64, x float64) float64 {
+	i := sort.SearchFloat64s(cb, x)
+	if i == 0 {
+		return cb[0]
+	}
+	if i == len(cb) {
+		return cb[len(cb)-1]
+	}
+	if x-cb[i-1] <= cb[i]-x {
+		return cb[i-1]
+	}
+	return cb[i]
+}
+
+// EncodeTensor fake-quantizes m with datatype d scaled to the tensor's
+// absolute maximum.
+func EncodeTensor(m *tensor.Matrix, d Datatype, bits int) *tensor.Matrix {
+	cb := Codebook(d, bits)
+	scale := m.AbsMax()
+	if scale == 0 {
+		return m.Clone()
+	}
+	out := tensor.New(m.Rows, m.Cols)
+	inv := 1 / scale
+	for i, v := range m.Data {
+		q := nearest(cb, math.Abs(v)*inv) * scale
+		if v < 0 {
+			q = -q
+		}
+		out.Data[i] = q
+	}
+	return out
+}
+
+// SelectDatatype returns the candidate with the lowest quantization MSE on
+// m, the "adaptive" step of ANT.
+func SelectDatatype(m *tensor.Matrix, bits int) Datatype {
+	best := Int
+	bestErr := math.Inf(1)
+	for _, d := range []Datatype{Int, Po2, Flint} {
+		if e := tensor.MSE(m, EncodeTensor(m, d, bits)); e < bestErr {
+			best, bestErr = d, e
+		}
+	}
+	return best
+}
+
+// Scheme is the ANT factory.
+type Scheme struct{}
+
+// New returns the ANT scheme.
+func New() Scheme { return Scheme{} }
+
+// Name implements schemes.Scheme.
+func (Scheme) Name() string { return "ANT" }
+
+type site struct {
+	bits  int
+	xType Datatype
+	wType Datatype
+	// Static activation scale from calibration.
+	xScale float64
+}
+
+// NewSite implements schemes.Scheme: datatypes are selected per tensor from
+// calibration data.
+func (Scheme) NewSite(xs, ws []*tensor.Matrix, bits int) schemes.SiteGEMM {
+	if len(xs) == 0 || len(ws) == 0 {
+		panic("ant: calibration requires activation and weight samples")
+	}
+	st := &site{bits: bits}
+	st.xType = SelectDatatype(xs[0], bits)
+	st.wType = SelectDatatype(ws[0], bits)
+	for _, x := range xs {
+		if a := x.AbsMax(); a > st.xScale {
+			st.xScale = a
+		}
+	}
+	return st
+}
+
+// encodeWithScale quantizes m against a fixed absmax scale.
+func encodeWithScale(m *tensor.Matrix, d Datatype, bits int, scale float64) *tensor.Matrix {
+	if scale == 0 {
+		return m.Clone()
+	}
+	cb := Codebook(d, bits)
+	out := tensor.New(m.Rows, m.Cols)
+	inv := 1 / scale
+	for i, v := range m.Data {
+		a := math.Abs(v) * inv
+		if a > 1 {
+			a = 1 // static clipping, as with any static PTQ scale
+		}
+		q := nearest(cb, a) * scale
+		if v < 0 {
+			q = -q
+		}
+		out.Data[i] = q
+	}
+	return out
+}
+
+// MatMul implements schemes.SiteGEMM.
+func (st *site) MatMul(x, w *tensor.Matrix) *tensor.Matrix {
+	xq := encodeWithScale(x, st.xType, st.bits, st.xScale)
+	wq := EncodeTensor(w, st.wType, st.bits)
+	return tensor.MatMul(xq, wq)
+}

@@ -1,0 +1,136 @@
+package ant
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"tender/internal/tensor"
+)
+
+func TestCodebooksSortedDedupedNormalized(t *testing.T) {
+	for _, d := range []Datatype{Int, Po2, Flint} {
+		for _, bits := range []int{4, 8} {
+			cb := Codebook(d, bits)
+			if !sort.Float64sAreSorted(cb) {
+				t.Fatalf("%v/%d codebook not sorted", d, bits)
+			}
+			for i := 1; i < len(cb); i++ {
+				if cb[i] == cb[i-1] {
+					t.Fatalf("%v/%d has duplicate %v", d, bits, cb[i])
+				}
+			}
+			if cb[len(cb)-1] != 1 {
+				t.Fatalf("%v/%d max magnitude %v, want 1", d, bits, cb[len(cb)-1])
+			}
+			if cb[0] != 0 {
+				t.Fatalf("%v/%d must represent zero", d, bits)
+			}
+		}
+	}
+}
+
+func TestPo2DenserNearZero(t *testing.T) {
+	po2 := Codebook(Po2, 4)
+	integer := Codebook(Int, 4)
+	// Smallest nonzero representable value: po2 goes much lower.
+	if po2[1] >= integer[1] {
+		t.Fatalf("po2 smallest %v should be below int smallest %v", po2[1], integer[1])
+	}
+}
+
+func TestNearest(t *testing.T) {
+	cb := []float64{0, 0.25, 0.5, 1}
+	cases := map[float64]float64{0.1: 0, 0.2: 0.25, 0.3: 0.25, 0.4: 0.5, 0.8: 1, 2: 1, 0: 0}
+	for in, want := range cases {
+		if got := nearest(cb, in); got != want {
+			t.Fatalf("nearest(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestSelectDatatypeAdaptive(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	// Near-uniform distribution → int wins.
+	uniform := tensor.RandUniform(rng, 32, 32, -1, 1)
+	if d := SelectDatatype(uniform, 4); d != Int {
+		t.Fatalf("uniform data picked %v, want int", d)
+	}
+	// Heavy-tailed (log-normal-ish) data → non-uniform type wins.
+	heavy := tensor.New(32, 32)
+	for i := range heavy.Data {
+		v := rng.Norm()
+		heavy.Data[i] = math.Copysign(math.Exp(3*math.Abs(v))-1, v)
+	}
+	if d := SelectDatatype(heavy, 4); d == Int {
+		t.Fatal("heavy-tailed data should prefer po2/flint")
+	}
+}
+
+func TestEncodeTensorErrorBounded(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	m := tensor.RandNormal(rng, 16, 16, 2)
+	for _, d := range []Datatype{Int, Po2, Flint} {
+		enc := EncodeTensor(m, d, 8)
+		// No value may exceed the tensor absmax, and signs must match.
+		for i, v := range enc.Data {
+			if math.Abs(v) > m.AbsMax()+1e-12 {
+				t.Fatalf("%v: encoded magnitude exceeds absmax", d)
+			}
+			if v*m.Data[i] < 0 {
+				t.Fatalf("%v: sign flipped at %d", d, i)
+			}
+		}
+	}
+}
+
+func TestEncodeZeroTensor(t *testing.T) {
+	m := tensor.New(4, 4)
+	for _, d := range []Datatype{Int, Po2, Flint} {
+		if EncodeTensor(m, d, 8).AbsMax() != 0 {
+			t.Fatalf("%v: zero tensor must stay zero", d)
+		}
+	}
+}
+
+func TestSiteStaticClipping(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	x := tensor.RandNormal(rng, 16, 16, 1)
+	w := tensor.RandNormal(rng, 16, 8, 1)
+	g := New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
+	// Runtime input 10x beyond calibration must clip, not explode.
+	big := x.Clone().Scale(10)
+	out := g.MatMul(big, w)
+	for _, v := range out.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("clipping produced NaN/Inf")
+		}
+	}
+}
+
+func TestPerTensorWeaknessWithOutliers(t *testing.T) {
+	// ANT's per-tensor granularity is its Table II weakness: with a huge
+	// channel outlier its INT8 error is much worse than without.
+	rng := tensor.NewRNG(4)
+	x := tensor.RandNormal(rng, 32, 32, 1)
+	w := tensor.RandNormal(rng, 32, 16, 0.5)
+	clean := tensor.MSE(
+		New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8).MatMul(x, w),
+		tensor.MatMul(x, w))
+	xo := x.Clone()
+	for r := 0; r < xo.Rows; r++ {
+		xo.Set(r, 9, xo.At(r, 9)*100)
+	}
+	dirty := tensor.MSE(
+		New().NewSite([]*tensor.Matrix{xo}, []*tensor.Matrix{w}, 8).MatMul(xo, w),
+		tensor.MatMul(xo, w))
+	if dirty < clean*10 {
+		t.Fatalf("outliers should hurt ANT badly: %g vs %g", dirty, clean)
+	}
+}
+
+func TestDatatypeString(t *testing.T) {
+	if Int.String() != "int" || Po2.String() != "po2" || Flint.String() != "flint" {
+		t.Fatal("datatype names changed")
+	}
+}

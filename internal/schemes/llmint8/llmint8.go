@@ -1,0 +1,86 @@
+// Package llmint8 implements the LLM.int8()-style mixed-precision
+// decomposition described in §II-C (Dettmers et al., NeurIPS 2022):
+// activation columns whose calibrated magnitude exceeds a threshold are
+// kept in FP16 while the remaining columns (and the matching weight rows)
+// are quantized to INT8 with per-row/per-column scales. The two partial
+// products are combined in floating point — the dequantization overhead the
+// paper identifies.
+package llmint8
+
+import (
+	"tender/internal/quant"
+	"tender/internal/schemes"
+	"tender/internal/tensor"
+)
+
+// DefaultThreshold is the outlier magnitude threshold (6.0 in LLM.int8()).
+const DefaultThreshold = 6.0
+
+// Scheme is the LLM.int8() factory.
+type Scheme struct {
+	// Threshold overrides DefaultThreshold when nonzero.
+	Threshold float64
+}
+
+// New returns the scheme with the original threshold.
+func New() Scheme { return Scheme{} }
+
+// Name implements schemes.Scheme.
+func (Scheme) Name() string { return "LLM.int8()" }
+
+type site struct {
+	bits        int
+	outlierCols []int
+	normalCols  []int
+}
+
+// NewSite implements schemes.Scheme: outlier columns are identified from
+// calibration samples.
+func (s Scheme) NewSite(xs, _ []*tensor.Matrix, bits int) schemes.SiteGEMM {
+	if len(xs) == 0 {
+		panic("llmint8: calibration requires activation samples")
+	}
+	thr := s.Threshold
+	if thr == 0 {
+		thr = DefaultThreshold
+	}
+	cols := xs[0].Cols
+	mx := make([]float64, cols)
+	for _, x := range xs {
+		for c, v := range x.AbsMaxPerCol() {
+			if v > mx[c] {
+				mx[c] = v
+			}
+		}
+	}
+	st := &site{bits: bits}
+	for c, v := range mx {
+		if v > thr {
+			st.outlierCols = append(st.outlierCols, c)
+		} else {
+			st.normalCols = append(st.normalCols, c)
+		}
+	}
+	return st
+}
+
+// MatMul implements schemes.SiteGEMM.
+func (st *site) MatMul(x, w *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(x.Rows, w.Cols)
+	if len(st.normalCols) > 0 {
+		xn := x.SubCols(st.normalCols)
+		wn := w.Transpose().SubCols(st.normalCols).Transpose()
+		xq := quant.FakeQuant(xn, quant.Config{Bits: st.bits, Gran: quant.PerRow})
+		wq := quant.FakeQuant(wn, quant.Config{Bits: st.bits, Gran: quant.PerColumn})
+		tensor.AddInPlace(out, tensor.MatMul(xq, wq))
+	}
+	if len(st.outlierCols) > 0 {
+		// FP16 path for outlier columns.
+		xo := x.SubCols(st.outlierCols)
+		wo := w.Transpose().SubCols(st.outlierCols).Transpose()
+		tensor.F16RoundInPlace(xo)
+		tensor.F16RoundInPlace(wo)
+		tensor.AddInPlace(out, tensor.MatMul(xo, wo))
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+// Package msfp implements the Microsoft Floating Point (MSFP) baseline of
+// Table VI: block floating point with a shared 8-bit exponent per block and
+// small per-element sign+mantissa fields. MSFP12 shares the exponent across
+// 16 row-contiguous elements; the MSFP12-OL variant from the paper shares
+// it across 8 column-contiguous elements to be kinder to channel outliers.
+package msfp
+
+import (
+	"math"
+
+	"tender/internal/schemes"
+	"tender/internal/tensor"
+)
+
+// Layout selects the blocking direction.
+type Layout int
+
+const (
+	// RowBlocks shares exponents across 16 consecutive elements of a row
+	// (the default MSFP12 layout).
+	RowBlocks Layout = iota
+	// ColBlocks shares exponents across 8 consecutive elements of a
+	// column (MSFP12-OL).
+	ColBlocks
+)
+
+// Config describes an MSFP variant.
+type Config struct {
+	// MantissaBits is the per-element mantissa width excluding sign
+	// (3 for MSFP12).
+	MantissaBits int
+	// BlockSize is the number of elements sharing one exponent.
+	BlockSize int
+	Layout    Layout
+}
+
+// MSFP12 is the paper's default variant.
+func MSFP12() Config { return Config{MantissaBits: 3, BlockSize: 16, Layout: RowBlocks} }
+
+// MSFP12OL is the outlier-friendlier column-blocked variant from §VI-B.
+func MSFP12OL() Config { return Config{MantissaBits: 3, BlockSize: 8, Layout: ColBlocks} }
+
+// encodeBlock quantizes vals in place using one shared exponent.
+func encodeBlock(vals []float64, mantissaBits int) {
+	var mx float64
+	for _, v := range vals {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	if mx == 0 {
+		return
+	}
+	// Shared exponent: exponent of the block maximum.
+	exp := math.Floor(math.Log2(mx))
+	// Element values are sign·mant·2^(exp-mantissaBits+1) with
+	// mant in [0, 2^mantissaBits - 1] — fixed point under the shared
+	// exponent. Values much smaller than the block max underflow to 0,
+	// which is exactly the outlier-poisons-the-block failure mode.
+	step := math.Pow(2, exp-float64(mantissaBits)+1)
+	lim := float64(int(1)<<mantissaBits - 1)
+	for i, v := range vals {
+		q := math.Round(v / step)
+		if q > lim {
+			q = lim
+		} else if q < -lim {
+			q = -lim
+		}
+		vals[i] = q * step
+	}
+}
+
+// Encode fake-quantizes m under cfg.
+func Encode(m *tensor.Matrix, cfg Config) *tensor.Matrix {
+	out := m.Clone()
+	switch cfg.Layout {
+	case RowBlocks:
+		for r := 0; r < m.Rows; r++ {
+			row := out.Row(r)
+			for c := 0; c < len(row); c += cfg.BlockSize {
+				hi := c + cfg.BlockSize
+				if hi > len(row) {
+					hi = len(row)
+				}
+				encodeBlock(row[c:hi], cfg.MantissaBits)
+			}
+		}
+	case ColBlocks:
+		buf := make([]float64, cfg.BlockSize)
+		for c := 0; c < m.Cols; c++ {
+			for r := 0; r < m.Rows; r += cfg.BlockSize {
+				hi := r + cfg.BlockSize
+				if hi > m.Rows {
+					hi = m.Rows
+				}
+				n := hi - r
+				for i := 0; i < n; i++ {
+					buf[i] = out.At(r+i, c)
+				}
+				encodeBlock(buf[:n], cfg.MantissaBits)
+				for i := 0; i < n; i++ {
+					out.Set(r+i, c, buf[i])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Scheme adapts an MSFP variant to the schemes interface.
+type Scheme struct {
+	Cfg     Config
+	Variant string
+}
+
+// New returns the MSFP12 scheme.
+func New() Scheme { return Scheme{Cfg: MSFP12(), Variant: "MSFP12"} }
+
+// NewOL returns the MSFP12-OL scheme.
+func NewOL() Scheme { return Scheme{Cfg: MSFP12OL(), Variant: "MSFP12-OL"} }
+
+// Name implements schemes.Scheme.
+func (s Scheme) Name() string { return s.Variant }
+
+// NewSite implements schemes.Scheme. MSFP needs no calibration: exponents
+// are derived per block at runtime.
+func (s Scheme) NewSite(_, _ []*tensor.Matrix, _ int) schemes.SiteGEMM {
+	cfg := s.Cfg
+	return schemes.MatMulFunc(func(x, w *tensor.Matrix) *tensor.Matrix {
+		return tensor.MatMul(Encode(x, cfg), Encode(w, cfg))
+	})
+}

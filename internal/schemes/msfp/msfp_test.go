@@ -1,0 +1,90 @@
+package msfp
+
+import (
+	"math"
+	"testing"
+
+	"tender/internal/tensor"
+)
+
+func TestEncodeBlockPreservesMax(t *testing.T) {
+	vals := []float64{0.1, -0.2, 3.7, 0.05}
+	encodeBlock(vals, 3)
+	// Block max must survive with relative error < 2^-3.
+	if math.Abs(vals[2]-3.7) > 3.7/8+1e-9 {
+		t.Fatalf("block max badly quantized: %v", vals[2])
+	}
+}
+
+func TestSmallValuesUnderflowNextToOutlier(t *testing.T) {
+	// The failure mode Table VI demonstrates: a huge outlier in the block
+	// flushes small values to zero.
+	vals := []float64{0.01, 0.02, 1000, -0.015}
+	encodeBlock(vals, 3)
+	if vals[0] != 0 || vals[1] != 0 || vals[3] != 0 {
+		t.Fatalf("small values should underflow under a shared exponent: %v", vals)
+	}
+	if vals[2] == 0 {
+		t.Fatal("outlier must survive")
+	}
+}
+
+func TestZeroBlock(t *testing.T) {
+	vals := []float64{0, 0, 0}
+	encodeBlock(vals, 3)
+	for _, v := range vals {
+		if v != 0 {
+			t.Fatal("zero block must stay zero")
+		}
+	}
+}
+
+func TestRowVsColumnBlocking(t *testing.T) {
+	// Channel outliers poison row blocks but are isolated by column
+	// blocks — the reason the paper built MSFP12-OL.
+	rng := tensor.NewRNG(1)
+	m := tensor.RandNormal(rng, 64, 64, 0.1)
+	for r := 0; r < m.Rows; r++ {
+		m.Set(r, 20, 100+rng.Norm())
+	}
+	eRow := tensor.MSE(m, Encode(m, MSFP12()))
+	eCol := tensor.MSE(m, Encode(m, MSFP12OL()))
+	if eCol >= eRow {
+		t.Fatalf("column blocking should win with channel outliers: row %g col %g", eRow, eCol)
+	}
+}
+
+func TestEncodeShapesAndTail(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	// Column count not a multiple of the block size exercises tail blocks.
+	m := tensor.RandNormal(rng, 5, 19, 1)
+	enc := Encode(m, MSFP12())
+	if enc.Rows != 5 || enc.Cols != 19 {
+		t.Fatal("shape changed")
+	}
+	if tensor.MSE(m, enc) == 0 {
+		t.Fatal("quantization should not be exact on random data")
+	}
+	// Rows not a multiple of 8 for the column layout.
+	enc2 := Encode(m, MSFP12OL())
+	if enc2.Rows != 5 || enc2.Cols != 19 {
+		t.Fatal("shape changed (OL)")
+	}
+}
+
+func TestSchemeNamesAndGEMM(t *testing.T) {
+	if New().Name() != "MSFP12" || NewOL().Name() != "MSFP12-OL" {
+		t.Fatal("names changed")
+	}
+	rng := tensor.NewRNG(3)
+	x := tensor.RandNormal(rng, 8, 16, 1)
+	w := tensor.RandNormal(rng, 16, 4, 1)
+	out := New().NewSite(nil, nil, 0).MatMul(x, w)
+	if out.Rows != 8 || out.Cols != 4 {
+		t.Fatal("GEMM shape wrong")
+	}
+	rel := math.Sqrt(tensor.MSE(out, tensor.MatMul(x, w))) / (tensor.MatMul(x, w).MeanAbs() + 1e-12)
+	if rel > 0.5 {
+		t.Fatalf("MSFP12 error implausibly large on outlier-free data: %v", rel)
+	}
+}

@@ -1,0 +1,153 @@
+// Package mx implements the Shared Microexponents (SMX) and OCP
+// Microscaling (MX) format baselines of Table VII.
+//
+// SMX4: blocks of 16 elements share an 8-bit exponent; sub-blocks of 2
+// elements share a 1-bit sub-scale (an extra right-shift); elements are
+// sign + 2-bit magnitude.
+//
+// MXFP4: blocks of 32 elements share a power-of-two scale; each element is
+// an FP4 E2M1 minifloat (magnitudes {0, 0.5, 1, 1.5, 2, 3, 4, 6}).
+package mx
+
+import (
+	"math"
+
+	"tender/internal/schemes"
+	"tender/internal/tensor"
+)
+
+// fp4Magnitudes are the non-negative representable magnitudes of E2M1.
+var fp4Magnitudes = []float64{0, 0.5, 1, 1.5, 2, 3, 4, 6}
+
+// nearestFP4 returns the E2M1 value closest to x (x >= 0).
+func nearestFP4(x float64) float64 {
+	best := fp4Magnitudes[0]
+	bd := math.Abs(x - best)
+	for _, m := range fp4Magnitudes[1:] {
+		if d := math.Abs(x - m); d < bd {
+			best, bd = m, d
+		}
+	}
+	return best
+}
+
+// EncodeMXFP4 fake-quantizes m to the MXFP4 format with row-contiguous
+// blocks of 32.
+func EncodeMXFP4(m *tensor.Matrix) *tensor.Matrix {
+	const block = 32
+	out := m.Clone()
+	for r := 0; r < m.Rows; r++ {
+		row := out.Row(r)
+		for c := 0; c < len(row); c += block {
+			hi := c + block
+			if hi > len(row) {
+				hi = len(row)
+			}
+			seg := row[c:hi]
+			var mx float64
+			for _, v := range seg {
+				if a := math.Abs(v); a > mx {
+					mx = a
+				}
+			}
+			if mx == 0 {
+				continue
+			}
+			// Power-of-two shared scale mapping the block max near the
+			// top representable magnitude (6).
+			scale := math.Pow(2, math.Floor(math.Log2(mx/6)))
+			for i, v := range seg {
+				q := nearestFP4(math.Abs(v)/scale) * scale
+				if v < 0 {
+					q = -q
+				}
+				seg[i] = q
+			}
+		}
+	}
+	return out
+}
+
+// EncodeSMX4 fake-quantizes m to the SMX4 format with row-contiguous
+// blocks of 16: one shared exponent per block, a 1-bit sub-scale per pair
+// of elements, and sign + 1 magnitude bit per element. The extreme
+// coarseness of the per-element field is what makes SMX4 collapse in
+// Table VII while MXFP4 (3-bit minifloat elements) partially survives.
+func EncodeSMX4(m *tensor.Matrix) *tensor.Matrix {
+	const block = 16
+	out := m.Clone()
+	for r := 0; r < m.Rows; r++ {
+		row := out.Row(r)
+		for c := 0; c < len(row); c += block {
+			hi := c + block
+			if hi > len(row) {
+				hi = len(row)
+			}
+			seg := row[c:hi]
+			var mx float64
+			for _, v := range seg {
+				if a := math.Abs(v); a > mx {
+					mx = a
+				}
+			}
+			if mx == 0 {
+				continue
+			}
+			exp := math.Floor(math.Log2(mx))
+			base := math.Pow(2, exp) // block full-scale magnitude
+			for p := 0; p < len(seg); p += 2 {
+				q := p + 2
+				if q > len(seg) {
+					q = len(seg)
+				}
+				pair := seg[p:q]
+				var pm float64
+				for _, v := range pair {
+					if a := math.Abs(v); a > pm {
+						pm = a
+					}
+				}
+				// 1-bit sub-scale: the pair represents ±base or ±base/2.
+				mag := base
+				if pm <= 0.75*base {
+					mag = base / 2
+				}
+				for i, v := range pair {
+					// Element: sign + 1 magnitude bit → {0, ±mag}.
+					if math.Abs(v) < mag/2 {
+						pair[i] = 0
+					} else {
+						pair[i] = math.Copysign(mag, v)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Scheme adapts one MX variant to the schemes interface.
+type Scheme struct {
+	Variant string // "SMX4" or "MXFP4"
+}
+
+// NewSMX4 returns the SMX4 scheme.
+func NewSMX4() Scheme { return Scheme{Variant: "SMX4"} }
+
+// NewMXFP4 returns the MXFP4 scheme.
+func NewMXFP4() Scheme { return Scheme{Variant: "MXFP4"} }
+
+// Name implements schemes.Scheme.
+func (s Scheme) Name() string { return s.Variant }
+
+// NewSite implements schemes.Scheme. MX formats derive scales per block at
+// runtime; no calibration state is needed.
+func (s Scheme) NewSite(_, _ []*tensor.Matrix, _ int) schemes.SiteGEMM {
+	enc := EncodeSMX4
+	if s.Variant == "MXFP4" {
+		enc = EncodeMXFP4
+	}
+	return schemes.MatMulFunc(func(x, w *tensor.Matrix) *tensor.Matrix {
+		return tensor.MatMul(enc(x), enc(w))
+	})
+}

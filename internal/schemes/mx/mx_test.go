@@ -1,0 +1,112 @@
+package mx
+
+import (
+	"math"
+	"testing"
+
+	"tender/internal/tensor"
+)
+
+func TestNearestFP4(t *testing.T) {
+	cases := map[float64]float64{
+		0: 0, 0.2: 0, 0.3: 0.5, 0.6: 0.5, 0.8: 1, 1.2: 1, 1.3: 1.5,
+		2.4: 2, 2.6: 3, 3.4: 3, 3.6: 4, 4.9: 4, 5.1: 6, 100: 6,
+	}
+	for in, want := range cases {
+		if got := nearestFP4(in); got != want {
+			t.Fatalf("nearestFP4(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestMXFP4ValuesOnGrid(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	m := tensor.RandNormal(rng, 4, 64, 2)
+	enc := EncodeMXFP4(m)
+	// Every encoded magnitude must be an FP4 magnitude times a power of two.
+	for i, v := range enc.Data {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		ok := false
+		for _, mag := range fp4Magnitudes[1:] {
+			l := math.Log2(a / mag)
+			if math.Abs(l-math.Round(l)) < 1e-9 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("value %v at %d not representable in MXFP4", v, i)
+		}
+		if v*m.Data[i] < 0 {
+			t.Fatalf("sign flip at %d", i)
+		}
+	}
+}
+
+func TestSMX4CoarserThanMXFP4(t *testing.T) {
+	// Table VII: SMX4 collapses while MXFP4 retains some accuracy; at the
+	// tensor level SMX4's error must be clearly larger.
+	rng := tensor.NewRNG(2)
+	m := tensor.RandNormal(rng, 64, 64, 1)
+	eS := tensor.MSE(m, EncodeSMX4(m))
+	eM := tensor.MSE(m, EncodeMXFP4(m))
+	if eS <= eM {
+		t.Fatalf("SMX4 %g should be coarser than MXFP4 %g", eS, eM)
+	}
+}
+
+func TestBlockIsolationLimitsOutlierDamage(t *testing.T) {
+	// An outlier only poisons its own 32-element block in MXFP4.
+	rng := tensor.NewRNG(3)
+	m := tensor.RandNormal(rng, 1, 128, 0.5)
+	m.Set(0, 5, 500)
+	enc := EncodeMXFP4(m)
+	// Elements beyond the first block keep reasonable precision.
+	var errFar float64
+	for c := 64; c < 128; c++ {
+		errFar += math.Abs(enc.At(0, c) - m.At(0, c))
+	}
+	errFar /= 64
+	if errFar > 0.25 {
+		t.Fatalf("outlier leaked across blocks: mean err %v", errFar)
+	}
+}
+
+func TestZeroTensor(t *testing.T) {
+	m := tensor.New(4, 40)
+	if EncodeSMX4(m).AbsMax() != 0 || EncodeMXFP4(m).AbsMax() != 0 {
+		t.Fatal("zero tensors must stay zero")
+	}
+}
+
+func TestTailBlocks(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	m := tensor.RandNormal(rng, 3, 37, 1) // not a multiple of 16 or 32
+	a := EncodeSMX4(m)
+	b := EncodeMXFP4(m)
+	if a.Cols != 37 || b.Cols != 37 {
+		t.Fatal("shape changed")
+	}
+}
+
+func TestSchemeAdapters(t *testing.T) {
+	if NewSMX4().Name() != "SMX4" || NewMXFP4().Name() != "MXFP4" {
+		t.Fatal("names changed")
+	}
+	rng := tensor.NewRNG(5)
+	x := tensor.RandNormal(rng, 8, 32, 1)
+	w := tensor.RandNormal(rng, 32, 8, 1)
+	want := tensor.MatMul(x, w)
+	for _, s := range []Scheme{NewSMX4(), NewMXFP4()} {
+		out := s.NewSite(nil, nil, 4).MatMul(x, w)
+		if out.Rows != 8 || out.Cols != 8 {
+			t.Fatalf("%s: bad shape", s.Name())
+		}
+		if tensor.MSE(out, want) == 0 {
+			t.Fatalf("%s: quantization had no effect", s.Name())
+		}
+	}
+}

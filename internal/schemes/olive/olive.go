@@ -1,0 +1,265 @@
+// Package olive implements the OliVe baseline (Guo et al., ISCA 2023):
+// outlier-victim pair (OVP) quantization. Values are processed in adjacent
+// pairs; when one element of a pair is an outlier, its neighbour (the
+// "victim") is pruned to zero and the freed code space stores the outlier
+// in "abfloat", a power-of-two-exponent format with extended range. Normal
+// values use plain uniform integers whose scale excludes the outliers.
+package olive
+
+import (
+	"math"
+	"sort"
+
+	"tender/internal/quant"
+	"tender/internal/schemes"
+	"tender/internal/tensor"
+)
+
+// thresholdQuantiles are the candidate outlier-fraction cut points tried
+// during calibration. Quantile 1.0 means "no outliers" (plain per-tensor
+// int), which wins for well-behaved tensors such as weights; lower
+// quantiles win when genuine outliers exist (the OliVe paper reports
+// outliers are <~1e-2 of values).
+var thresholdQuantiles = []float64{1.0, 0.9999, 0.999, 0.995, 0.99, 0.97, 0.95, 0.92}
+
+// sortedAbs gathers |values| across the samples, sorted ascending.
+func sortedAbs(ms []*tensor.Matrix) []float64 {
+	var all []float64
+	for _, m := range ms {
+		for _, v := range m.Data {
+			all = append(all, math.Abs(v))
+		}
+	}
+	sort.Float64s(all)
+	return all
+}
+
+// quantileOf reads the q-quantile from a sorted slice.
+func quantileOf(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted)) * q)
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// quantile returns the q-quantile of |values| across the samples.
+func quantile(ms []*tensor.Matrix, q float64) float64 {
+	return quantileOf(sortedAbs(ms), q)
+}
+
+// heavyTailRatio is the max/quantile gap above which a tensor is treated
+// as having genuine outliers. Below it, plain uniform integers preserve
+// both normals and tail values well enough and no victims are sacrificed.
+const heavyTailRatio = 4.0
+
+// threshold calibrates the outlier threshold: the largest candidate
+// quantile whose cut point sits at least heavyTailRatio below the absolute
+// maximum. Well-behaved tensors (weights) return their absmax — no
+// outliers, no pruning — while outlier-heavy activations get a low
+// threshold that keeps a fine scale for the normal values, which is what
+// protects model quality.
+func threshold(ms []*tensor.Matrix, _ int) float64 {
+	sorted := sortedAbs(ms)
+	if len(sorted) == 0 {
+		return 0
+	}
+	amax := sorted[len(sorted)-1]
+	for _, q := range thresholdQuantiles[1:] {
+		t := quantileOf(sorted, q)
+		if t > 0 && amax/t >= heavyTailRatio {
+			return t
+		}
+	}
+	return amax
+}
+
+// abfloatEncode quantizes an outlier magnitude to the abfloat format:
+// sign + expBits-bit exponent + manBits-bit mantissa over base, i.e.
+// representable values are ±base·(1+m/2^manBits)·2^k for k in [0, 2^expBits).
+// base is the normal-value threshold so abfloat continues where the int
+// range ends. The freed victim slot pays for the extra bits.
+func abfloatEncode(v, base float64, expBits, manBits int) float64 {
+	if base <= 0 {
+		return v
+	}
+	maxExp := 1<<expBits - 1
+	manLevels := float64(int(1) << manBits)
+	f := math.Abs(v) / base
+	if f < 1 {
+		f = 1
+	}
+	k := math.Floor(math.Log2(f))
+	if k > float64(maxExp) {
+		k = float64(maxExp)
+	}
+	frac := f/math.Pow(2, k) - 1 // in [0, 1) unless saturated
+	m := math.Round(frac * manLevels)
+	if m >= manLevels { // mantissa overflow rolls into the exponent
+		m = 0
+		if k < float64(maxExp) {
+			k++
+		} else {
+			m = manLevels - 1
+		}
+	}
+	out := base * (1 + m/manLevels) * math.Pow(2, k)
+	if v < 0 {
+		return -out
+	}
+	return out
+}
+
+// abfloatSplit returns the (expBits, manBits) field split for a bits-wide
+// abfloat code that must represent magnitudes up to ratio·thr: the
+// smallest exponent field that covers the range, with the remaining bits
+// (after the sign) spent on the mantissa.
+func abfloatSplit(ratio float64, bits int) (expBits, manBits int) {
+	for e := 1; e <= bits-2; e++ {
+		maxVal := 1.9 * math.Pow(2, float64(int(1)<<e-1))
+		expBits = e
+		if maxVal >= ratio {
+			break
+		}
+	}
+	manBits = bits - 1 - expBits
+	if manBits < 0 {
+		manBits = 0
+	}
+	return expBits, manBits
+}
+
+// EncodePairs applies outlier-victim-pair fake quantization to m.
+// thr is the outlier threshold; bits the element width.
+//
+// Pairs run along columns (adjacent rows of the same column). For LLM
+// activations, whose outliers are concentrated in fixed channels, this
+// pairs outliers with other values of the same outlier channel rather
+// than permanently sacrificing a neighbouring normal channel — the memory
+// layout a sane OliVe deployment would choose. When both elements of a
+// pair are outliers, each is encoded as abfloat in its own slot.
+func EncodePairs(m *tensor.Matrix, thr float64, bits int) *tensor.Matrix {
+	out := m.Clone()
+	normScale := quant.Scale(thr, bits)
+	// abfloat field widths: INT8 → 4-bit exponent + 3-bit mantissa,
+	// INT4 → 2-bit exponent + 1-bit mantissa.
+	expBits := bits / 2
+	manBits := bits/2 - 1
+	enc := func(v float64) float64 {
+		if math.Abs(v) > thr {
+			return abfloatEncode(v, thr, expBits, manBits)
+		}
+		return float64(quant.QuantizeValue(v, normScale, bits)) * normScale
+	}
+	// Adapt the exponent/mantissa split to the actual outlier range: the
+	// smallest exponent field that covers absmax/thr leaves the most bits
+	// for the mantissa.
+	if thr > 0 {
+		expBits, manBits = abfloatSplit(m.AbsMax()/thr, bits)
+	}
+	for c := 0; c < m.Cols; c++ {
+		for r := 0; r+1 < m.Rows; r += 2 {
+			a := out.At(r, c)
+			b := out.At(r+1, c)
+			aOut := math.Abs(a) > thr
+			bOut := math.Abs(b) > thr
+			switch {
+			case aOut && bOut:
+				// Adjacent outliers: each abfloat in its own slot.
+				out.Set(r, c, abfloatEncode(a, thr, expBits, manBits))
+				out.Set(r+1, c, abfloatEncode(b, thr, expBits, manBits))
+			case aOut:
+				out.Set(r, c, abfloatEncode(a, thr, expBits, manBits))
+				out.Set(r+1, c, 0) // victim pruned
+			case bOut:
+				out.Set(r+1, c, abfloatEncode(b, thr, expBits, manBits))
+				out.Set(r, c, 0) // victim pruned
+			default:
+				out.Set(r, c, float64(quant.QuantizeValue(a, normScale, bits))*normScale)
+				out.Set(r+1, c, float64(quant.QuantizeValue(b, normScale, bits))*normScale)
+			}
+		}
+		if m.Rows%2 == 1 {
+			out.Set(m.Rows-1, c, enc(out.At(m.Rows-1, c)))
+		}
+	}
+	return out
+}
+
+// Scheme is the OliVe factory.
+type Scheme struct{}
+
+// New returns the OliVe scheme.
+func New() Scheme { return Scheme{} }
+
+// Name implements schemes.Scheme.
+func (Scheme) Name() string { return "OliVe" }
+
+// EncodeWeights applies OVP quantization with per-output-column scales —
+// the standard per-column weight granularity (§II-C) combined with OliVe's
+// pair encoding. relThr is the outlier threshold relative to each column's
+// absolute maximum (1 means no outliers within columns).
+func EncodeWeights(w *tensor.Matrix, relThr float64, bits int) *tensor.Matrix {
+	out := tensor.New(w.Rows, w.Cols)
+	col := tensor.New(w.Rows, 1)
+	for c := 0; c < w.Cols; c++ {
+		var mx float64
+		for r := 0; r < w.Rows; r++ {
+			v := w.At(r, c)
+			col.Set(r, 0, v)
+			if a := math.Abs(v); a > mx {
+				mx = a
+			}
+		}
+		enc := EncodePairs(col, relThr*mx, bits)
+		for r := 0; r < w.Rows; r++ {
+			out.Set(r, c, enc.At(r, 0))
+		}
+	}
+	return out
+}
+
+// relThreshold computes the within-column relative outlier threshold from
+// column-normalized calibration samples.
+func relThreshold(ws []*tensor.Matrix, bits int) float64 {
+	var norm []*tensor.Matrix
+	for _, w := range ws {
+		n := w.Clone()
+		for c, mx := range w.AbsMaxPerCol() {
+			if mx == 0 {
+				continue
+			}
+			for r := 0; r < n.Rows; r++ {
+				n.Data[r*n.Cols+c] /= mx
+			}
+		}
+		norm = append(norm, n)
+	}
+	return threshold(norm, bits)
+}
+
+type site struct {
+	bits    int
+	xThr    float64
+	wRelThr float64
+}
+
+// NewSite implements schemes.Scheme: outlier thresholds are calibrated per
+// site from sample quantiles — a tensor-wide threshold for activations
+// (channel outliers) and a within-column relative threshold for weights.
+func (Scheme) NewSite(xs, ws []*tensor.Matrix, bits int) schemes.SiteGEMM {
+	if len(xs) == 0 || len(ws) == 0 {
+		panic("olive: calibration requires activation and weight samples")
+	}
+	return &site{bits: bits, xThr: threshold(xs, bits), wRelThr: relThreshold(ws, bits)}
+}
+
+// MatMul implements schemes.SiteGEMM.
+func (st *site) MatMul(x, w *tensor.Matrix) *tensor.Matrix {
+	xq := EncodePairs(x, st.xThr, st.bits)
+	wq := EncodeWeights(w, st.wRelThr, st.bits)
+	return tensor.MatMul(xq, wq)
+}

@@ -1,0 +1,176 @@
+package olive
+
+import (
+	"math"
+	"testing"
+
+	"tender/internal/tensor"
+)
+
+func TestQuantile(t *testing.T) {
+	m := tensor.New(1, 100)
+	for i := 0; i < 100; i++ {
+		m.Data[i] = float64(i + 1)
+	}
+	if q := quantile([]*tensor.Matrix{m}, 0.99); q < 98 || q > 100 {
+		t.Fatalf("0.99 quantile = %v", q)
+	}
+	if q := quantile([]*tensor.Matrix{m}, 1); q != 100 {
+		t.Fatalf("max quantile = %v", q)
+	}
+}
+
+func TestThresholdCalibration(t *testing.T) {
+	rng := tensor.NewRNG(40)
+	// Gaussian tensor: no genuine outliers → threshold should stay at (or
+	// near) the absmax so nothing gets pruned.
+	w := tensor.RandNormal(rng, 32, 32, 1)
+	thrW := threshold([]*tensor.Matrix{w}, 8)
+	if thrW < quantile([]*tensor.Matrix{w}, 0.995) {
+		t.Fatalf("Gaussian tensor picked an aggressive threshold %v", thrW)
+	}
+	// Tensor with a huge outlier channel → threshold must drop below the
+	// outliers so normals keep a fine scale.
+	x := tensor.RandNormal(rng, 32, 32, 1)
+	for r := 0; r < 32; r++ {
+		x.Set(r, 3, x.At(r, 3)*100)
+	}
+	thrX := threshold([]*tensor.Matrix{x}, 8)
+	if thrX > x.AbsMax()/4 {
+		t.Fatalf("outlier tensor kept threshold %v near absmax %v", thrX, x.AbsMax())
+	}
+}
+
+func TestAbfloatEncode(t *testing.T) {
+	// base 1, 4-bit exponent + 3-bit mantissa: values (1+m/8)·2^k.
+	if got := abfloatEncode(5, 1, 4, 3); got != 5 {
+		t.Fatalf("abfloat(5) = %v, want 5 (exactly representable as 1.25·4)", got)
+	}
+	if got := abfloatEncode(-6, 1, 4, 3); got != -6 {
+		t.Fatalf("abfloat(-6) = %v, want -6 (1.5·4)", got)
+	}
+	if got := abfloatEncode(1e9, 1, 4, 3); got != 1.875*math.Pow(2, 15) {
+		t.Fatalf("abfloat must saturate at 1.875·2^15, got %v", got)
+	}
+	if got := abfloatEncode(0.3, 1, 4, 3); got != 1 {
+		t.Fatalf("abfloat clamps below base: %v", got)
+	}
+	// Mantissa rounding overflow rolls into the exponent: 1.99 → 2.
+	if got := abfloatEncode(1.99, 1, 4, 3); got != 2 {
+		t.Fatalf("abfloat(1.99) = %v, want 2", got)
+	}
+	// Relative error stays below 2^-(manBits+1) + rounding slack.
+	for _, v := range []float64{1.3, 2.7, 9.9, 100, 3000} {
+		got := abfloatEncode(v, 1, 4, 3)
+		if math.Abs(got-v)/v > 1.0/16+1e-9 {
+			t.Fatalf("abfloat(%v) = %v: relative error too large", v, got)
+		}
+	}
+}
+
+func TestVictimPruning(t *testing.T) {
+	// Pairs run down columns: rows (0,1) and (2,3) of column 0.
+	m := tensor.FromSlice(4, 1, []float64{0.5, 100, 0.2, 0.3})
+	enc := EncodePairs(m, 1, 8)
+	if enc.At(0, 0) != 0 {
+		t.Fatalf("victim next to outlier must be pruned, got %v", enc.At(0, 0))
+	}
+	if enc.At(1, 0) < 50 {
+		t.Fatalf("outlier must be preserved at high magnitude, got %v", enc.At(1, 0))
+	}
+	// Normal pair survives quantized.
+	if enc.At(2, 0) == 0 && enc.At(3, 0) == 0 {
+		t.Fatal("normal pair should not be pruned")
+	}
+}
+
+func TestAdjacentOutliersBothEncoded(t *testing.T) {
+	m := tensor.FromSlice(2, 1, []float64{-50, 80})
+	enc := EncodePairs(m, 1, 8)
+	if math.Abs(enc.At(1, 0)-80) > 80.0/16 {
+		t.Fatalf("outlier must stay near 80: %v", enc.At(1, 0))
+	}
+	if math.Abs(enc.At(0, 0)+50) > 50.0/16 {
+		t.Fatalf("adjacent outlier must stay near -50: %v", enc.At(0, 0))
+	}
+	if enc.At(0, 0) >= 0 {
+		t.Fatal("sign must be preserved")
+	}
+}
+
+func TestOddRowsLastElement(t *testing.T) {
+	m := tensor.FromSlice(3, 1, []float64{0.5, 0.2, 40})
+	enc := EncodePairs(m, 1, 8)
+	if enc.At(2, 0) < 20 {
+		t.Fatalf("trailing outlier mishandled: %v", enc.At(2, 0))
+	}
+}
+
+func TestNormalsUseUniformGrid(t *testing.T) {
+	m := tensor.FromSlice(2, 1, []float64{0.5, -0.25})
+	enc := EncodePairs(m, 1, 8)
+	step := 1.0 / 127
+	for i, v := range enc.Data {
+		q := v / step
+		if math.Abs(q-math.Round(q)) > 1e-9 {
+			t.Fatalf("normal value %d not on the int grid: %v", i, v)
+		}
+	}
+}
+
+func TestChannelOutliersDoNotPruneNeighbourChannels(t *testing.T) {
+	// A one-sided outlier channel must not erase an adjacent channel:
+	// with token-axis pairing the outliers pair with themselves.
+	rng := tensor.NewRNG(50)
+	m := tensor.RandNormal(rng, 32, 8, 1)
+	for r := 0; r < 32; r++ {
+		m.Set(r, 3, 80+rng.Norm())
+	}
+	enc := EncodePairs(m, 2, 8)
+	for _, c := range []int{2, 4} {
+		zeros := 0
+		for r := 0; r < 32; r++ {
+			if enc.At(r, c) == 0 {
+				zeros++
+			}
+		}
+		if zeros > 8 {
+			t.Fatalf("channel %d lost %d/32 values to victim pruning", c, zeros)
+		}
+	}
+	// And the outlier channel keeps its content with bounded error.
+	for r := 0; r < 32; r++ {
+		if math.Abs(enc.At(r, 3)-m.At(r, 3)) > m.At(r, 3)/8 {
+			t.Fatalf("outlier content lost at row %d: %v vs %v", r, enc.At(r, 3), m.At(r, 3))
+		}
+	}
+}
+
+func TestEndToEndAccuracyOrdering(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	x := tensor.RandNormal(rng, 64, 64, 1)
+	// One-sided outlier channel (offset ≫ spread), the regime of Fig. 2.
+	for r := 0; r < x.Rows; r++ {
+		x.Set(r, 11, 60+8*rng.Norm())
+	}
+	w := tensor.RandNormal(rng, 64, 32, 0.5)
+	want := tensor.MatMul(x, w)
+	e8 := tensor.MSE(New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8).MatMul(x, w), want)
+	e4 := tensor.MSE(New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 4).MatMul(x, w), want)
+	if e8 >= e4 {
+		t.Fatalf("INT8 must beat INT4: %g vs %g", e8, e4)
+	}
+	rel := math.Sqrt(e8) / (want.MeanAbs() + 1e-12)
+	if rel > 0.2 {
+		t.Fatalf("OliVe INT8 relative error %v unreasonably large", rel)
+	}
+}
+
+func TestNeedsCalibration(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing calibration must panic")
+		}
+	}()
+	New().NewSite(nil, nil, 8)
+}

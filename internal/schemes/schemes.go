@@ -1,0 +1,163 @@
+// Package schemes defines the common interface every quantization scheme
+// (Tender and the paper's baselines) implements, plus the reference
+// schemes: FP32, FP16, plain uniform quantization at the three
+// granularities of Table I, and the Tender scheme adapter.
+//
+// A Scheme is a factory: for each matmul site in a model it receives
+// calibration samples of both operands and returns a SiteGEMM that applies
+// the scheme's quantization at inference time. This mirrors the static PTQ
+// calibration flow of the paper (§V-A: 128 Pile samples).
+package schemes
+
+import (
+	"tender/internal/quant"
+	"tender/internal/tensor"
+)
+
+// SiteGEMM executes one matmul site with a scheme's quantization error.
+type SiteGEMM interface {
+	// MatMul computes x × w including quantization effects.
+	MatMul(x, w *tensor.Matrix) *tensor.Matrix
+}
+
+// Scheme builds calibrated SiteGEMMs.
+type Scheme interface {
+	// Name identifies the scheme in experiment tables.
+	Name() string
+	// NewSite calibrates a GEMM for one matmul site. xs holds calibration
+	// samples of the left (activation) operand; ws of the right operand —
+	// a single fixed matrix for weight matmuls, per-sample tensors for
+	// activation-activation matmuls.
+	NewSite(xs, ws []*tensor.Matrix, bits int) SiteGEMM
+}
+
+// MatMulFunc adapts a function to SiteGEMM.
+type MatMulFunc func(x, w *tensor.Matrix) *tensor.Matrix
+
+// MatMul implements SiteGEMM.
+func (f MatMulFunc) MatMul(x, w *tensor.Matrix) *tensor.Matrix { return f(x, w) }
+
+// FP32 is the unquantized reference.
+type FP32 struct{}
+
+// Name implements Scheme.
+func (FP32) Name() string { return "FP32" }
+
+// NewSite implements Scheme; the GEMM is exact.
+func (FP32) NewSite(_, _ []*tensor.Matrix, _ int) SiteGEMM {
+	return MatMulFunc(func(x, w *tensor.Matrix) *tensor.Matrix { return tensor.MatMul(x, w) })
+}
+
+// FP16 is the paper's baseline: operands and result rounded through IEEE
+// half precision.
+type FP16 struct{}
+
+// Name implements Scheme.
+func (FP16) Name() string { return "FP16" }
+
+// NewSite implements Scheme.
+func (FP16) NewSite(_, _ []*tensor.Matrix, _ int) SiteGEMM {
+	return MatMulFunc(func(x, w *tensor.Matrix) *tensor.Matrix {
+		xr := x.Clone()
+		wr := w.Clone()
+		tensor.F16RoundInPlace(xr)
+		tensor.F16RoundInPlace(wr)
+		out := tensor.MatMul(xr, wr)
+		tensor.F16RoundInPlace(out)
+		return out
+	})
+}
+
+// Uniform is plain static uniform symmetric quantization at a fixed
+// granularity for activations (weights are always per-column), the
+// Table I sweep.
+type Uniform struct {
+	ActGran quant.Granularity
+	// Dynamic recomputes activation scales per tensor at runtime instead
+	// of using calibrated static scales.
+	Dynamic bool
+}
+
+// Name implements Scheme.
+func (u Uniform) Name() string { return "uniform/" + u.ActGran.String() }
+
+type uniformSite struct {
+	bits   int
+	gran   quant.Granularity
+	static *quant.Quantized // calibrated activation scales (nil if dynamic)
+	scales []float64
+}
+
+// NewSite implements Scheme. Static scales come from the union of
+// calibration samples.
+func (u Uniform) NewSite(xs, _ []*tensor.Matrix, bits int) SiteGEMM {
+	s := &uniformSite{bits: bits, gran: u.ActGran}
+	if !u.Dynamic && len(xs) > 0 {
+		s.scales = calibratedScales(xs, u.ActGran, bits)
+	}
+	return s
+}
+
+// calibratedScales derives static activation scale factors from samples.
+func calibratedScales(xs []*tensor.Matrix, gran quant.Granularity, bits int) []float64 {
+	switch gran {
+	case quant.PerTensor:
+		var mx float64
+		for _, x := range xs {
+			if a := x.AbsMax(); a > mx {
+				mx = a
+			}
+		}
+		return []float64{quant.Scale(mx, bits)}
+	case quant.PerColumn:
+		cols := xs[0].Cols
+		mx := make([]float64, cols)
+		for _, x := range xs {
+			for c, v := range x.AbsMaxPerCol() {
+				if v > mx[c] {
+					mx[c] = v
+				}
+			}
+		}
+		out := make([]float64, cols)
+		for c, v := range mx {
+			out[c] = quant.Scale(v, bits)
+		}
+		return out
+	default:
+		// Per-row scales are inherently per-token and therefore dynamic.
+		return nil
+	}
+}
+
+// MatMul implements SiteGEMM.
+func (s *uniformSite) MatMul(x, w *tensor.Matrix) *tensor.Matrix {
+	var xq *tensor.Matrix
+	switch {
+	case s.scales == nil:
+		xq = quant.FakeQuant(x, quant.Config{Bits: s.bits, Gran: s.gran})
+	case s.gran == quant.PerTensor:
+		xq = fakeQuantWithScales(x, []float64{s.scales[0]}, s.bits, quant.PerTensor)
+	default:
+		xq = fakeQuantWithScales(x, s.scales, s.bits, quant.PerColumn)
+	}
+	wq := quant.FakeQuant(w, quant.Config{Bits: s.bits, Gran: quant.PerColumn})
+	return tensor.MatMul(xq, wq)
+}
+
+// fakeQuantWithScales applies quantize-dequantize with fixed static scales.
+func fakeQuantWithScales(x *tensor.Matrix, scales []float64, bits int, gran quant.Granularity) *tensor.Matrix {
+	out := tensor.New(x.Rows, x.Cols)
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		orow := out.Row(r)
+		for c, v := range row {
+			s := scales[0]
+			if gran == quant.PerColumn {
+				s = scales[c]
+			}
+			orow[c] = float64(quant.QuantizeValue(v, s, bits)) * s
+		}
+	}
+	return out
+}

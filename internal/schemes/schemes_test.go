@@ -1,0 +1,122 @@
+package schemes
+
+import (
+	"testing"
+
+	"tender/internal/quant"
+	"tender/internal/tensor"
+)
+
+func sampleXW(seed uint64) (*tensor.Matrix, *tensor.Matrix) {
+	rng := tensor.NewRNG(seed)
+	x := tensor.RandNormal(rng, 32, 48, 1)
+	for r := 0; r < x.Rows; r++ {
+		x.Set(r, 7, x.At(r, 7)*40) // outlier channel
+	}
+	w := tensor.RandNormal(rng, 48, 24, 0.5)
+	return x, w
+}
+
+func TestFP32IsExact(t *testing.T) {
+	x, w := sampleXW(1)
+	g := FP32{}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
+	got := g.MatMul(x, w)
+	want := tensor.MatMul(x, w)
+	if tensor.MaxAbsDiff(got, want) != 0 {
+		t.Fatal("FP32 scheme must be exact")
+	}
+}
+
+func TestFP16CloseButNotExact(t *testing.T) {
+	x, w := sampleXW(2)
+	g := FP16{}.NewSite(nil, nil, 0)
+	got := g.MatMul(x, w)
+	want := tensor.MatMul(x, w)
+	d := tensor.MaxAbsDiff(got, want)
+	if d == 0 {
+		t.Fatal("FP16 rounding should perturb the result")
+	}
+	if d > want.AbsMax()*0.01 {
+		t.Fatalf("FP16 error too large: %v", d)
+	}
+}
+
+func TestUniformGranularityOrdering(t *testing.T) {
+	x, w := sampleXW(3)
+	want := tensor.MatMul(x, w)
+	errs := map[quant.Granularity]float64{}
+	for _, g := range []quant.Granularity{quant.PerTensor, quant.PerRow, quant.PerColumn} {
+		site := Uniform{ActGran: g, Dynamic: true}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
+		errs[g] = tensor.MSE(site.MatMul(x, w), want)
+	}
+	if !(errs[quant.PerColumn] < errs[quant.PerRow]) {
+		t.Fatalf("per-column %g should beat per-row %g on channel outliers", errs[quant.PerColumn], errs[quant.PerRow])
+	}
+	if !(errs[quant.PerRow] <= errs[quant.PerTensor]*1.01) {
+		t.Fatalf("per-row %g should not lose to per-tensor %g", errs[quant.PerRow], errs[quant.PerTensor])
+	}
+}
+
+func TestUniformStaticUsesCalibrationScales(t *testing.T) {
+	x, w := sampleXW(4)
+	small := x.Clone().Scale(0.01) // runtime input much smaller than calibration
+	site := Uniform{ActGran: quant.PerTensor}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
+	dyn := Uniform{ActGran: quant.PerTensor, Dynamic: true}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
+	want := tensor.MatMul(small, w)
+	eStatic := tensor.MSE(site.MatMul(small, w), want)
+	eDyn := tensor.MSE(dyn.MatMul(small, w), want)
+	if eStatic <= eDyn {
+		t.Fatalf("static scales must be visibly coarser on shrunken input: %g vs %g", eStatic, eDyn)
+	}
+}
+
+func TestTenderSchemeBeatsPerTensor(t *testing.T) {
+	x, w := sampleXW(5)
+	want := tensor.MatMul(x, w)
+	td := Tender{}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
+	pt := Uniform{ActGran: quant.PerTensor, Dynamic: true}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
+	et := tensor.MSE(td.MatMul(x, w), want)
+	ep := tensor.MSE(pt.MatMul(x, w), want)
+	if et*3 > ep {
+		t.Fatalf("Tender %g should clearly beat per-tensor %g", et, ep)
+	}
+}
+
+func TestTenderSchemeIntegerPathMatchesFakeQuant(t *testing.T) {
+	x, w := sampleXW(6)
+	fq := Tender{NoRowChunk: true}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
+	ip := Tender{NoRowChunk: true, Integer: true}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
+	a := fq.MatMul(x, w)
+	b := ip.MatMul(x, w)
+	if tensor.MaxAbsDiff(a, b) > 1e-9*(a.AbsMax()+1) {
+		t.Fatal("integer and fake-quant Tender paths diverge")
+	}
+}
+
+func TestTenderSchemeWeightCaching(t *testing.T) {
+	x, w := sampleXW(7)
+	site := Tender{}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8).(*tenderSite)
+	site.MatMul(x, w)
+	first := site.wq
+	site.MatMul(x, w)
+	if site.wq != first {
+		t.Fatal("same weight matrix must reuse the cached quantization")
+	}
+	w2 := w.Clone()
+	site.MatMul(x, w2)
+	if site.wq == first {
+		t.Fatal("a different weight matrix must be re-quantized")
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	if (FP32{}).Name() != "FP32" || (FP16{}).Name() != "FP16" {
+		t.Fatal("reference scheme names changed")
+	}
+	if (Uniform{ActGran: quant.PerRow}).Name() != "uniform/per-row" {
+		t.Fatal("uniform name changed")
+	}
+	if (Tender{}).Name() != "Tender" {
+		t.Fatal("tender name changed")
+	}
+}

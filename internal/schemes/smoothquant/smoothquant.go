@@ -1,0 +1,101 @@
+// Package smoothquant implements the SmoothQuant baseline (Xiao et al.,
+// ICML 2023) evaluated against Tender in Table II: the quantization
+// difficulty of activations is partially migrated to the weights by a
+// per-channel smoothing factor s_j = max|X_j|^a / max|W_j|^(1-a), after
+// which both operands are quantized with plain static per-tensor symmetric
+// quantization.
+package smoothquant
+
+import (
+	"math"
+
+	"tender/internal/quant"
+	"tender/internal/schemes"
+	"tender/internal/tensor"
+)
+
+// Scheme is the SmoothQuant factory.
+type Scheme struct {
+	// Alpha is the migration strength (0.5 in the paper).
+	Alpha float64
+}
+
+// New returns SmoothQuant with the paper's default migration strength.
+func New() Scheme { return Scheme{Alpha: 0.5} }
+
+// Name implements schemes.Scheme.
+func (Scheme) Name() string { return "SmoothQuant" }
+
+type site struct {
+	bits int
+	// smooth[j] divides activation channel j and multiplies weight row j.
+	smooth []float64
+	// static per-tensor activation scale (calibrated post-smoothing).
+	actScale float64
+}
+
+// NewSite implements schemes.Scheme. The smoothing factors are derived from
+// calibration activation maxima and the (first) weight sample.
+func (s Scheme) NewSite(xs, ws []*tensor.Matrix, bits int) schemes.SiteGEMM {
+	if len(xs) == 0 || len(ws) == 0 {
+		panic("smoothquant: calibration requires activation and weight samples")
+	}
+	alpha := s.Alpha
+	if alpha == 0 {
+		alpha = 0.5
+	}
+	cols := xs[0].Cols
+	actMax := make([]float64, cols)
+	for _, x := range xs {
+		for c, v := range x.AbsMaxPerCol() {
+			if v > actMax[c] {
+				actMax[c] = v
+			}
+		}
+	}
+	// Weight per-input-channel (row) maxima.
+	w := ws[0]
+	wMax := make([]float64, w.Rows)
+	for r := 0; r < w.Rows; r++ {
+		var mx float64
+		for _, v := range w.Row(r) {
+			if a := math.Abs(v); a > mx {
+				mx = a
+			}
+		}
+		wMax[r] = mx
+	}
+	st := &site{bits: bits, smooth: make([]float64, cols)}
+	var smoothedMax float64
+	for j := 0; j < cols; j++ {
+		sj := math.Pow(actMax[j], alpha) / math.Pow(math.Max(wMax[j], 1e-12), 1-alpha)
+		if sj <= 0 || math.IsNaN(sj) || math.IsInf(sj, 0) {
+			sj = 1
+		}
+		st.smooth[j] = sj
+		if m := actMax[j] / sj; m > smoothedMax {
+			smoothedMax = m
+		}
+	}
+	st.actScale = quant.Scale(smoothedMax, bits)
+	return st
+}
+
+// MatMul implements schemes.SiteGEMM.
+func (st *site) MatMul(x, w *tensor.Matrix) *tensor.Matrix {
+	xs := x.Clone()
+	inv := make([]float64, len(st.smooth))
+	for j, v := range st.smooth {
+		inv[j] = 1 / v
+	}
+	xs.MulColVector(inv)
+	// Static per-tensor activation quantization.
+	xq := tensor.New(xs.Rows, xs.Cols)
+	for i, v := range xs.Data {
+		xq.Data[i] = float64(quant.QuantizeValue(v, st.actScale, st.bits)) * st.actScale
+	}
+	wsm := w.Clone()
+	wsm.MulRowVector(st.smooth)
+	wq := quant.FakeQuant(wsm, quant.Config{Bits: st.bits, Gran: quant.PerTensor})
+	return tensor.MatMul(xq, wq)
+}

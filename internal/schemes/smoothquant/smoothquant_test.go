@@ -1,0 +1,102 @@
+package smoothquant
+
+import (
+	"math"
+	"testing"
+
+	"tender/internal/quant"
+	"tender/internal/schemes"
+	"tender/internal/tensor"
+)
+
+func fixtures(seed uint64, outlierMag float64) (*tensor.Matrix, *tensor.Matrix) {
+	rng := tensor.NewRNG(seed)
+	x := tensor.RandNormal(rng, 32, 40, 1)
+	for r := 0; r < x.Rows; r++ {
+		x.Set(r, 3, x.At(r, 3)*outlierMag)
+	}
+	w := tensor.RandNormal(rng, 40, 20, 0.5)
+	return x, w
+}
+
+func TestSmoothingFlattensActivationChannels(t *testing.T) {
+	x, w := fixtures(1, 50)
+	s := New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8).(*site)
+	// After dividing by the smoothing factors, the outlier channel's
+	// magnitude advantage must shrink substantially.
+	sm := x.Clone()
+	inv := make([]float64, len(s.smooth))
+	for i, v := range s.smooth {
+		inv[i] = 1 / v
+	}
+	sm.MulColVector(inv)
+	before := x.AbsMaxPerCol()
+	after := sm.AbsMaxPerCol()
+	ratioBefore := before[3] / before[5]
+	ratioAfter := after[3] / after[5]
+	if ratioAfter > ratioBefore/3 {
+		t.Fatalf("smoothing should flatten channels: ratio %v -> %v", ratioBefore, ratioAfter)
+	}
+}
+
+func TestMathematicalEquivalenceWithoutQuantization(t *testing.T) {
+	// (X diag(1/s)) (diag(s) W) == X W exactly, so with very fine
+	// quantization the scheme approaches the exact product.
+	x, w := fixtures(2, 10)
+	got := New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8).MatMul(x, w)
+	want := tensor.MatMul(x, w)
+	rel := math.Sqrt(tensor.MSE(got, want)) / (want.MeanAbs() + 1e-12)
+	if rel > 0.1 {
+		t.Fatalf("INT8 SmoothQuant relative error %v too large on mild outliers", rel)
+	}
+}
+
+func TestBeatsPlainPerTensorInt8OnModerateOutliers(t *testing.T) {
+	x, w := fixtures(3, 30)
+	want := tensor.MatMul(x, w)
+	sq := New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
+	pt := schemes.Uniform{ActGran: quant.PerTensor, Dynamic: true}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
+	esq := tensor.MSE(sq.MatMul(x, w), want)
+	ept := tensor.MSE(pt.MatMul(x, w), want)
+	if esq >= ept {
+		t.Fatalf("SmoothQuant %g should beat per-tensor INT8 %g", esq, ept)
+	}
+}
+
+func TestInt4DegradesSharply(t *testing.T) {
+	// The paper's Table II: SmoothQuant collapses at INT4 because outliers
+	// are only migrated, not isolated.
+	x, w := fixtures(4, 60)
+	want := tensor.MatMul(x, w)
+	e8 := tensor.MSE(New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8).MatMul(x, w), want)
+	e4 := tensor.MSE(New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 4).MatMul(x, w), want)
+	if e4 < e8*10 {
+		t.Fatalf("INT4 should be far worse than INT8: %g vs %g", e4, e8)
+	}
+}
+
+func TestHandlesZeroChannels(t *testing.T) {
+	x := tensor.New(8, 6)
+	rng := tensor.NewRNG(5)
+	w := tensor.RandNormal(rng, 6, 4, 1)
+	// One nonzero channel; the rest are zero → smoothing factors must not
+	// divide by zero or produce NaN.
+	for r := 0; r < 8; r++ {
+		x.Set(r, 2, rng.Norm())
+	}
+	out := New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8).MatMul(x, w)
+	for _, v := range out.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("NaN/Inf leaked from zero channels")
+		}
+	}
+}
+
+func TestNeedsCalibration(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing calibration must panic")
+		}
+	}()
+	New().NewSite(nil, nil, 8)
+}

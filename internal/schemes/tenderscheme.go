@@ -1,0 +1,85 @@
+package schemes
+
+import (
+	"tender/internal/quant"
+	"tender/internal/tender"
+	"tender/internal/tensor"
+)
+
+// Tender adapts the core algorithm (internal/tender) to the Scheme
+// interface used by the model substrate.
+type Tender struct {
+	// Groups, Alpha, RowChunk override the paper defaults when nonzero.
+	Groups   int
+	Alpha    int
+	RowChunk int
+	// NoRowChunk forces whole-tensor calibration (RowChunk = 0 means
+	// "use default" so a separate flag is needed to disable chunking).
+	NoRowChunk bool
+	// UseClustering switches channel grouping to k-means (ablation).
+	UseClustering bool
+	// DisableBias skips bias subtraction (ablation).
+	DisableBias bool
+	// Integer runs the bit-exact implicit integer GEMM instead of the
+	// fast fake-quant path. Results are identical; this path exists to
+	// exercise the hardware execution model end-to-end.
+	Integer bool
+}
+
+// Name implements Scheme.
+func (t Tender) Name() string { return "Tender" }
+
+func (t Tender) config(bits int) tender.Config {
+	cfg := tender.DefaultConfig(bits)
+	if t.Groups > 0 {
+		cfg.Groups = t.Groups
+	}
+	if t.Alpha > 0 {
+		cfg.Alpha = t.Alpha
+	}
+	if t.RowChunk > 0 {
+		cfg.RowChunk = t.RowChunk
+	}
+	if t.NoRowChunk {
+		cfg.RowChunk = 0
+	}
+	cfg.UseClustering = t.UseClustering
+	cfg.DisableBias = t.DisableBias
+	return cfg
+}
+
+type tenderSite struct {
+	cal       *tender.Calibration
+	bits      int
+	integer   bool
+	wq        *quant.Quantized // cached quantized weight (static weights)
+	wf        *tensor.Matrix
+	wqSource  *tensor.Matrix
+	clustered bool
+}
+
+// NewSite implements Scheme. Activation metadata is calibrated statically
+// from xs; the right operand is per-column quantized (cached when the same
+// matrix is passed at every call, i.e. linear-layer weights).
+func (t Tender) NewSite(xs, _ []*tensor.Matrix, bits int) SiteGEMM {
+	cfg := t.config(bits)
+	return &tenderSite{
+		cal:       tender.Calibrate(xs, cfg),
+		bits:      bits,
+		integer:   t.Integer && !cfg.UseClustering,
+		clustered: cfg.UseClustering,
+	}
+}
+
+// MatMul implements SiteGEMM.
+func (s *tenderSite) MatMul(x, w *tensor.Matrix) *tensor.Matrix {
+	if s.wq == nil || s.wqSource != w {
+		s.wq = tender.QuantizeWeights(w, s.bits)
+		s.wf = s.wq.Dequantize()
+		s.wqSource = w
+	}
+	if s.integer {
+		return s.cal.MatMulImplicit(x, s.wq, s.wf)
+	}
+	return tensor.MatMul(s.cal.FakeQuantActivation(x), s.wf)
+}

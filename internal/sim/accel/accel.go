@@ -1,0 +1,379 @@
+// Package accel is the tile-level accelerator performance and energy
+// model used for Figures 10, 11 and 13: it executes transformer-layer
+// GEMM workloads (at the paper models' real dimensions) on configurable
+// systolic-array accelerators — Tender and the outlier-aware baselines
+// OLAccel, ANT and OliVe — sized iso-area, sharing the HBM2 timing model
+// and the energy model.
+package accel
+
+import (
+	"fmt"
+
+	"tender/internal/sim/area"
+	"tender/internal/sim/dram"
+	"tender/internal/sim/energy"
+)
+
+// RequantMode selects how decomposed channel groups are rescaled.
+type RequantMode int
+
+const (
+	// RequantNone: no channel decomposition (per-tensor baseline).
+	RequantNone RequantMode = iota
+	// RequantImplicit: Tender's in-PE shift — 1 cycle per group boundary.
+	RequantImplicit
+	// RequantExplicit: each group is a separate short-reduction pass whose
+	// partial sums are rescaled and accumulated by the FP VPU (Fig. 5a).
+	RequantExplicit
+)
+
+// Config describes one accelerator instance.
+type Config struct {
+	Name string
+	// ArrayRows/ArrayCols are the PE grid dimensions for the native
+	// element precision.
+	ArrayRows, ArrayCols int
+	FreqGHz              float64
+	// ActBits/WeightBits are the storage precisions (memory traffic).
+	ActBits, WeightBits int
+	// PrecisionDivisor folds wide operands onto narrow PEs: 2 means a
+	// 2×2 PE group forms one MAC (Tender INT8 on 4-bit PEs, §IV-B), so
+	// the effective array is ArrayRows/2 × ArrayCols/2.
+	PrecisionDivisor int
+	Requant          RequantMode
+	// Groups is the number of channel groups (Tender modes).
+	Groups int
+	// DecodeCyclesPerTile models the edge-decoder pipeline fill of
+	// ANT/OliVe per weight tile.
+	DecodeCyclesPerTile int
+	// DecodeEnergy charges energy.DecodePJ per operand element.
+	DecodeEnergy bool
+	// MemTrafficFactor inflates DRAM traffic (unaligned mixed-precision
+	// accesses; 1.0 = aligned).
+	MemTrafficFactor float64
+	// ComputeOverheadFrac adds serialized per-GEMM overhead as a fraction
+	// of nominal compute: OLAccel's outlier-PE path and dispatch stalls,
+	// OliVe's exponent+integer arithmetic (§V-C).
+	ComputeOverheadFrac float64
+	// VPUWidth is the number of FP lanes for requantization epilogues.
+	VPUWidth int
+	// EnergyMACBits selects the per-MAC energy constant (4, 8 or 16).
+	EnergyMACBits int
+	StaticPowerW  float64
+}
+
+func (c Config) effRows() int { return c.ArrayRows / c.PrecisionDivisor }
+func (c Config) effCols() int { return c.ArrayCols / c.PrecisionDivisor }
+
+// Tender returns the Tender accelerator at the given element precision
+// (4 or 8) and group count. The 64×64 4-bit PE array follows Table V;
+// INT8 mode groups 2×2 PEs per MAC (§IV-B).
+func Tender(bits, groups int) Config {
+	div := 1
+	if bits == 8 {
+		div = 2
+	}
+	return Config{
+		Name:      fmt.Sprintf("Tender-INT%d", bits),
+		ArrayRows: 64, ArrayCols: 64, FreqGHz: 1.0,
+		ActBits: bits, WeightBits: bits, PrecisionDivisor: div,
+		Requant: RequantImplicit, Groups: groups,
+		MemTrafficFactor: 1.0, VPUWidth: 64,
+		EnergyMACBits: bits, StaticPowerW: 0.35,
+	}
+}
+
+// TenderExplicit is Tender with explicit requantization (Fig. 13).
+func TenderExplicit(bits, groups int) Config {
+	c := Tender(bits, groups)
+	c.Name = fmt.Sprintf("Tender-Explicit-INT%d", bits)
+	c.Requant = RequantExplicit
+	return c
+}
+
+// PerTensorBase is the no-decomposition baseline of Fig. 13.
+func PerTensorBase(bits int) Config {
+	c := Tender(bits, 1)
+	c.Name = fmt.Sprintf("Base-INT%d", bits)
+	c.Requant = RequantNone
+	c.Groups = 1
+	return c
+}
+
+// ANT returns the ANT baseline: a 4-bit-PE array with a datatype decoder
+// at the edge, sized iso-area (decoder + exponent paths cost
+// area.ANTPEFactor per PE). Most layers run at 8-bit precision to recover
+// accuracy (§V-C), which both quarters the MAC throughput and doubles the
+// memory traffic.
+func ANT() Config {
+	dim := area.SquareDim(area.IsoAreaPEs(area.ANTPEFactor))
+	return Config{
+		Name:      "ANT",
+		ArrayRows: dim, ArrayCols: dim, FreqGHz: 1.0,
+		ActBits: 8, WeightBits: 8, PrecisionDivisor: 1,
+		Requant: RequantNone, Groups: 1,
+		DecodeCyclesPerTile: 16, DecodeEnergy: true,
+		MemTrafficFactor: 1.0, VPUWidth: 64,
+		EnergyMACBits: 8, StaticPowerW: 0.4,
+	}
+}
+
+// OliVe returns the OliVe baseline: 4-bit PEs plus an outlier-victim-pair
+// decoder (area.OliVePEFactor), aligned memory.
+func OliVe() Config {
+	dim := area.SquareDim(area.IsoAreaPEs(area.OliVePEFactor))
+	return Config{
+		Name:      "OliVe",
+		ArrayRows: dim, ArrayCols: dim, FreqGHz: 1.0,
+		ActBits: 4, WeightBits: 4, PrecisionDivisor: 1,
+		Requant: RequantNone, Groups: 1,
+		DecodeCyclesPerTile: 12, DecodeEnergy: true,
+		ComputeOverheadFrac: 0.12,
+		MemTrafficFactor:    1.0, VPUWidth: 64,
+		EnergyMACBits: 4, StaticPowerW: 0.4,
+	}
+}
+
+// OLAccel returns the OLAccel baseline: 4-bit normal PEs with dedicated
+// 16-bit outlier PEs (area.OLAccelPEFactor), serialized outlier handling
+// and unaligned mixed-precision memory accesses.
+func OLAccel() Config {
+	dim := area.SquareDim(area.IsoAreaPEs(area.OLAccelPEFactor))
+	return Config{
+		Name:      "OLAccel",
+		ArrayRows: dim, ArrayCols: dim, FreqGHz: 1.0,
+		ActBits: 4, WeightBits: 4, PrecisionDivisor: 1,
+		Requant: RequantNone, Groups: 1,
+		MemTrafficFactor: 1.18, ComputeOverheadFrac: 0.18,
+		VPUWidth: 64, EnergyMACBits: 4, StaticPowerW: 0.45,
+	}
+}
+
+// GEMM is one matrix multiplication of the workload: (M×K) × (K×N).
+type GEMM struct {
+	M, K, N int
+	// ActAct marks activation-activation matmuls (both operands streamed
+	// from scratchpad, no weight fetch from DRAM).
+	ActAct bool
+}
+
+// Result reports the simulated execution of a workload.
+type Result struct {
+	ComputeCycles int64
+	MemoryCycles  int64
+	// Cycles is the overlapped total (double-buffered scratchpad:
+	// compute and DRAM proceed concurrently, §IV-D).
+	Cycles   int64
+	Seconds  float64
+	Counters energy.Counters
+}
+
+// Energy returns the energy breakdown of the run.
+func (r Result) Energy() energy.Breakdown { return r.Counters.Energy() }
+
+// ceilDiv is integer ceiling division.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// gemmCompute returns the compute cycles for one GEMM on c, along with
+// the MAC count executed.
+func (c Config) gemmCompute(g GEMM) (cycles int64, macs int64) {
+	r := c.effRows()
+	col := c.effCols()
+	tiles := int64(ceilDiv(g.M, r)) * int64(ceilDiv(g.N, col))
+	skew := int64(r + col - 2)
+	requant := c.Requant
+	if g.ActAct {
+		// Channel decomposition applies to weight matmuls; the evaluation
+		// keeps activation-activation matmuls undecomposed (§V-B "fair
+		// comparison" protocol).
+		requant = RequantNone
+	}
+	var perTile int64
+	switch requant {
+	case RequantExplicit:
+		// Each group is a separate pass over a shortened reduction axis:
+		// per group the wave refills (skew) and the VPU rescales and
+		// accumulates the R×C partial tile in floating point.
+		kg := ceilDiv(g.K, c.Groups)
+		vpu := int64(ceilDiv(r*col, c.VPUWidth)) * 2 // read-modify-write
+		perTile = int64(c.Groups) * (int64(kg) + skew + vpu)
+	case RequantImplicit:
+		// Full reduction axis retained; G-1 one-cycle bubbles (§VI-E).
+		perTile = int64(g.K) + int64(c.Groups-1) + skew
+	default:
+		perTile = int64(g.K) + skew
+	}
+	perTile += int64(c.DecodeCyclesPerTile)
+	cycles = tiles * perTile
+	if c.ComputeOverheadFrac > 0 {
+		cycles = int64(float64(cycles) * (1 + c.ComputeOverheadFrac))
+	}
+	macs = int64(g.M) * int64(g.K) * int64(g.N)
+	return cycles, macs
+}
+
+// Run executes the GEMM workload on c with mem as off-chip memory and
+// returns cycle counts and energy counters.
+func (c Config) Run(work []GEMM, mem *dram.Memory) Result {
+	var res Result
+	res.Counters.FreqGHz = c.FreqGHz
+	res.Counters.StaticPowerW = c.StaticPowerW
+	var memEnd int64
+	var addr int64
+	for _, g := range work {
+		cyc, macs := c.gemmCompute(g)
+		res.ComputeCycles += cyc
+		switch c.EnergyMACBits {
+		case 4:
+			res.Counters.MACInt4 += macs
+		case 8:
+			res.Counters.MACInt8 += macs
+		case 16:
+			res.Counters.MACInt16 += macs
+		}
+		if c.DecodeEnergy {
+			res.Counters.Decodes += int64(g.K)*int64(g.N) + int64(g.M)*int64(g.K)
+		}
+		if c.Requant == RequantImplicit && c.Groups > 1 && !g.ActAct {
+			res.Counters.Shifts += int64(ceilDiv(g.M, c.effRows())) * int64(ceilDiv(g.N, c.effCols())) *
+				int64(c.effRows()*c.effCols()) * int64(c.Groups-1)
+		}
+		if c.Requant == RequantExplicit && !g.ActAct {
+			res.Counters.FPUOps += int64(g.M) * int64(g.N) * int64(c.Groups) * 2
+		}
+		// DRAM traffic: weights stream in once per GEMM (act-act operands
+		// are already on chip); activations in and out.
+		wBytes := 0
+		if !g.ActAct {
+			wBytes = g.K * g.N * c.WeightBits / 8
+		}
+		aBytes := g.M*g.K*c.ActBits/8 + g.M*g.N*c.ActBits/8
+		total := int(float64(wBytes+aBytes) * c.MemTrafficFactor)
+		memEnd = mem.Access(addr, total, memEnd)
+		addr += int64(total)
+		// On-chip traffic for energy: with an output-stationary dataflow,
+		// each weight column is re-streamed once per M-tile row and each
+		// activation row once per N-tile column.
+		wStream := int64(g.K) * int64(g.N) * int64(ceilDiv(g.M, c.effRows())) * int64(c.WeightBits) / 8
+		aStream := int64(g.M) * int64(g.K) * int64(ceilDiv(g.N, c.effCols())) * int64(c.ActBits) / 8
+		res.Counters.SRAMBytes += wStream + aStream + int64(g.M*g.N*4) // INT32 outputs
+		res.Counters.FIFOBytes += wStream + aStream
+		// VPU requantizes every output element back to INT4/8.
+		res.Counters.FPUOps += int64(g.M) * int64(g.N)
+	}
+	res.MemoryCycles = memEnd
+	res.Counters.DRAMBytes = mem.TotalBytes
+	// Double buffering overlaps compute with DRAM transfers; the slower
+	// agent dominates (§IV-D: controllers operate independently).
+	res.Cycles = res.ComputeCycles
+	if res.MemoryCycles > res.Cycles {
+		res.Cycles = res.MemoryCycles
+	}
+	res.Counters.Cycles = res.Cycles
+	res.Seconds = float64(res.Cycles) / (c.FreqGHz * 1e9)
+	return res
+}
+
+// Shape is a transformer model at its real published dimensions, used for
+// performance workloads.
+type Shape struct {
+	Name   string
+	Layers int
+	DModel int
+	FFN    int
+	Heads  int
+}
+
+// PaperShape returns the real dimensions of the paper's evaluation models.
+func PaperShape(name string) Shape {
+	shapes := map[string]Shape{
+		"opt-6.7b":    {"opt-6.7b", 32, 4096, 16384, 32},
+		"opt-13b":     {"opt-13b", 40, 5120, 20480, 40},
+		"opt-66b":     {"opt-66b", 64, 9216, 36864, 72},
+		"llama-2-7b":  {"llama-2-7b", 32, 4096, 11008, 32},
+		"llama-2-13b": {"llama-2-13b", 40, 5120, 13824, 40},
+		"llama-2-70b": {"llama-2-70b", 80, 8192, 28672, 64},
+	}
+	s, ok := shapes[name]
+	if !ok {
+		panic("accel: unknown model " + name)
+	}
+	return s
+}
+
+// PerfModels lists the models of Figs. 10-11 in paper order.
+func PerfModels() []string {
+	return []string{"opt-6.7b", "opt-13b", "opt-66b", "llama-2-7b", "llama-2-13b", "llama-2-70b"}
+}
+
+// LayerGEMMs expands one Transformer block into its matmuls for a prefill
+// of seq tokens (the paper evaluates 2048:1 prefill:generation, §V-A).
+func LayerGEMMs(s Shape, seq int) []GEMM {
+	dh := s.DModel / s.Heads
+	var g []GEMM
+	// QKV projections.
+	for i := 0; i < 3; i++ {
+		g = append(g, GEMM{M: seq, K: s.DModel, N: s.DModel})
+	}
+	// Attention score and value per head.
+	for h := 0; h < s.Heads; h++ {
+		g = append(g, GEMM{M: seq, K: dh, N: seq, ActAct: true})
+		g = append(g, GEMM{M: seq, K: seq, N: dh, ActAct: true})
+	}
+	// Output projection and FFN.
+	g = append(g,
+		GEMM{M: seq, K: s.DModel, N: s.DModel},
+		GEMM{M: seq, K: s.DModel, N: s.FFN},
+		GEMM{M: seq, K: s.FFN, N: s.DModel},
+	)
+	return g
+}
+
+// ModelWorkload expands the whole model: prefill over seq tokens plus one
+// generated token (sequence length seq:1).
+func ModelWorkload(s Shape, seq int) []GEMM {
+	var work []GEMM
+	layer := LayerGEMMs(s, seq)
+	gen := genTokenGEMMs(s, seq)
+	for l := 0; l < s.Layers; l++ {
+		work = append(work, layer...)
+		work = append(work, gen...)
+	}
+	return work
+}
+
+// genTokenGEMMs are the single-token generation matmuls (M = 1).
+func genTokenGEMMs(s Shape, ctx int) []GEMM {
+	dh := s.DModel / s.Heads
+	var g []GEMM
+	for i := 0; i < 3; i++ {
+		g = append(g, GEMM{M: 1, K: s.DModel, N: s.DModel})
+	}
+	for h := 0; h < s.Heads; h++ {
+		g = append(g, GEMM{M: 1, K: dh, N: ctx + 1, ActAct: true})
+		g = append(g, GEMM{M: 1, K: ctx + 1, N: dh, ActAct: true})
+	}
+	g = append(g,
+		GEMM{M: 1, K: s.DModel, N: s.DModel},
+		GEMM{M: 1, K: s.DModel, N: s.FFN},
+		GEMM{M: 1, K: s.FFN, N: s.DModel},
+	)
+	return g
+}
+
+// RunModel simulates the full model workload on c with a fresh HBM2.
+func RunModel(c Config, modelName string, seq int) Result {
+	shape := PaperShape(modelName)
+	return c.Run(ModelWorkload(shape, seq), dram.New(dram.HBM2()))
+}
+
+// GroupsFor returns the channel-group count the calibration would pick
+// for a model (§VI-E: larger models generally need more groups).
+func GroupsFor(modelName string) int {
+	switch modelName {
+	case "llama-2-70b", "opt-66b":
+		return 16
+	default:
+		return 8
+	}
+}

@@ -1,0 +1,66 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableVTotals(t *testing.T) {
+	areaMM2, powerW := Totals(Tender())
+	// Table V: total 3.98 mm², 1.60 W.
+	if math.Abs(areaMM2-3.98) > 0.005 {
+		t.Fatalf("area = %v, want 3.98", areaMM2)
+	}
+	if math.Abs(powerW-1.60) > 0.005 {
+		t.Fatalf("power = %v, want 1.60", powerW)
+	}
+}
+
+func TestComponentInventory(t *testing.T) {
+	cs := Tender()
+	if len(cs) != 6 {
+		t.Fatalf("Table V has 6 components, got %d", len(cs))
+	}
+	names := map[string]bool{}
+	for _, c := range cs {
+		if c.AreaMM2 <= 0 || c.PowerW <= 0 {
+			t.Fatalf("component %s has non-positive figures", c.Name)
+		}
+		names[c.Name] = true
+	}
+	for _, want := range []string{"Systolic Array", "Vector Processing Unit", "Index Buffer", "Scratchpad Memory", "Output Buffer"} {
+		if !names[want] {
+			t.Fatalf("missing component %q", want)
+		}
+	}
+}
+
+func TestIsoAreaSizing(t *testing.T) {
+	if IsoAreaPEs(1.0) != TenderPEs {
+		t.Fatal("factor 1 must give the Tender PE count")
+	}
+	for _, f := range []float64{ANTPEFactor, OliVePEFactor, OLAccelPEFactor} {
+		pes := IsoAreaPEs(f)
+		if pes >= TenderPEs {
+			t.Fatalf("factor %v must shrink the array", f)
+		}
+		// Area consumed must not exceed the Tender array budget.
+		if float64(pes)*f*AreaPerTenderPE() > PEArrayAreaMM2*1.0001 {
+			t.Fatalf("iso-area budget exceeded at factor %v", f)
+		}
+	}
+	// ANT burns the most area per PE → fewest PEs.
+	if !(IsoAreaPEs(ANTPEFactor) < IsoAreaPEs(OLAccelPEFactor) &&
+		IsoAreaPEs(OLAccelPEFactor) < IsoAreaPEs(OliVePEFactor)) {
+		t.Fatal("PE budget ordering violated")
+	}
+}
+
+func TestSquareDim(t *testing.T) {
+	cases := map[int]int{1: 1, 3: 1, 4: 2, 4095: 63, 4096: 64, 4097: 64}
+	for pes, want := range cases {
+		if got := SquareDim(pes); got != want {
+			t.Fatalf("SquareDim(%d) = %d, want %d", pes, got, want)
+		}
+	}
+}

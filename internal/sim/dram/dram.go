@@ -1,0 +1,183 @@
+// Package dram models HBM2 off-chip memory timing at the bank level: row
+// activation/precharge, CAS latency, burst occupancy, channel parallelism.
+// It is the Ramulator stand-in used by the accelerator performance model
+// (§V-A "cycle-level simulator with Ramulator for DRAM timing").
+package dram
+
+// Config holds the HBM2 timing and geometry parameters (JESD235A-inspired
+// values at 1 GHz memory command clock).
+type Config struct {
+	Channels        int
+	BanksPerChannel int
+	// RowBytes is the row-buffer size per bank.
+	RowBytes int
+	// BurstBytes is the data moved per burst (32B for a 128-bit HBM2
+	// pseudo-channel at BL4).
+	BurstBytes int
+	// Timing in memory-clock cycles.
+	TRCD, TRP, TCL, TBL int
+	// ClockGHz is the memory command clock.
+	ClockGHz float64
+}
+
+// HBM2 returns the default configuration: 8 channels × 16 banks, 2 KiB
+// rows, 32 B bursts — about 256 GB/s peak at 1 GHz.
+func HBM2() Config {
+	return Config{
+		Channels:        8,
+		BanksPerChannel: 16,
+		RowBytes:        2048,
+		BurstBytes:      32,
+		TRCD:            14,
+		TRP:             14,
+		TCL:             14,
+		TBL:             2,
+		ClockGHz:        1.0,
+	}
+}
+
+// PeakBytesPerCycle returns the aggregate peak bandwidth in bytes per
+// memory cycle.
+func (c Config) PeakBytesPerCycle() float64 {
+	return float64(c.Channels*c.BurstBytes) / float64(c.TBL)
+}
+
+type bank struct {
+	openRow int64 // -1 = closed
+	readyAt int64 // cycle at which the bank can accept a new command
+}
+
+// Memory is the stateful HBM2 model. Requests are issued through Read and
+// Write; Elapsed reports when all channels drain.
+type Memory struct {
+	cfg Config
+	// busFreeAt[ch] is the cycle at which channel ch's data bus frees.
+	busFreeAt []int64
+	banks     [][]bank
+	// TotalBytes counts all data moved (for bandwidth and energy).
+	TotalBytes int64
+	// RowHits and RowMisses count row-buffer outcomes.
+	RowHits, RowMisses int64
+}
+
+// New returns an empty memory with the given configuration.
+func New(cfg Config) *Memory {
+	m := &Memory{cfg: cfg, busFreeAt: make([]int64, cfg.Channels)}
+	m.banks = make([][]bank, cfg.Channels)
+	for ch := range m.banks {
+		m.banks[ch] = make([]bank, cfg.BanksPerChannel)
+		for b := range m.banks[ch] {
+			m.banks[ch][b].openRow = -1
+		}
+	}
+	return m
+}
+
+// mapAddr splits a byte address into channel, bank, row. Addresses
+// interleave across channels at burst granularity (the layout that
+// maximizes sequential bandwidth) and across banks at row granularity.
+func (m *Memory) mapAddr(addr int64) (ch, bk int, row int64) {
+	burst := addr / int64(m.cfg.BurstBytes)
+	ch = int(burst % int64(m.cfg.Channels))
+	perChannel := burst / int64(m.cfg.Channels)
+	rowIdx := perChannel / int64(m.cfg.RowBytes/m.cfg.BurstBytes)
+	bk = int(rowIdx % int64(m.cfg.BanksPerChannel))
+	row = rowIdx / int64(m.cfg.BanksPerChannel)
+	return ch, bk, row
+}
+
+// analyticThreshold is the transfer size above which Access switches from
+// the per-burst bank simulation to a closed-form stream model; large
+// sequential streams are row-hit dominated and the per-burst walk would
+// cost O(gigabytes/32) host time.
+const analyticThreshold = 1 << 17
+
+// Access streams nbytes starting at addr beginning no earlier than cycle
+// now, returning the cycle at which the last burst completes. Reads and
+// writes share the timing model.
+func (m *Memory) Access(addr int64, nbytes int, now int64) int64 {
+	if nbytes <= 0 {
+		return now
+	}
+	if nbytes >= analyticThreshold {
+		return m.accessAnalytic(nbytes, now)
+	}
+	m.TotalBytes += int64(nbytes)
+	end := now
+	for off := int64(0); off < int64(nbytes); off += int64(m.cfg.BurstBytes) {
+		ch, bk, row := m.mapAddr(addr + off)
+		b := &m.banks[ch][bk]
+		start := max64(now, b.readyAt)
+		if b.openRow != row {
+			if b.openRow != -1 {
+				start += int64(m.cfg.TRP)
+			}
+			start += int64(m.cfg.TRCD)
+			b.openRow = row
+			m.RowMisses++
+		} else {
+			m.RowHits++
+		}
+		// CAS latency, then the burst occupies the channel data bus.
+		dataStart := max64(start+int64(m.cfg.TCL), m.busFreeAt[ch])
+		dataEnd := dataStart + int64(m.cfg.TBL)
+		m.busFreeAt[ch] = dataEnd
+		b.readyAt = start + int64(m.cfg.TBL)
+		if dataEnd > end {
+			end = dataEnd
+		}
+	}
+	return end
+}
+
+// accessAnalytic is the closed-form model for long sequential streams:
+// bursts interleave across channels; each channel's bursts hit open rows
+// except one activate+precharge per row crossed, which overlaps with data
+// transfer on other banks except for the pipeline fill.
+func (m *Memory) accessAnalytic(nbytes int, now int64) int64 {
+	m.TotalBytes += int64(nbytes)
+	bursts := int64((nbytes + m.cfg.BurstBytes - 1) / m.cfg.BurstBytes)
+	perChan := (bursts + int64(m.cfg.Channels) - 1) / int64(m.cfg.Channels)
+	rowsPerChan := (perChan*int64(m.cfg.BurstBytes) + int64(m.cfg.RowBytes) - 1) / int64(m.cfg.RowBytes)
+	m.RowHits += bursts - rowsPerChan*int64(m.cfg.Channels)
+	m.RowMisses += rowsPerChan * int64(m.cfg.Channels)
+	// Bus occupancy dominates; row activations on other banks hide behind
+	// it except for a small per-row stall and the initial fill.
+	cycles := perChan*int64(m.cfg.TBL) +
+		rowsPerChan*2 + // residual activate turnaround not hidden
+		int64(m.cfg.TRCD+m.cfg.TCL)
+	// Streams serialize behind whatever the channels are already doing.
+	start := now
+	for _, free := range m.busFreeAt {
+		if free > start {
+			start = free
+		}
+	}
+	end := start + cycles
+	for ch := range m.busFreeAt {
+		m.busFreeAt[ch] = end
+	}
+	return end
+}
+
+// StreamCycles returns the cycles needed to move nbytes sequentially
+// starting at addr from cycle 0 — the common "fetch a tile" question.
+func (m *Memory) StreamCycles(addr int64, nbytes int) int64 {
+	return m.Access(addr, nbytes, 0)
+}
+
+// AchievedBandwidth returns bytes per cycle for a finished transfer of
+// nbytes that took cycles.
+func AchievedBandwidth(nbytes int, cycles int64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(nbytes) / float64(cycles)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,111 @@
+package dram
+
+import "testing"
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	cfg := HBM2()
+	m := New(cfg)
+	// First access opens the row (miss).
+	end1 := m.Access(0, cfg.BurstBytes, 0)
+	// Second access to the same row hits.
+	start2 := end1
+	end2 := m.Access(0, cfg.BurstBytes, start2)
+	if m.RowMisses != 1 || m.RowHits != 1 {
+		t.Fatalf("hits/misses = %d/%d", m.RowHits, m.RowMisses)
+	}
+	missLat := end1 - 0
+	hitLat := end2 - start2
+	if hitLat >= missLat {
+		t.Fatalf("row hit (%d) should be faster than miss (%d)", hitLat, missLat)
+	}
+}
+
+func TestRowConflictPaysPrecharge(t *testing.T) {
+	cfg := HBM2()
+	m := New(cfg)
+	m.Access(0, cfg.BurstBytes, 0)
+	// Same bank, different row: stride = channels × banks × rowBytes.
+	conflictAddr := int64(cfg.Channels * cfg.BanksPerChannel * cfg.RowBytes)
+	ch1, bk1, r1 := m.mapAddr(0)
+	ch2, bk2, r2 := m.mapAddr(conflictAddr)
+	if ch1 != ch2 || bk1 != bk2 || r1 == r2 {
+		t.Fatalf("address mapping unexpected: (%d,%d,%d) vs (%d,%d,%d)", ch1, bk1, r1, ch2, bk2, r2)
+	}
+	before := m.RowMisses
+	m.Access(conflictAddr, cfg.BurstBytes, 1000)
+	if m.RowMisses != before+1 {
+		t.Fatal("row conflict not counted as miss")
+	}
+}
+
+func TestChannelInterleaving(t *testing.T) {
+	cfg := HBM2()
+	m := New(cfg)
+	seen := map[int]bool{}
+	for i := 0; i < cfg.Channels; i++ {
+		ch, _, _ := m.mapAddr(int64(i * cfg.BurstBytes))
+		seen[ch] = true
+	}
+	if len(seen) != cfg.Channels {
+		t.Fatalf("consecutive bursts hit only %d channels", len(seen))
+	}
+}
+
+func TestSequentialStreamNearsPeakBandwidth(t *testing.T) {
+	cfg := HBM2()
+	m := New(cfg)
+	n := 1 << 16 // below the analytic threshold: exercises the bank model
+	cycles := m.StreamCycles(0, n)
+	bw := AchievedBandwidth(n, cycles)
+	peak := cfg.PeakBytesPerCycle()
+	if bw < peak*0.5 {
+		t.Fatalf("sequential stream achieved %.1f B/cy, peak %.1f", bw, peak)
+	}
+	if bw > peak*1.001 {
+		t.Fatalf("achieved bandwidth %.1f exceeds peak %.1f", bw, peak)
+	}
+}
+
+func TestAnalyticPathConsistentWithDetailed(t *testing.T) {
+	cfg := HBM2()
+	// Just below and above the threshold: cycle counts must be within a
+	// modest factor of each other for the same volume.
+	below := New(cfg).StreamCycles(0, analyticThreshold-cfg.BurstBytes)
+	above := New(cfg).StreamCycles(0, analyticThreshold)
+	ratio := float64(above) / float64(below)
+	if ratio < 0.7 || ratio > 1.5 {
+		t.Fatalf("analytic/detailed discontinuity: %d vs %d", above, below)
+	}
+}
+
+func TestTotalBytesAccounting(t *testing.T) {
+	m := New(HBM2())
+	m.Access(0, 1000, 0)
+	m.Access(0, 1<<20, 0)
+	if m.TotalBytes != 1000+1<<20 {
+		t.Fatalf("TotalBytes = %d", m.TotalBytes)
+	}
+	if m.Access(0, 0, 42) != 42 {
+		t.Fatal("zero-byte access must be free")
+	}
+}
+
+func TestLargeStreamScalesLinearly(t *testing.T) {
+	cfg := HBM2()
+	a := New(cfg).StreamCycles(0, 1<<20)
+	b := New(cfg).StreamCycles(0, 1<<22)
+	ratio := float64(b) / float64(a)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("4x data took %.2fx cycles", ratio)
+	}
+}
+
+func TestBackToBackStreamsQueue(t *testing.T) {
+	cfg := HBM2()
+	m := New(cfg)
+	end1 := m.Access(0, 1<<20, 0)
+	end2 := m.Access(1<<21, 1<<20, 0)
+	if end2 <= end1 {
+		t.Fatal("second stream must queue behind the first")
+	}
+}

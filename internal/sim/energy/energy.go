@@ -1,0 +1,93 @@
+// Package energy models accelerator energy: per-operation compute
+// energies, on-chip SRAM and FIFO access energies, and HBM2 access energy
+// (FG-DRAM-derived constant), combined with static power over runtime.
+// Constants are 28 nm-class estimates consistent with the literature the
+// paper cites.
+package energy
+
+// Constants in picojoules.
+const (
+	// MAC energies by operand width.
+	MACInt4PJ  = 0.06
+	MACInt8PJ  = 0.16
+	MACInt16PJ = 0.85
+	MACFP16PJ  = 1.10
+	FPUOpPJ    = 1.50 // one FP32 VPU lane operation
+	// DecodePJ is the per-element datatype decode energy for
+	// custom-format accelerators (ANT/OliVe).
+	DecodePJ = 0.05
+	// ShiftPJ is Tender's per-rescale 1-bit shift (negligible by design).
+	ShiftPJ = 0.002
+	// SRAMPJPerByte is scratchpad/output-buffer access energy.
+	SRAMPJPerByte = 0.65
+	// FIFOPJPerByte is the skewing FIFO energy.
+	FIFOPJPerByte = 0.18
+	// DRAMPJPerByte is HBM2 access energy (≈3.9 pJ/bit, FG-DRAM [40]).
+	DRAMPJPerByte = 31.2
+)
+
+// Counters accumulates event counts during a simulated run.
+type Counters struct {
+	MACInt4, MACInt8, MACInt16, MACFP16 int64
+	FPUOps                              int64
+	Decodes                             int64
+	Shifts                              int64
+	SRAMBytes                           int64
+	FIFOBytes                           int64
+	DRAMBytes                           int64
+	// Cycles at FreqGHz for static energy.
+	Cycles  int64
+	FreqGHz float64
+	// StaticPowerW is the leakage+clock power burned for the whole run.
+	StaticPowerW float64
+}
+
+// Breakdown is the per-source energy split in picojoules.
+type Breakdown struct {
+	ComputePJ float64
+	DecodePJ  float64
+	SRAMPJ    float64
+	FIFOPJ    float64
+	DRAMPJ    float64
+	StaticPJ  float64
+}
+
+// TotalPJ sums the breakdown.
+func (b Breakdown) TotalPJ() float64 {
+	return b.ComputePJ + b.DecodePJ + b.SRAMPJ + b.FIFOPJ + b.DRAMPJ + b.StaticPJ
+}
+
+// Energy computes the breakdown from the counters.
+func (c Counters) Energy() Breakdown {
+	var b Breakdown
+	b.ComputePJ = float64(c.MACInt4)*MACInt4PJ +
+		float64(c.MACInt8)*MACInt8PJ +
+		float64(c.MACInt16)*MACInt16PJ +
+		float64(c.MACFP16)*MACFP16PJ +
+		float64(c.FPUOps)*FPUOpPJ +
+		float64(c.Shifts)*ShiftPJ
+	b.DecodePJ = float64(c.Decodes) * DecodePJ
+	b.SRAMPJ = float64(c.SRAMBytes) * SRAMPJPerByte
+	b.FIFOPJ = float64(c.FIFOBytes) * FIFOPJPerByte
+	b.DRAMPJ = float64(c.DRAMBytes) * DRAMPJPerByte
+	if c.FreqGHz > 0 {
+		seconds := float64(c.Cycles) / (c.FreqGHz * 1e9)
+		b.StaticPJ = c.StaticPowerW * seconds * 1e12
+	}
+	return b
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.MACInt4 += other.MACInt4
+	c.MACInt8 += other.MACInt8
+	c.MACInt16 += other.MACInt16
+	c.MACFP16 += other.MACFP16
+	c.FPUOps += other.FPUOps
+	c.Decodes += other.Decodes
+	c.Shifts += other.Shifts
+	c.SRAMBytes += other.SRAMBytes
+	c.FIFOBytes += other.FIFOBytes
+	c.DRAMBytes += other.DRAMBytes
+	c.Cycles += other.Cycles
+}

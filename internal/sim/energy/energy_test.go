@@ -1,0 +1,67 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBreakdownArithmetic(t *testing.T) {
+	c := Counters{
+		MACInt4:   1000,
+		SRAMBytes: 100,
+		DRAMBytes: 10,
+		FPUOps:    5,
+	}
+	b := c.Energy()
+	if math.Abs(b.ComputePJ-(1000*MACInt4PJ+5*FPUOpPJ)) > 1e-9 {
+		t.Fatalf("compute = %v", b.ComputePJ)
+	}
+	if math.Abs(b.SRAMPJ-100*SRAMPJPerByte) > 1e-9 || math.Abs(b.DRAMPJ-10*DRAMPJPerByte) > 1e-9 {
+		t.Fatalf("memory energies wrong: %+v", b)
+	}
+	if math.Abs(b.TotalPJ()-(b.ComputePJ+b.SRAMPJ+b.DRAMPJ)) > 1e-9 {
+		t.Fatal("total must sum the parts")
+	}
+}
+
+func TestStaticEnergyScalesWithTime(t *testing.T) {
+	a := Counters{Cycles: 1e9, FreqGHz: 1, StaticPowerW: 1}
+	b := Counters{Cycles: 2e9, FreqGHz: 1, StaticPowerW: 1}
+	ea := a.Energy().StaticPJ
+	eb := b.Energy().StaticPJ
+	if math.Abs(eb-2*ea) > 1e-3*ea {
+		t.Fatalf("static energy must scale with cycles: %v vs %v", ea, eb)
+	}
+	// 1 W for 1 s = 1 J = 1e12 pJ.
+	if math.Abs(ea-1e12) > 1e6 {
+		t.Fatalf("1W·1s should be 1e12 pJ, got %v", ea)
+	}
+}
+
+func TestEnergyOrderings(t *testing.T) {
+	// The physical orderings every result interpretation relies on.
+	if !(MACInt4PJ < MACInt8PJ && MACInt8PJ < MACInt16PJ && MACInt16PJ < MACFP16PJ) {
+		t.Fatal("MAC energies must grow with width")
+	}
+	if !(ShiftPJ < MACInt4PJ/10) {
+		t.Fatal("Tender's rescale shift must be negligible vs a MAC")
+	}
+	if !(SRAMPJPerByte < DRAMPJPerByte/10) {
+		t.Fatal("DRAM access must dwarf SRAM access")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := Counters{MACInt4: 1, SRAMBytes: 2, Cycles: 3}
+	a.Add(Counters{MACInt4: 10, SRAMBytes: 20, Cycles: 30, DRAMBytes: 5})
+	if a.MACInt4 != 11 || a.SRAMBytes != 22 || a.Cycles != 33 || a.DRAMBytes != 5 {
+		t.Fatalf("Add produced %+v", a)
+	}
+}
+
+func TestZeroCounters(t *testing.T) {
+	var c Counters
+	if c.Energy().TotalPJ() != 0 {
+		t.Fatal("zero counters must have zero energy")
+	}
+}

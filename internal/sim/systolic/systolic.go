@@ -1,0 +1,213 @@
+// Package systolic is a register-accurate functional simulator of the
+// Multi-Scale Systolic Array (MSA) of §IV-B: an output-stationary 2-D PE
+// mesh with skewing FIFOs, where each PE carries a 32-bit accumulator, a
+// 1-bit shifter, and a rescale control bit. Channel groups stream through
+// the array back to back, separated by 1-cycle rescale bubbles that travel
+// with the input wavefront (Fig. 7).
+//
+// The simulator exists to demonstrate, cycle by cycle, that runtime
+// requantization produces exactly the result of the reference decomposed
+// GEMM while adding only G-1 bubbles to the stream.
+package systolic
+
+import (
+	"fmt"
+)
+
+// token is one slot of the skewed input stream.
+type token struct {
+	valid   bool
+	rescale bool
+	v       int32
+}
+
+// pe is one processing element: the streaming registers plus the
+// accumulator with its shifter.
+type pe struct {
+	aReg, wReg token
+	acc        int64
+}
+
+// Array is an output-stationary systolic array of Rows×Cols PEs.
+type Array struct {
+	Rows, Cols int
+	// Alpha is the rescale factor applied on a rescale bubble (2 in the
+	// paper, implemented as a 1-bit left shift).
+	Alpha int64
+	pes   []pe
+	// Cycles counts executed cycles across Run calls.
+	Cycles int64
+}
+
+// New returns an array of rows×cols PEs with rescale factor alpha.
+func New(rows, cols, alpha int) *Array {
+	if rows < 1 || cols < 1 || alpha < 2 {
+		panic("systolic: bad array configuration")
+	}
+	return &Array{Rows: rows, Cols: cols, Alpha: int64(alpha), pes: make([]pe, rows*cols)}
+}
+
+func (a *Array) at(i, j int) *pe { return &a.pes[i*a.Cols+j] }
+
+// step advances one cycle given the freshly injected left/top tokens.
+func (a *Array) step(left []token, top []token) {
+	// Registers shift right/down: update from the far corner back so each
+	// PE reads its neighbour's pre-update value.
+	for i := a.Rows - 1; i >= 0; i-- {
+		for j := a.Cols - 1; j >= 0; j-- {
+			p := a.at(i, j)
+			if j > 0 {
+				p.aReg = a.at(i, j-1).aReg
+			} else {
+				p.aReg = left[i]
+			}
+			if i > 0 {
+				p.wReg = a.at(i-1, j).wReg
+			} else {
+				p.wReg = top[j]
+			}
+			switch {
+			case p.aReg.rescale:
+				// Runtime requantization: ×α (a 1-bit shift for α=2).
+				p.acc *= a.Alpha
+			case p.aReg.valid && p.wReg.valid:
+				p.acc += int64(p.aReg.v) * int64(p.wReg.v)
+			}
+		}
+	}
+	a.Cycles++
+}
+
+// Plan is a decomposed GEMM prepared for streaming: activation rows and
+// weight columns arranged group by group with rescale bubbles between
+// groups.
+type Plan struct {
+	// aStream[i] is the token sequence fed into row i (pre-skew).
+	aStream [][]token
+	// wStream[j] is the token sequence fed into column j (pre-skew).
+	wStream [][]token
+	length  int
+}
+
+// PrepareGrouped builds the streaming plan for X × W where the reduction
+// axis (X columns / W rows) is decomposed into channel groups. groups
+// lists the channel indices of each group in compute order (largest scale
+// factor first). X is rows×K as int8 codes, W is K×cols.
+func PrepareGrouped(x [][]int8, w [][]int8, groups [][]int) *Plan {
+	rows := len(x)
+	if rows == 0 {
+		panic("systolic: empty activation")
+	}
+	k := len(x[0])
+	if len(w) != k {
+		panic("systolic: reduction dimension mismatch")
+	}
+	cols := len(w[0])
+	p := &Plan{
+		aStream: make([][]token, rows),
+		wStream: make([][]token, cols),
+	}
+	for g, chans := range groups {
+		for _, c := range chans {
+			if c < 0 || c >= k {
+				panic(fmt.Sprintf("systolic: channel %d out of range", c))
+			}
+			for i := 0; i < rows; i++ {
+				p.aStream[i] = append(p.aStream[i], token{valid: true, v: int32(x[i][c])})
+			}
+			for j := 0; j < cols; j++ {
+				p.wStream[j] = append(p.wStream[j], token{valid: true, v: int32(w[c][j])})
+			}
+		}
+		if g < len(groups)-1 {
+			// The 1-cycle rescale bubble of Fig. 7(a).
+			for i := 0; i < rows; i++ {
+				p.aStream[i] = append(p.aStream[i], token{rescale: true})
+			}
+			for j := 0; j < cols; j++ {
+				p.wStream[j] = append(p.wStream[j], token{})
+			}
+		}
+	}
+	p.length = len(p.aStream[0])
+	return p
+}
+
+// Run streams the plan through the array and returns the accumulator
+// matrix ([row][col]) plus the number of cycles the wave needed. The
+// array must be at least rows×cols for the plan.
+func (a *Array) Run(p *Plan) [][]int64 {
+	rows := len(p.aStream)
+	cols := len(p.wStream)
+	if rows > a.Rows || cols > a.Cols {
+		panic("systolic: plan larger than array")
+	}
+	for i := range a.pes {
+		a.pes[i] = pe{}
+	}
+	// Skew: row i is delayed i cycles, column j delayed j cycles; the
+	// wave fully drains after length + rows + cols - 2 cycles.
+	total := p.length + rows + cols - 2
+	for t := 0; t < total; t++ {
+		left := make([]token, a.Rows)
+		top := make([]token, a.Cols)
+		for i := 0; i < rows; i++ {
+			if idx := t - i; idx >= 0 && idx < p.length {
+				left[i] = p.aStream[i][idx]
+			}
+		}
+		for j := 0; j < cols; j++ {
+			if idx := t - j; idx >= 0 && idx < p.length {
+				top[j] = p.wStream[j][idx]
+			}
+		}
+		a.step(left, top)
+	}
+	out := make([][]int64, rows)
+	for i := range out {
+		out[i] = make([]int64, cols)
+		for j := range out[i] {
+			out[i][j] = a.at(i, j).acc
+		}
+	}
+	return out
+}
+
+// ReferenceGrouped computes the same decomposed GEMM with plain loops:
+// A_{g+1} = A_g·α + P_{g+1} (Eq. 2), the ground truth for Run.
+func ReferenceGrouped(x [][]int8, w [][]int8, groups [][]int, alpha int64) [][]int64 {
+	rows := len(x)
+	cols := len(w[0])
+	out := make([][]int64, rows)
+	for i := range out {
+		out[i] = make([]int64, cols)
+	}
+	for g, chans := range groups {
+		if g > 0 {
+			for i := range out {
+				for j := range out[i] {
+					out[i][j] *= alpha
+				}
+			}
+		}
+		for _, c := range chans {
+			for i := 0; i < rows; i++ {
+				av := int64(x[i][c])
+				if av == 0 {
+					continue
+				}
+				for j := 0; j < cols; j++ {
+					out[i][j] += av * int64(w[c][j])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// StreamCycles returns the number of cycles a grouped GEMM occupies the
+// wavefront: reduction length + one bubble per group boundary + the skew
+// drain — the quantity behind §VI-E's "only takes a single cycle".
+func StreamCycles(rows, cols, k, groups int) int {
+	return k + (groups - 1) + rows + cols - 2
+}

@@ -1,0 +1,184 @@
+package systolic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tender/internal/tensor"
+)
+
+// randomGrouped builds a random decomposed GEMM instance.
+func randomGrouped(seed uint64, rows, k, cols, groups int) ([][]int8, [][]int8, [][]int) {
+	rng := tensor.NewRNG(seed)
+	x := make([][]int8, rows)
+	for i := range x {
+		x[i] = make([]int8, k)
+		for j := range x[i] {
+			x[i][j] = int8(rng.Intn(15) - 7)
+		}
+	}
+	w := make([][]int8, k)
+	for i := range w {
+		w[i] = make([]int8, cols)
+		for j := range w[i] {
+			w[i][j] = int8(rng.Intn(15) - 7)
+		}
+	}
+	// Random partition of channels into groups (some may be empty).
+	perm := rng.Perm(k)
+	gs := make([][]int, groups)
+	for i, c := range perm {
+		g := rng.Intn(groups)
+		_ = i
+		gs[g] = append(gs[g], c)
+	}
+	return x, w, gs
+}
+
+func TestArrayMatchesReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		x, w, groups := randomGrouped(seed, 5, 12, 6, 3)
+		arr := New(8, 8, 2)
+		got := arr.Run(PrepareGrouped(x, w, groups))
+		want := ReferenceGrouped(x, w, groups, 2)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleGroupIsPlainGEMM(t *testing.T) {
+	x, w, _ := randomGrouped(1, 4, 8, 4, 1)
+	all := make([]int, 8)
+	for i := range all {
+		all[i] = i
+	}
+	arr := New(4, 4, 2)
+	got := arr.Run(PrepareGrouped(x, w, [][]int{all}))
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			var want int64
+			for k := 0; k < 8; k++ {
+				want += int64(x[i][k]) * int64(w[k][j])
+			}
+			if got[i][j] != want {
+				t.Fatalf("(%d,%d) = %d, want %d", i, j, got[i][j], want)
+			}
+		}
+	}
+}
+
+func TestRescaleBubbleShiftsEarlierGroups(t *testing.T) {
+	// One channel per group: result = x0·w0·α + x1·w1 for 2 groups.
+	x := [][]int8{{3, 5}}
+	w := [][]int8{{2}, {7}}
+	arr := New(1, 1, 2)
+	got := arr.Run(PrepareGrouped(x, w, [][]int{{0}, {1}}))
+	want := int64(3*2*2 + 5*7)
+	if got[0][0] != want {
+		t.Fatalf("got %d want %d", got[0][0], want)
+	}
+}
+
+func TestAlphaThree(t *testing.T) {
+	x := [][]int8{{1, 1, 1}}
+	w := [][]int8{{1}, {1}, {1}}
+	arr := New(1, 1, 3)
+	got := arr.Run(PrepareGrouped(x, w, [][]int{{0}, {1}, {2}}))
+	// ((1·3)+1)·3 + 1 = 13.
+	if got[0][0] != 13 {
+		t.Fatalf("got %d want 13", got[0][0])
+	}
+}
+
+func TestEmptyGroupStillRescales(t *testing.T) {
+	// An empty middle group must still multiply the accumulator by α so
+	// the scale relation stays a power of α.
+	x := [][]int8{{2, 3}}
+	w := [][]int8{{1}, {1}}
+	arr := New(1, 1, 2)
+	got := arr.Run(PrepareGrouped(x, w, [][]int{{0}, {}, {1}}))
+	// (2·2)·2 + 3 = 11.
+	if got[0][0] != 11 {
+		t.Fatalf("got %d want 11", got[0][0])
+	}
+}
+
+func TestCyclesCountedAndStreamFormula(t *testing.T) {
+	x, w, groups := randomGrouped(2, 6, 10, 5, 4)
+	nonEmpty := 0
+	total := 0
+	for _, g := range groups {
+		if len(g) > 0 {
+			nonEmpty++
+		}
+		total += len(g)
+	}
+	_ = nonEmpty
+	arr := New(6, 5, 2)
+	arr.Run(PrepareGrouped(x, w, groups))
+	// Stream = K + (G-1 bubbles) tokens; wave needs rows+cols-2 more.
+	wantCycles := int64(total + (len(groups) - 1) + 6 + 5 - 2)
+	if arr.Cycles != wantCycles {
+		t.Fatalf("cycles = %d, want %d", arr.Cycles, wantCycles)
+	}
+	if got := StreamCycles(6, 5, total, len(groups)); int64(got) != wantCycles {
+		t.Fatalf("StreamCycles = %d, want %d", got, wantCycles)
+	}
+}
+
+func TestBubbleOverheadIsOneCyclePerGroup(t *testing.T) {
+	// §VI-E: rescaling adds exactly G-1 cycles to the stream regardless
+	// of group sizes.
+	base := StreamCycles(64, 64, 4096, 1)
+	for _, g := range []int{2, 4, 8, 16} {
+		if StreamCycles(64, 64, 4096, g)-base != g-1 {
+			t.Fatalf("group count %d added %d cycles, want %d", g, StreamCycles(64, 64, 4096, g)-base, g-1)
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	x := [][]int8{{1, 2}}
+	w := [][]int8{{1}, {2}}
+	for _, groups := range [][][]int{{{0, 5}}, {{-1}}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad channel index should panic")
+				}
+			}()
+			PrepareGrouped(x, w, groups)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("oversized plan should panic")
+			}
+		}()
+		New(1, 1, 2).Run(PrepareGrouped([][]int8{{1}, {2}}, [][]int8{{1, 2}}, [][]int{{0}}))
+	}()
+}
+
+func TestArrayReusableAcrossRuns(t *testing.T) {
+	x, w, groups := randomGrouped(3, 3, 6, 3, 2)
+	arr := New(4, 4, 2)
+	first := arr.Run(PrepareGrouped(x, w, groups))
+	second := arr.Run(PrepareGrouped(x, w, groups))
+	for i := range first {
+		for j := range first[i] {
+			if first[i][j] != second[i][j] {
+				t.Fatal("accumulators not reset between runs")
+			}
+		}
+	}
+}

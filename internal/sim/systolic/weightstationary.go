@@ -1,0 +1,132 @@
+package systolic
+
+// Weight-stationary variant of the Multi-Scale Systolic Array (§IV-B /
+// §VI-D): weights are preloaded in group order, partial sums flow down the
+// columns, and rescaling happens in two places — PEs at group boundaries
+// shift the passing partial sum, and the external accumulators shift their
+// value before adding an incoming tile result. The paper argues this needs
+// "slightly more changes in hardware than output stationary" but works;
+// this model demonstrates functional equivalence and counts the extra
+// weight-reload cycles that make WS attractive only with ample batching.
+
+// WSArray is a weight-stationary array of Rows×Cols PEs. Rows is the
+// reduction-tile height (channels per load); Cols the output width.
+type WSArray struct {
+	Rows, Cols int
+	Alpha      int64
+	// Cycles accumulates: weight loads + streamed activation rows + skew.
+	Cycles int64
+	// WeightLoads counts weight-preload phases (the WS cost §VI-D weighs
+	// against batching opportunities).
+	WeightLoads int64
+}
+
+// NewWS returns a weight-stationary array.
+func NewWS(rows, cols, alpha int) *WSArray {
+	if rows < 1 || cols < 1 || alpha < 2 {
+		panic("systolic: bad WS array configuration")
+	}
+	return &WSArray{Rows: rows, Cols: cols, Alpha: int64(alpha)}
+}
+
+// RunWS executes the decomposed GEMM x (M×K) × w (K×N) with channel
+// groups (compute order: largest scale first), returning the accumulator
+// matrix. Channels are processed in group order in tiles of Rows; each
+// tile is one weight-load phase. boundary[r] marks PE rows programmed to
+// shift the passing partial sum (a group starts at that row); external
+// accumulators shift before adding a tile whose leading rows crossed
+// boundaries.
+func (a *WSArray) RunWS(x [][]int8, w [][]int8, groups [][]int) [][]int64 {
+	m := len(x)
+	if m == 0 {
+		panic("systolic: empty activation")
+	}
+	k := len(x[0])
+	if len(w) != k {
+		panic("systolic: reduction dimension mismatch")
+	}
+	n := len(w[0])
+	if n > a.Cols {
+		panic("systolic: output width exceeds array")
+	}
+
+	// Flatten channels into compute order, marking group starts.
+	order := make([]int, 0, k)
+	starts := make([]bool, 0, k)
+	for g, chans := range groups {
+		for i, c := range chans {
+			if c < 0 || c >= k {
+				panic("systolic: channel out of range")
+			}
+			order = append(order, c)
+			starts = append(starts, g > 0 && i == 0)
+		}
+		// Empty groups still rescale: fold the boundary into the next
+		// non-empty group's first channel.
+		if len(chans) == 0 && g > 0 && len(starts) > 0 {
+			// Mark a pending boundary by doubling the next start; handled
+			// below via pendingShifts.
+			starts = append(starts, false) // placeholder, resolved below
+			order = append(order, -1)
+		}
+	}
+
+	out := make([][]int64, m)
+	for i := range out {
+		out[i] = make([]int64, n)
+	}
+
+	for lo := 0; lo < len(order); lo += a.Rows {
+		hi := lo + a.Rows
+		if hi > len(order) {
+			hi = len(order)
+		}
+		a.WeightLoads++
+		// Weight preload: one cycle per loaded row (per column, pipelined).
+		a.Cycles += int64(hi - lo)
+		// Count boundaries inside this tile: the external accumulator
+		// must shift once per boundary before absorbing the tile.
+		shifts := 0
+		for r := lo; r < hi; r++ {
+			if order[r] == -1 || starts[r] {
+				shifts++
+			}
+		}
+		// Stream the M activation rows through the loaded tile.
+		a.Cycles += int64(m + a.Cols - 1)
+		for i := 0; i < m; i++ {
+			// Intra-tile partial sum with in-array boundary shifts.
+			psum := make([]int64, n)
+			for r := lo; r < hi; r++ {
+				c := order[r]
+				if c == -1 || starts[r] {
+					for j := range psum {
+						psum[j] *= a.Alpha
+					}
+				}
+				if c == -1 {
+					continue
+				}
+				av := int64(x[i][c])
+				if av == 0 {
+					continue
+				}
+				wrow := w[c]
+				for j := 0; j < n; j++ {
+					psum[j] += av * int64(wrow[j])
+				}
+			}
+			// External accumulator: shift once per boundary crossed in
+			// this tile, then add the tile partial sum.
+			for s := 0; s < shifts; s++ {
+				for j := range out[i] {
+					out[i][j] *= a.Alpha
+				}
+			}
+			for j := range out[i] {
+				out[i][j] += psum[j]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package systolic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWSMatchesReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		x, w, groups := randomGrouped(seed, 4, 10, 5, 3)
+		// Tile height 4 forces multiple weight-load phases.
+		arr := NewWS(4, 8, 2)
+		got := arr.RunWS(x, w, groups)
+		want := ReferenceGrouped(x, w, groups, 2)
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWSMatchesOutputStationary(t *testing.T) {
+	// §VI-D: both dataflows compute the same decomposed GEMM.
+	x, w, groups := randomGrouped(9, 6, 12, 6, 4)
+	os := New(6, 6, 2).Run(PrepareGrouped(x, w, groups))
+	ws := NewWS(5, 6, 2).RunWS(x, w, groups)
+	for i := range os {
+		for j := range os[i] {
+			if os[i][j] != ws[i][j] {
+				t.Fatalf("dataflows disagree at (%d,%d): %d vs %d", i, j, os[i][j], ws[i][j])
+			}
+		}
+	}
+}
+
+func TestWSEmptyGroupStillRescales(t *testing.T) {
+	x := [][]int8{{2, 3}}
+	w := [][]int8{{1}, {1}}
+	arr := NewWS(4, 4, 2)
+	got := arr.RunWS(x, w, [][]int{{0}, {}, {1}})
+	// (2·2)·2 + 3 = 11, same as the output-stationary test.
+	if got[0][0] != 11 {
+		t.Fatalf("got %d want 11", got[0][0])
+	}
+}
+
+func TestWSTrailingEmptyGroup(t *testing.T) {
+	x := [][]int8{{5}}
+	w := [][]int8{{1}}
+	arr := NewWS(2, 2, 2)
+	got := arr.RunWS(x, w, [][]int{{0}, {}})
+	if got[0][0] != 10 {
+		t.Fatalf("trailing empty group must still shift: got %d want 10", got[0][0])
+	}
+}
+
+func TestWSWeightReloadCost(t *testing.T) {
+	// Weight-stationary pays one load phase per reduction tile; with a
+	// short tile height the same GEMM needs more loads — the repeated
+	// weight loading §VI-D weighs against limited batching.
+	x, w, groups := randomGrouped(10, 8, 32, 4, 2)
+	tall := NewWS(32, 4, 2)
+	tall.RunWS(x, w, groups)
+	short := NewWS(8, 4, 2)
+	short.RunWS(x, w, groups)
+	if short.WeightLoads <= tall.WeightLoads {
+		t.Fatalf("shorter tiles must reload more: %d vs %d", short.WeightLoads, tall.WeightLoads)
+	}
+	if short.Cycles <= tall.Cycles {
+		t.Fatalf("more reload phases must cost cycles: %d vs %d", short.Cycles, tall.Cycles)
+	}
+}
+
+func TestWSBatchAmortizesWeightLoads(t *testing.T) {
+	// More activation rows per load phase amortize the preload cost:
+	// cycles per row shrink with batch size.
+	_, w, groups := randomGrouped(11, 1, 16, 4, 2)
+	perRow := func(rows int) float64 {
+		x, _, _ := randomGrouped(12, rows, 16, 4, 2)
+		arr := NewWS(8, 4, 2)
+		arr.RunWS(x, w, groups)
+		return float64(arr.Cycles) / float64(rows)
+	}
+	if perRow(64) >= perRow(1) {
+		t.Fatal("batching must amortize weight loads")
+	}
+}
+
+func TestWSValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized output width should panic")
+		}
+	}()
+	NewWS(2, 1, 2).RunWS([][]int8{{1, 2}}, [][]int8{{1, 1}, {1, 1}}, [][]int{{0, 1}})
+}

@@ -1,0 +1,124 @@
+package tender
+
+import (
+	"math"
+	"sort"
+
+	"tender/internal/quant"
+)
+
+// clusterChannels groups channels by 1-D k-means over log2(CMax), the
+// clustering alternative to threshold classification discussed in §III-B
+// (and used by RPTQ). Clusters are ordered by descending centroid so that
+// group 0 still holds the largest-magnitude channels. Channels with zero
+// CMax go to the last group.
+func clusterChannels(cmax []float64, groups int) []int {
+	n := len(cmax)
+	assign := make([]int, n)
+	logs := make([]float64, n)
+	var vals []float64
+	for i, v := range cmax {
+		if v > 0 {
+			logs[i] = math.Log2(v)
+			vals = append(vals, logs[i])
+		} else {
+			logs[i] = math.Inf(-1)
+		}
+	}
+	if len(vals) == 0 {
+		for i := range assign {
+			assign[i] = groups - 1
+		}
+		return assign
+	}
+	sort.Float64s(vals)
+	k := groups
+	if k > len(vals) {
+		k = len(vals)
+	}
+	// Initialize centroids at evenly spaced quantiles.
+	centroids := make([]float64, k)
+	for j := 0; j < k; j++ {
+		centroids[j] = vals[(j*(len(vals)-1))/max(1, k-1)]
+	}
+	if k == 1 {
+		centroids[0] = vals[len(vals)/2]
+	}
+	for iter := 0; iter < 50; iter++ {
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		moved := false
+		for i, lv := range logs {
+			if math.IsInf(lv, -1) {
+				continue
+			}
+			best, bd := 0, math.Inf(1)
+			for j, c := range centroids {
+				if d := math.Abs(lv - c); d < bd {
+					best, bd = j, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				moved = true
+			}
+			sums[best] += lv
+			counts[best]++
+		}
+		for j := range centroids {
+			if counts[j] > 0 {
+				centroids[j] = sums[j] / float64(counts[j])
+			}
+		}
+		if !moved && iter > 0 {
+			break
+		}
+	}
+	// Order clusters by descending centroid → group 0 = largest values.
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return centroids[order[a]] > centroids[order[b]] })
+	rank := make([]int, k)
+	for newIdx, old := range order {
+		rank[old] = newIdx
+	}
+	for i := range assign {
+		if math.IsInf(logs[i], -1) {
+			assign[i] = groups - 1
+		} else {
+			assign[i] = rank[assign[i]]
+		}
+	}
+	return assign
+}
+
+// clusterScales derives per-group scale factors from the per-cluster
+// maxima. Unlike the power-of-α rule these are arbitrary reals, which is
+// why clustering cannot use shift-based runtime requantization.
+func clusterScales(cmax []float64, group []int, cfg Config) []float64 {
+	maxes := make([]float64, cfg.Groups)
+	for c, g := range group {
+		if cmax[c] > maxes[g] {
+			maxes[g] = cmax[c]
+		}
+	}
+	scales := make([]float64, cfg.Groups)
+	prev := 0.0
+	for g := 0; g < cfg.Groups; g++ {
+		if maxes[g] == 0 {
+			// Empty group: reuse the previous (smaller) scale so the
+			// descending-scale invariant holds.
+			if g == 0 {
+				scales[g] = 1
+			} else {
+				scales[g] = prev / 2
+			}
+		} else {
+			scales[g] = quant.Scale(maxes[g], cfg.Bits)
+		}
+		prev = scales[g]
+	}
+	return scales
+}

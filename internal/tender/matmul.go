@@ -1,0 +1,210 @@
+package tender
+
+import (
+	"fmt"
+	"math"
+
+	"tender/internal/quant"
+	"tender/internal/tensor"
+)
+
+// AccumulatorBits is the accumulator width of the Tender PE (§IV-B). The
+// implicit GEMM asserts that no accumulated value ever exceeds this width;
+// the paper's insight is that the systolic accumulator is wide enough to
+// absorb the inter-group shifts.
+const AccumulatorBits = 32
+
+// MatMulImplicit computes x × w using the hardware execution model of
+// Fig. 5(b)/Eq. 2: per row chunk, the quantized channel groups are reduced
+// in ascending group order (largest scale first) into an integer
+// accumulator that is multiplied by α between groups; a single
+// dequantization by the smallest scale factor and the bias correction
+// follow. All arithmetic inside the reduction is integer.
+//
+// w must be per-column quantized (QuantizeWeights); wf is the dequantized
+// weight matrix used only for the bias-correction term (the hardware
+// precomputes bias×W during calibration, §III-B).
+func (cal *Calibration) MatMulImplicit(x *tensor.Matrix, w *quant.Quantized, wf *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != cal.Cols || w.Rows != cal.Cols {
+		panic("tender: MatMulImplicit shape mismatch")
+	}
+	if w.Gran != quant.PerColumn {
+		panic("tender: weights must be per-column quantized")
+	}
+	if cal.Cfg.UseClustering {
+		panic("tender: clustering scales are not powers of α; implicit requantization unavailable (use MatMulExplicit)")
+	}
+	xq := cal.QuantizeActivation(x)
+	out := tensor.New(x.Rows, w.Cols)
+	biasOut := tensor.MatMul(biasRowMatrix(cal, x.Rows), wf)
+	chunk := cal.rowChunkSize(x.Rows)
+	alpha := int64(cal.Cfg.Alpha)
+	g := cal.Cfg.Groups
+
+	acc := make([]int64, 0)
+	for lo := 0; lo < x.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > x.Rows {
+			hi = x.Rows
+		}
+		meta := cal.chunkFor(lo / chunk)
+		rows := hi - lo
+		if cap(acc) < rows*w.Cols {
+			acc = make([]int64, rows*w.Cols)
+		}
+		acc = acc[:rows*w.Cols]
+		for i := range acc {
+			acc[i] = 0
+		}
+		for grp := 0; grp < g; grp++ {
+			if grp > 0 {
+				// Runtime requantization: the 1-bit shift (α = 2) or
+				// α-multiply applied to every accumulator (Fig. 7).
+				for i := range acc {
+					acc[i] *= alpha
+				}
+			}
+			chans := meta.channelsOf(grp)
+			if len(chans) == 0 {
+				continue
+			}
+			// Gather the group's activation columns and weight rows —
+			// in hardware this is the Index Buffer's indirect indexing
+			// (§IV-D); no data is physically reordered in memory.
+			for r := 0; r < rows; r++ {
+				xrow := xq[(lo+r)*x.Cols : (lo+r+1)*x.Cols]
+				arow := acc[r*w.Cols : (r+1)*w.Cols]
+				for _, c := range chans {
+					av := int64(xrow[c])
+					if av == 0 {
+						continue
+					}
+					wrow := w.Data[c*w.Cols : (c+1)*w.Cols]
+					for j, wv := range wrow {
+						arow[j] += av * int64(wv)
+					}
+				}
+			}
+		}
+		// Final dequantization with the smallest scale factor (Eq. 2).
+		sg := meta.Scales[g-1]
+		for r := 0; r < rows; r++ {
+			arow := acc[r*w.Cols : (r+1)*w.Cols]
+			orow := out.Row(lo + r)
+			for j, v := range arow {
+				if v > math.MaxInt32 || v < math.MinInt32 {
+					panic(fmt.Sprintf("tender: %d-bit accumulator overflow (%d)", AccumulatorBits, v))
+				}
+				orow[j] = float64(v) * sg * w.Scales[j]
+			}
+		}
+	}
+	tensor.AddInPlace(out, biasOut)
+	return out
+}
+
+// MatMulExplicit computes x × w using the naive execution model of
+// Fig. 5(a): each channel group is multiplied separately and its partial
+// product is dequantized in floating point before the final sum. It is
+// mathematically identical to MatMulImplicit but requires G floating-point
+// rescale passes — the cost the paper's co-design removes.
+func (cal *Calibration) MatMulExplicit(x *tensor.Matrix, w *quant.Quantized, wf *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != cal.Cols || w.Rows != cal.Cols {
+		panic("tender: MatMulExplicit shape mismatch")
+	}
+	xq := cal.QuantizeActivation(x)
+	out := tensor.MatMul(biasRowMatrix(cal, x.Rows), wf)
+	chunk := cal.rowChunkSize(x.Rows)
+	for lo := 0; lo < x.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > x.Rows {
+			hi = x.Rows
+		}
+		meta := cal.chunkFor(lo / chunk)
+		for grp := 0; grp < cal.Cfg.Groups; grp++ {
+			chans := meta.channelsOf(grp)
+			if len(chans) == 0 {
+				continue
+			}
+			sg := meta.Scales[grp]
+			for r := lo; r < hi; r++ {
+				xrow := xq[r*x.Cols : (r+1)*x.Cols]
+				orow := out.Row(r)
+				for _, c := range chans {
+					av := int64(xrow[c])
+					if av == 0 {
+						continue
+					}
+					wrow := w.Data[c*w.Cols : (c+1)*w.Cols]
+					for j, wv := range wrow {
+						// Explicit dequantization of the partial product.
+						orow[j] += float64(av*int64(wv)) * sg * w.Scales[j]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FakeQuantMatMul computes x × w through dequantized operands: the fast
+// software path whose result is mathematically identical to the implicit
+// and explicit integer paths (asserted in tests).
+func (cal *Calibration) FakeQuantMatMul(x *tensor.Matrix, w *quant.Quantized) *tensor.Matrix {
+	return tensor.MatMul(cal.FakeQuantActivation(x), w.Dequantize())
+}
+
+// biasRowMatrix expands the per-chunk bias vectors into a full rows×Cols
+// matrix so the bias-correction term bias×W can be computed with one GEMM.
+func biasRowMatrix(cal *Calibration, rows int) *tensor.Matrix {
+	out := tensor.New(rows, cal.Cols)
+	chunk := cal.rowChunkSize(rows)
+	for r := 0; r < rows; r++ {
+		copy(out.Row(r), cal.chunkFor(r/chunk).Bias)
+	}
+	return out
+}
+
+// MaxAccumulator returns the largest |accumulator| value reached while
+// executing the implicit GEMM, for overflow analysis (§III-B "the systolic
+// array accumulator has a sufficiently large bit width").
+func (cal *Calibration) MaxAccumulator(x *tensor.Matrix, w *quant.Quantized) int64 {
+	xq := cal.QuantizeActivation(x)
+	chunk := cal.rowChunkSize(x.Rows)
+	var peak int64
+	for lo := 0; lo < x.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > x.Rows {
+			hi = x.Rows
+		}
+		meta := cal.chunkFor(lo / chunk)
+		rows := hi - lo
+		acc := make([]int64, rows*w.Cols)
+		for grp := 0; grp < cal.Cfg.Groups; grp++ {
+			if grp > 0 {
+				for i := range acc {
+					acc[i] *= int64(cal.Cfg.Alpha)
+				}
+			}
+			for _, c := range meta.channelsOf(grp) {
+				for r := 0; r < rows; r++ {
+					av := int64(xq[(lo+r)*x.Cols+c])
+					if av == 0 {
+						continue
+					}
+					arow := acc[r*w.Cols : (r+1)*w.Cols]
+					wrow := w.Data[c*w.Cols : (c+1)*w.Cols]
+					for j, wv := range wrow {
+						arow[j] += av * int64(wv)
+						if a := arow[j]; a > peak {
+							peak = a
+						} else if -a > peak {
+							peak = -a
+						}
+					}
+				}
+			}
+		}
+	}
+	return peak
+}

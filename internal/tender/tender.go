@@ -1,0 +1,307 @@
+// Package tender implements the paper's primary contribution: decomposed
+// quantization of activation tensors along the channel axis with the
+// "power of 2" classification rule (§III-B, Eq. 3) and runtime (implicit)
+// requantization (Eq. 2), plus the row-chunking and per-head optimizations.
+//
+// The package offers three mathematically equivalent GEMM paths:
+//
+//   - MatMulImplicit: the hardware execution model — pure integer
+//     arithmetic, accumulator rescaled by α between channel groups
+//     (a 1-bit shift when α = 2), one final dequantization.
+//   - MatMulExplicit: the naive execution model of Fig. 5(a) — each group's
+//     partial product is dequantized in floating point and summed. Used to
+//     demonstrate equivalence and to model the cost the paper avoids.
+//   - FakeQuantMatMul: dequantized-operand float GEMM, the fast software
+//     path used for model-quality experiments.
+//
+// Equivalence of the three paths is asserted by the test suite.
+package tender
+
+import (
+	"fmt"
+	"math"
+
+	"tender/internal/quant"
+	"tender/internal/tensor"
+)
+
+// Config holds the Tender hyperparameters.
+type Config struct {
+	// Bits is the integer width for activations and weights (4 or 8 in the
+	// paper; any width in [2, 8] is supported, §III-A).
+	Bits int
+	// Groups is the number of channel groups G.
+	Groups int
+	// Alpha is the ratio between adjacent group scale factors. The paper
+	// uses 2 so rescaling is a 1-bit shift; any integer ≥ 2 works (§IV-B).
+	Alpha int
+	// RowChunk is the row-chunking granularity (§III-B Optimization;
+	// 256 in the paper). 0 disables chunking (whole tensor is one chunk).
+	RowChunk int
+	// DisableBias skips the per-channel bias subtraction (ablation).
+	DisableBias bool
+	// UseClustering replaces threshold classification with 1-D k-means
+	// grouping (the RPTQ-style alternative discussed in §III-B), used for
+	// the classification-vs-clustering ablation.
+	UseClustering bool
+}
+
+// DefaultConfig returns the configuration used in the paper's main
+// evaluation for the given bit width.
+func DefaultConfig(bits int) Config {
+	return Config{Bits: bits, Groups: 8, Alpha: 2, RowChunk: 256}
+}
+
+func (c Config) validate() {
+	if c.Bits < 2 || c.Bits > 8 {
+		panic(fmt.Sprintf("tender: bad bit width %d", c.Bits))
+	}
+	if c.Groups < 1 {
+		panic(fmt.Sprintf("tender: bad group count %d", c.Groups))
+	}
+	if c.Alpha < 2 {
+		panic(fmt.Sprintf("tender: bad alpha %d", c.Alpha))
+	}
+	if c.RowChunk < 0 {
+		panic("tender: negative row chunk")
+	}
+}
+
+// ChunkMeta is the calibrated metadata for one row chunk of one matmul
+// site: the per-channel biases, the channel→group classification, the group
+// scale factors, and the compute ordering for the index buffer.
+type ChunkMeta struct {
+	// Bias is the per-channel zero-point analogue: (max+min)/2 (§III-B).
+	Bias []float64
+	// Group maps channel index → group index in [0, G). Group 0 has the
+	// largest scale factor and is computed first.
+	Group []int
+	// Scales[g] is the symmetric scale factor of group g; they satisfy
+	// Scales[g] = Scales[0] / α^g exactly.
+	Scales []float64
+	// Order lists channel indices sorted by ascending group: the contents
+	// of the hardware Index Buffer (§IV-D).
+	Order []int
+	// GroupCounts[g] is the number of channels classified into group g.
+	GroupCounts []int
+}
+
+// channelsOf returns the slice of Order holding group g's channels.
+func (m *ChunkMeta) channelsOf(g int) []int {
+	lo := 0
+	for i := 0; i < g; i++ {
+		lo += m.GroupCounts[i]
+	}
+	return m.Order[lo : lo+m.GroupCounts[g]]
+}
+
+// ScaleFor returns the scale factor of channel c.
+func (m *ChunkMeta) ScaleFor(c int) float64 { return m.Scales[m.Group[c]] }
+
+// Calibration is the static metadata for one matmul site: one ChunkMeta per
+// row chunk (§III-B Optimization). Runtime tensors with more row chunks than
+// were calibrated reuse the last chunk's metadata.
+type Calibration struct {
+	Cfg    Config
+	Cols   int
+	Chunks []ChunkMeta
+}
+
+// classify implements Eq. 3: channel i belongs to the smallest g with
+// CMax_i > TMax/α^g (1-indexed), capped at G; returned 0-indexed.
+func classify(cmax, tmax float64, alpha float64, groups int) int {
+	if tmax == 0 || cmax == 0 {
+		return groups - 1
+	}
+	thr := tmax
+	for g := 1; g < groups; g++ {
+		thr /= alpha
+		if cmax > thr {
+			return g - 1
+		}
+	}
+	return groups - 1
+}
+
+// buildChunkMeta computes bias, grouping, scales and ordering for the rows
+// [lo, hi) of the calibration samples.
+func buildChunkMeta(samples []*tensor.Matrix, lo, hi int, cfg Config) ChunkMeta {
+	cols := samples[0].Cols
+	mins := make([]float64, cols)
+	maxs := make([]float64, cols)
+	for c := range mins {
+		mins[c] = math.Inf(1)
+		maxs[c] = math.Inf(-1)
+	}
+	seen := false
+	for _, s := range samples {
+		l, h := lo, hi
+		if l >= s.Rows {
+			continue
+		}
+		if h > s.Rows {
+			h = s.Rows
+		}
+		seen = true
+		for r := l; r < h; r++ {
+			row := s.Row(r)
+			for c, v := range row {
+				if v < mins[c] {
+					mins[c] = v
+				}
+				if v > maxs[c] {
+					maxs[c] = v
+				}
+			}
+		}
+	}
+	meta := ChunkMeta{
+		Bias:  make([]float64, cols),
+		Group: make([]int, cols),
+	}
+	cmax := make([]float64, cols)
+	var tmax float64
+	for c := 0; c < cols; c++ {
+		if !seen || math.IsInf(mins[c], 1) {
+			mins[c], maxs[c] = 0, 0
+		}
+		if !cfg.DisableBias {
+			meta.Bias[c] = (maxs[c] + mins[c]) / 2
+		}
+		cm := math.Max(math.Abs(maxs[c]-meta.Bias[c]), math.Abs(mins[c]-meta.Bias[c]))
+		cmax[c] = cm
+		if cm > tmax {
+			tmax = cm
+		}
+	}
+	if cfg.UseClustering {
+		meta.Group = clusterChannels(cmax, cfg.Groups)
+	} else {
+		for c := 0; c < cols; c++ {
+			meta.Group[c] = classify(cmax[c], tmax, float64(cfg.Alpha), cfg.Groups)
+		}
+	}
+	meta.Scales = make([]float64, cfg.Groups)
+	s0 := quant.Scale(tmax, cfg.Bits)
+	for g := 0; g < cfg.Groups; g++ {
+		meta.Scales[g] = s0
+		s0 /= float64(cfg.Alpha)
+	}
+	if cfg.UseClustering {
+		// Clustering does not obey the power-of-α relation; use the
+		// per-cluster maxima directly.
+		meta.Scales = clusterScales(cmax, meta.Group, cfg)
+	}
+	meta.GroupCounts = make([]int, cfg.Groups)
+	for _, g := range meta.Group {
+		meta.GroupCounts[g]++
+	}
+	meta.Order = make([]int, 0, cols)
+	for g := 0; g < cfg.Groups; g++ {
+		for c := 0; c < cols; c++ {
+			if meta.Group[c] == g {
+				meta.Order = append(meta.Order, c)
+			}
+		}
+	}
+	return meta
+}
+
+// Calibrate derives the static Tender metadata for one matmul site from
+// calibration activation samples (all samples must share the column count;
+// row counts may differ). It mirrors the paper's offline calibration that
+// precomputes channel indices, biases and scale factors (§III-B).
+func Calibrate(samples []*tensor.Matrix, cfg Config) *Calibration {
+	cfg.validate()
+	if len(samples) == 0 {
+		panic("tender: Calibrate needs at least one sample")
+	}
+	cols := samples[0].Cols
+	maxRows := 0
+	for _, s := range samples {
+		if s.Cols != cols {
+			panic("tender: calibration samples disagree on column count")
+		}
+		if s.Rows > maxRows {
+			maxRows = s.Rows
+		}
+	}
+	chunk := cfg.RowChunk
+	if chunk == 0 || chunk > maxRows {
+		chunk = maxRows
+	}
+	n := (maxRows + chunk - 1) / chunk
+	if n == 0 {
+		n = 1
+	}
+	cal := &Calibration{Cfg: cfg, Cols: cols, Chunks: make([]ChunkMeta, n)}
+	for i := 0; i < n; i++ {
+		cal.Chunks[i] = buildChunkMeta(samples, i*chunk, (i+1)*chunk, cfg)
+	}
+	return cal
+}
+
+// chunkFor returns the metadata for the row-chunk index i, reusing the last
+// calibrated chunk when the runtime tensor is longer than calibration.
+func (cal *Calibration) chunkFor(i int) *ChunkMeta {
+	if i >= len(cal.Chunks) {
+		i = len(cal.Chunks) - 1
+	}
+	return &cal.Chunks[i]
+}
+
+// rowChunkSize returns the effective chunk size for a tensor with rows rows.
+func (cal *Calibration) rowChunkSize(rows int) int {
+	chunk := cal.Cfg.RowChunk
+	if chunk == 0 || chunk > rows {
+		chunk = rows
+	}
+	if chunk == 0 {
+		chunk = 1
+	}
+	return chunk
+}
+
+// QuantizeActivation quantizes x (rows×Cols) with the calibrated static
+// metadata, returning the int8 codes laid out like x. Channel c of row-chunk
+// k is quantized with scale Scales[Group[c]] after bias subtraction.
+func (cal *Calibration) QuantizeActivation(x *tensor.Matrix) []int8 {
+	if x.Cols != cal.Cols {
+		panic("tender: activation column count differs from calibration")
+	}
+	out := make([]int8, x.Rows*x.Cols)
+	chunk := cal.rowChunkSize(x.Rows)
+	for r := 0; r < x.Rows; r++ {
+		meta := cal.chunkFor(r / chunk)
+		row := x.Row(r)
+		for c, v := range row {
+			out[r*x.Cols+c] = quant.QuantizeValue(v-meta.Bias[c], meta.ScaleFor(c), cal.Cfg.Bits)
+		}
+	}
+	return out
+}
+
+// DequantizeActivation inverts QuantizeActivation: x̂ = q·s_group(c) + bias_c.
+func (cal *Calibration) DequantizeActivation(q []int8, rows int) *tensor.Matrix {
+	out := tensor.New(rows, cal.Cols)
+	chunk := cal.rowChunkSize(rows)
+	for r := 0; r < rows; r++ {
+		meta := cal.chunkFor(r / chunk)
+		for c := 0; c < cal.Cols; c++ {
+			out.Data[r*cal.Cols+c] = float64(q[r*cal.Cols+c])*meta.ScaleFor(c) + meta.Bias[c]
+		}
+	}
+	return out
+}
+
+// FakeQuantActivation returns the float activation carrying Tender's
+// quantization error, the fast path for model-quality experiments.
+func (cal *Calibration) FakeQuantActivation(x *tensor.Matrix) *tensor.Matrix {
+	return cal.DequantizeActivation(cal.QuantizeActivation(x), x.Rows)
+}
+
+// QuantizeWeights performs the per-column symmetric weight quantization the
+// paper pairs with Tender activations.
+func QuantizeWeights(w *tensor.Matrix, bits int) *quant.Quantized {
+	return quant.Quantize(w, quant.Config{Bits: bits, Gran: quant.PerColumn})
+}

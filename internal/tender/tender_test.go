@@ -1,0 +1,405 @@
+package tender
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tender/internal/quant"
+	"tender/internal/tensor"
+)
+
+// outlierActivation builds an activation matrix with a few large-magnitude
+// channels, the structure that motivates the paper (Figs. 2-3).
+func outlierActivation(seed uint64, rows, cols int, outliers []int, mag float64) *tensor.Matrix {
+	rng := tensor.NewRNG(seed)
+	m := tensor.RandNormal(rng, rows, cols, 1)
+	for _, c := range outliers {
+		for r := 0; r < rows; r++ {
+			m.Set(r, c, m.At(r, c)*mag)
+		}
+	}
+	return m
+}
+
+func defaultCal(x *tensor.Matrix, cfg Config) *Calibration {
+	return Calibrate([]*tensor.Matrix{x}, cfg)
+}
+
+func TestClassifyEquation3(t *testing.T) {
+	// TMax = 16, alpha = 2, G = 4 → boundaries 8, 4, 2.
+	cases := []struct {
+		cmax float64
+		want int
+	}{
+		{16, 0}, {9, 0}, {8.001, 0},
+		{8, 1}, {5, 1}, {4.001, 1},
+		{4, 2}, {2.5, 2}, {2.001, 2},
+		{2, 3}, {1, 3}, {0.001, 3}, {0, 3},
+	}
+	for _, c := range cases {
+		if got := classify(c.cmax, 16, 2, 4); got != c.want {
+			t.Fatalf("classify(%v) = %d, want %d", c.cmax, got, c.want)
+		}
+	}
+}
+
+func TestClassifySingleGroup(t *testing.T) {
+	if got := classify(5, 16, 2, 1); got != 0 {
+		t.Fatalf("G=1 must map everything to group 0, got %d", got)
+	}
+}
+
+func TestScalesArePowersOfAlphaApart(t *testing.T) {
+	x := outlierActivation(1, 64, 32, []int{3, 17}, 40)
+	for _, alpha := range []int{2, 3, 4} {
+		cal := defaultCal(x, Config{Bits: 8, Groups: 6, Alpha: alpha, RowChunk: 0})
+		meta := cal.Chunks[0]
+		for g := 1; g < len(meta.Scales); g++ {
+			ratio := meta.Scales[g-1] / meta.Scales[g]
+			if math.Abs(ratio-float64(alpha)) > 1e-9 {
+				t.Fatalf("alpha=%d: scale ratio %v at group %d", alpha, ratio, g)
+			}
+		}
+	}
+}
+
+func TestBiasCentersChannels(t *testing.T) {
+	// A channel with range [2, 8] has bias 5 and residual CMax 3.
+	x := tensor.New(4, 2)
+	vals := []float64{2, 8, 5, 6}
+	for r := 0; r < 4; r++ {
+		x.Set(r, 0, vals[r])
+		x.Set(r, 1, 0.1)
+	}
+	cal := defaultCal(x, Config{Bits: 8, Groups: 2, Alpha: 2, RowChunk: 0})
+	if got := cal.Chunks[0].Bias[0]; math.Abs(got-5) > 1e-12 {
+		t.Fatalf("bias = %v, want 5", got)
+	}
+}
+
+func TestDisableBias(t *testing.T) {
+	x := outlierActivation(2, 16, 8, nil, 1)
+	cal := defaultCal(x, Config{Bits: 8, Groups: 2, Alpha: 2, RowChunk: 0, DisableBias: true})
+	for _, b := range cal.Chunks[0].Bias {
+		if b != 0 {
+			t.Fatalf("bias must be zero when disabled, got %v", b)
+		}
+	}
+}
+
+func TestOutlierChannelsLandInGroupZero(t *testing.T) {
+	outliers := []int{5, 21}
+	x := outlierActivation(3, 128, 32, outliers, 60)
+	cal := defaultCal(x, Config{Bits: 8, Groups: 8, Alpha: 2, RowChunk: 0})
+	meta := cal.Chunks[0]
+	for _, c := range outliers {
+		if meta.Group[c] != 0 {
+			t.Fatalf("outlier channel %d in group %d", c, meta.Group[c])
+		}
+	}
+	// Most normal channels must land in later (finer) groups.
+	later := 0
+	for c, g := range meta.Group {
+		if g >= 2 {
+			later++
+		} else if meta.Group[c] == 0 && c != 5 && c != 21 {
+			t.Fatalf("normal channel %d misclassified into group 0", c)
+		}
+	}
+	if later < 25 {
+		t.Fatalf("expected most channels in fine groups, got %d", later)
+	}
+}
+
+func TestOrderAndGroupCountsConsistent(t *testing.T) {
+	x := outlierActivation(4, 64, 48, []int{1, 2, 3}, 30)
+	cal := defaultCal(x, Config{Bits: 8, Groups: 4, Alpha: 2, RowChunk: 0})
+	meta := cal.Chunks[0]
+	if len(meta.Order) != 48 {
+		t.Fatalf("order length %d", len(meta.Order))
+	}
+	seen := make(map[int]bool)
+	pos := 0
+	for g := 0; g < 4; g++ {
+		for i := 0; i < meta.GroupCounts[g]; i++ {
+			c := meta.Order[pos]
+			pos++
+			if seen[c] {
+				t.Fatalf("channel %d appears twice in Order", c)
+			}
+			seen[c] = true
+			if meta.Group[c] != g {
+				t.Fatalf("Order says channel %d is group %d but Group map says %d", c, g, meta.Group[c])
+			}
+		}
+	}
+	chans := meta.channelsOf(2)
+	for _, c := range chans {
+		if meta.Group[c] != 2 {
+			t.Fatal("channelsOf returned wrong group")
+		}
+	}
+}
+
+func TestQuantizationGuaranteesHalfLevelBound(t *testing.T) {
+	// "Why use 2?": every channel uses at least n-1 bits — equivalently the
+	// per-channel quantization error is at most Scales[g]/2 and the channel
+	// CMax exceeds half of its group's threshold.
+	x := outlierActivation(5, 256, 64, []int{7}, 50)
+	cfg := Config{Bits: 8, Groups: 8, Alpha: 2, RowChunk: 0}
+	cal := defaultCal(x, cfg)
+	fq := cal.FakeQuantActivation(x)
+	meta := cal.Chunks[0]
+	for r := 0; r < x.Rows; r++ {
+		for c := 0; c < x.Cols; c++ {
+			if math.Abs(fq.At(r, c)-x.At(r, c)) > meta.ScaleFor(c)/2+1e-12 {
+				t.Fatalf("error at (%d,%d) exceeds scale/2", r, c)
+			}
+		}
+	}
+}
+
+func TestTenderBeatsPerTensorOnOutliers(t *testing.T) {
+	x := outlierActivation(6, 128, 64, []int{3, 30, 50}, 80)
+	cal := defaultCal(x, DefaultConfig(8))
+	tErr := tensor.MSE(x, cal.FakeQuantActivation(x))
+	ptErr := quant.QuantError(x, quant.Config{Bits: 8, Gran: quant.PerTensor})
+	if tErr*5 > ptErr {
+		t.Fatalf("Tender error %g should be far below per-tensor %g", tErr, ptErr)
+	}
+}
+
+func TestMoreGroupsMonotonicallyHelp(t *testing.T) {
+	x := outlierActivation(7, 128, 96, []int{1, 9, 33, 70}, 60)
+	prev := math.Inf(1)
+	for _, g := range []int{1, 2, 4, 8} {
+		cal := defaultCal(x, Config{Bits: 4, Groups: g, Alpha: 2, RowChunk: 0})
+		e := tensor.MSE(x, cal.FakeQuantActivation(x))
+		if e > prev*1.05 {
+			t.Fatalf("error should not grow with groups: G=%d err=%g prev=%g", g, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestImplicitExplicitFakeQuantEquivalence(t *testing.T) {
+	// The three GEMM paths are mathematically equivalent (Eq. 1 ≡ Eq. 2).
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		x := outlierActivation(seed, 24, 32, []int{2, 19}, 45)
+		w := tensor.RandNormal(rng, 32, 12, 0.5)
+		for _, cfg := range []Config{
+			{Bits: 8, Groups: 4, Alpha: 2, RowChunk: 0},
+			{Bits: 4, Groups: 6, Alpha: 2, RowChunk: 8},
+			{Bits: 8, Groups: 3, Alpha: 4, RowChunk: 16},
+		} {
+			cal := defaultCal(x, cfg)
+			qw := QuantizeWeights(w, cfg.Bits)
+			wf := qw.Dequantize()
+			imp := cal.MatMulImplicit(x, qw, wf)
+			exp := cal.MatMulExplicit(x, qw, wf)
+			fq := cal.FakeQuantMatMul(x, qw)
+			scale := imp.AbsMax() + 1
+			if tensor.MaxAbsDiff(imp, exp) > 1e-9*scale {
+				return false
+			}
+			if tensor.MaxAbsDiff(imp, fq) > 1e-9*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImplicitMatchesFloatReferenceClosely(t *testing.T) {
+	// INT8 Tender should track the float GEMM with small relative error.
+	x := outlierActivation(8, 64, 64, []int{5, 40}, 50)
+	rng := tensor.NewRNG(88)
+	w := tensor.RandNormal(rng, 64, 32, 0.3)
+	cal := defaultCal(x, DefaultConfig(8))
+	qw := QuantizeWeights(w, 8)
+	got := cal.MatMulImplicit(x, qw, qw.Dequantize())
+	want := tensor.MatMul(x, w)
+	rel := math.Sqrt(tensor.MSE(got, want)) / (want.MeanAbs() + 1e-12)
+	if rel > 0.05 {
+		t.Fatalf("relative RMS error %v too large for INT8", rel)
+	}
+}
+
+func TestRowChunkingUsesPerChunkMetadata(t *testing.T) {
+	// Rows 0-3 and 4-7 have very different ranges; chunked calibration must
+	// give each chunk its own scales and beat unchunked calibration.
+	x := tensor.New(8, 16)
+	rng := tensor.NewRNG(9)
+	for r := 0; r < 8; r++ {
+		mag := 1.0
+		if r >= 4 {
+			mag = 100
+		}
+		for c := 0; c < 16; c++ {
+			x.Set(r, c, rng.Norm()*mag)
+		}
+	}
+	chunked := Calibrate([]*tensor.Matrix{x}, Config{Bits: 4, Groups: 2, Alpha: 2, RowChunk: 4})
+	whole := Calibrate([]*tensor.Matrix{x}, Config{Bits: 4, Groups: 2, Alpha: 2, RowChunk: 0})
+	if len(chunked.Chunks) != 2 {
+		t.Fatalf("expected 2 chunks, got %d", len(chunked.Chunks))
+	}
+	ec := tensor.MSE(x, chunked.FakeQuantActivation(x))
+	ew := tensor.MSE(x, whole.FakeQuantActivation(x))
+	if ec >= ew {
+		t.Fatalf("row chunking should reduce error: chunked %g vs whole %g", ec, ew)
+	}
+}
+
+func TestRuntimeLongerThanCalibrationReusesLastChunk(t *testing.T) {
+	x := outlierActivation(10, 8, 8, nil, 1)
+	cal := Calibrate([]*tensor.Matrix{x}, Config{Bits: 8, Groups: 2, Alpha: 2, RowChunk: 4})
+	long := outlierActivation(11, 32, 8, nil, 1)
+	// Must not panic; chunks beyond calibration reuse the last metadata.
+	out := cal.FakeQuantActivation(long)
+	if out.Rows != 32 {
+		t.Fatal("wrong output shape")
+	}
+}
+
+func TestCalibrationAcrossMultipleSamples(t *testing.T) {
+	a := outlierActivation(12, 32, 16, []int{3}, 50)
+	b := outlierActivation(13, 32, 16, []int{3}, 80)
+	cal := Calibrate([]*tensor.Matrix{a, b}, Config{Bits: 8, Groups: 4, Alpha: 2, RowChunk: 0})
+	// TMax must cover the larger sample: quantizing b must not clip badly.
+	fq := cal.FakeQuantActivation(b)
+	meta := cal.Chunks[0]
+	for r := 0; r < b.Rows; r++ {
+		for c := 0; c < b.Cols; c++ {
+			if math.Abs(fq.At(r, c)-b.At(r, c)) > meta.ScaleFor(c)/2+1e-9 {
+				t.Fatalf("clipping at (%d,%d): calibration ignored sample b", r, c)
+			}
+		}
+	}
+}
+
+func TestZeroActivationTensor(t *testing.T) {
+	x := tensor.New(16, 8)
+	cal := defaultCal(x, DefaultConfig(8))
+	fq := cal.FakeQuantActivation(x)
+	if fq.AbsMax() != 0 {
+		t.Fatal("zero tensor must quantize to zero")
+	}
+	w := QuantizeWeights(tensor.New(8, 4), 8)
+	out := cal.MatMulImplicit(x, w, w.Dequantize())
+	if out.AbsMax() != 0 {
+		t.Fatal("zero GEMM must be zero")
+	}
+}
+
+func TestAccumulatorStaysWithin32Bits(t *testing.T) {
+	x := outlierActivation(14, 256, 256, []int{0, 100, 200}, 70)
+	rng := tensor.NewRNG(15)
+	w := tensor.RandNormal(rng, 256, 64, 1)
+	cal := defaultCal(x, Config{Bits: 8, Groups: 8, Alpha: 2, RowChunk: 0})
+	peak := cal.MaxAccumulator(x, QuantizeWeights(w, 8))
+	if peak > math.MaxInt32 {
+		t.Fatalf("accumulator peak %d exceeds int32", peak)
+	}
+	if peak == 0 {
+		t.Fatal("expected nonzero accumulation")
+	}
+}
+
+func TestAlphaGreaterThanTwoStillExact(t *testing.T) {
+	x := outlierActivation(16, 32, 24, []int{4}, 30)
+	rng := tensor.NewRNG(17)
+	w := tensor.RandNormal(rng, 24, 8, 1)
+	cal := defaultCal(x, Config{Bits: 8, Groups: 4, Alpha: 3, RowChunk: 0})
+	qw := QuantizeWeights(w, 8)
+	imp := cal.MatMulImplicit(x, qw, qw.Dequantize())
+	exp := cal.MatMulExplicit(x, qw, qw.Dequantize())
+	if tensor.MaxAbsDiff(imp, exp) > 1e-9*(imp.AbsMax()+1) {
+		t.Fatal("alpha=3 implicit and explicit paths diverge")
+	}
+}
+
+func TestClusteringGroupsBySimilarMagnitude(t *testing.T) {
+	cmax := []float64{100, 95, 1.1, 1.0, 0.9, 30, 28}
+	g := clusterChannels(cmax, 3)
+	if g[0] != g[1] || g[2] != g[3] || g[3] != g[4] || g[5] != g[6] {
+		t.Fatalf("similar magnitudes should cluster together: %v", g)
+	}
+	if g[0] != 0 {
+		t.Fatalf("largest cluster must be group 0: %v", g)
+	}
+	if !(g[0] < g[5] && g[5] < g[2]) {
+		t.Fatalf("clusters must be ordered by descending magnitude: %v", g)
+	}
+}
+
+func TestClusteringConfigEndToEnd(t *testing.T) {
+	x := outlierActivation(18, 64, 32, []int{2, 20}, 60)
+	cfg := Config{Bits: 4, Groups: 4, Alpha: 2, RowChunk: 0, UseClustering: true}
+	cal := defaultCal(x, cfg)
+	fq := cal.FakeQuantActivation(x)
+	classified := defaultCal(x, Config{Bits: 4, Groups: 4, Alpha: 2, RowChunk: 0})
+	ec := tensor.MSE(x, fq)
+	et := tensor.MSE(x, classified.FakeQuantActivation(x))
+	// Clustering is at least in the same error ballpark (it is the more
+	// precise, less hardware-friendly option).
+	if ec > et*3 {
+		t.Fatalf("clustering error %g unexpectedly worse than classification %g", ec, et)
+	}
+	// Implicit path must refuse clustering metadata.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("implicit GEMM must reject clustering scales")
+		}
+	}()
+	w := QuantizeWeights(tensor.New(32, 4), 4)
+	cal.MatMulImplicit(x, w, w.Dequantize())
+}
+
+func TestCalibrateValidation(t *testing.T) {
+	x := outlierActivation(19, 8, 8, nil, 1)
+	for _, cfg := range []Config{
+		{Bits: 1, Groups: 2, Alpha: 2},
+		{Bits: 8, Groups: 0, Alpha: 2},
+		{Bits: 8, Groups: 2, Alpha: 1},
+		{Bits: 8, Groups: 2, Alpha: 2, RowChunk: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("config %+v should be rejected", cfg)
+				}
+			}()
+			Calibrate([]*tensor.Matrix{x}, cfg)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("empty sample list should be rejected")
+			}
+		}()
+		Calibrate(nil, DefaultConfig(8))
+	}()
+}
+
+func TestDefaultConfig(t *testing.T) {
+	c := DefaultConfig(4)
+	if c.Bits != 4 || c.Alpha != 2 || c.RowChunk != 256 || c.Groups < 2 {
+		t.Fatalf("unexpected default config %+v", c)
+	}
+}
+
+func TestQuantizeWeightsPerColumn(t *testing.T) {
+	rng := tensor.NewRNG(20)
+	w := tensor.RandNormal(rng, 16, 8, 1)
+	q := QuantizeWeights(w, 8)
+	if q.Gran != quant.PerColumn || len(q.Scales) != 8 {
+		t.Fatalf("weights must be per-column quantized, got %v with %d scales", q.Gran, len(q.Scales))
+	}
+}

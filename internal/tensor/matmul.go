@@ -1,0 +1,92 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of multiply-adds above which MatMul shards
+// work across goroutines. Below it the sequential kernel is faster.
+const parallelThreshold = 1 << 18
+
+// MatMul returns a × b. It panics if the inner dimensions disagree.
+//
+// The kernel is the cache-friendly i-k-j ordering (the b row is streamed for
+// each a element), sharded across GOMAXPROCS goroutines by row blocks for
+// large products.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold || a.Rows < 2 {
+		matmulRows(a, b, out, 0, a.Rows)
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for lo := 0; lo < a.Rows; lo += chunk {
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulRows(a, b, out, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+func matmulRows(a, b, out *Matrix, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : k*n+n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulInt multiplies two integer matrices stored as []int8 with int32
+// accumulation, returning a Rows(a)×Cols(b) []int32 in row-major order.
+// It is the reference integer GEMM used by the quantization packages.
+func MatMulInt(aRows, aCols int, a []int8, bCols int, b []int8) []int32 {
+	if len(a) != aRows*aCols {
+		panic("tensor: MatMulInt lhs size mismatch")
+	}
+	if len(b) != aCols*bCols {
+		panic("tensor: MatMulInt rhs size mismatch")
+	}
+	out := make([]int32, aRows*bCols)
+	for i := 0; i < aRows; i++ {
+		arow := a[i*aCols : (i+1)*aCols]
+		orow := out[i*bCols : (i+1)*bCols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			a32 := int32(av)
+			brow := b[k*bCols : (k+1)*bCols]
+			for j, bv := range brow {
+				orow[j] += a32 * int32(bv)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package tensor
+
+import "math"
+
+// SoftmaxRows applies a numerically stable softmax to each row of m in place.
+func SoftmaxRows(m *Matrix) {
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		var sum float64
+		for c, v := range row {
+			e := math.Exp(v - mx)
+			row[c] = e
+			sum += e
+		}
+		if sum == 0 {
+			continue
+		}
+		inv := 1 / sum
+		for c := range row {
+			row[c] *= inv
+		}
+	}
+}
+
+// LayerNormRows normalizes each row of m to zero mean and unit variance and
+// then applies the per-feature affine transform gain/bias, in place.
+// gain and bias must have length m.Cols.
+func LayerNormRows(m *Matrix, gain, bias []float64) {
+	if len(gain) != m.Cols || len(bias) != m.Cols {
+		panic("tensor: LayerNormRows gain/bias length mismatch")
+	}
+	const eps = 1e-5
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		var mean float64
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(len(row))
+		var variance float64
+		for _, v := range row {
+			d := v - mean
+			variance += d * d
+		}
+		variance /= float64(len(row))
+		inv := 1 / math.Sqrt(variance+eps)
+		for c, v := range row {
+			row[c] = (v-mean)*inv*gain[c] + bias[c]
+		}
+	}
+}
+
+// ReLU applies max(0, x) elementwise in place.
+func ReLU(m *Matrix) {
+	for i, v := range m.Data {
+		if v < 0 {
+			m.Data[i] = 0
+		}
+	}
+}
+
+// GELU applies the tanh-approximation Gaussian error linear unit in place.
+func GELU(m *Matrix) {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	for i, v := range m.Data {
+		m.Data[i] = 0.5 * v * (1 + math.Tanh(c*(v+0.044715*v*v*v)))
+	}
+}
+
+// CausalMaskInPlace sets m[i][j] = -inf for j > i (upper triangle), the
+// pre-softmax causal attention mask. m must be square per attention block;
+// for rectangular score matrices the mask applies to the trailing columns.
+func CausalMaskInPlace(m *Matrix) {
+	neg := math.Inf(-1)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c := r + 1; c < m.Cols; c++ {
+			row[c] = neg
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package tensor
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (splitmix64 core).
+// Every experiment in the repository seeds its own RNG so results are
+// reproducible bit-for-bit without global state.
+type RNG struct {
+	state uint64
+	// cached second Box-Muller variate
+	haveGauss bool
+	gauss     float64
+}
+
+// NewRNG returns an RNG seeded with seed (any value, including 0).
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed + 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns a standard normal variate (Box-Muller).
+func (r *RNG) Norm() float64 {
+	if r.haveGauss {
+		r.haveGauss = false
+		return r.gauss
+	}
+	var u, v float64
+	for {
+		u = r.Float64()
+		if u > 0 {
+			break
+		}
+	}
+	v = r.Float64()
+	mag := math.Sqrt(-2 * math.Log(u))
+	r.gauss = mag * math.Sin(2*math.Pi*v)
+	r.haveGauss = true
+	return mag * math.Cos(2*math.Pi*v)
+}
+
+// RandNormal returns a rows×cols matrix of N(0, sigma²) values.
+func RandNormal(r *RNG, rows, cols int, sigma float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.Norm() * sigma
+	}
+	return m
+}
+
+// RandUniform returns a rows×cols matrix uniform in [lo, hi).
+func RandUniform(r *RNG, rows, cols int, lo, hi float64) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = lo + r.Float64()*(hi-lo)
+	}
+	return m
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

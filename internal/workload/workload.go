@@ -1,0 +1,202 @@
+// Package workload generates the synthetic inputs used across the
+// reproduction: Zipf-distributed token streams standing in for the
+// WikiText-2 / PTB evaluation corpora, outlier-structured activation
+// matrices matching the channel statistics of Figs. 2-3, and calibration
+// sets standing in for the 128 Pile samples of §V-A.
+package workload
+
+import (
+	"math"
+
+	"tender/internal/tensor"
+)
+
+// Stream identifies a synthetic evaluation corpus. The two streams differ
+// in seed and Zipf skew so they behave like two distinct datasets.
+type Stream int
+
+const (
+	// Wiki is the WikiText-2 stand-in.
+	Wiki Stream = iota
+	// PTB is the Penn Treebank stand-in.
+	PTB
+)
+
+// String returns the corpus name.
+func (s Stream) String() string {
+	if s == Wiki {
+		return "Wiki"
+	}
+	return "PTB"
+}
+
+// TokenStream returns n tokens drawn from a Zipf-like distribution over
+// [0, vocab): P(k) ∝ 1/(k+shoulder)^skew. Natural-language token
+// frequencies are approximately Zipfian, which keeps embedding statistics
+// language-like.
+func TokenStream(s Stream, seed uint64, n, vocab int) []int {
+	skew, shoulder := 1.1, 4.0
+	if s == PTB {
+		skew, shoulder = 1.3, 8.0
+	}
+	rng := tensor.NewRNG(seed ^ (uint64(s)+1)*0x9e37)
+	// Inverse-CDF sampling over the finite support.
+	cdf := make([]float64, vocab)
+	var sum float64
+	for k := 0; k < vocab; k++ {
+		sum += 1 / math.Pow(float64(k)+shoulder, skew)
+		cdf[k] = sum
+	}
+	out := make([]int, n)
+	for i := range out {
+		u := rng.Float64() * sum
+		lo, hi := 0, vocab-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		out[i] = lo
+	}
+	return out
+}
+
+// CalibrationStreams returns the calibration token streams (the stand-in
+// for the 128 Pile validation samples; count scaled to the model size).
+func CalibrationStreams(seed uint64, count, n, vocab int) [][]int {
+	out := make([][]int, count)
+	for i := range out {
+		out[i] = TokenStream(Wiki, seed+uint64(i)*7919+1000003, n, vocab)
+	}
+	return out
+}
+
+// ActivationSpec describes a synthetic activation tensor with
+// channel-structured outliers (Figs. 2-3).
+type ActivationSpec struct {
+	Rows, Cols int
+	// Sigma is the standard deviation of normal channels.
+	Sigma float64
+	// OutlierChannels lists channel indices carrying outliers.
+	OutlierChannels []int
+	// OutlierMag multiplies the magnitude of outlier channels.
+	OutlierMag float64
+	// RowDrift adds per-row magnitude variation (the intra-channel
+	// variance that motivates row chunking, §III-B Optimization).
+	RowDrift float64
+}
+
+// Generate materializes the activation tensor deterministically from seed.
+func (s ActivationSpec) Generate(seed uint64) *tensor.Matrix {
+	rng := tensor.NewRNG(seed)
+	sigma := s.Sigma
+	if sigma == 0 {
+		sigma = 1
+	}
+	m := tensor.RandNormal(rng, s.Rows, s.Cols, sigma)
+	for _, c := range s.OutlierChannels {
+		for r := 0; r < s.Rows; r++ {
+			m.Set(r, c, m.At(r, c)*s.OutlierMag)
+		}
+	}
+	if s.RowDrift > 0 {
+		for r := 0; r < s.Rows; r++ {
+			k := 1 + s.RowDrift*math.Sin(2*math.Pi*float64(r)/float64(s.Rows))
+			row := m.Row(r)
+			for c := range row {
+				row[c] *= k
+			}
+		}
+	}
+	return m
+}
+
+// OPT67BAttentionInput mimics the attention-input tensor of the 8th layer
+// of OPT-6.7B shown in Fig. 2: unit-variance channels with a handful of
+// fixed outlier channels tens of times larger. The outlier channel set
+// depends only on the column count — outliers sit in the same channels
+// across batches and samples (§II-B), so static calibration transfers.
+func OPT67BAttentionInput(rows, cols int, seed uint64) *tensor.Matrix {
+	outliers := FixedOutlierChannels(cols, 6, 0xF1C5ED)
+	return ActivationSpec{
+		Rows: rows, Cols: cols, Sigma: 0.8,
+		OutlierChannels: outliers, OutlierMag: 45,
+		RowDrift: 0.3,
+	}.Generate(seed + 1)
+}
+
+// FixedOutlierChannels returns count deterministic channel indices in
+// [0, cols); "fixed" because LLM outliers sit in the same channels across
+// layers and inputs (§II-B).
+func FixedOutlierChannels(cols, count int, seed uint64) []int {
+	rng := tensor.NewRNG(seed * 31)
+	perm := rng.Perm(cols)
+	out := make([]int, 0, count)
+	for _, c := range perm {
+		out = append(out, c)
+		if len(out) == count {
+			break
+		}
+	}
+	return out
+}
+
+// ChannelStats summarizes per-channel magnitudes of a tensor, the data
+// behind Figs. 2-3.
+type ChannelStats struct {
+	AbsMax  []float64
+	MeanAbs []float64
+}
+
+// Channels computes ChannelStats for m.
+func Channels(m *tensor.Matrix) ChannelStats {
+	st := ChannelStats{
+		AbsMax:  m.AbsMaxPerCol(),
+		MeanAbs: make([]float64, m.Cols),
+	}
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c, v := range row {
+			st.MeanAbs[c] += math.Abs(v)
+		}
+	}
+	for c := range st.MeanAbs {
+		st.MeanAbs[c] /= float64(m.Rows)
+	}
+	return st
+}
+
+// OutlierChannelCount returns how many channels have an absolute maximum
+// more than ratio times the median channel maximum — the "vertical lines"
+// visible in Fig. 3.
+func (s ChannelStats) OutlierChannelCount(ratio float64) int {
+	med := median(s.AbsMax)
+	if med == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range s.AbsMax {
+		if v > ratio*med {
+			n++
+		}
+	}
+	return n
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	// Insertion sort is fine at these sizes.
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j-1] > cp[j]; j-- {
+			cp[j-1], cp[j] = cp[j], cp[j-1]
+		}
+	}
+	return cp[len(cp)/2]
+}

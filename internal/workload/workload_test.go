@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"testing"
+
+	"tender/internal/tensor"
+)
+
+func TestTokenStreamDeterministicAndInRange(t *testing.T) {
+	a := TokenStream(Wiki, 1, 500, 128)
+	b := TokenStream(Wiki, 1, 500, 128)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must reproduce the stream")
+		}
+		if a[i] < 0 || a[i] >= 128 {
+			t.Fatalf("token %d out of range", a[i])
+		}
+	}
+	c := TokenStream(Wiki, 2, 500, 128)
+	diff := 0
+	for i := range a {
+		if a[i] != c[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestTokenStreamZipfSkew(t *testing.T) {
+	toks := TokenStream(Wiki, 3, 20000, 256)
+	counts := make([]int, 256)
+	for _, tk := range toks {
+		counts[tk]++
+	}
+	// Head tokens must dominate tail tokens.
+	head := counts[0] + counts[1] + counts[2]
+	tail := counts[200] + counts[201] + counts[202]
+	if head < 10*tail+1 {
+		t.Fatalf("expected Zipf skew, head=%d tail=%d", head, tail)
+	}
+}
+
+func TestStreamsDiffer(t *testing.T) {
+	a := TokenStream(Wiki, 1, 200, 128)
+	b := TokenStream(PTB, 1, 200, 128)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("Wiki and PTB streams must differ")
+	}
+	if Wiki.String() != "Wiki" || PTB.String() != "PTB" {
+		t.Fatal("stream names changed")
+	}
+}
+
+func TestCalibrationStreams(t *testing.T) {
+	ss := CalibrationStreams(1, 4, 100, 64)
+	if len(ss) != 4 {
+		t.Fatalf("got %d streams", len(ss))
+	}
+	for i, s := range ss {
+		if len(s) != 100 {
+			t.Fatalf("stream %d has %d tokens", i, len(s))
+		}
+	}
+	// Streams must be distinct.
+	same := 0
+	for i := range ss[0] {
+		if ss[0][i] == ss[1][i] {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("calibration streams identical")
+	}
+}
+
+func TestActivationSpec(t *testing.T) {
+	spec := ActivationSpec{
+		Rows: 64, Cols: 32, Sigma: 1,
+		OutlierChannels: []int{3, 17}, OutlierMag: 50,
+		RowDrift: 0.5,
+	}
+	m := spec.Generate(9)
+	again := spec.Generate(9)
+	if tensor.MaxAbsDiff(m, again) != 0 {
+		t.Fatal("generation must be deterministic")
+	}
+	st := Channels(m)
+	if st.AbsMax[3] < 10*st.AbsMax[5] || st.AbsMax[17] < 10*st.AbsMax[5] {
+		t.Fatalf("outlier channels not amplified: %v vs %v", st.AbsMax[3], st.AbsMax[5])
+	}
+}
+
+func TestOPT67BAttentionInputShape(t *testing.T) {
+	m := OPT67BAttentionInput(128, 96, 1)
+	if m.Rows != 128 || m.Cols != 96 {
+		t.Fatal("bad shape")
+	}
+	st := Channels(m)
+	n := st.OutlierChannelCount(8)
+	if n < 3 || n > 10 {
+		t.Fatalf("expected a handful of outlier channels, got %d", n)
+	}
+}
+
+func TestFixedOutlierChannels(t *testing.T) {
+	a := FixedOutlierChannels(64, 5, 7)
+	b := FixedOutlierChannels(64, 5, 7)
+	if len(a) != 5 {
+		t.Fatalf("got %d channels", len(a))
+	}
+	seen := map[int]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("must be deterministic")
+		}
+		if seen[a[i]] {
+			t.Fatal("duplicate channel")
+		}
+		seen[a[i]] = true
+	}
+}
+
+func TestChannelStats(t *testing.T) {
+	m := tensor.FromSlice(2, 3, []float64{1, -4, 0, -3, 2, 0})
+	st := Channels(m)
+	if st.AbsMax[0] != 3 || st.AbsMax[1] != 4 || st.AbsMax[2] != 0 {
+		t.Fatalf("AbsMax = %v", st.AbsMax)
+	}
+	if st.MeanAbs[0] != 2 || st.MeanAbs[1] != 3 {
+		t.Fatalf("MeanAbs = %v", st.MeanAbs)
+	}
+}
+
+func TestOutlierChannelCountEdgeCases(t *testing.T) {
+	zero := Channels(tensor.New(4, 4))
+	if zero.OutlierChannelCount(8) != 0 {
+		t.Fatal("zero tensor has no outliers")
+	}
+	flat := Channels(tensor.FromSlice(1, 3, []float64{1, 1, 1}))
+	if flat.OutlierChannelCount(8) != 0 {
+		t.Fatal("flat tensor has no outliers")
+	}
+}
