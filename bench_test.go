@@ -5,8 +5,10 @@ import (
 	"testing"
 
 	"tender/internal/experiments"
+	"tender/internal/model"
 	"tender/internal/quant"
 	"tender/internal/schemes"
+	"tender/internal/serve"
 	"tender/internal/sim/accel"
 	"tender/internal/sim/dram"
 	"tender/internal/sim/systolic"
@@ -52,6 +54,40 @@ func BenchmarkAblationBias(b *testing.B)       { benchTable(b, experiments.Ablat
 func BenchmarkAblationClustering(b *testing.B) { benchTable(b, experiments.AblationClustering) }
 func BenchmarkAblationBits(b *testing.B)       { benchTable(b, experiments.AblationBits) }
 func BenchmarkAblationDataflow(b *testing.B)   { benchTable(b, experiments.AblationDataflow) }
+
+// BenchmarkServeThroughput measures the continuous-batching server's
+// decode throughput on a fixed closed-loop trace (batch 8); b.N scales the
+// number of load rounds. See `tenderbench -exp serve` for the full sweep.
+func BenchmarkServeThroughput(b *testing.B) {
+	m := model.New(model.Registry("opt-6.7b"))
+	engines, err := serve.BuildEngines(m, []string{"tender"}, serve.CalibOptions{
+		Bits: 8, Streams: 2, StreamLen: 64,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := workload.RequestTrace(workload.TraceConfig{
+		Requests: 16, Vocab: m.Cfg.Vocab,
+		MinPrompt: 16, MaxPrompt: 32, MinNew: 8, MaxNew: 8,
+	}, 1)
+	srv, err := serve.New(serve.Config{Model: m, Engines: engines, MaxBatch: 8, PrefillChunk: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var decoded int64
+	for i := 0; i < b.N; i++ {
+		rep := serve.RunLoad(srv, serve.LoadConfig{Trace: trace, Clients: 8})
+		if rep.Failed > 0 {
+			b.Fatalf("%d requests failed", rep.Failed)
+		}
+		decoded += rep.DecodeTokens
+	}
+	b.ReportMetric(float64(decoded)/b.Elapsed().Seconds(), "tokens/s")
+}
 
 // Micro-benchmarks of the core kernels.
 

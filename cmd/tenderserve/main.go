@@ -1,0 +1,220 @@
+// Command tenderserve is the continuous-batching inference server over
+// the reproduction's quantized engines.
+//
+// Serve an HTTP JSON API:
+//
+//	tenderserve -model opt-6.7b -schemes tender,fp16 -default-scheme tender -addr :8080
+//
+//	POST /v1/generate  {"prompt":[1,2,3],"max_new_tokens":16,"scheme":"tender"}
+//	GET  /v1/metrics   live counters: tokens/s, queue depth, p50/p95/p99
+//	GET  /v1/schemes   hosted engines
+//	GET  /healthz
+//
+// Or run a deterministic closed-loop load test (no client needed):
+//
+//	tenderserve -load -model opt-6.7b -schemes tender -requests 64 \
+//	    -clients 8 -batch 8 -seed 1 -out BENCH_serve.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"tender/internal/model"
+	"tender/internal/serve"
+	"tender/internal/workload"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "HTTP listen address")
+		modelName     = flag.String("model", "opt-6.7b", "model (see internal/model Registry)")
+		schemesFlag   = flag.String("schemes", "tender", "comma-separated schemes to host")
+		defaultScheme = flag.String("default-scheme", "", "scheme used when a request names none")
+		bits          = flag.Int("bits", 8, "quantization bit width")
+		qaa           = flag.Bool("qaa", false, "quantize activation-activation matmuls")
+		batch         = flag.Int("batch", 8, "max active requests per scheduler iteration")
+		queue         = flag.Int("queue", 0, "admission queue depth (0 = 4×batch)")
+		prefillChunk  = flag.Int("prefill-chunk", 32, "max prompt tokens per iteration per request")
+		workers       = flag.Int("workers", 0, "iteration worker pool size (0 = GOMAXPROCS)")
+		listSchemes   = flag.Bool("list-schemes", false, "list scheme names and exit")
+
+		load      = flag.Bool("load", false, "run a deterministic load test instead of serving")
+		requests  = flag.Int("requests", 64, "load: number of requests")
+		clients   = flag.Int("clients", 8, "load: closed-loop client count")
+		seed      = flag.Uint64("seed", 1, "load: trace + sampling seed")
+		minPrompt = flag.Int("min-prompt", 16, "load: min prompt tokens")
+		maxPrompt = flag.Int("max-prompt", 64, "load: max prompt tokens")
+		maxNew    = flag.Int("max-new", 16, "load: decode tokens per request")
+		temp      = flag.Float64("temperature", 0, "load: sampling temperature (0 = greedy)")
+		out       = flag.String("out", "", "load: also write the JSON report to this file")
+	)
+	flag.Parse()
+
+	if *listSchemes {
+		for _, n := range serve.SchemeNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	m := model.New(model.Registry(*modelName))
+	names := splitNonEmpty(*schemesFlag)
+	if len(names) == 0 {
+		fatalf("no schemes requested")
+	}
+	fmt.Fprintf(os.Stderr, "calibrating %v on %s (bits=%d)...\n", names, *modelName, *bits)
+	engines, err := serve.BuildEngines(m, names, serve.CalibOptions{Bits: *bits, QuantActAct: *qaa})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	def := *defaultScheme
+	if def == "" {
+		def = names[0]
+	}
+	srv, err := serve.New(serve.Config{
+		Model: m, Engines: engines, DefaultScheme: def,
+		MaxBatch: *batch, QueueDepth: *queue,
+		PrefillChunk: *prefillChunk, Workers: *workers,
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	if *load {
+		trace := workload.RequestTrace(workload.TraceConfig{
+			Requests: *requests, Vocab: m.Cfg.Vocab,
+			MinPrompt: *minPrompt, MaxPrompt: *maxPrompt,
+			MinNew: *maxNew, MaxNew: *maxNew,
+		}, *seed)
+		rep := serve.RunLoad(srv, serve.LoadConfig{
+			Trace: trace, Clients: *clients,
+			Temperature: *temp, SeedBase: *seed,
+		})
+		blob, _ := json.MarshalIndent(rep, "", "  ")
+		fmt.Println(string(blob))
+		if *out != "" {
+			if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+				fatalf("writing %s: %v", *out, err)
+			}
+		}
+		if rep.Failed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/generate", func(w http.ResponseWriter, r *http.Request) {
+		var in generateRequest
+		if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		req := serve.Request{
+			Prompt:       in.Prompt,
+			MaxNewTokens: in.MaxNewTokens,
+			Scheme:       in.Scheme,
+			Temperature:  in.Temperature,
+			Seed:         in.Seed,
+		}
+		ctx := r.Context()
+		if in.TimeoutMs > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(in.TimeoutMs)*time.Millisecond)
+			defer cancel()
+			req.Deadline = time.Now().Add(time.Duration(in.TimeoutMs) * time.Millisecond)
+		}
+		res, err := srv.Generate(ctx, req)
+		if err != nil {
+			httpError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, generateResponse{
+			ID: res.ID, Scheme: res.Scheme, Tokens: res.Tokens,
+			TTFTMs:    float64(res.TTFT) / float64(time.Millisecond),
+			LatencyMs: float64(res.Latency) / float64(time.Millisecond),
+		})
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, srv.Metrics().Snapshot())
+	})
+	mux.HandleFunc("GET /v1/schemes", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, map[string]any{"schemes": names, "default": def, "model": m.Cfg.Name})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, map[string]bool{"ok": true})
+	})
+
+	fmt.Fprintf(os.Stderr, "tenderserve: %s hosting %v on %s\n", *modelName, names, *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+type generateRequest struct {
+	Prompt       []int   `json:"prompt"`
+	MaxNewTokens int     `json:"max_new_tokens"`
+	Scheme       string  `json:"scheme"`
+	Temperature  float64 `json:"temperature"`
+	Seed         uint64  `json:"seed"`
+	TimeoutMs    int     `json:"timeout_ms"`
+}
+
+type generateResponse struct {
+	ID        uint64  `json:"id"`
+	Scheme    string  `json:"scheme"`
+	Tokens    []int   `json:"tokens"`
+	TTFTMs    float64 `json:"ttft_ms"`
+	LatencyMs float64 `json:"latency_ms"`
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, serve.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, serve.ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, serve.ErrUnknownScheme):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tenderserve: "+format+"\n", args...)
+	os.Exit(1)
+}

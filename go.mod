@@ -1,0 +1,3 @@
+module tender
+
+go 1.24

@@ -134,6 +134,7 @@ func AllFuncs() []func(Options) Table {
 		TableVI, TableVII, Figure13, Figure23Stats,
 		AblationAlpha, AblationRowChunk, AblationBias,
 		AblationClustering, AblationBits, AblationDataflow,
+		ServeBench,
 	}
 }
 
@@ -147,7 +148,7 @@ func All(o Options) []Table {
 }
 
 // ByID returns the experiment function for an id ("table1".."table7",
-// "figure9".."figure13", "figure23", "ablations").
+// "figure9".."figure13", "figure23", "serve").
 func ByID(id string, o Options) (Table, bool) {
 	fns := map[string]func(Options) Table{
 		"table1":   TableI,
@@ -163,6 +164,7 @@ func ByID(id string, o Options) (Table, bool) {
 		"figure12": Figure12,
 		"figure13": Figure13,
 		"figure23": Figure23Stats,
+		"serve":    ServeBench,
 	}
 	if f, ok := fns[id]; ok {
 		return f(o), true

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
@@ -279,5 +281,47 @@ func TestAblationClusteringTable(t *testing.T) {
 	}
 	if !strings.Contains(tab.Rows[0][3], "yes") || !strings.Contains(tab.Rows[1][3], "no") {
 		t.Fatal("implicit-requant capability column wrong")
+	}
+}
+
+func TestServeBenchQuick(t *testing.T) {
+	t.Chdir(t.TempDir()) // BENCH_serve.json lands here, not in the repo
+	tab := ServeBench(q)
+	if tab.ID != "serve" {
+		t.Fatalf("id %q", tab.ID)
+	}
+	// Two schemes × two batch sizes.
+	if len(tab.Rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if cellFloat(t, row[2]) <= 0 {
+			t.Fatalf("non-positive throughput in row %v", row)
+		}
+	}
+	if _, err := os.Stat(ServeBenchFile); err != nil {
+		t.Fatalf("BENCH_serve.json not emitted: %v", err)
+	}
+	blob, err := os.ReadFile(ServeBenchFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []map[string]any
+	if err := json.Unmarshal(blob, &results); err != nil {
+		t.Fatalf("BENCH_serve.json not valid JSON: %v", err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("expected 4 JSON results, got %d", len(results))
+	}
+	for _, r := range results {
+		if r["decode_tokens_per_sec"].(float64) <= 0 {
+			t.Fatalf("bad result %v", r)
+		}
+	}
+}
+
+func TestServeByID(t *testing.T) {
+	if _, ok := ByID("serve", q); !ok {
+		t.Fatal("serve must resolve")
 	}
 }

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"tender/internal/model"
+	"tender/internal/serve"
+	"tender/internal/workload"
+)
+
+// ServeBenchFile is where ServeBench drops its JSON summary (the serving
+// perf trajectory seed: decode tokens/s and tail latency).
+const ServeBenchFile = "BENCH_serve.json"
+
+// serveBenchResult is the JSON summary of one serving configuration.
+type serveBenchResult struct {
+	Scheme        string  `json:"scheme"`
+	Batch         int     `json:"batch"`
+	TokensPerSec  float64 `json:"decode_tokens_per_sec"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	TTFTP50Ms     float64 `json:"ttft_p50_ms"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	SpeedupVsB1   float64 `json:"speedup_vs_batch1"`
+}
+
+// ServeBench benchmarks the continuous-batching server: a deterministic
+// closed-loop load test over calibrated engines at batch 1 (the
+// one-request-at-a-time baseline) versus batch 8, reporting decode
+// throughput and tail latency. Every scheme × batch row is also written
+// to BENCH_serve.json to seed the serving perf trajectory.
+func ServeBench(o Options) Table {
+	modelName := "opt-6.7b"
+	schemeNames := []string{"fp32", "tender"}
+	requests, minP, maxP, newTok := 32, 24, 48, 12
+	if o.Quick {
+		requests, minP, maxP, newTok = 12, 12, 24, 6
+	}
+	m := model.New(model.Registry(modelName))
+	engines, err := serve.BuildEngines(m, schemeNames, serve.CalibOptions{
+		Bits: 8, Streams: 2, StreamLen: 64,
+	})
+	if err != nil {
+		panic(err)
+	}
+	trace := workload.RequestTrace(workload.TraceConfig{
+		Requests: requests, Vocab: m.Cfg.Vocab,
+		MinPrompt: minP, MaxPrompt: maxP, MinNew: newTok, MaxNew: newTok,
+	}, 1+o.Seed)
+
+	t := Table{
+		ID:    "serve",
+		Title: "Continuous-batching serving throughput (closed-loop load)",
+		Note: fmt.Sprintf("%s, %d requests, prompts %d-%d, %d decode tokens, GOMAXPROCS=%d",
+			modelName, requests, minP, maxP, newTok, runtime.GOMAXPROCS(0)),
+		Columns: []string{"Scheme", "Batch", "tok/s", "p50 ms", "p99 ms", "TTFT p50", "Mean batch", "Speedup"},
+	}
+	var emit []serveBenchResult
+	for _, name := range schemeNames {
+		var base float64
+		for _, batch := range []int{1, 8} {
+			srv, err := serve.New(serve.Config{
+				Model: m, Engines: engines, DefaultScheme: name,
+				MaxBatch: batch, PrefillChunk: 16,
+			})
+			if err != nil {
+				panic(err)
+			}
+			srv.Start()
+			clients := batch
+			rep := serve.RunLoad(srv, serve.LoadConfig{Trace: trace, Clients: clients, Scheme: name})
+			srv.Stop()
+			if rep.Failed > 0 {
+				panic(fmt.Sprintf("serve bench: %d requests failed", rep.Failed))
+			}
+			if batch == 1 {
+				base = rep.TokensPerSec
+			}
+			speedup := 1.0
+			if base > 0 {
+				speedup = rep.TokensPerSec / base
+			}
+			t.Rows = append(t.Rows, []string{
+				name, fmt.Sprintf("%d", batch),
+				fmt.Sprintf("%.1f", rep.TokensPerSec),
+				fmt.Sprintf("%.1f", rep.LatencyP50Ms),
+				fmt.Sprintf("%.1f", rep.LatencyP99Ms),
+				fmt.Sprintf("%.1f", rep.TTFTP50Ms),
+				fmt.Sprintf("%.2f", rep.MeanBatchSize),
+				FormatX(speedup),
+			})
+			emit = append(emit, serveBenchResult{
+				Scheme: name, Batch: batch,
+				TokensPerSec: rep.TokensPerSec,
+				LatencyP50Ms: rep.LatencyP50Ms, LatencyP99Ms: rep.LatencyP99Ms,
+				TTFTP50Ms: rep.TTFTP50Ms, MeanBatchSize: rep.MeanBatchSize,
+				SpeedupVsB1: speedup,
+			})
+		}
+	}
+	if blob, err := json.MarshalIndent(emit, "", "  "); err == nil {
+		// Best-effort: the table is the primary artifact, the JSON file
+		// seeds perf tracking across PRs.
+		_ = os.WriteFile(ServeBenchFile, append(blob, '\n'), 0o644)
+	}
+	return t
+}

@@ -1,0 +1,182 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"tender/internal/tensor"
+)
+
+// Session is an incremental-decode view of a decoder Model: it carries a
+// per-request KV cache so each new token costs one row of compute per
+// matmul site instead of a full-sequence forward. All matmuls route
+// through the same Engine interface as Model.Forward, so Tender, every
+// baseline scheme, and exact FP serve through one code path.
+//
+// A Session is owned by a single request and is not safe for concurrent
+// use; different Sessions over the same Model and Engine may run
+// concurrently (engines are read-only at inference time).
+//
+// The engine sees each Append as a standalone tensor: row r of a step is
+// absolute position Len()+r, but Engine.MatMul carries no position, so an
+// engine whose quantization metadata varies by row position (e.g. Tender
+// row chunking calibrated over more rows than one step) would make
+// chunked prefill diverge from one-shot prefill. Incremental decode is
+// exact for engines whose per-row treatment is position-independent —
+// which serve.BuildEngines guarantees for every hosted scheme.
+type Session struct {
+	m   *Model
+	eng Engine
+	pos int
+	kv  []kvCache
+}
+
+// kvCache stores the post-projection key and value rows (pre head-split,
+// d-model wide) for one layer.
+type kvCache struct {
+	k, v *tensor.RowBuffer
+}
+
+// NewSession returns an empty decode session for m over eng. capHint, if
+// positive, preallocates the KV cache for that many positions (prompt
+// length + expected new tokens); the cache grows on demand either way.
+func (m *Model) NewSession(eng Engine, capHint int) *Session {
+	if m.Cfg.Arch != Decoder {
+		panic("model: sessions require a decoder model")
+	}
+	if capHint < 0 || capHint > m.Cfg.MaxSeq {
+		capHint = m.Cfg.MaxSeq
+	}
+	s := &Session{m: m, eng: eng, kv: make([]kvCache, len(m.Layers))}
+	for l := range s.kv {
+		s.kv[l] = kvCache{
+			k: tensor.NewRowBuffer(m.Cfg.DModel, capHint),
+			v: tensor.NewRowBuffer(m.Cfg.DModel, capHint),
+		}
+	}
+	return s
+}
+
+// Len returns the number of positions already in the cache.
+func (s *Session) Len() int { return s.pos }
+
+// Model returns the session's model.
+func (s *Session) Model() *Model { return s.m }
+
+// Append runs the transformer over the next tokens (absolute positions
+// Len()..Len()+n-1), extends the KV cache, and returns the logits for the
+// appended positions (n × vocab). Appending the whole prompt in one call
+// is the prefill step and is bit-identical to Model.Forward; subsequent
+// single-token calls are decode steps.
+func (s *Session) Append(tokens []int) *tensor.Matrix {
+	n := len(tokens)
+	if n == 0 {
+		panic("model: Session.Append with no tokens")
+	}
+	if s.pos+n > s.m.Cfg.MaxSeq {
+		panic(fmt.Sprintf("model: session length %d+%d exceeds max %d", s.pos, n, s.m.Cfg.MaxSeq))
+	}
+	m := s.m
+	d := m.Cfg.DModel
+	x := tensor.New(n, d)
+	for i, t := range tokens {
+		if t < 0 || t >= m.Cfg.Vocab {
+			panic(fmt.Sprintf("model: token %d out of vocab", t))
+		}
+		copy(x.Row(i), m.Embed.Row(t))
+		row := x.Row(i)
+		pos := m.Pos.Row(s.pos + i)
+		for c := range row {
+			row[c] += pos[c]
+		}
+	}
+	for l := range m.Layers {
+		x = s.stepBlock(l, x)
+	}
+	s.pos += n
+	tensor.LayerNormRows(x, m.LNFGain, m.LNFBias)
+	return tensor.MatMul(x, m.Unembed)
+}
+
+// stepBlock is Model.block for the n newest positions against the cached
+// keys/values of all earlier positions.
+func (s *Session) stepBlock(l int, x *tensor.Matrix) *tensor.Matrix {
+	m := s.m
+	lay := &m.Layers[l]
+	n := x.Rows
+	d := m.Cfg.DModel
+	heads := m.Cfg.Heads
+	dh := m.Cfg.HeadDim()
+
+	// --- Attention sub-layer ---
+	h := x.Clone()
+	tensor.LayerNormRows(h, lay.LN1Gain, lay.LN1Bias)
+	xq := s.eng.MatMul(Site{l, KindQ, -1}, h, lay.WQ)
+	xk := s.eng.MatMul(Site{l, KindK, -1}, h, lay.WK)
+	xv := s.eng.MatMul(Site{l, KindV, -1}, h, lay.WV)
+	s.kv[l].k.AppendRows(xk)
+	s.kv[l].v.AppendRows(xv)
+	kAll := s.kv[l].k.View()
+	vAll := s.kv[l].v.View()
+
+	attnOut := tensor.New(n, d)
+	invSqrt := 1 / math.Sqrt(float64(dh))
+	for hd := 0; hd < heads; hd++ {
+		lo, hi := hd*dh, (hd+1)*dh
+		qh := xq.SubColsRange(lo, hi)
+		kh := kAll.SubColsRange(lo, hi)
+		vh := vAll.SubColsRange(lo, hi)
+		score := s.eng.MatMul(Site{l, KindScore, hd}, qh, kh.Transpose())
+		score.Scale(invSqrt)
+		tensor.CausalMaskOffsetInPlace(score, s.pos)
+		tensor.SoftmaxRows(score)
+		av := s.eng.MatMul(Site{l, KindValue, hd}, score, vh)
+		for r := 0; r < n; r++ {
+			copy(attnOut.Row(r)[lo:hi], av.Row(r))
+		}
+	}
+	xo := s.eng.MatMul(Site{l, KindOut, -1}, attnOut, lay.WO)
+	x = tensor.Add(x, xo)
+
+	// --- Feed-forward sub-layer ---
+	h = x.Clone()
+	tensor.LayerNormRows(h, lay.LN2Gain, lay.LN2Bias)
+	f := s.eng.MatMul(Site{l, KindFC1, -1}, h, lay.WFC1)
+	if m.Cfg.UseGELU {
+		tensor.GELU(f)
+	} else {
+		tensor.ReLU(f)
+	}
+	f = s.eng.MatMul(Site{l, KindFC2, -1}, f, lay.WFC2)
+	return tensor.Add(x, f)
+}
+
+// Greedy returns the argmax token of a logits row.
+func Greedy(logits []float64) int {
+	best := 0
+	for i := 1; i < len(logits); i++ {
+		if logits[i] > logits[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Sample draws a token from softmax(logits/temp) using u ∈ [0, 1) as the
+// inverse-CDF coordinate, so callers control determinism through their own
+// RNG. temp <= 0 degrades to Greedy.
+func Sample(logits []float64, temp, u float64) int {
+	if temp <= 0 {
+		return Greedy(logits)
+	}
+	p := softmaxVec(logits, temp)
+	target := u
+	var acc float64
+	for i, pv := range p {
+		acc += pv
+		if target < acc {
+			return i
+		}
+	}
+	return len(p) - 1
+}

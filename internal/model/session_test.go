@@ -1,0 +1,130 @@
+package model
+
+import (
+	"runtime"
+	"testing"
+
+	"tender/internal/schemes"
+	"tender/internal/tensor"
+	"tender/internal/workload"
+)
+
+// TestSessionPrefillMatchesForward: appending the whole prompt in one call
+// must reproduce Model.Forward bit for bit (same row-wise computation,
+// empty cache, offset-0 mask).
+func TestSessionPrefillMatchesForward(t *testing.T) {
+	m := New(TinyConfig())
+	toks := workload.TokenStream(workload.Wiki, 11, 24, m.Cfg.Vocab)
+	ref := m.Forward(toks, Exact{})
+	got := m.NewSession(Exact{}, len(toks)).Append(toks)
+	if d := tensor.MaxAbsDiff(ref, got); d != 0 {
+		t.Fatalf("prefill logits differ from Forward by %g", d)
+	}
+}
+
+// TestSessionIncrementalMatchesForward: feeding tokens one at a time
+// through the KV cache must agree exactly with the full-sequence forward
+// under the exact engine — every per-position computation is row-local.
+func TestSessionIncrementalMatchesForward(t *testing.T) {
+	m := New(TinyConfig())
+	toks := workload.TokenStream(workload.Wiki, 12, 16, m.Cfg.Vocab)
+	ref := m.Forward(toks, Exact{})
+	sess := m.NewSession(Exact{}, len(toks))
+	for i, tok := range toks {
+		logits := sess.Append([]int{tok})
+		if logits.Rows != 1 {
+			t.Fatalf("decode step returned %d rows", logits.Rows)
+		}
+		if d := tensor.MaxAbsDiff(ref.RowView(i, i+1), logits); d != 0 {
+			t.Fatalf("position %d: incremental logits differ by %g", i, d)
+		}
+	}
+	if sess.Len() != len(toks) {
+		t.Fatalf("session length %d after %d tokens", sess.Len(), len(toks))
+	}
+}
+
+// TestSessionDecodeDeterministicAcrossCPUs: the same decode is bit-stable
+// regardless of GOMAXPROCS (tensor.MatMul partitions rows, and each row's
+// accumulation order is fixed).
+func TestSessionDecodeDeterministicAcrossCPUs(t *testing.T) {
+	m := New(TinyConfig())
+	calib := workload.CalibrationStreams(m.Cfg.Seed, 2, 24, m.Cfg.Vocab)
+	eng := CalibrateModel(m, schemes.Tender{}, 8, false, calib)
+	prompt := workload.TokenStream(workload.PTB, 5, 8, m.Cfg.Vocab)
+
+	decode := func() []int {
+		sess := m.NewSession(eng, len(prompt)+12)
+		logits := sess.Append(prompt)
+		out := make([]int, 0, 12)
+		tok := Greedy(logits.Row(logits.Rows - 1))
+		for i := 0; i < 12; i++ {
+			out = append(out, tok)
+			tok = Greedy(sess.Append([]int{tok}).Row(0))
+		}
+		return out
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	one := decode()
+	runtime.GOMAXPROCS(8)
+	eight := decode()
+	runtime.GOMAXPROCS(prev)
+	for i := range one {
+		if one[i] != eight[i] {
+			t.Fatalf("token %d differs between GOMAXPROCS 1 and 8: %d vs %d", i, one[i], eight[i])
+		}
+	}
+}
+
+// TestSessionSchemeMatchesItself: under a quantized engine, two identical
+// sessions (e.g. the batched and unbatched serving paths) must produce
+// identical logits at every step.
+func TestSessionSchemeMatchesItself(t *testing.T) {
+	m := New(TinyConfig())
+	calib := workload.CalibrationStreams(m.Cfg.Seed, 2, 24, m.Cfg.Vocab)
+	eng := CalibrateModel(m, schemes.Tender{}, 4, true, calib)
+	prompt := workload.TokenStream(workload.Wiki, 6, 10, m.Cfg.Vocab)
+	a := m.NewSession(eng, 0)
+	b := m.NewSession(eng, 0)
+	la, lb := a.Append(prompt), b.Append(prompt)
+	if d := tensor.MaxAbsDiff(la, lb); d != 0 {
+		t.Fatalf("prefill differs between identical sessions by %g", d)
+	}
+	tok := Greedy(la.Row(la.Rows - 1))
+	for i := 0; i < 6; i++ {
+		la, lb = a.Append([]int{tok}), b.Append([]int{tok})
+		if d := tensor.MaxAbsDiff(la, lb); d != 0 {
+			t.Fatalf("decode step %d differs by %g", i, d)
+		}
+		tok = Greedy(la.Row(0))
+	}
+}
+
+// TestSessionRejectsEncoder: sessions are decoder-only.
+func TestSessionRejectsEncoder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for encoder session")
+		}
+	}()
+	cfg := TinyConfig()
+	cfg.Arch = Encoder
+	cfg.NumClasses = 2
+	New(cfg).NewSession(Exact{}, 0)
+}
+
+// TestSampleDeterminism: Sample is a pure function of (logits, temp, u)
+// and degrades to Greedy at temp <= 0.
+func TestSampleDeterminism(t *testing.T) {
+	logits := []float64{0.1, 2.5, -1, 0.4}
+	if Sample(logits, 0, 0.7) != Greedy(logits) {
+		t.Fatal("temp<=0 must be greedy")
+	}
+	if Sample(logits, 1, 0.3) != Sample(logits, 1, 0.3) {
+		t.Fatal("Sample not deterministic")
+	}
+	if Sample(logits, 1, 0.999999) >= len(logits) {
+		t.Fatal("Sample out of range")
+	}
+}

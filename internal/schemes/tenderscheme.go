@@ -1,6 +1,8 @@
 package schemes
 
 import (
+	"sync"
+
 	"tender/internal/quant"
 	"tender/internal/tender"
 	"tender/internal/tensor"
@@ -52,10 +54,16 @@ type tenderSite struct {
 	cal       *tender.Calibration
 	bits      int
 	integer   bool
-	wq        *quant.Quantized // cached quantized weight (static weights)
-	wf        *tensor.Matrix
-	wqSource  *tensor.Matrix
 	clustered bool
+
+	// mu guards the lazy weight cache below: concurrent serving sessions
+	// share one calibrated site per matmul location, so the first-call
+	// quantization must be race-free. Calibration itself is read-only at
+	// inference time.
+	mu       sync.Mutex
+	wq       *quant.Quantized // cached quantized weight (static weights)
+	wf       *tensor.Matrix
+	wqSource *tensor.Matrix
 }
 
 // NewSite implements Scheme. Activation metadata is calibrated statically
@@ -73,13 +81,16 @@ func (t Tender) NewSite(xs, _ []*tensor.Matrix, bits int) SiteGEMM {
 
 // MatMul implements SiteGEMM.
 func (s *tenderSite) MatMul(x, w *tensor.Matrix) *tensor.Matrix {
+	s.mu.Lock()
 	if s.wq == nil || s.wqSource != w {
 		s.wq = tender.QuantizeWeights(w, s.bits)
 		s.wf = s.wq.Dequantize()
 		s.wqSource = w
 	}
+	wq, wf := s.wq, s.wf
+	s.mu.Unlock()
 	if s.integer {
-		return s.cal.MatMulImplicit(x, s.wq, s.wf)
+		return s.cal.MatMulImplicit(x, wq, wf)
 	}
-	return tensor.MatMul(s.cal.FakeQuantActivation(x), s.wf)
+	return tensor.MatMul(s.cal.FakeQuantActivation(x), wf)
 }

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tender/internal/model"
+	"tender/internal/workload"
+)
+
+// LoadConfig drives a deterministic closed-loop load test: Clients
+// concurrent virtual users replay a fixed request trace, each submitting
+// its next request the moment the previous one completes. The trace is
+// deterministic in its seed, and per-request outputs are deterministic in
+// the request (greedy decode, or sampling with the per-request seed), so
+// the same (trace, server config) pair always yields the same tokens —
+// only timings vary.
+type LoadConfig struct {
+	Trace   []workload.RequestSpec
+	Clients int
+	// Scheme routes every request to one hosted engine ("" = default).
+	Scheme string
+	// Temperature/SeedBase configure sampled decoding (0 = greedy).
+	Temperature float64
+	SeedBase    uint64
+	// Timeout bounds each request (0 = none).
+	Timeout time.Duration
+}
+
+// LoadReport summarizes a load run.
+type LoadReport struct {
+	Requests      int     `json:"requests"`
+	Failed        int     `json:"failed"`
+	PrefillTokens int64   `json:"prefill_tokens"`
+	DecodeTokens  int64   `json:"decode_tokens"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	TokensPerSec  float64 `json:"decode_tokens_per_sec"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	LatencyP95Ms  float64 `json:"latency_p95_ms"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms"`
+	TTFTP50Ms     float64 `json:"ttft_p50_ms"`
+	TTFTP99Ms     float64 `json:"ttft_p99_ms"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	// Outputs holds each request's generated tokens, indexed like the
+	// trace (nil for failed requests). Excluded from JSON reports.
+	Outputs [][]int `json:"-"`
+}
+
+// RunLoad replays the trace against a started server and blocks until
+// every request completes.
+func RunLoad(srv *Server, cfg LoadConfig) LoadReport {
+	n := len(cfg.Trace)
+	clients := cfg.Clients
+	if clients <= 0 {
+		clients = 1
+	}
+	if clients > n {
+		clients = n
+	}
+	outputs := make([][]int, n)
+	results := make([]Result, n)
+	errs := make([]error, n)
+	var next int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				spec := cfg.Trace[i]
+				req := Request{
+					Prompt:       spec.Prompt,
+					MaxNewTokens: spec.NewTokens,
+					Scheme:       cfg.Scheme,
+					Temperature:  cfg.Temperature,
+					Seed:         cfg.SeedBase + uint64(i),
+				}
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if cfg.Timeout > 0 {
+					ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+				}
+				r, err := srv.Generate(ctx, req)
+				if cancel != nil {
+					cancel()
+				}
+				results[i] = r
+				errs[i] = err
+				if err == nil {
+					outputs[i] = r.Tokens
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	rep := LoadReport{Requests: n, WallSeconds: wall, Outputs: outputs}
+	var lats, ttfts []float64
+	for i := range results {
+		if errs[i] != nil {
+			rep.Failed++
+			continue
+		}
+		rep.DecodeTokens += int64(len(results[i].Tokens))
+		rep.PrefillTokens += int64(results[i].PrefillTokens)
+		lats = append(lats, float64(results[i].Latency)/float64(time.Millisecond))
+		if results[i].TTFT > 0 {
+			ttfts = append(ttfts, float64(results[i].TTFT)/float64(time.Millisecond))
+		}
+	}
+	if wall > 0 {
+		rep.TokensPerSec = float64(rep.DecodeTokens) / wall
+	}
+	rep.LatencyP50Ms = quantile(lats, 0.50)
+	rep.LatencyP95Ms = quantile(lats, 0.95)
+	rep.LatencyP99Ms = quantile(lats, 0.99)
+	rep.TTFTP50Ms = quantile(ttfts, 0.50)
+	rep.TTFTP99Ms = quantile(ttfts, 0.99)
+	rep.MeanBatchSize = srv.Metrics().Snapshot().MeanBatchSize
+	return rep
+}
+
+// DecodeUnbatched is the reference single-threaded decode path: it runs
+// the trace one request at a time through a bare model.Session, with the
+// same token-selection rule as the scheduler. The serving tests assert the
+// scheduler's outputs are bit-identical to this.
+func DecodeUnbatched(m *model.Model, eng model.Engine, trace []workload.RequestSpec, temperature float64, seedBase uint64) [][]int {
+	out := make([][]int, len(trace))
+	for i, spec := range trace {
+		out[i] = decodeOne(m, eng, spec, temperature, seedBase+uint64(i))
+	}
+	return out
+}
+
+func decodeOne(m *model.Model, eng model.Engine, spec workload.RequestSpec, temperature float64, seed uint64) []int {
+	maxNew := spec.NewTokens
+	if maxNew <= 0 {
+		maxNew = 1
+	}
+	if limit := m.Cfg.MaxSeq - len(spec.Prompt) + 1; maxNew > limit {
+		maxNew = limit
+	}
+	sess := m.NewSession(eng, len(spec.Prompt)+maxNew)
+	rng := newRequestRNG(seed)
+	logits := sess.Append(spec.Prompt)
+	out := make([]int, 0, maxNew)
+	row := logits.Row(logits.Rows - 1)
+	for {
+		var tok int
+		if temperature > 0 {
+			tok = model.Sample(row, temperature, rng.Float64())
+		} else {
+			tok = model.Greedy(row)
+		}
+		out = append(out, tok)
+		if len(out) >= maxNew {
+			return out
+		}
+		row = sess.Append([]int{tok}).Row(0)
+	}
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow bounds how many recent samples back each quantile.
+const latencyWindow = 8192
+
+// ring is a fixed-capacity sample window for latency quantiles.
+type ring struct {
+	buf  []float64
+	next int
+	full bool
+}
+
+func newRing(n int) *ring { return &ring{buf: make([]float64, n)} }
+
+func (r *ring) push(v float64) {
+	r.buf[r.next] = v
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// samples returns a copy of the window's live samples.
+func (r *ring) samples() []float64 {
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]float64, n)
+	copy(out, r.buf[:n])
+	return out
+}
+
+// quantile returns the q-th quantile (0..1) of xs by nearest rank.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	i := int(q * float64(len(xs)-1))
+	return xs[i]
+}
+
+// Metrics aggregates the server's live counters. All methods are safe for
+// concurrent use.
+type Metrics struct {
+	defaultScheme string
+	queueDepth    func() int
+	start         time.Time
+
+	mu             sync.Mutex
+	completed      int64
+	rejected       int64
+	expired        int64
+	prefillTokens  int64
+	decodeTokens   int64
+	perScheme      map[string]int64
+	iterations     int64
+	batchOccupancy int64
+	latencies      *ring
+	ttfts          *ring
+}
+
+func newMetrics(defaultScheme string, queueDepth func() int) *Metrics {
+	return &Metrics{
+		defaultScheme: defaultScheme,
+		queueDepth:    queueDepth,
+		start:         time.Now(),
+		perScheme:     make(map[string]int64),
+		latencies:     newRing(latencyWindow),
+		ttfts:         newRing(latencyWindow),
+	}
+}
+
+func (m *Metrics) reject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) expire() {
+	m.mu.Lock()
+	m.expired++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) complete(latency, ttft time.Duration) {
+	m.mu.Lock()
+	m.completed++
+	m.latencies.push(float64(latency) / float64(time.Millisecond))
+	if ttft > 0 {
+		m.ttfts.push(float64(ttft) / float64(time.Millisecond))
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) iteration(batch int, prefill, decode int64, perScheme map[string]int64) {
+	m.mu.Lock()
+	m.iterations++
+	m.batchOccupancy += int64(batch)
+	m.prefillTokens += prefill
+	m.decodeTokens += decode
+	for scheme, n := range perScheme {
+		m.perScheme[scheme] += n
+	}
+	m.mu.Unlock()
+}
+
+// Snapshot is a JSON-ready view of the metrics at one instant.
+type Snapshot struct {
+	DefaultScheme string           `json:"default_scheme"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Completed     int64            `json:"requests_completed"`
+	Rejected      int64            `json:"requests_rejected"`
+	Expired       int64            `json:"requests_expired"`
+	QueueDepth    int              `json:"queue_depth"`
+	PrefillTokens int64            `json:"prefill_tokens"`
+	DecodeTokens  int64            `json:"decode_tokens"`
+	TokensPerSec  float64          `json:"decode_tokens_per_sec"`
+	PerScheme     map[string]int64 `json:"decode_tokens_per_scheme"`
+	Iterations    int64            `json:"iterations"`
+	MeanBatchSize float64          `json:"mean_batch_size"`
+	LatencyP50Ms  float64          `json:"latency_p50_ms"`
+	LatencyP95Ms  float64          `json:"latency_p95_ms"`
+	LatencyP99Ms  float64          `json:"latency_p99_ms"`
+	TTFTP50Ms     float64          `json:"ttft_p50_ms"`
+	TTFTP99Ms     float64          `json:"ttft_p99_ms"`
+}
+
+// Snapshot computes quantiles and rates over the current window.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	up := time.Since(m.start).Seconds()
+	s := Snapshot{
+		DefaultScheme: m.defaultScheme,
+		UptimeSeconds: up,
+		Completed:     m.completed,
+		Rejected:      m.rejected,
+		Expired:       m.expired,
+		PrefillTokens: m.prefillTokens,
+		DecodeTokens:  m.decodeTokens,
+		PerScheme:     make(map[string]int64, len(m.perScheme)),
+		Iterations:    m.iterations,
+	}
+	if m.queueDepth != nil {
+		s.QueueDepth = m.queueDepth()
+	}
+	for k, v := range m.perScheme {
+		s.PerScheme[k] = v
+	}
+	if up > 0 {
+		s.TokensPerSec = float64(m.decodeTokens) / up
+	}
+	if m.iterations > 0 {
+		s.MeanBatchSize = float64(m.batchOccupancy) / float64(m.iterations)
+	}
+	lat := m.latencies.samples()
+	s.LatencyP50Ms = quantile(lat, 0.50)
+	s.LatencyP95Ms = quantile(lat, 0.95)
+	s.LatencyP99Ms = quantile(lat, 0.99)
+	tt := m.ttfts.samples()
+	s.TTFTP50Ms = quantile(tt, 0.50)
+	s.TTFTP99Ms = quantile(tt, 0.99)
+	return s
+}

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"tender/internal/model"
+	"tender/internal/quant"
+	"tender/internal/schemes"
+	"tender/internal/schemes/ant"
+	"tender/internal/schemes/llmint8"
+	"tender/internal/schemes/msfp"
+	"tender/internal/schemes/mx"
+	"tender/internal/schemes/olive"
+	"tender/internal/schemes/smoothquant"
+	"tender/internal/workload"
+)
+
+// schemeFactories maps serving-API scheme names to Scheme constructors.
+// "fp32" is special-cased to the exact engine in BuildEngines.
+//
+// Serving requires position-independent activation metadata: a KV-cached
+// Session quantizes each Append by row index *within the step*, not by
+// absolute sequence position, so any scheme whose calibration varies with
+// the row position would make chunked prefill diverge from a one-shot
+// prefill. Tender's row chunking (§III-B) is exactly such metadata, so
+// the hosted Tender engines disable it (NoRowChunk), collapsing
+// calibration to a single chunk that applies at every position. With
+// calibration streams no longer than tender's default RowChunk (256) this
+// is bit-identical to the offline default anyway — row chunking only
+// engages beyond that.
+func schemeFactories() map[string]func() schemes.Scheme {
+	return map[string]func() schemes.Scheme{
+		"fp16":           func() schemes.Scheme { return schemes.FP16{} },
+		"uniform-tensor": func() schemes.Scheme { return schemes.Uniform{ActGran: quant.PerTensor} },
+		"uniform-column": func() schemes.Scheme { return schemes.Uniform{ActGran: quant.PerColumn} },
+		"smoothquant":    func() schemes.Scheme { return smoothquant.New() },
+		"ant":            func() schemes.Scheme { return ant.New() },
+		"olive":          func() schemes.Scheme { return olive.New() },
+		"llmint8":        func() schemes.Scheme { return llmint8.New() },
+		"msfp":           func() schemes.Scheme { return msfp.New() },
+		"mxfp4":          func() schemes.Scheme { return mx.NewMXFP4() },
+		"smx4":           func() schemes.Scheme { return mx.NewSMX4() },
+		"tender":         func() schemes.Scheme { return schemes.Tender{NoRowChunk: true} },
+		"tender-int":     func() schemes.Scheme { return schemes.Tender{Integer: true, NoRowChunk: true} },
+	}
+}
+
+// SchemeNames lists every scheme the server can host, sorted.
+func SchemeNames() []string {
+	fac := schemeFactories()
+	names := make([]string, 0, len(fac)+1)
+	names = append(names, "fp32")
+	for n := range fac {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CalibOptions sizes the shared calibration pass behind BuildEngines.
+type CalibOptions struct {
+	Bits        int
+	QuantActAct bool
+	// Streams/StreamLen size the calibration set (defaults 3×128).
+	Streams, StreamLen int
+}
+
+func (o *CalibOptions) fill() {
+	if o.Bits == 0 {
+		o.Bits = 8
+	}
+	if o.Streams <= 0 {
+		o.Streams = 3
+	}
+	if o.StreamLen <= 0 {
+		o.StreamLen = 128
+	}
+}
+
+// BuildEngines calibrates one engine per requested scheme name over a
+// single shared recording pass (the offline PTQ flow of §V-A), so hosting
+// N schemes costs one calibration forward, not N.
+func BuildEngines(m *model.Model, names []string, opt CalibOptions) (map[string]model.Engine, error) {
+	opt.fill()
+	fac := schemeFactories()
+	var rec *model.Recorder
+	out := make(map[string]model.Engine, len(names))
+	for _, name := range names {
+		if _, dup := out[name]; dup {
+			continue
+		}
+		if name == "fp32" || name == "exact" {
+			out[name] = model.Exact{}
+			continue
+		}
+		f, ok := fac[name]
+		if !ok {
+			return nil, fmt.Errorf("serve: unknown scheme %q (known: %v)", name, SchemeNames())
+		}
+		if rec == nil {
+			rec = model.NewRecorder()
+			n := opt.StreamLen
+			if n > m.Cfg.MaxSeq {
+				n = m.Cfg.MaxSeq
+			}
+			streams := workload.CalibrationStreams(m.Cfg.Seed, opt.Streams, n, m.Cfg.Vocab)
+			for _, toks := range streams {
+				m.Forward(toks, rec)
+			}
+		}
+		out[name] = model.Calibrate(f(), opt.Bits, opt.QuantActAct, rec)
+	}
+	return out, nil
+}

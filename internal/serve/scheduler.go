@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"time"
+
+	"tender/internal/model"
+	"tender/internal/tensor"
+)
+
+// newRequestRNG builds the per-request sampling RNG. The batched scheduler
+// and the unbatched reference path (DecodeUnbatched) both use it, so
+// sampled decodes stay bit-identical across the two.
+func newRequestRNG(seed uint64) *tensor.RNG { return tensor.NewRNG(seed ^ 0x5e11e) }
+
+// loop is the scheduler: admit → reap expired → run one iteration over
+// the active batch → retire finished, forever. Batches are assembled at
+// iteration granularity (continuous batching): a request joins as soon as
+// a slot frees, mid-flight requests are unaffected, and one iteration may
+// mix prefill chunks of new requests with decode steps of old ones.
+func (s *Server) loop() {
+	defer s.wg.Done()
+	var batch []*activeReq
+	for {
+		batch = s.admit(batch)
+		select {
+		case <-s.stop:
+			s.shutdown(batch)
+			return
+		default:
+		}
+		if len(batch) == 0 {
+			continue // admit blocked on the queue and was woken by stop
+		}
+		now := time.Now()
+		batch = s.reap(batch, now)
+		if len(batch) == 0 {
+			continue
+		}
+		s.runIteration(batch)
+		batch = s.retire(batch)
+	}
+}
+
+// admit fills free batch slots from the queue. With an empty batch it
+// blocks until a request or stop arrives; otherwise it drains whatever is
+// immediately available.
+func (s *Server) admit(batch []*activeReq) []*activeReq {
+	for len(batch) < s.cfg.MaxBatch {
+		var p *pending
+		if len(batch) == 0 {
+			select {
+			case p = <-s.queue:
+			case <-s.stop:
+				return batch
+			}
+		} else {
+			select {
+			case p = <-s.queue:
+			default:
+				return batch
+			}
+		}
+		if a := s.activate(p); a != nil {
+			batch = append(batch, a)
+		}
+	}
+	return batch
+}
+
+// activate turns a queued request into an active one, or finishes it
+// immediately if it is already cancelled or expired.
+func (s *Server) activate(p *pending) *activeReq {
+	now := time.Now()
+	if err := p.ctx.Err(); err != nil {
+		s.finish(p, nil, 0, now, time.Time{}, err)
+		return nil
+	}
+	if !p.req.Deadline.IsZero() && now.After(p.req.Deadline) {
+		s.metrics.expire()
+		s.finish(p, nil, 0, now, time.Time{}, ErrDeadlineExceeded)
+		return nil
+	}
+	maxNew := p.req.MaxNewTokens
+	if maxNew <= 0 {
+		maxNew = 1
+	}
+	// Positions consumed: prompt + maxNew-1 fed-back tokens.
+	if limit := s.cfg.Model.Cfg.MaxSeq - len(p.req.Prompt) + 1; maxNew > limit {
+		maxNew = limit
+	}
+	eng := s.cfg.Engines[p.req.Scheme]
+	return &activeReq{
+		p:       p,
+		sess:    s.cfg.Model.NewSession(eng, len(p.req.Prompt)+maxNew),
+		rng:     newRequestRNG(p.req.Seed),
+		scheme:  p.req.Scheme,
+		maxNew:  maxNew,
+		out:     make([]int, 0, maxNew),
+		started: now,
+	}
+}
+
+// reap fails active requests whose deadline or context expired, returning
+// the survivors.
+func (s *Server) reap(batch []*activeReq, now time.Time) []*activeReq {
+	kept := batch[:0]
+	for _, a := range batch {
+		switch {
+		case a.p.ctx.Err() != nil:
+			s.finish(a.p, a.out, a.consumed, now, a.firstTok, a.p.ctx.Err())
+		case !a.p.req.Deadline.IsZero() && now.After(a.p.req.Deadline):
+			s.metrics.expire()
+			s.finish(a.p, a.out, a.consumed, now, a.firstTok, ErrDeadlineExceeded)
+		default:
+			kept = append(kept, a)
+		}
+	}
+	return kept
+}
+
+// runIteration executes one step for every active request, sharding the
+// batch across the worker pool. Steps are per-request and independent, so
+// execution order cannot change any request's tokens — only wall-clock.
+func (s *Server) runIteration(batch []*activeReq) {
+	workers := s.cfg.Workers
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	if workers <= 1 {
+		for _, a := range batch {
+			s.stepOne(a)
+		}
+	} else {
+		idx := make(chan int)
+		done := make(chan struct{})
+		for w := 0; w < workers; w++ {
+			go func() {
+				for i := range idx {
+					s.stepOne(batch[i])
+				}
+				done <- struct{}{}
+			}()
+		}
+		for i := range batch {
+			idx <- i
+		}
+		close(idx)
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+	}
+	var prefill, decode int64
+	perScheme := make(map[string]int64, 1)
+	for _, a := range batch {
+		if a.lastStepPrefill > 0 {
+			prefill += int64(a.lastStepPrefill)
+		}
+		if a.lastStepDecoded {
+			decode++
+			perScheme[a.scheme]++
+		}
+	}
+	s.metrics.iteration(len(batch), prefill, decode, perScheme)
+}
+
+// stepOne advances one request by one iteration: either the next prefill
+// chunk or one decode token.
+func (s *Server) stepOne(a *activeReq) {
+	a.lastStepPrefill = 0
+	a.lastStepDecoded = false
+	prompt := a.p.req.Prompt
+	if a.consumed < len(prompt) {
+		chunk := len(prompt) - a.consumed
+		if chunk > s.cfg.PrefillChunk {
+			chunk = s.cfg.PrefillChunk
+		}
+		logits := a.sess.Append(prompt[a.consumed : a.consumed+chunk])
+		a.consumed += chunk
+		a.lastStepPrefill = chunk
+		if a.consumed == len(prompt) {
+			a.emit(logits.Row(logits.Rows - 1))
+		}
+		return
+	}
+	logits := a.sess.Append([]int{a.out[len(a.out)-1]})
+	a.emit(logits.Row(0))
+}
+
+// emit appends the next token chosen from a logits row.
+func (a *activeReq) emit(row []float64) {
+	var tok int
+	if a.p.req.Temperature > 0 {
+		tok = model.Sample(row, a.p.req.Temperature, a.rng.Float64())
+	} else {
+		tok = model.Greedy(row)
+	}
+	if len(a.out) == 0 {
+		a.firstTok = time.Now()
+	}
+	a.out = append(a.out, tok)
+	a.lastStepDecoded = true
+}
+
+// retire delivers results for requests that reached their token budget.
+func (s *Server) retire(batch []*activeReq) []*activeReq {
+	now := time.Now()
+	kept := batch[:0]
+	for _, a := range batch {
+		if len(a.out) >= a.maxNew {
+			s.finish(a.p, a.out, a.consumed, now, a.firstTok, nil)
+			continue
+		}
+		kept = append(kept, a)
+	}
+	return kept
+}
+
+// shutdown fails everything still queued or active.
+func (s *Server) shutdown(batch []*activeReq) {
+	now := time.Now()
+	for _, a := range batch {
+		s.finish(a.p, a.out, a.consumed, now, a.firstTok, ErrStopped)
+	}
+	for {
+		select {
+		case p := <-s.queue:
+			s.finish(p, nil, 0, now, time.Time{}, ErrStopped)
+		default:
+			return
+		}
+	}
+}
+
+// finish delivers a Result and records metrics.
+func (s *Server) finish(p *pending, out []int, prefilled int, now time.Time, firstTok time.Time, err error) {
+	r := Result{
+		ID:            p.id,
+		Scheme:        p.req.Scheme,
+		Tokens:        out,
+		Err:           err,
+		Latency:       now.Sub(p.enq),
+		PrefillTokens: prefilled,
+	}
+	if !firstTok.IsZero() {
+		r.TTFT = firstTok.Sub(p.enq)
+	}
+	if err == nil {
+		s.metrics.complete(r.Latency, r.TTFT)
+	}
+	p.done <- r
+}

@@ -1,0 +1,243 @@
+// Package serve is a continuous-batching inference server over the
+// reproduction's quantized engines. It turns the offline evaluation
+// substrate (internal/model + internal/schemes) into a serving path:
+// requests enter a bounded admission queue, an iteration-level scheduler
+// assembles batches that mix prefill chunks and single-token decode steps,
+// and a goroutine worker pool executes each active request's step in
+// parallel. Every request runs its own model.Session, so per-request
+// outputs are bit-identical to the unbatched single-threaded decode path
+// for every scheme — batching changes wall-clock, never tokens.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"tender/internal/model"
+	"tender/internal/tensor"
+)
+
+// Errors surfaced through Result.Err / Generate.
+var (
+	// ErrQueueFull means the bounded admission queue rejected the request.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrDeadlineExceeded means the request's deadline passed before it
+	// finished; partial output is returned alongside it.
+	ErrDeadlineExceeded = errors.New("serve: request deadline exceeded")
+	// ErrStopped means the server shut down before the request finished.
+	ErrStopped = errors.New("serve: server stopped")
+	// ErrUnknownScheme means the request named an engine the server does
+	// not host.
+	ErrUnknownScheme = errors.New("serve: unknown scheme")
+)
+
+// Request is one generation job.
+type Request struct {
+	// Prompt is the token sequence to prefill.
+	Prompt []int
+	// MaxNewTokens bounds decoding; it is clamped to the model's MaxSeq.
+	MaxNewTokens int
+	// Scheme selects the hosted engine ("" = server default).
+	Scheme string
+	// Temperature > 0 samples from softmax(logits/T) with the request's
+	// deterministic RNG; <= 0 decodes greedily.
+	Temperature float64
+	// Seed drives the request's sampling RNG (only used when sampling).
+	Seed uint64
+	// Deadline, if nonzero, expires the request at that wall-clock time.
+	Deadline time.Time
+}
+
+// Result is the outcome of one request.
+type Result struct {
+	ID            uint64        `json:"id"`
+	Scheme        string        `json:"scheme"`
+	Tokens        []int         `json:"tokens"`
+	Err           error         `json:"-"`
+	TTFT          time.Duration `json:"ttft_ns"`    // enqueue → first token
+	Latency       time.Duration `json:"latency_ns"` // enqueue → done
+	PrefillTokens int           `json:"prefill_tokens"`
+}
+
+// Config configures a Server.
+type Config struct {
+	// Model is the decoder all engines share.
+	Model *model.Model
+	// Engines maps scheme name → calibrated engine. All requests for a
+	// scheme share the engine; engines are read-only at inference time.
+	Engines map[string]model.Engine
+	// DefaultScheme is used when a request names none. Defaults to the
+	// sole engine when exactly one is hosted.
+	DefaultScheme string
+	// MaxBatch bounds how many requests are active per iteration
+	// (default 8).
+	MaxBatch int
+	// QueueDepth bounds the admission queue (default 4×MaxBatch).
+	QueueDepth int
+	// PrefillChunk bounds prompt tokens consumed per iteration per
+	// request, so long prompts cannot starve decode steps (default 32).
+	PrefillChunk int
+	// Workers is the iteration worker-pool size (default GOMAXPROCS).
+	Workers int
+}
+
+func (c *Config) fill() error {
+	if c.Model == nil {
+		return errors.New("serve: Config.Model is nil")
+	}
+	if len(c.Engines) == 0 {
+		return errors.New("serve: Config.Engines is empty")
+	}
+	if c.DefaultScheme == "" {
+		if len(c.Engines) == 1 {
+			for name := range c.Engines {
+				c.DefaultScheme = name
+			}
+		} else {
+			return errors.New("serve: DefaultScheme required with multiple engines")
+		}
+	}
+	if _, ok := c.Engines[c.DefaultScheme]; !ok {
+		return fmt.Errorf("serve: default scheme %q not hosted", c.DefaultScheme)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.MaxBatch
+	}
+	if c.PrefillChunk <= 0 {
+		c.PrefillChunk = 32
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// Server runs the continuous-batching scheduler.
+type Server struct {
+	cfg     Config
+	queue   chan *pending
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	metrics *Metrics
+	nextID  uint64
+	idMu    sync.Mutex
+}
+
+// pending is a queued request.
+type pending struct {
+	id   uint64
+	req  Request
+	ctx  context.Context
+	enq  time.Time
+	done chan Result
+}
+
+// activeReq is a request currently in the iteration batch.
+type activeReq struct {
+	p        *pending
+	sess     *model.Session
+	rng      *tensor.RNG
+	scheme   string
+	consumed int // prompt tokens prefilled so far
+	maxNew   int
+	out      []int
+	started  time.Time
+	firstTok time.Time
+	// Per-iteration accounting, read by the scheduler after the worker
+	// pool joins.
+	lastStepPrefill int
+	lastStepDecoded bool
+}
+
+// New builds a Server; call Start to run it.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:  cfg,
+		stop: make(chan struct{}),
+	}
+	s.queue = make(chan *pending, cfg.QueueDepth)
+	s.metrics = newMetrics(cfg.DefaultScheme, func() int { return len(s.queue) })
+	return s, nil
+}
+
+// Metrics returns the server's live metrics.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Start launches the scheduler loop.
+func (s *Server) Start() {
+	s.wg.Add(1)
+	go s.loop()
+}
+
+// Stop shuts the scheduler down. In-flight and queued requests fail with
+// ErrStopped. Stop blocks until the loop exits.
+func (s *Server) Stop() {
+	close(s.stop)
+	s.wg.Wait()
+}
+
+// Generate submits a request and blocks until it completes, the context is
+// cancelled, or the server rejects/stops it. Rejection (full queue) is
+// immediate, never blocking — the bounded-queue contract.
+func (s *Server) Generate(ctx context.Context, req Request) (Result, error) {
+	if req.Scheme == "" {
+		req.Scheme = s.cfg.DefaultScheme
+	}
+	if _, ok := s.cfg.Engines[req.Scheme]; !ok {
+		return Result{}, fmt.Errorf("%w: %q", ErrUnknownScheme, req.Scheme)
+	}
+	if len(req.Prompt) == 0 {
+		return Result{}, errors.New("serve: empty prompt")
+	}
+	if len(req.Prompt) >= s.cfg.Model.Cfg.MaxSeq {
+		return Result{}, fmt.Errorf("serve: prompt length %d exceeds context %d",
+			len(req.Prompt), s.cfg.Model.Cfg.MaxSeq)
+	}
+	s.idMu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.idMu.Unlock()
+	p := &pending{id: id, req: req, ctx: ctx, enq: time.Now(), done: make(chan Result, 1)}
+	select {
+	case <-s.stop:
+		return Result{ID: id, Err: ErrStopped}, ErrStopped
+	default:
+	}
+	select {
+	case s.queue <- p:
+	default:
+		s.metrics.reject()
+		return Result{}, ErrQueueFull
+	}
+	select {
+	case r := <-p.done:
+		return r, r.Err
+	case <-ctx.Done():
+		// The scheduler notices the cancelled context at its next
+		// iteration and discards the request; the buffered done channel
+		// never blocks it.
+		return Result{ID: id, Err: ctx.Err()}, ctx.Err()
+	case <-s.stop:
+		// A request can win the race into the queue after the scheduler's
+		// final drain; without this arm it would wait forever. Let the
+		// loop finish delivering every outcome it did see, then prefer
+		// its verdict over a synthesized one.
+		s.wg.Wait()
+		select {
+		case r := <-p.done:
+			return r, r.Err
+		default:
+			return Result{ID: id, Err: ErrStopped}, ErrStopped
+		}
+	}
+}

@@ -1,0 +1,374 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"tender/internal/model"
+	"tender/internal/workload"
+)
+
+func tinyTrace(m *model.Model, n int, seed uint64) []workload.RequestSpec {
+	return workload.RequestTrace(workload.TraceConfig{
+		Requests: n, Vocab: m.Cfg.Vocab,
+		MinPrompt: 4, MaxPrompt: 12, MinNew: 2, MaxNew: 6,
+	}, seed)
+}
+
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(srv.Stop)
+	return srv
+}
+
+// TestBatchedBitIdenticalEveryScheme is the core serving invariant: for
+// every hosted scheme, the continuous-batching scheduler (batch ≥ 4,
+// parallel workers) produces exactly the tokens of the unbatched
+// single-threaded decode path.
+func TestBatchedBitIdenticalEveryScheme(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	names := SchemeNames()
+	engines, err := BuildEngines(m, names, CalibOptions{Bits: 8, Streams: 2, StreamLen: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := tinyTrace(m, 6, 99)
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ref := DecodeUnbatched(m, engines[name], trace, 0, 7)
+			srv := startServer(t, Config{
+				Model: m, Engines: engines, DefaultScheme: name,
+				MaxBatch: 4, Workers: 4, PrefillChunk: 3,
+			})
+			rep := RunLoad(srv, LoadConfig{Trace: trace, Clients: 4, Scheme: name, SeedBase: 7})
+			if rep.Failed != 0 {
+				t.Fatalf("%d requests failed", rep.Failed)
+			}
+			for i := range trace {
+				if len(rep.Outputs[i]) != len(ref[i]) {
+					t.Fatalf("request %d: got %d tokens, want %d", i, len(rep.Outputs[i]), len(ref[i]))
+				}
+				for j := range ref[i] {
+					if rep.Outputs[i][j] != ref[i][j] {
+						t.Fatalf("request %d token %d: batched %d != unbatched %d",
+							i, j, rep.Outputs[i][j], ref[i][j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSampledDecodeBitIdentical repeats the invariant for temperature
+// sampling: the per-request seeded RNG makes sampled outputs batch-stable.
+func TestSampledDecodeBitIdentical(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	engines, err := BuildEngines(m, []string{"tender"}, CalibOptions{Bits: 4, Streams: 2, StreamLen: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := tinyTrace(m, 5, 123)
+	ref := DecodeUnbatched(m, engines["tender"], trace, 0.8, 55)
+	srv := startServer(t, Config{Model: m, Engines: engines, MaxBatch: 5, Workers: 4})
+	rep := RunLoad(srv, LoadConfig{Trace: trace, Clients: 5, Temperature: 0.8, SeedBase: 55})
+	if rep.Failed != 0 {
+		t.Fatalf("%d requests failed", rep.Failed)
+	}
+	for i := range trace {
+		for j := range ref[i] {
+			if rep.Outputs[i][j] != ref[i][j] {
+				t.Fatalf("request %d token %d differs under sampling", i, j)
+			}
+		}
+	}
+}
+
+// TestDeterministicAcrossCPUs: the full serving path (scheduler + worker
+// pool + quantized engine) yields identical tokens at GOMAXPROCS 1 and 8.
+func TestDeterministicAcrossCPUs(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	engines, err := BuildEngines(m, []string{"tender"}, CalibOptions{Bits: 8, Streams: 2, StreamLen: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := tinyTrace(m, 8, 31)
+
+	run := func() [][]int {
+		srv := startServer(t, Config{Model: m, Engines: engines, MaxBatch: 4, Workers: 4})
+		rep := RunLoad(srv, LoadConfig{Trace: trace, Clients: 4, SeedBase: 3})
+		if rep.Failed != 0 {
+			t.Fatalf("%d requests failed", rep.Failed)
+		}
+		return rep.Outputs
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	one := run()
+	runtime.GOMAXPROCS(8)
+	multi := run()
+	runtime.GOMAXPROCS(prev)
+
+	for i := range one {
+		if len(one[i]) != len(multi[i]) {
+			t.Fatalf("request %d: %d vs %d tokens across GOMAXPROCS", i, len(one[i]), len(multi[i]))
+		}
+		for j := range one[i] {
+			if one[i][j] != multi[i][j] {
+				t.Fatalf("request %d token %d differs across GOMAXPROCS", i, j)
+			}
+		}
+	}
+}
+
+// TestContinuousBatchingThroughput: with parallel hardware, batch ≥ 4
+// sustains strictly higher decode tokens/s than the one-request-at-a-time
+// baseline on the same trace and engine.
+func TestContinuousBatchingThroughput(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		t.Skipf("need ≥2 CPUs for a parallel throughput win, have %d", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := model.Config{
+		Name: "serve-bench", Arch: model.Decoder, Layers: 4, DModel: 64, Heads: 4,
+		FFN: 256, Vocab: 256, MaxSeq: 128,
+		OutlierChannels: 3, OutlierGain: 20, Seed: 21,
+	}
+	m := model.New(cfg)
+	engines := map[string]model.Engine{"fp32": model.Exact{}}
+	trace := workload.RequestTrace(workload.TraceConfig{
+		Requests: 12, Vocab: cfg.Vocab,
+		MinPrompt: 24, MaxPrompt: 32, MinNew: 8, MaxNew: 8,
+	}, 5)
+
+	measure := func(batch, workers, clients int) float64 {
+		srv := startServer(t, Config{
+			Model: m, Engines: engines, MaxBatch: batch, Workers: workers, PrefillChunk: 8,
+		})
+		best := 0.0
+		// Two measurement rounds absorb scheduler warm-up noise.
+		for round := 0; round < 2; round++ {
+			rep := RunLoad(srv, LoadConfig{Trace: trace, Clients: clients})
+			if rep.Failed != 0 {
+				t.Fatalf("%d requests failed", rep.Failed)
+			}
+			if rep.TokensPerSec > best {
+				best = rep.TokensPerSec
+			}
+		}
+		return best
+	}
+
+	serial := measure(1, 1, 1)
+	batched := measure(8, runtime.GOMAXPROCS(0), 8)
+	if batched <= serial*1.1 {
+		t.Fatalf("continuous batching %0.1f tok/s not faster than serial %0.1f tok/s", batched, serial)
+	}
+}
+
+// TestQueueBoundsDeadlinesCancellation covers the admission-control edges.
+func TestQueueBoundsDeadlinesCancellation(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	engines := map[string]model.Engine{"fp32": model.Exact{}}
+
+	t.Run("rejects-on-full-queue", func(t *testing.T) {
+		srv, err := New(Config{Model: m, Engines: engines, MaxBatch: 1, QueueDepth: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Not started: the queue fills synchronously.
+		go srv.Generate(context.Background(), Request{Prompt: []int{1, 2}, MaxNewTokens: 1})
+		deadline := time.Now().Add(5 * time.Second)
+		for srv.Metrics().Snapshot().QueueDepth == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("first request never queued")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if _, err := srv.Generate(context.Background(), Request{Prompt: []int{1}, MaxNewTokens: 1}); !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("want ErrQueueFull, got %v", err)
+		}
+		if srv.Metrics().Snapshot().Rejected != 1 {
+			t.Fatal("rejection not counted")
+		}
+		srv.Start()
+		srv.Stop() // drains the queued request with ErrStopped
+	})
+
+	t.Run("expired-deadline", func(t *testing.T) {
+		srv := startServer(t, Config{Model: m, Engines: engines})
+		_, err := srv.Generate(context.Background(), Request{
+			Prompt: []int{1, 2, 3}, MaxNewTokens: 4,
+			Deadline: time.Now().Add(-time.Second),
+		})
+		if !errors.Is(err, ErrDeadlineExceeded) {
+			t.Fatalf("want ErrDeadlineExceeded, got %v", err)
+		}
+		if srv.Metrics().Snapshot().Expired != 1 {
+			t.Fatal("expiry not counted")
+		}
+	})
+
+	t.Run("cancelled-context", func(t *testing.T) {
+		srv := startServer(t, Config{Model: m, Engines: engines})
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := srv.Generate(ctx, Request{Prompt: []int{1}, MaxNewTokens: 2})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	})
+
+	t.Run("input-validation", func(t *testing.T) {
+		srv := startServer(t, Config{Model: m, Engines: engines})
+		if _, err := srv.Generate(context.Background(), Request{Prompt: []int{1}, Scheme: "nope"}); !errors.Is(err, ErrUnknownScheme) {
+			t.Fatalf("want ErrUnknownScheme, got %v", err)
+		}
+		if _, err := srv.Generate(context.Background(), Request{}); err == nil {
+			t.Fatal("empty prompt must fail")
+		}
+		long := make([]int, m.Cfg.MaxSeq+1)
+		if _, err := srv.Generate(context.Background(), Request{Prompt: long}); err == nil {
+			t.Fatal("over-length prompt must fail")
+		}
+	})
+}
+
+// TestMetricsAccounting: decode token counters agree with delivered
+// outputs, and the per-scheme split adds up.
+func TestMetricsAccounting(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	engines, err := BuildEngines(m, []string{"fp32", "fp16"}, CalibOptions{Bits: 8, Streams: 2, StreamLen: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, Config{
+		Model: m, Engines: engines, DefaultScheme: "fp32", MaxBatch: 4,
+	})
+	trace := tinyTrace(m, 4, 77)
+	repA := RunLoad(srv, LoadConfig{Trace: trace, Clients: 2, Scheme: "fp32"})
+	repB := RunLoad(srv, LoadConfig{Trace: trace, Clients: 2, Scheme: "fp16"})
+	snap := srv.Metrics().Snapshot()
+	want := repA.DecodeTokens + repB.DecodeTokens
+	if snap.DecodeTokens != want {
+		t.Fatalf("decode tokens %d, want %d", snap.DecodeTokens, want)
+	}
+	if snap.PerScheme["fp32"] != repA.DecodeTokens || snap.PerScheme["fp16"] != repB.DecodeTokens {
+		t.Fatalf("per-scheme split %v", snap.PerScheme)
+	}
+	if snap.Completed != int64(2*len(trace)) {
+		t.Fatalf("completed %d, want %d", snap.Completed, 2*len(trace))
+	}
+	if snap.MeanBatchSize <= 0 || snap.Iterations <= 0 {
+		t.Fatalf("batch occupancy not recorded: %+v", snap)
+	}
+	if snap.LatencyP99Ms < snap.LatencyP50Ms {
+		t.Fatalf("latency quantiles inverted: %+v", snap)
+	}
+}
+
+// TestPrefillChunking: a prompt longer than the chunk size spans several
+// iterations and still decodes exactly like the unbatched path.
+func TestPrefillChunking(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	engines := map[string]model.Engine{"fp32": model.Exact{}}
+	trace := []workload.RequestSpec{{
+		Prompt:    workload.TokenStream(workload.Wiki, 3, 30, m.Cfg.Vocab),
+		NewTokens: 4,
+	}}
+	ref := DecodeUnbatched(m, model.Exact{}, trace, 0, 0)
+	srv := startServer(t, Config{Model: m, Engines: engines, PrefillChunk: 4})
+	rep := RunLoad(srv, LoadConfig{Trace: trace, Clients: 1})
+	if rep.Failed != 0 {
+		t.Fatal("request failed")
+	}
+	for j := range ref[0] {
+		if rep.Outputs[0][j] != ref[0][j] {
+			t.Fatalf("token %d differs under chunked prefill", j)
+		}
+	}
+	if rep.PrefillTokens != 30 {
+		t.Fatalf("prefill tokens %d, want 30", rep.PrefillTokens)
+	}
+}
+
+// TestLongCalibrationBitIdentical guards the position-independence
+// precondition: with calibration streams longer than tender's default row
+// chunk (256) and a long chunked prefill, the scheduler must still match
+// the one-shot unbatched decode exactly.
+func TestLongCalibrationBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	m := model.New(model.Registry("opt-6.7b"))
+	engines, err := BuildEngines(m, []string{"tender"}, CalibOptions{
+		Bits: 8, Streams: 2, StreamLen: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := []workload.RequestSpec{{
+		Prompt:    workload.TokenStream(workload.Wiki, 17, 300, m.Cfg.Vocab),
+		NewTokens: 3,
+	}}
+	ref := DecodeUnbatched(m, engines["tender"], trace, 0, 0)
+	srv := startServer(t, Config{Model: m, Engines: engines, PrefillChunk: 32})
+	rep := RunLoad(srv, LoadConfig{Trace: trace, Clients: 1})
+	if rep.Failed != 0 {
+		t.Fatal("request failed")
+	}
+	for j := range ref[0] {
+		if rep.Outputs[0][j] != ref[0][j] {
+			t.Fatalf("token %d: chunked prefill %d != one-shot %d", j, rep.Outputs[0][j], ref[0][j])
+		}
+	}
+}
+
+// TestStopRaces: requests racing with Stop never hang — they resolve with
+// either the scheduler's verdict or ErrStopped, and Generate after Stop
+// returns promptly.
+func TestStopRaces(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	engines := map[string]model.Engine{"fp32": model.Exact{}}
+	srv, err := New(Config{Model: m, Engines: engines, MaxBatch: 2, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	req := Request{Prompt: []int{1, 2, 3}, MaxNewTokens: 40}
+	type outcome struct {
+		res Result
+		err error
+	}
+	results := make(chan outcome, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			r, err := srv.Generate(context.Background(), req)
+			results <- outcome{r, err}
+		}()
+	}
+	srv.Stop()
+	for i := 0; i < 8; i++ {
+		select {
+		case o := <-results:
+			if o.err != nil && !errors.Is(o.err, ErrStopped) && !errors.Is(o.err, ErrQueueFull) {
+				t.Fatalf("unexpected error %v", o.err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("Generate hung across Stop")
+		}
+	}
+	if _, err := srv.Generate(context.Background(), req); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Generate after Stop: want ErrStopped, got %v", err)
+	}
+}

@@ -1,0 +1,69 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRowBufferAppendView(t *testing.T) {
+	b := NewRowBuffer(3, 2)
+	if b.Rows() != 0 || b.Cols() != 3 {
+		t.Fatalf("empty buffer: rows %d cols %d", b.Rows(), b.Cols())
+	}
+	b.AppendRows(FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6}))
+	b.AppendRows(FromSlice(1, 3, []float64{7, 8, 9}))
+	v := b.View()
+	if v.Rows != 3 || v.Cols != 3 {
+		t.Fatalf("view shape %dx%d", v.Rows, v.Cols)
+	}
+	for i, want := range []float64{1, 2, 3, 4, 5, 6, 7, 8, 9} {
+		if v.Data[i] != want {
+			t.Fatalf("view[%d] = %v, want %v", i, v.Data[i], want)
+		}
+	}
+	// Growth past the preallocated capacity keeps earlier rows intact.
+	for i := 0; i < 10; i++ {
+		b.AppendRows(FromSlice(1, 3, []float64{float64(i), 0, 0}))
+	}
+	v = b.View()
+	if v.Rows != 13 || v.At(0, 0) != 1 || v.At(12, 0) != 9 {
+		t.Fatalf("after growth: rows %d, v[0][0]=%v, v[12][0]=%v", v.Rows, v.At(0, 0), v.At(12, 0))
+	}
+	b.Reset()
+	if b.Rows() != 0 || b.View().Rows != 0 {
+		t.Fatal("Reset did not empty the buffer")
+	}
+}
+
+func TestRowBufferShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on column mismatch")
+		}
+	}()
+	NewRowBuffer(3, 0).AppendRows(New(1, 4))
+}
+
+func TestCausalMaskOffset(t *testing.T) {
+	// 2 query rows at absolute positions 3 and 4 over 5 cached keys.
+	m := New(2, 5)
+	CausalMaskOffsetInPlace(m, 3)
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 5; c++ {
+			masked := math.IsInf(m.At(r, c), -1)
+			want := c > r+3
+			if masked != want {
+				t.Fatalf("mask[%d][%d] = %v, want %v", r, c, masked, want)
+			}
+		}
+	}
+	// Offset 0 on a square matrix matches the prefill mask.
+	a, b := New(4, 4), New(4, 4)
+	CausalMaskInPlace(a)
+	CausalMaskOffsetInPlace(b, 0)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] && !(math.IsInf(a.Data[i], -1) && math.IsInf(b.Data[i], -1)) {
+			t.Fatalf("offset-0 mask disagrees with CausalMaskInPlace at %d", i)
+		}
+	}
+}

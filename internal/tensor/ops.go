@@ -76,11 +76,18 @@ func GELU(m *Matrix) {
 // CausalMaskInPlace sets m[i][j] = -inf for j > i (upper triangle), the
 // pre-softmax causal attention mask. m must be square per attention block;
 // for rectangular score matrices the mask applies to the trailing columns.
-func CausalMaskInPlace(m *Matrix) {
+func CausalMaskInPlace(m *Matrix) { CausalMaskOffsetInPlace(m, 0) }
+
+// CausalMaskOffsetInPlace masks m[i][j] = -inf for j > i + offset: the
+// causal mask for an incremental-decode score matrix whose rows are
+// queries at absolute positions offset..offset+rows-1 and whose columns
+// cover every cached key position 0..cols-1. With offset = 0 it reduces
+// to the square prefill mask.
+func CausalMaskOffsetInPlace(m *Matrix, offset int) {
 	neg := math.Inf(-1)
 	for r := 0; r < m.Rows; r++ {
 		row := m.Row(r)
-		for c := r + 1; c < m.Cols; c++ {
+		for c := r + offset + 1; c < m.Cols; c++ {
 			row[c] = neg
 		}
 	}

@@ -1,0 +1,78 @@
+package workload
+
+import "tender/internal/tensor"
+
+// RequestSpec describes one serving request of an arrival trace: the
+// prompt tokens, how many tokens to decode, and the request's arrival
+// offset in scheduler iterations (0 = available immediately). Traces are
+// fully deterministic in the seed so load tests are reproducible.
+type RequestSpec struct {
+	Prompt    []int
+	NewTokens int
+	// ArrivalStep is the earliest scheduler iteration at which the request
+	// may be admitted, for open-loop replay; closed-loop drivers ignore it.
+	ArrivalStep int
+}
+
+// TraceConfig bounds the shape of a request trace.
+type TraceConfig struct {
+	Requests int
+	Vocab    int
+	// Prompt lengths are drawn uniformly from [MinPrompt, MaxPrompt].
+	MinPrompt, MaxPrompt int
+	// Decode lengths are drawn uniformly from [MinNew, MaxNew].
+	MinNew, MaxNew int
+	// MeanInterarrival, if positive, spaces arrivals by a geometric
+	// distribution with that mean (in scheduler iterations).
+	MeanInterarrival float64
+}
+
+// RequestTrace builds a deterministic request trace: Zipf-distributed
+// prompt tokens (the same stand-in corpus statistics as the evaluation
+// streams) with uniformly varied prompt/decode lengths and geometric
+// interarrival gaps. The same (cfg, seed) always yields the same trace.
+func RequestTrace(cfg TraceConfig, seed uint64) []RequestSpec {
+	if cfg.Requests <= 0 {
+		return nil
+	}
+	if cfg.MinPrompt < 1 {
+		cfg.MinPrompt = 1
+	}
+	if cfg.MaxPrompt < cfg.MinPrompt {
+		cfg.MaxPrompt = cfg.MinPrompt
+	}
+	if cfg.MinNew < 1 {
+		cfg.MinNew = 1
+	}
+	if cfg.MaxNew < cfg.MinNew {
+		cfg.MaxNew = cfg.MinNew
+	}
+	rng := tensor.NewRNG(seed ^ 0x7ace)
+	out := make([]RequestSpec, cfg.Requests)
+	step := 0
+	for i := range out {
+		plen := cfg.MinPrompt + rng.Intn(cfg.MaxPrompt-cfg.MinPrompt+1)
+		nnew := cfg.MinNew + rng.Intn(cfg.MaxNew-cfg.MinNew+1)
+		// Alternate the two corpus stand-ins so the trace mixes token
+		// distributions like mixed live traffic.
+		stream := Wiki
+		if i%2 == 1 {
+			stream = PTB
+		}
+		out[i] = RequestSpec{
+			Prompt:      TokenStream(stream, seed+uint64(i)*104729+13, plen, cfg.Vocab),
+			NewTokens:   nnew,
+			ArrivalStep: step,
+		}
+		if cfg.MeanInterarrival > 0 {
+			// Geometric gap with the configured mean: counting Bernoulli
+			// failures at success probability p has mean (1-p)/p, so
+			// p = 1/(mean+1) makes the expected gap equal the config.
+			p := 1 / (cfg.MeanInterarrival + 1)
+			for rng.Float64() >= p {
+				step++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package workload
+
+import "testing"
+
+func TestRequestTraceDeterministic(t *testing.T) {
+	cfg := TraceConfig{
+		Requests: 8, Vocab: 64,
+		MinPrompt: 4, MaxPrompt: 16, MinNew: 2, MaxNew: 8,
+		MeanInterarrival: 3,
+	}
+	a := RequestTrace(cfg, 42)
+	b := RequestTrace(cfg, 42)
+	if len(a) != 8 {
+		t.Fatalf("trace length %d", len(a))
+	}
+	for i := range a {
+		if len(a[i].Prompt) != len(b[i].Prompt) || a[i].NewTokens != b[i].NewTokens ||
+			a[i].ArrivalStep != b[i].ArrivalStep {
+			t.Fatalf("request %d differs between identical seeds", i)
+		}
+		for j := range a[i].Prompt {
+			if a[i].Prompt[j] != b[i].Prompt[j] {
+				t.Fatalf("request %d prompt token %d differs", i, j)
+			}
+		}
+		if len(a[i].Prompt) < 4 || len(a[i].Prompt) > 16 {
+			t.Fatalf("prompt length %d out of bounds", len(a[i].Prompt))
+		}
+		if a[i].NewTokens < 2 || a[i].NewTokens > 8 {
+			t.Fatalf("decode length %d out of bounds", a[i].NewTokens)
+		}
+		for _, tok := range a[i].Prompt {
+			if tok < 0 || tok >= 64 {
+				t.Fatalf("token %d out of vocab", tok)
+			}
+		}
+	}
+	// Different seeds give different traces.
+	c := RequestTrace(cfg, 43)
+	same := true
+	for i := range a {
+		if len(a[i].Prompt) != len(c[i].Prompt) || a[i].NewTokens != c[i].NewTokens {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed 42 and 43 produced identical trace shapes")
+	}
+	// Arrival steps are monotone non-decreasing.
+	for i := 1; i < len(a); i++ {
+		if a[i].ArrivalStep < a[i-1].ArrivalStep {
+			t.Fatal("arrival steps not monotone")
+		}
+	}
+}
+
+func TestRequestTraceDegenerateBounds(t *testing.T) {
+	tr := RequestTrace(TraceConfig{Requests: 3, Vocab: 16}, 1)
+	for _, r := range tr {
+		if len(r.Prompt) != 1 || r.NewTokens != 1 {
+			t.Fatalf("degenerate bounds: prompt %d, new %d", len(r.Prompt), r.NewTokens)
+		}
+	}
+	if RequestTrace(TraceConfig{}, 1) != nil {
+		t.Fatal("empty config must give nil trace")
+	}
+}
