@@ -2,8 +2,11 @@ package tender_test
 
 import (
 	"io"
+	"math"
+	"sort"
 	"testing"
 
+	"tender/internal/engine"
 	"tender/internal/experiments"
 	"tender/internal/model"
 	"tender/internal/quant"
@@ -60,8 +63,8 @@ func BenchmarkAblationDataflow(b *testing.B)   { benchTable(b, experiments.Ablat
 // number of load rounds. See `tenderbench -exp serve` for the full sweep.
 func BenchmarkServeThroughput(b *testing.B) {
 	m := model.New(model.Registry("opt-6.7b"))
-	engines, err := serve.BuildEngines(m, []string{"tender"}, serve.CalibOptions{
-		Bits: 8, Streams: 2, StreamLen: 64,
+	engines, err := engine.BuildEngines(m, []string{"tender"}, engine.BuildOptions{
+		Bits: 8, Streams: 2, StreamLen: 64, Serving: true,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -87,6 +90,94 @@ func BenchmarkServeThroughput(b *testing.B) {
 		decoded += rep.DecodeTokens
 	}
 	b.ReportMetric(float64(decoded)/b.Elapsed().Seconds(), "tokens/s")
+}
+
+// BenchmarkPreparedDecode quantifies the compile-once engine API on the
+// decode hot path: a single-token step (1×d activation) against a d×4d
+// projection, comparing Apply against a prepared weight pack (what the
+// serving engines do) with re-packing the weights every call (the
+// pre-redesign behaviour of the weight-heavy schemes). The measured
+// speedup per scheme is merged into BENCH_serve.json.
+func BenchmarkPreparedDecode(b *testing.B) {
+	const d = 256
+	x := workload.OPT67BAttentionInput(64, d, 1)
+	rng := tensor.NewRNG(2)
+	w := tensor.RandNormal(rng, d, 4*d, 0.05)
+	xdec := x.RowView(0, 1) // one decode-step row
+	ratios := map[string]float64{}
+	for _, spec := range []string{"smoothquant", "llmint8"} {
+		r, err := engine.Resolve(spec, engine.BuildOptions{Bits: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		kernel := r.Scheme.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, r.Bits)
+		packed := kernel.PrepareWeights(w)
+		var prepared, percall float64 // ns/op of the final (reported) run
+		var preparedN, percallN int
+		b.Run(spec+"/prepared", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				kernel.Apply(xdec, packed)
+			}
+			prepared = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			preparedN = b.N
+		})
+		b.Run(spec+"/requantize-per-call", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				schemes.MatMul(kernel, xdec, w)
+			}
+			percall = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			percallN = b.N
+		})
+		if prepared > 0 && percall > 0 {
+			ratio := percall / prepared
+			b.Logf("%s: prepare-once decode %.1fx faster (%.0fns vs %.0fns per step)",
+				spec, ratio, prepared, percall)
+			// Don't overwrite the tracked perf artifact with noisy
+			// low-iteration measurements (e.g. the CI -benchtime 1x smoke).
+			if preparedN >= 10 && percallN >= 10 {
+				ratios[spec] = ratio
+			} else {
+				b.Logf("%s: too few iterations (%d/%d) for a stable ratio, not updating BENCH_serve.json",
+					spec, preparedN, percallN)
+			}
+		}
+	}
+	recordPreparedDecode(b, ratios)
+}
+
+// recordPreparedDecode merges the measured speedups into BENCH_serve.json
+// alongside the serving throughput rows.
+func recordPreparedDecode(b *testing.B, ratios map[string]float64) {
+	if len(ratios) == 0 {
+		return
+	}
+	specs := make([]string, 0, len(ratios))
+	for spec := range ratios {
+		specs = append(specs, spec)
+	}
+	sort.Strings(specs)
+	rows := make([]map[string]any, 0, len(specs))
+	for _, spec := range specs {
+		rows = append(rows, map[string]any{
+			"scheme":             "prepared-decode/" + spec,
+			"prepared_speedup_x": math.Round(ratios[spec]*100) / 100,
+		})
+	}
+	// Own only the rows this run measured: a filtered run (-bench
+	// 'PreparedDecode/smoothquant') must not delete the other schemes'
+	// recorded ratios.
+	if err := experiments.RewriteServeBench("BENCH_serve.json", func(scheme string) bool {
+		for _, spec := range specs {
+			if scheme == "prepared-decode/"+spec {
+				return true
+			}
+		}
+		return false
+	}, rows); err != nil {
+		b.Logf("recording prepared-decode ratios: %v", err)
+	}
 }
 
 // Micro-benchmarks of the core kernels.
@@ -172,7 +263,7 @@ func BenchmarkSmoothQuantSite(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		site.MatMul(x, w)
+		schemes.MatMul(site, x, w)
 	}
 }
 

@@ -1,9 +1,13 @@
 // Command tenderserve is the continuous-batching inference server over
 // the reproduction's quantized engines.
 //
+// Engines are named by EngineSpec strings — "fp32", "tender:bits=4,int",
+// "uniform:gran=column,dynamic" — resolved against the internal/engine
+// registry; -list-schemes prints every scheme and its options.
+//
 // Serve an HTTP JSON API:
 //
-//	tenderserve -model opt-6.7b -schemes tender,fp16 -default-scheme tender -addr :8080
+//	tenderserve -model opt-6.7b -schemes "tender;fp16" -default-scheme tender -addr :8080
 //
 //	POST /v1/generate  {"prompt":[1,2,3],"max_new_tokens":16,"scheme":"tender"}
 //	GET  /v1/metrics   live counters: tokens/s, queue depth, p50/p95/p99
@@ -24,9 +28,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
-	"strings"
 	"time"
 
+	"tender/internal/engine"
 	"tender/internal/model"
 	"tender/internal/serve"
 	"tender/internal/workload"
@@ -36,7 +40,7 @@ func main() {
 	var (
 		addr          = flag.String("addr", ":8080", "HTTP listen address")
 		modelName     = flag.String("model", "opt-6.7b", "model (see internal/model Registry)")
-		schemesFlag   = flag.String("schemes", "tender", "comma-separated schemes to host")
+		schemesFlag   = flag.String("schemes", "tender", "engine specs to host, separated by ';' or spaces (e.g. \"tender:bits=4,int;fp16\"; see -list-schemes)")
 		defaultScheme = flag.String("default-scheme", "", "scheme used when a request names none")
 		bits          = flag.Int("bits", 8, "quantization bit width")
 		qaa           = flag.Bool("qaa", false, "quantize activation-activation matmuls")
@@ -44,7 +48,7 @@ func main() {
 		queue         = flag.Int("queue", 0, "admission queue depth (0 = 4×batch)")
 		prefillChunk  = flag.Int("prefill-chunk", 32, "max prompt tokens per iteration per request")
 		workers       = flag.Int("workers", 0, "iteration worker pool size (0 = GOMAXPROCS)")
-		listSchemes   = flag.Bool("list-schemes", false, "list scheme names and exit")
+		listSchemes   = flag.Bool("list-schemes", false, "list engine spec schemes and their options, then exit")
 
 		load      = flag.Bool("load", false, "run a deterministic load test instead of serving")
 		requests  = flag.Int("requests", 64, "load: number of requests")
@@ -59,25 +63,43 @@ func main() {
 	flag.Parse()
 
 	if *listSchemes {
-		for _, n := range serve.SchemeNames() {
-			fmt.Println(n)
+		fmt.Println("spec grammar: scheme[:key=value,flag,...]   (bits=<2..8> works for every scheme)")
+		for _, e := range engine.Entries() {
+			line := fmt.Sprintf("  %-12s %s", e.Name, e.Summary)
+			if e.Options != "" {
+				line += " [" + e.Options + "]"
+			}
+			fmt.Println(line)
 		}
 		return
 	}
 
 	m := model.New(model.Registry(*modelName))
-	names := splitNonEmpty(*schemesFlag)
+	names, err := engine.SplitSpecList(*schemesFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
 	if len(names) == 0 {
 		fatalf("no schemes requested")
 	}
+	// Engines are keyed (and requested) by the canonical spec form.
+	for i, n := range names {
+		if names[i], err = engine.Canonical(n); err != nil {
+			fatalf("%v", err)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "calibrating %v on %s (bits=%d)...\n", names, *modelName, *bits)
-	engines, err := serve.BuildEngines(m, names, serve.CalibOptions{Bits: *bits, QuantActAct: *qaa})
+	engines, err := engine.BuildEngines(m, names, engine.BuildOptions{
+		Bits: *bits, QuantActAct: *qaa, Serving: true,
+	})
 	if err != nil {
 		fatalf("%v", err)
 	}
 	def := *defaultScheme
 	if def == "" {
 		def = names[0]
+	} else if def, err = engine.Canonical(def); err != nil {
+		fatalf("%v", err)
 	}
 	srv, err := serve.New(serve.Config{
 		Model: m, Engines: engines, DefaultScheme: def,
@@ -119,6 +141,17 @@ func main() {
 		if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
+		}
+		// Hosted engines are keyed canonically; accept case, alias,
+		// flag-shorthand and option-order variants of a hosted spec
+		// ("FP16", "tender-int") per request. Other spellings — including
+		// ones that elaborate defaulted options, like "tender:bits=8" for
+		// a hosted "tender" — and unparseable names stay verbatim and fail
+		// the hosted-scheme lookup below.
+		if in.Scheme != "" {
+			if c, err := engine.Canonical(in.Scheme); err == nil {
+				in.Scheme = c
+			}
 		}
 		req := serve.Request{
 			Prompt:       in.Prompt,
@@ -202,16 +235,6 @@ func httpError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
-}
-
-func splitNonEmpty(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if p := strings.TrimSpace(part); p != "" {
-			out = append(out, p)
-		}
-	}
-	return out
 }
 
 func fatalf(format string, args ...any) {

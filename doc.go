@@ -5,6 +5,20 @@
 // quantization schemes it is evaluated against, a transformer model
 // substrate, and a cycle-level accelerator simulator.
 //
+// Quantized inference engines are constructed through exactly one entry
+// point, internal/engine, which resolves EngineSpec strings
+//
+//	spec    := scheme[":" option ("," option)*]
+//	option  := key "=" value | flag
+//
+// such as "fp32", "tender:bits=4,int" or "uniform:gran=column,dynamic"
+// against a single scheme registry. Engines execute in two phases
+// mirroring the paper's calibration-time/runtime split: every matmul
+// site's SiteKernel packs its weights once (PrepareWeights — quantized
+// codes, scales, channel groups, outlier splits, block exponents, all
+// immutable) and the per-call hot path (Apply) quantizes only
+// activations, which is what keeps serving decode steps cheap.
+//
 // See README.md for the layout, DESIGN.md for the system inventory and
 // substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
 // root package only anchors module documentation and the benchmark

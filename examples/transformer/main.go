@@ -6,11 +6,8 @@ package main
 import (
 	"fmt"
 
+	"tender/internal/engine"
 	"tender/internal/model"
-	"tender/internal/quant"
-	"tender/internal/schemes"
-	"tender/internal/schemes/olive"
-	"tender/internal/schemes/smoothquant"
 	"tender/internal/workload"
 )
 
@@ -32,16 +29,19 @@ func main() {
 
 	for _, bits := range []int{8, 4} {
 		fmt.Printf("\nINT%d:\n", bits)
-		for _, s := range []schemes.Scheme{
-			schemes.Uniform{ActGran: quant.PerTensor, Dynamic: true},
-			smoothquant.New(),
-			olive.New(),
-			schemes.Tender{},
+		for _, spec := range []string{
+			"uniform:gran=tensor,dynamic",
+			"smoothquant",
+			"olive",
+			"tender",
 		} {
-			eng := model.Calibrate(s, bits, false, rec)
-			r := model.TeacherPerplexity(m, eng, eval, temp)
+			r, err := engine.Resolve(spec, engine.BuildOptions{Bits: bits})
+			if err != nil {
+				panic(err)
+			}
+			res := model.TeacherPerplexity(m, r.Engine(rec), eval, temp)
 			fmt.Printf("  %-22s perplexity %s (FP32 base %.2f)\n",
-				s.Name(), fmtPPL(r.PPL), r.Base)
+				r.Name, fmtPPL(res.PPL), res.Base)
 		}
 	}
 }

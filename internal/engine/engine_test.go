@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"testing"
+
+	"tender/internal/model"
+	"tender/internal/tensor"
+	"tender/internal/workload"
+)
+
+// TestRegistryGuard asserts every registry entry parses, resolves, builds
+// an engine on a tiny model, and appears in SchemeNames — the invariant
+// that keeps this file the single scheme table.
+func TestRegistryGuard(t *testing.T) {
+	names := map[string]bool{}
+	for _, n := range SchemeNames() {
+		names[n] = true
+	}
+	if len(names) != len(registry) {
+		t.Fatalf("SchemeNames has %d entries, registry %d", len(names), len(registry))
+	}
+	m := model.New(model.TinyConfig())
+	for _, e := range Entries() {
+		if !names[e.Name] {
+			t.Fatalf("registry entry %q missing from SchemeNames", e.Name)
+		}
+		if e.Summary == "" {
+			t.Fatalf("registry entry %q has no summary", e.Name)
+		}
+		spec, err := ParseSpec(e.Name)
+		if err != nil || spec.Scheme != e.Name {
+			t.Fatalf("entry name %q does not parse as a spec: %v", e.Name, err)
+		}
+		for _, serving := range []bool{false, true} {
+			r, err := Resolve(e.Name, BuildOptions{Serving: serving})
+			if err != nil {
+				t.Fatalf("Resolve(%q, serving=%v): %v", e.Name, serving, err)
+			}
+			if r.Exact != e.Exact || (r.Scheme == nil) != e.Exact {
+				t.Fatalf("entry %q: exactness mismatch", e.Name)
+			}
+		}
+		engines, err := BuildEngines(m, []string{e.Name}, BuildOptions{Streams: 1, StreamLen: 16})
+		if err != nil {
+			t.Fatalf("BuildEngines(%q): %v", e.Name, err)
+		}
+		if engines[e.Name] == nil {
+			t.Fatalf("BuildEngines(%q) returned no engine", e.Name)
+		}
+	}
+	for alias := range aliases {
+		if _, err := Resolve(alias, BuildOptions{}); err != nil {
+			t.Fatalf("alias %q does not resolve: %v", alias, err)
+		}
+	}
+	// Option keys must never collide with scheme names or aliases — the
+	// invariant SplitSpecList's comma disambiguation rests on — and every
+	// declared key must actually be consumed by its builder (an undeclared
+	// key would surface as an "unknown option" error at resolve time, so
+	// declaration and documentation must agree).
+	for _, e := range Entries() {
+		if (len(e.optionKeys) == 0) != (e.Options == "") {
+			t.Fatalf("entry %q: optionKeys and Options documentation disagree", e.Name)
+		}
+		for _, key := range append([]string{"bits"}, e.optionKeys...) {
+			if isSchemeName(key) {
+				t.Fatalf("option key %q of %q collides with a scheme name or alias", key, e.Name)
+			}
+		}
+	}
+}
+
+// TestBuildEnginesSharedCalibration: several specs share one recording
+// pass and an exact spec needs none.
+func TestBuildEnginesSharedCalibration(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	specs := []string{"fp32", "tender", "tender:int", "uniform:gran=tensor"}
+	engines, err := BuildEngines(m, specs, BuildOptions{Streams: 1, StreamLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(engines) != len(specs) {
+		t.Fatalf("got %d engines, want %d", len(engines), len(specs))
+	}
+	// Non-canonical spellings dedupe to one engine under the canonical
+	// key, keeping a sole hosted scheme a sole map entry.
+	alt, err := BuildEngines(m, []string{"FP16", "fp16", "Tender-Int"}, BuildOptions{Streams: 1, StreamLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alt) != 2 || alt["fp16"] == nil || alt["tender:int"] == nil {
+		t.Fatalf("want canonical keys {fp16, tender:int}, got %d engines", len(alt))
+	}
+	if c, err := Canonical(" Tender-Int : groups=4 "); err != nil || c != "tender:groups=4,int" {
+		t.Fatalf("Canonical = %q, %v", c, err)
+	}
+	// Option order is spelling, not identity.
+	c1, err1 := Canonical("tender:bits=4,int")
+	c2, err2 := Canonical("tender:int,bits=4")
+	if err1 != nil || err2 != nil || c1 != c2 {
+		t.Fatalf("option order must not change the canonical key: %q vs %q", c1, c2)
+	}
+	if _, err := Canonical("nosuch"); err == nil {
+		t.Fatal("Canonical must reject unknown schemes")
+	}
+	if _, ok := engines["fp32"].(model.Exact); !ok {
+		t.Fatal("fp32 must map to the exact engine")
+	}
+	toks := workload.TokenStream(workload.Wiki, 3, 12, m.Cfg.Vocab)
+	ref := m.Forward(toks, model.Exact{})
+	if tensor.MaxAbsDiff(ref, m.Forward(toks, engines["fp32"])) != 0 {
+		t.Fatal("fp32 engine not exact")
+	}
+	// The two Tender variants are mathematically equivalent paths.
+	a := m.Forward(toks, engines["tender"])
+	b := m.Forward(toks, engines["tender:int"])
+	if tensor.MaxAbsDiff(a, b) > 1e-9*(a.AbsMax()+1) {
+		t.Fatal("tender and tender:int diverge")
+	}
+}
+
+// TestBuildEnginesUnknownScheme: construction fails fast with the known
+// names in the message.
+func TestBuildEnginesUnknownScheme(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	if _, err := BuildEngines(m, []string{"tender", "nope"}, BuildOptions{}); err == nil {
+		t.Fatal("unknown scheme must fail")
+	}
+}

@@ -1,0 +1,165 @@
+// Package engine is the single entry point for constructing quantized
+// inference engines. An engine is named by an EngineSpec string:
+//
+//	spec    := scheme [":" option ("," option)*]
+//	option  := key "=" value | flag
+//
+// e.g. "fp32", "tender:bits=4,int", "uniform:gran=column,dynamic",
+// "smoothquant:alpha=0.7". The scheme name selects a registry entry; the
+// options configure it. "bits=<2..8>" is accepted by every scheme and
+// overrides the build's default element width (schemes without an integer
+// datapath — fp32, fp16, msfp, mxfp4, smx4 — ignore it). Flags are
+// shorthand for "<flag>=true". Keys are case-insensitive and must be
+// unique within a spec.
+//
+// Every caller that needs an engine — the serving layer, the experiment
+// harness, the CLIs — goes through Resolve/BuildEngines here, so the
+// registry below is the one scheme-name table in the codebase.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Option is one key=value pair of a Spec; flags carry the value "true".
+type Option struct {
+	Key, Value string
+}
+
+// Spec is a parsed EngineSpec: the scheme name plus its options in
+// spec order (keys are unique).
+type Spec struct {
+	Scheme string
+	Opts   []Option
+}
+
+// ParseSpec parses an EngineSpec string. It validates the grammar only;
+// scheme and option names are checked against the registry by Resolve.
+func ParseSpec(s string) (Spec, error) {
+	raw := strings.TrimSpace(s)
+	name, rest, hasOpts := strings.Cut(raw, ":")
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" {
+		return Spec{}, fmt.Errorf("engine: empty scheme name in spec %q", s)
+	}
+	spec := Spec{Scheme: name}
+	if !hasOpts {
+		return spec, nil
+	}
+	if strings.TrimSpace(rest) == "" {
+		return Spec{}, fmt.Errorf("engine: spec %q has a ':' but no options", s)
+	}
+	for _, part := range strings.Split(rest, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return Spec{}, fmt.Errorf("engine: empty option in spec %q", s)
+		}
+		key, val, hasEq := strings.Cut(part, "=")
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		if key == "" {
+			return Spec{}, fmt.Errorf("engine: option with empty key in spec %q", s)
+		}
+		if hasEq && val == "" {
+			return Spec{}, fmt.Errorf("engine: option %q has no value in spec %q", key, s)
+		}
+		if !hasEq {
+			val = "true"
+		}
+		if _, dup := spec.Get(key); dup {
+			return Spec{}, fmt.Errorf("engine: duplicate option %q in spec %q", key, s)
+		}
+		spec.Opts = append(spec.Opts, Option{Key: key, Value: val})
+	}
+	return spec, nil
+}
+
+// Get returns the value of an option and whether it is present.
+func (s Spec) Get(key string) (string, bool) {
+	for _, o := range s.Opts {
+		if o.Key == key {
+			return o.Value, true
+		}
+	}
+	return "", false
+}
+
+// String renders the spec faithfully: options in spec order, flags
+// (value "true") bare. ParseSpec(s.String()) round-trips to s.
+func (s Spec) String() string {
+	if len(s.Opts) == 0 {
+		return s.Scheme
+	}
+	parts := make([]string, len(s.Opts))
+	for i, o := range s.Opts {
+		if o.Value == "true" {
+			parts[i] = o.Key
+		} else {
+			parts[i] = o.Key + "=" + o.Value
+		}
+	}
+	return s.Scheme + ":" + strings.Join(parts, ",")
+}
+
+// CanonicalString renders the spec with options sorted by key — the form
+// engine maps are keyed by. It normalizes case, whitespace, the bare-flag
+// shorthand ("int" vs "int=true") and option order, so "tender:bits=4,int"
+// and "tender:int,bits=4" name one engine; it does not elaborate defaulted
+// options, so "tender" and "tender:bits=8" remain distinct keys even when
+// the build default is 8 bits.
+func (s Spec) CanonicalString() string {
+	if len(s.Opts) <= 1 {
+		return s.String()
+	}
+	c := Spec{Scheme: s.Scheme, Opts: append([]Option(nil), s.Opts...)}
+	sort.SliceStable(c.Opts, func(i, j int) bool { return c.Opts[i].Key < c.Opts[j].Key })
+	return c.String()
+}
+
+// SplitSpecList splits a user-supplied list of specs. Specs are separated
+// by semicolons or whitespace; commas also separate specs (the legacy
+// "tender,fp16" form) except where they continue an open option list —
+// a comma-segment is a new spec iff its head names a registered scheme or
+// alias, since option keys and scheme names never collide. So
+// "tender:bits=4,int;fp16", "tender:bits=4,int fp16" and
+// "uniform:gran=column,dynamic,fp16" all parse as two specs.
+func SplitSpecList(s string) ([]string, error) {
+	var out []string
+	for _, chunk := range strings.FieldsFunc(s, func(r rune) bool {
+		return r == ';' || r == ' ' || r == '\t' || r == '\n'
+	}) {
+		first := true
+		for _, seg := range strings.Split(chunk, ",") {
+			seg = strings.TrimSpace(seg)
+			if seg == "" {
+				continue
+			}
+			head := seg
+			if i := strings.IndexAny(seg, ":="); i >= 0 {
+				head = seg[:i]
+			}
+			starts := strings.Contains(seg, ":") ||
+				(!strings.Contains(seg, "=") && isSchemeName(strings.ToLower(head)))
+			switch {
+			case starts:
+				out = append(out, seg)
+			case first:
+				// Whitespace and ';' separate specs, so a chunk must open
+				// with one — options continue only across commas.
+				return nil, fmt.Errorf("engine: %q is not a scheme name (known: %v)", seg, SchemeNames())
+			case !strings.Contains(out[len(out)-1], ":"):
+				// An option can only continue a spec that opened one with
+				// ':'; "llmint8,threshold=5" is a typo for the colon form.
+				return nil, fmt.Errorf("engine: option %q must follow a ':' (did you mean %q?)",
+					seg, out[len(out)-1]+":"+seg)
+			default:
+				// Continuation of the previous spec's option list.
+				out[len(out)-1] += "," + seg
+			}
+			first = false
+		}
+	}
+	return out, nil
+}

@@ -4,10 +4,6 @@ import (
 	"fmt"
 
 	"tender/internal/model"
-	"tender/internal/schemes"
-	"tender/internal/schemes/ant"
-	"tender/internal/schemes/mx"
-	"tender/internal/schemes/olive"
 )
 
 // glueTask pairs a GLUE task name with the paper's published FP32
@@ -52,8 +48,8 @@ func TableIV(o Options) Table {
 	}
 	evalRow("FP32", "Base", model.Exact{})
 	for _, bits := range []int{8, 4} {
-		for _, s := range []schemes.Scheme{ant.New(), olive.New(), schemes.Tender{}} {
-			evalRow(fmt.Sprintf("INT%d", bits), s.Name(), h.engine("bert-large", s, bits, true))
+		for _, s := range []string{"ant", "olive", "tender"} {
+			evalRow(fmt.Sprintf("INT%d", bits), specLabel(s), h.engine("bert-large", s, bits, true))
 		}
 	}
 	return t
@@ -121,9 +117,9 @@ func TableVII(o Options) Table {
 		m := h.model(name)
 		engines := []model.Engine{
 			model.Exact{},
-			h.engine(name, mx.NewSMX4(), 4, true),
-			h.engine(name, mx.NewMXFP4(), 4, true),
-			h.engine(name, schemes.Tender{}, 4, true),
+			h.engine(name, "smx4", 4, true),
+			h.engine(name, "mxfp4", 4, true),
+			h.engine(name, "tender", 4, true),
 		}
 		for ti, zt := range zeroShotTasks {
 			target := zt.optAcc

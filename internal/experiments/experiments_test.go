@@ -321,6 +321,7 @@ func TestServeBenchQuick(t *testing.T) {
 }
 
 func TestServeByID(t *testing.T) {
+	t.Chdir(t.TempDir()) // ByID runs ServeBench; BENCH_serve.json lands here
 	if _, ok := ByID("serve", q); !ok {
 		t.Fatal("serve must resolve")
 	}

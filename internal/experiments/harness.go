@@ -1,12 +1,10 @@
 package experiments
 
 import (
-	"fmt"
-
 	"sync"
 
+	"tender/internal/engine"
 	"tender/internal/model"
-	"tender/internal/schemes"
 	"tender/internal/tensor"
 	"tender/internal/workload"
 )
@@ -38,14 +36,14 @@ type harness struct {
 	streams map[streamKey][]int
 	refs    map[streamKey]*tensor.Matrix
 	temps   map[streamKey]float64
-	engines map[engineKey]*model.SchemeEngine
+	engines map[engineKey]model.Engine
 }
 
 type engineKey struct {
-	model  string
-	scheme string
-	bits   int
-	qaa    bool
+	model string
+	spec  string
+	bits  int
+	qaa   bool
 }
 
 type streamKey struct {
@@ -62,7 +60,7 @@ func newHarness(o Options) *harness {
 		streams: make(map[streamKey][]int),
 		refs:    make(map[streamKey]*tensor.Matrix),
 		temps:   make(map[streamKey]float64),
-		engines: make(map[engineKey]*model.SchemeEngine),
+		engines: make(map[engineKey]model.Engine),
 	}
 }
 
@@ -98,33 +96,35 @@ func (h *harness) recorder(name string) *model.Recorder {
 	return rec
 }
 
-// engine builds (or returns the cached) calibrated engine from the cached
-// recording. Cache keys include the scheme's descriptive name, so scheme
-// variants that share a Name (e.g. Tender with different group counts)
-// must come from distinct harnesses — experiment functions each build
-// their own harness, which keeps this safe.
-func (h *harness) engine(name string, s schemes.Scheme, bits int, quantActAct bool) *model.SchemeEngine {
-	k := engineKey{name, schemeCacheKey(s), bits, quantActAct}
+// engine builds (or returns the cached) calibrated engine for an
+// EngineSpec from the cached recording. The spec string is the cache key,
+// so scheme variants (e.g. "tender:groups=4") disambiguate themselves.
+func (h *harness) engine(name, spec string, bits int, quantActAct bool) model.Engine {
+	k := engineKey{name, spec, bits, quantActAct}
 	h.mu.Lock()
 	if e, ok := h.engines[k]; ok {
 		h.mu.Unlock()
 		return e
 	}
 	h.mu.Unlock()
-	e := model.Calibrate(s, bits, quantActAct, h.recorder(name))
+	r, err := engine.Resolve(spec, engine.BuildOptions{Bits: bits, QuantActAct: quantActAct})
+	if err != nil {
+		panic(err)
+	}
+	e := r.Engine(h.recorder(name))
 	h.mu.Lock()
 	h.engines[k] = e
 	h.mu.Unlock()
 	return e
 }
 
-// schemeCacheKey disambiguates scheme variants beyond their display name.
-func schemeCacheKey(s schemes.Scheme) string {
-	if t, ok := s.(schemes.Tender); ok {
-		return fmt.Sprintf("Tender/g%d/a%d/rc%d/nrc%v/cl%v/b%v",
-			t.Groups, t.Alpha, t.RowChunk, t.NoRowChunk, t.UseClustering, t.DisableBias)
+// specLabel returns the display name of a spec for table rows.
+func specLabel(spec string) string {
+	r, err := engine.Resolve(spec, engine.BuildOptions{})
+	if err != nil {
+		panic(err)
 	}
-	return s.Name()
+	return r.Name
 }
 
 // evalStream returns the cached evaluation token stream.
@@ -162,17 +162,17 @@ func (h *harness) refAndTemp(name string, st workload.Stream, seq int) (*tensor.
 	return ref, temp
 }
 
-// ppl evaluates one (model, scheme, bits, stream) cell.
-func (h *harness) ppl(name string, s schemes.Scheme, bits int, quantActAct bool, st workload.Stream) model.PerplexityResult {
-	return h.pplAt(name, s, bits, quantActAct, st, h.opts.evalSeq())
+// ppl evaluates one (model, spec, bits, stream) cell.
+func (h *harness) ppl(name, spec string, bits int, quantActAct bool, st workload.Stream) model.PerplexityResult {
+	return h.pplAt(name, spec, bits, quantActAct, st, h.opts.evalSeq())
 }
 
 // pplAt evaluates at an explicit sequence length.
-func (h *harness) pplAt(name string, s schemes.Scheme, bits int, quantActAct bool, st workload.Stream, seq int) model.PerplexityResult {
+func (h *harness) pplAt(name, spec string, bits int, quantActAct bool, st workload.Stream, seq int) model.PerplexityResult {
 	m := h.model(name)
 	toks := h.evalStream(name, st, seq)
 	ref, temp := h.refAndTemp(name, st, seq)
-	eng := h.engine(name, s, bits, quantActAct)
+	eng := h.engine(name, spec, bits, quantActAct)
 	return model.TeacherPerplexityAgainst(ref, m, eng, toks, temp)
 }
 
@@ -180,6 +180,6 @@ func (h *harness) pplAt(name string, s schemes.Scheme, bits int, quantActAct boo
 func (h *harness) base(name string, st workload.Stream) float64 {
 	_, temp := h.refAndTemp(name, st, h.opts.evalSeq())
 	_ = temp
-	r := h.pplAt(name, schemes.FP16{}, 8, false, st, h.opts.evalSeq())
+	r := h.pplAt(name, "fp16", 8, false, st, h.opts.evalSeq())
 	return r.Base
 }

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"tender/internal/gpu"
-	"tender/internal/schemes"
 	"tender/internal/tender"
 	"tender/internal/tensor"
 	"tender/internal/workload"
@@ -106,7 +105,7 @@ func AblationAlpha(o Options) Table {
 	}
 	rescale := map[int]string{2: "1-bit shift (1 cycle)", 3: "split-accumulator multiply", 4: "2-bit shift"}
 	for _, a := range []int{2, 3, 4} {
-		r := h.ppl("opt-6.7b", schemes.Tender{Alpha: a}, 4, false, workload.Wiki)
+		r := h.ppl("opt-6.7b", fmt.Sprintf("tender:alpha=%d", a), 4, false, workload.Wiki)
 		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", a), FormatPPL(r.PPL), rescale[a]})
 	}
 	return t
@@ -122,9 +121,9 @@ func AblationRowChunk(o Options) Table {
 	}
 	chunks := []int{0, 32, 64, 128, 256}
 	for _, c := range chunks {
-		s := schemes.Tender{RowChunk: c}
+		s := fmt.Sprintf("tender:rowchunk=%d", c)
 		if c == 0 {
-			s = schemes.Tender{NoRowChunk: true}
+			s = "tender:norowchunk"
 		}
 		label := fmt.Sprintf("%d", c)
 		if c == 0 {
@@ -144,8 +143,8 @@ func AblationBias(o Options) Table {
 		Title:   "Ablation: channel bias subtraction (Tender INT4, OPT-6.7B, Wiki)",
 		Columns: []string{"Bias subtraction", "PPL"},
 	}
-	on := h.ppl("opt-6.7b", schemes.Tender{}, 4, false, workload.Wiki)
-	off := h.ppl("opt-6.7b", schemes.Tender{DisableBias: true}, 4, false, workload.Wiki)
+	on := h.ppl("opt-6.7b", "tender", 4, false, workload.Wiki)
+	off := h.ppl("opt-6.7b", "tender:nobias", 4, false, workload.Wiki)
 	t.Rows = append(t.Rows,
 		[]string{"on", FormatPPL(on.PPL)},
 		[]string{"off", FormatPPL(off.PPL)})
@@ -164,7 +163,7 @@ func AblationBits(o Options) Table {
 		Columns: []string{"Bits", "PPL"},
 	}
 	for _, bits := range []int{4, 5, 6, 7, 8} {
-		r := h.ppl("opt-6.7b", schemes.Tender{}, bits, false, workload.Wiki)
+		r := h.ppl("opt-6.7b", "tender", bits, false, workload.Wiki)
 		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", bits), FormatPPL(r.PPL)})
 	}
 	return t

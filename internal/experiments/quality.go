@@ -4,11 +4,6 @@ import (
 	"fmt"
 
 	"tender/internal/quant"
-	"tender/internal/schemes"
-	"tender/internal/schemes/ant"
-	"tender/internal/schemes/msfp"
-	"tender/internal/schemes/olive"
-	"tender/internal/schemes/smoothquant"
 	"tender/internal/workload"
 )
 
@@ -26,14 +21,14 @@ func TableI(o Options) Table {
 	}
 	base := []string{"FP16"}
 	for _, m := range models {
-		base = append(base, FormatPPL(h.ppl(m, schemes.FP16{}, 8, false, workload.Wiki).PPL))
+		base = append(base, FormatPPL(h.ppl(m, "fp16", 8, false, workload.Wiki).PPL))
 	}
 	t.Rows = append(t.Rows, base)
 	for _, bits := range []int{8, 4} {
 		for _, g := range grans {
 			row := []string{fmt.Sprintf("INT%d %s", bits, g)}
 			for _, m := range models {
-				r := h.ppl(m, schemes.Uniform{ActGran: g, Dynamic: true}, bits, false, workload.Wiki)
+				r := h.ppl(m, uniformSpec(g), bits, false, workload.Wiki)
 				row = append(row, FormatPPL(r.PPL))
 			}
 			t.Rows = append(t.Rows, row)
@@ -42,14 +37,17 @@ func TableI(o Options) Table {
 	return t
 }
 
-// quantSchemes are the Table II comparison schemes in paper order.
-func quantSchemes() []schemes.Scheme {
-	return []schemes.Scheme{
-		smoothquant.New(),
-		ant.New(),
-		olive.New(),
-		schemes.Tender{},
-	}
+// quantSchemes are the Table II comparison scheme specs in paper order.
+func quantSchemes() []string {
+	return []string{"smoothquant", "ant", "olive", "tender"}
+}
+
+// uniformSpec renders the dynamic uniform spec for a granularity.
+func uniformSpec(g quant.Granularity) string {
+	tok := map[quant.Granularity]string{
+		quant.PerTensor: "tensor", quant.PerRow: "row", quant.PerColumn: "column",
+	}[g]
+	return "uniform:gran=" + tok + ",dynamic"
 }
 
 // TableII reproduces Table II: INT8/INT4 PTQ perplexity for eight models
@@ -78,13 +76,13 @@ func TableII(o Options) Table {
 	baseRow := []string{"FP16", "Base"}
 	for _, m := range models {
 		baseRow = append(baseRow,
-			FormatPPL(h.ppl(m, schemes.FP16{}, 8, false, workload.Wiki).PPL),
-			FormatPPL(h.ppl(m, schemes.FP16{}, 8, false, workload.PTB).PPL))
+			FormatPPL(h.ppl(m, "fp16", 8, false, workload.Wiki).PPL),
+			FormatPPL(h.ppl(m, "fp16", 8, false, workload.PTB).PPL))
 	}
 	t.Rows = append(t.Rows, baseRow)
 	for _, bits := range []int{8, 4} {
 		for _, s := range quantSchemes() {
-			row := []string{fmt.Sprintf("INT%d", bits), s.Name()}
+			row := []string{fmt.Sprintf("INT%d", bits), specLabel(s)}
 			for _, m := range models {
 				row = append(row,
 					FormatPPL(h.ppl(m, s, bits, false, workload.Wiki).PPL),
@@ -130,18 +128,18 @@ func TableIII(o Options) Table {
 		t.Rows = append(t.Rows, row)
 	}
 	addRow("FP16", "Base", func(st workload.Stream, seq int) float64 {
-		return h.pplAt(m, schemes.FP16{}, 8, false, st, seq).PPL
+		return h.pplAt(m, "fp16", 8, false, st, seq).PPL
 	})
 	for _, bits := range []int{8, 4} {
 		for _, s := range quantSchemes() {
 			s := s
-			addRow(fmt.Sprintf("INT%d", bits), s.Name(), func(st workload.Stream, seq int) float64 {
+			addRow(fmt.Sprintf("INT%d", bits), specLabel(s), func(st workload.Stream, seq int) float64 {
 				return h.pplAt(m, s, bits, false, st, seq).PPL
 			})
 		}
 		// Tender (all): quantizes the activation-activation matmuls too.
 		addRow(fmt.Sprintf("INT%d", bits), "Tender (all)", func(st workload.Stream, seq int) float64 {
-			return h.pplAt(m, schemes.Tender{}, bits, true, st, seq).PPL
+			return h.pplAt(m, "tender", bits, true, st, seq).PPL
 		})
 	}
 	return t
@@ -164,10 +162,10 @@ func TableVI(o Options) Table {
 		name string
 		f    func(m string) float64
 	}{
-		{"FP16", func(m string) float64 { return h.ppl(m, schemes.FP16{}, 8, false, workload.Wiki).PPL }},
-		{"MSFP12", func(m string) float64 { return h.ppl(m, msfp.New(), 4, false, workload.Wiki).PPL }},
-		{"MSFP12-OL", func(m string) float64 { return h.ppl(m, msfp.NewOL(), 4, false, workload.Wiki).PPL }},
-		{"Tender-INT4", func(m string) float64 { return h.ppl(m, schemes.Tender{}, 4, false, workload.Wiki).PPL }},
+		{"FP16", func(m string) float64 { return h.ppl(m, "fp16", 8, false, workload.Wiki).PPL }},
+		{"MSFP12", func(m string) float64 { return h.ppl(m, "msfp", 4, false, workload.Wiki).PPL }},
+		{"MSFP12-OL", func(m string) float64 { return h.ppl(m, "msfp:ol", 4, false, workload.Wiki).PPL }},
+		{"Tender-INT4", func(m string) float64 { return h.ppl(m, "tender", 4, false, workload.Wiki).PPL }},
 	}
 	for _, r := range rows {
 		row := []string{r.name}
@@ -195,8 +193,9 @@ func Figure9(o Options) Table {
 		Columns: []string{"Groups", "INT4", "INT8"},
 	}
 	for _, g := range groups {
-		r4 := h.ppl(m, schemes.Tender{Groups: g}, 4, false, workload.PTB)
-		r8 := h.ppl(m, schemes.Tender{Groups: g}, 8, false, workload.PTB)
+		spec := fmt.Sprintf("tender:groups=%d", g)
+		r4 := h.ppl(m, spec, 4, false, workload.PTB)
+		r8 := h.ppl(m, spec, 8, false, workload.PTB)
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", g), FormatPPL(r4.PPL), FormatPPL(r8.PPL),
 		})

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 
+	"tender/internal/engine"
 	"tender/internal/model"
 	"tender/internal/serve"
 	"tender/internal/workload"
@@ -40,8 +42,8 @@ func ServeBench(o Options) Table {
 		requests, minP, maxP, newTok = 12, 12, 24, 6
 	}
 	m := model.New(model.Registry(modelName))
-	engines, err := serve.BuildEngines(m, schemeNames, serve.CalibOptions{
-		Bits: 8, Streams: 2, StreamLen: 64,
+	engines, err := engine.BuildEngines(m, schemeNames, engine.BuildOptions{
+		Bits: 8, Streams: 2, StreamLen: 64, Serving: true,
 	})
 	if err != nil {
 		panic(err)
@@ -101,10 +103,68 @@ func ServeBench(o Options) Table {
 			})
 		}
 	}
-	if blob, err := json.MarshalIndent(emit, "", "  "); err == nil {
-		// Best-effort: the table is the primary artifact, the JSON file
-		// seeds perf tracking across PRs.
-		_ = os.WriteFile(ServeBenchFile, append(blob, '\n'), 0o644)
+	// Best-effort: the table is the primary artifact, the JSON file seeds
+	// perf tracking across PRs.
+	rows := make([]map[string]any, 0, len(emit))
+	for _, e := range emit {
+		if blob, err := json.Marshal(e); err == nil {
+			var row map[string]any
+			if json.Unmarshal(blob, &row) == nil {
+				rows = append(rows, row)
+			}
+		}
+	}
+	// Own only the schemes this run measured, so rows any other writer
+	// records survive the rewrite.
+	owned := make(map[string]bool, len(schemeNames))
+	for _, n := range schemeNames {
+		owned[n] = true
+	}
+	if err := RewriteServeBench(ServeBenchFile, func(scheme string) bool {
+		return owned[scheme]
+	}, rows); err != nil {
+		fmt.Fprintf(os.Stderr, "serve bench: %v\n", err)
 	}
 	return t
+}
+
+// RewriteServeBench rewrites the BENCH_serve.json at path, replacing the
+// rows the caller owns — those whose "scheme" field satisfies owned —
+// with rows and keeping every other writer's rows (ServeBench owns the
+// serving-throughput rows; BenchmarkPreparedDecode the "prepared-decode/"
+// rows). An existing file that fails to parse aborts the rewrite instead
+// of clobbering the other writers' data.
+func RewriteServeBench(path string, owned func(scheme string) bool, rows []map[string]any) error {
+	var kept []map[string]any
+	if blob, err := os.ReadFile(path); err == nil {
+		var prev []map[string]any
+		if err := json.Unmarshal(blob, &prev); err != nil {
+			return fmt.Errorf("%s exists but does not parse, not rewriting: %w", path, err)
+		}
+		for _, row := range prev {
+			if scheme, _ := row["scheme"].(string); !owned(scheme) {
+				kept = append(kept, row)
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("%s exists but is unreadable, not rewriting: %w", path, err)
+	}
+	kept = append(kept, rows...)
+	// Stable row order keeps regeneration diffs minimal regardless of
+	// which writer ran last.
+	sort.SliceStable(kept, func(i, j int) bool {
+		si, _ := kept[i]["scheme"].(string)
+		sj, _ := kept[j]["scheme"].(string)
+		if si != sj {
+			return si < sj
+		}
+		bi, _ := kept[i]["batch"].(float64)
+		bj, _ := kept[j]["batch"].(float64)
+		return bi < bj
+	})
+	blob, err := json.MarshalIndent(kept, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
 }

@@ -186,16 +186,16 @@ func MSE(s Strategy, seed uint64) float64 {
 	var out *tensor.Matrix
 	switch s {
 	case FP16:
-		out = schemes.FP16{}.NewSite(nil, nil, 0).MatMul(x, w)
+		out = schemes.MatMul(schemes.FP16{}.NewSite(nil, nil, 0), x, w)
 	case Int8PerTensor:
-		out = schemes.Uniform{ActGran: quant.PerTensor, Dynamic: true}.
-			NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8).MatMul(x, w)
+		out = schemes.MatMul(schemes.Uniform{ActGran: quant.PerTensor, Dynamic: true}.
+			NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8), x, w)
 	case Int8PerRow:
-		out = schemes.Uniform{ActGran: quant.PerRow, Dynamic: true}.
-			NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8).MatMul(x, w)
+		out = schemes.MatMul(schemes.Uniform{ActGran: quant.PerRow, Dynamic: true}.
+			NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8), x, w)
 	case Int8PerChannel:
-		out = schemes.Uniform{ActGran: quant.PerColumn, Dynamic: true}.
-			NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8).MatMul(x, w)
+		out = schemes.MatMul(schemes.Uniform{ActGran: quant.PerColumn, Dynamic: true}.
+			NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8), x, w)
 	case TenderSW:
 		cal := tender.Calibrate([]*tensor.Matrix{x}, tender.DefaultConfig(8))
 		out = cal.FakeQuantMatMul(x, tender.QuantizeWeights(w, 8))

@@ -32,8 +32,18 @@ func (r *Recorder) MatMul(site Site, x, w *tensor.Matrix) *tensor.Matrix {
 	return tensor.MatMul(x, w)
 }
 
-// SchemeEngine routes every matmul site through a calibrated SiteGEMM of
+// SchemeEngine routes every matmul site through a calibrated SiteKernel of
 // one quantization scheme.
+//
+// The engine is compiled in two phases (the paper's calibration-time /
+// runtime split, §III-B): Calibrate derives each site's activation
+// metadata via Scheme.NewSite, then — for weight matmul sites, whose right
+// operand is a fixed model parameter — runs the kernel's PrepareWeights
+// once against the recorded weights. The per-call hot path (MatMul)
+// quantizes only activations against the immutable pack, so concurrent
+// serving sessions share an engine with no synchronization.
+// Activation-activation sites, whose right operand changes per call, run
+// both kernel phases per call.
 //
 // Activation-activation sites follow the paper's evaluation protocol:
 //
@@ -49,15 +59,26 @@ type SchemeEngine struct {
 	Scheme      schemes.Scheme
 	Bits        int
 	QuantActAct bool
-	sites       map[Site]schemes.SiteGEMM
+	sites       map[Site]compiledSite
 	valueScales map[Site]float64
 }
 
-// Calibrate builds the engine from recorded calibration tensors.
+// compiledSite pairs a calibrated kernel with its compile-once weight
+// pack; packed is nil for activation-activation sites, which prepare per
+// call.
+type compiledSite struct {
+	kernel schemes.SiteKernel
+	packed schemes.PackedWeights
+}
+
+// Calibrate builds the engine from recorded calibration tensors. Weight
+// matmul sites are compiled against the recorded weights, which for model
+// forwards are the fixed layer parameters — the values the site will see
+// at every inference call.
 func Calibrate(s schemes.Scheme, bits int, quantActAct bool, rec *Recorder) *SchemeEngine {
 	e := &SchemeEngine{
 		Scheme: s, Bits: bits, QuantActAct: quantActAct,
-		sites:       make(map[Site]schemes.SiteGEMM),
+		sites:       make(map[Site]compiledSite),
 		valueScales: make(map[Site]float64),
 	}
 	for site, xs := range rec.X {
@@ -71,7 +92,11 @@ func Calibrate(s schemes.Scheme, bits int, quantActAct bool, rec *Recorder) *Sch
 			e.valueScales[site] = quant.Scale(mx, bits)
 			continue
 		}
-		e.sites[site] = s.NewSite(xs, rec.W[site], bits)
+		cs := compiledSite{kernel: s.NewSite(xs, rec.W[site], bits)}
+		if !site.Kind.IsActAct() {
+			cs.packed = cs.kernel.PrepareWeights(rec.W[site][0])
+		}
+		e.sites[site] = cs
 	}
 	return e
 }
@@ -98,12 +123,16 @@ func (e *SchemeEngine) MatMul(site Site, x, w *tensor.Matrix) *tensor.Matrix {
 	if site.Kind == KindValue {
 		return e.valueMatMul(site, x, w)
 	}
-	g, ok := e.sites[site]
+	cs, ok := e.sites[site]
 	if !ok {
 		// Site unseen during calibration (e.g. deeper sequence): exact.
 		return tensor.MatMul(x, w)
 	}
-	return g.MatMul(x, w)
+	if cs.packed != nil {
+		// Weight matmul site: the compile-once pack stands in for w.
+		return cs.kernel.Apply(x, cs.packed)
+	}
+	return schemes.MatMul(cs.kernel, x, w)
 }
 
 // valueMatMul is the generic act-act path for the XS × XV site.

@@ -186,7 +186,7 @@ func TestSchemeEngineActActGating(t *testing.T) {
 
 func TestSchemeEngineUnseenSiteFallsBack(t *testing.T) {
 	e := &SchemeEngine{Scheme: schemes.FP32{}, Bits: 8, QuantActAct: true,
-		sites: map[Site]schemes.SiteGEMM{}, valueScales: map[Site]float64{}}
+		sites: map[Site]compiledSite{}, valueScales: map[Site]float64{}}
 	rng := tensor.NewRNG(1)
 	x := tensor.RandNormal(rng, 4, 4, 1)
 	w := tensor.RandNormal(rng, 4, 4, 1)
@@ -233,9 +233,9 @@ func TestPerplexityFiniteForGarbage(t *testing.T) {
 		return tensor.New(x.Rows, w.Cols)
 	})
 	e := &SchemeEngine{Bits: 8, QuantActAct: false,
-		sites: map[Site]schemes.SiteGEMM{}, valueScales: map[Site]float64{}}
+		sites: map[Site]compiledSite{}, valueScales: map[Site]float64{}}
 	for _, s := range m.Sites() {
-		e.sites[s] = zero
+		e.sites[s] = compiledSite{kernel: zero}
 	}
 	r := TeacherPerplexity(m, e, toks, 0.3)
 	if math.IsInf(r.PPL, 0) || math.IsNaN(r.PPL) {

@@ -23,7 +23,8 @@ import (
 // row chunking calibrated over more rows than one step) would make
 // chunked prefill diverge from one-shot prefill. Incremental decode is
 // exact for engines whose per-row treatment is position-independent —
-// which serve.BuildEngines guarantees for every hosted scheme.
+// which engine.BuildEngines guarantees for every scheme built with the
+// Serving option.
 type Session struct {
 	m   *Model
 	eng Engine

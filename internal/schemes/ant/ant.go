@@ -152,7 +152,7 @@ type site struct {
 
 // NewSite implements schemes.Scheme: datatypes are selected per tensor from
 // calibration data.
-func (Scheme) NewSite(xs, ws []*tensor.Matrix, bits int) schemes.SiteGEMM {
+func (Scheme) NewSite(xs, ws []*tensor.Matrix, bits int) schemes.SiteKernel {
 	if len(xs) == 0 || len(ws) == 0 {
 		panic("ant: calibration requires activation and weight samples")
 	}
@@ -189,9 +189,14 @@ func encodeWithScale(m *tensor.Matrix, d Datatype, bits int, scale float64) *ten
 	return out
 }
 
-// MatMul implements schemes.SiteGEMM.
-func (st *site) MatMul(x, w *tensor.Matrix) *tensor.Matrix {
+// PrepareWeights implements schemes.SiteKernel: the weight tensor is
+// encoded in its selected datatype once.
+func (st *site) PrepareWeights(w *tensor.Matrix) schemes.PackedWeights {
+	return EncodeTensor(w, st.wType, st.bits)
+}
+
+// Apply implements schemes.SiteKernel.
+func (st *site) Apply(x *tensor.Matrix, packed schemes.PackedWeights) *tensor.Matrix {
 	xq := encodeWithScale(x, st.xType, st.bits, st.xScale)
-	wq := EncodeTensor(w, st.wType, st.bits)
-	return tensor.MatMul(xq, wq)
+	return tensor.MatMul(xq, packed.(*tensor.Matrix))
 }

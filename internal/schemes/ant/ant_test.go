@@ -5,6 +5,7 @@ import (
 	"sort"
 	"testing"
 
+	"tender/internal/schemes"
 	"tender/internal/tensor"
 )
 
@@ -100,7 +101,7 @@ func TestSiteStaticClipping(t *testing.T) {
 	g := New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
 	// Runtime input 10x beyond calibration must clip, not explode.
 	big := x.Clone().Scale(10)
-	out := g.MatMul(big, w)
+	out := schemes.MatMul(g, big, w)
 	for _, v := range out.Data {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			t.Fatal("clipping produced NaN/Inf")
@@ -115,14 +116,14 @@ func TestPerTensorWeaknessWithOutliers(t *testing.T) {
 	x := tensor.RandNormal(rng, 32, 32, 1)
 	w := tensor.RandNormal(rng, 32, 16, 0.5)
 	clean := tensor.MSE(
-		New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8).MatMul(x, w),
+		schemes.MatMul(New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8), x, w),
 		tensor.MatMul(x, w))
 	xo := x.Clone()
 	for r := 0; r < xo.Rows; r++ {
 		xo.Set(r, 9, xo.At(r, 9)*100)
 	}
 	dirty := tensor.MSE(
-		New().NewSite([]*tensor.Matrix{xo}, []*tensor.Matrix{w}, 8).MatMul(xo, w),
+		schemes.MatMul(New().NewSite([]*tensor.Matrix{xo}, []*tensor.Matrix{w}, 8), xo, w),
 		tensor.MatMul(xo, w))
 	if dirty < clean*10 {
 		t.Fatalf("outliers should hurt ANT badly: %g vs %g", dirty, clean)

@@ -36,7 +36,7 @@ type site struct {
 
 // NewSite implements schemes.Scheme: outlier columns are identified from
 // calibration samples.
-func (s Scheme) NewSite(xs, _ []*tensor.Matrix, bits int) schemes.SiteGEMM {
+func (s Scheme) NewSite(xs, _ []*tensor.Matrix, bits int) schemes.SiteKernel {
 	if len(xs) == 0 {
 		panic("llmint8: calibration requires activation samples")
 	}
@@ -64,23 +64,46 @@ func (s Scheme) NewSite(xs, _ []*tensor.Matrix, bits int) schemes.SiteGEMM {
 	return st
 }
 
-// MatMul implements schemes.SiteGEMM.
-func (st *site) MatMul(x, w *tensor.Matrix) *tensor.Matrix {
-	out := tensor.New(x.Rows, w.Cols)
+// packed is the compiled weight decomposition: the INT8-quantized normal
+// rows and the FP16-rounded outlier rows, split once at prepare time.
+type packed struct {
+	outCols int
+	wq      *tensor.Matrix // normal rows, per-column quantized (nil if none)
+	wo      *tensor.Matrix // outlier rows, FP16-rounded (nil if none)
+}
+
+// PrepareWeights implements schemes.SiteKernel: the weight matrix is split
+// along the calibrated outlier rows and each half is encoded once.
+func (st *site) PrepareWeights(w *tensor.Matrix) schemes.PackedWeights {
+	p := &packed{outCols: w.Cols}
 	if len(st.normalCols) > 0 {
-		xn := x.SubCols(st.normalCols)
 		wn := w.Transpose().SubCols(st.normalCols).Transpose()
-		xq := quant.FakeQuant(xn, quant.Config{Bits: st.bits, Gran: quant.PerRow})
-		wq := quant.FakeQuant(wn, quant.Config{Bits: st.bits, Gran: quant.PerColumn})
-		tensor.AddInPlace(out, tensor.MatMul(xq, wq))
+		p.wq = quant.FakeQuant(wn, quant.Config{Bits: st.bits, Gran: quant.PerColumn})
 	}
 	if len(st.outlierCols) > 0 {
+		wo := w.Transpose().SubCols(st.outlierCols).Transpose()
+		tensor.F16RoundInPlace(wo)
+		p.wo = wo
+	}
+	return p
+}
+
+// Apply implements schemes.SiteKernel: the two partial products are
+// combined in floating point — the dequantization overhead the paper
+// identifies.
+func (st *site) Apply(x *tensor.Matrix, pw schemes.PackedWeights) *tensor.Matrix {
+	p := pw.(*packed)
+	out := tensor.New(x.Rows, p.outCols)
+	if p.wq != nil {
+		xn := x.SubCols(st.normalCols)
+		xq := quant.FakeQuant(xn, quant.Config{Bits: st.bits, Gran: quant.PerRow})
+		tensor.AddInPlace(out, tensor.MatMul(xq, p.wq))
+	}
+	if p.wo != nil {
 		// FP16 path for outlier columns.
 		xo := x.SubCols(st.outlierCols)
-		wo := w.Transpose().SubCols(st.outlierCols).Transpose()
 		tensor.F16RoundInPlace(xo)
-		tensor.F16RoundInPlace(wo)
-		tensor.AddInPlace(out, tensor.MatMul(xo, wo))
+		tensor.AddInPlace(out, tensor.MatMul(xo, p.wo))
 	}
 	return out
 }

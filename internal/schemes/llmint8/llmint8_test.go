@@ -38,14 +38,14 @@ func TestOutlierColumnIdentification(t *testing.T) {
 func TestMixedPrecisionAccuracy(t *testing.T) {
 	x, w := fixtures(2)
 	want := tensor.MatMul(x, w)
-	got := New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8).MatMul(x, w)
+	got := schemes.MatMul(New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8), x, w)
 	rel := math.Sqrt(tensor.MSE(got, want)) / (want.MeanAbs() + 1e-12)
 	if rel > 0.05 {
 		t.Fatalf("LLM.int8() relative error %v too large", rel)
 	}
 	// And it must beat plain per-row INT8 on this outlier-heavy input.
 	pr := schemes.Uniform{ActGran: quant.PerRow, Dynamic: true}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
-	if tensor.MSE(got, want) >= tensor.MSE(pr.MatMul(x, w), want) {
+	if tensor.MSE(got, want) >= tensor.MSE(schemes.MatMul(pr, x, w), want) {
 		t.Fatal("mixed precision should beat per-row INT8 with outliers")
 	}
 }
@@ -58,7 +58,7 @@ func TestAllNormalColumns(t *testing.T) {
 	if len(st.outlierCols) != 0 {
 		t.Fatalf("no outliers expected, got %v", st.outlierCols)
 	}
-	out := st.MatMul(x, w)
+	out := schemes.MatMul(st, x, w)
 	if out.Rows != 8 || out.Cols != 4 {
 		t.Fatal("bad shape")
 	}
@@ -72,7 +72,7 @@ func TestAllOutlierColumns(t *testing.T) {
 	if len(st.normalCols) != 0 {
 		t.Fatalf("all columns should be outliers, got normals %v", st.normalCols)
 	}
-	got := st.MatMul(x, w)
+	got := schemes.MatMul(st, x, w)
 	want := tensor.MatMul(x, w)
 	rel := math.Sqrt(tensor.MSE(got, want)) / (want.MeanAbs() + 1e-12)
 	if rel > 0.01 {

@@ -123,10 +123,21 @@ func NewOL() Scheme { return Scheme{Cfg: MSFP12OL(), Variant: "MSFP12-OL"} }
 func (s Scheme) Name() string { return s.Variant }
 
 // NewSite implements schemes.Scheme. MSFP needs no calibration: exponents
-// are derived per block at runtime.
-func (s Scheme) NewSite(_, _ []*tensor.Matrix, _ int) schemes.SiteGEMM {
-	cfg := s.Cfg
-	return schemes.MatMulFunc(func(x, w *tensor.Matrix) *tensor.Matrix {
-		return tensor.MatMul(Encode(x, cfg), Encode(w, cfg))
-	})
+// are derived per block at encode time, so the only compile-once state is
+// the block-encoded weight matrix itself.
+func (s Scheme) NewSite(_, _ []*tensor.Matrix, _ int) schemes.SiteKernel {
+	return site{cfg: s.Cfg}
+}
+
+type site struct{ cfg Config }
+
+// PrepareWeights implements schemes.SiteKernel: the shared block exponents
+// of the weights are derived once.
+func (s site) PrepareWeights(w *tensor.Matrix) schemes.PackedWeights {
+	return Encode(w, s.cfg)
+}
+
+// Apply implements schemes.SiteKernel.
+func (s site) Apply(x *tensor.Matrix, packed schemes.PackedWeights) *tensor.Matrix {
+	return tensor.MatMul(Encode(x, s.cfg), packed.(*tensor.Matrix))
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"tender/internal/schemes"
 	"tender/internal/tensor"
 )
 
@@ -79,7 +80,7 @@ func TestSchemeNamesAndGEMM(t *testing.T) {
 	rng := tensor.NewRNG(3)
 	x := tensor.RandNormal(rng, 8, 16, 1)
 	w := tensor.RandNormal(rng, 16, 4, 1)
-	out := New().NewSite(nil, nil, 0).MatMul(x, w)
+	out := schemes.MatMul(New().NewSite(nil, nil, 0), x, w)
 	if out.Rows != 8 || out.Cols != 4 {
 		t.Fatal("GEMM shape wrong")
 	}

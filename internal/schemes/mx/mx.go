@@ -141,13 +141,26 @@ func NewMXFP4() Scheme { return Scheme{Variant: "MXFP4"} }
 func (s Scheme) Name() string { return s.Variant }
 
 // NewSite implements schemes.Scheme. MX formats derive scales per block at
-// runtime; no calibration state is needed.
-func (s Scheme) NewSite(_, _ []*tensor.Matrix, _ int) schemes.SiteGEMM {
+// encode time; the compile-once state is the block-encoded weight matrix.
+func (s Scheme) NewSite(_, _ []*tensor.Matrix, _ int) schemes.SiteKernel {
 	enc := EncodeSMX4
 	if s.Variant == "MXFP4" {
 		enc = EncodeMXFP4
 	}
-	return schemes.MatMulFunc(func(x, w *tensor.Matrix) *tensor.Matrix {
-		return tensor.MatMul(enc(x), enc(w))
-	})
+	return site{enc: enc}
+}
+
+type site struct {
+	enc func(*tensor.Matrix) *tensor.Matrix
+}
+
+// PrepareWeights implements schemes.SiteKernel: the weight blocks are
+// encoded once.
+func (s site) PrepareWeights(w *tensor.Matrix) schemes.PackedWeights {
+	return s.enc(w)
+}
+
+// Apply implements schemes.SiteKernel.
+func (s site) Apply(x *tensor.Matrix, packed schemes.PackedWeights) *tensor.Matrix {
+	return tensor.MatMul(s.enc(x), packed.(*tensor.Matrix))
 }

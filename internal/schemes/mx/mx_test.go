@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"tender/internal/schemes"
 	"tender/internal/tensor"
 )
 
@@ -101,7 +102,7 @@ func TestSchemeAdapters(t *testing.T) {
 	w := tensor.RandNormal(rng, 32, 8, 1)
 	want := tensor.MatMul(x, w)
 	for _, s := range []Scheme{NewSMX4(), NewMXFP4()} {
-		out := s.NewSite(nil, nil, 4).MatMul(x, w)
+		out := schemes.MatMul(s.NewSite(nil, nil, 4), x, w)
 		if out.Rows != 8 || out.Cols != 8 {
 			t.Fatalf("%s: bad shape", s.Name())
 		}

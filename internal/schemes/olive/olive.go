@@ -250,16 +250,21 @@ type site struct {
 // NewSite implements schemes.Scheme: outlier thresholds are calibrated per
 // site from sample quantiles — a tensor-wide threshold for activations
 // (channel outliers) and a within-column relative threshold for weights.
-func (Scheme) NewSite(xs, ws []*tensor.Matrix, bits int) schemes.SiteGEMM {
+func (Scheme) NewSite(xs, ws []*tensor.Matrix, bits int) schemes.SiteKernel {
 	if len(xs) == 0 || len(ws) == 0 {
 		panic("olive: calibration requires activation and weight samples")
 	}
 	return &site{bits: bits, xThr: threshold(xs, bits), wRelThr: relThreshold(ws, bits)}
 }
 
-// MatMul implements schemes.SiteGEMM.
-func (st *site) MatMul(x, w *tensor.Matrix) *tensor.Matrix {
+// PrepareWeights implements schemes.SiteKernel: the per-column
+// outlier-victim pair encoding of the weights runs once.
+func (st *site) PrepareWeights(w *tensor.Matrix) schemes.PackedWeights {
+	return EncodeWeights(w, st.wRelThr, st.bits)
+}
+
+// Apply implements schemes.SiteKernel.
+func (st *site) Apply(x *tensor.Matrix, packed schemes.PackedWeights) *tensor.Matrix {
 	xq := EncodePairs(x, st.xThr, st.bits)
-	wq := EncodeWeights(w, st.wRelThr, st.bits)
-	return tensor.MatMul(xq, wq)
+	return tensor.MatMul(xq, packed.(*tensor.Matrix))
 }

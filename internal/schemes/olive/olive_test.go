@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"tender/internal/schemes"
 	"tender/internal/tensor"
 )
 
@@ -155,8 +156,8 @@ func TestEndToEndAccuracyOrdering(t *testing.T) {
 	}
 	w := tensor.RandNormal(rng, 64, 32, 0.5)
 	want := tensor.MatMul(x, w)
-	e8 := tensor.MSE(New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8).MatMul(x, w), want)
-	e4 := tensor.MSE(New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 4).MatMul(x, w), want)
+	e8 := tensor.MSE(schemes.MatMul(New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8), x, w), want)
+	e4 := tensor.MSE(schemes.MatMul(New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 4), x, w), want)
 	if e8 >= e4 {
 		t.Fatalf("INT8 must beat INT4: %g vs %g", e8, e4)
 	}

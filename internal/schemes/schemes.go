@@ -3,10 +3,22 @@
 // schemes: FP32, FP16, plain uniform quantization at the three
 // granularities of Table I, and the Tender scheme adapter.
 //
-// A Scheme is a factory: for each matmul site in a model it receives
-// calibration samples of both operands and returns a SiteGEMM that applies
-// the scheme's quantization at inference time. This mirrors the static PTQ
-// calibration flow of the paper (§V-A: 128 Pile samples).
+// The interface is two-phase, mirroring the paper's central split between
+// calibration-time precomputation and a cheap runtime hot path (§III-B):
+//
+//	Scheme.NewSite(xs, ws, bits)  →  SiteKernel        (calibrate once)
+//	kernel.PrepareWeights(w)      →  PackedWeights      (compile once)
+//	kernel.Apply(x, packed)       →  result             (execute per call)
+//
+// PrepareWeights runs once per matmul site at calibration/registration
+// time and precomputes everything that depends only on the weights —
+// quantized weight codes, per-column scales, smoothing-scaled weights,
+// outlier-column splits, block exponents. The returned PackedWeights is
+// immutable, so concurrent serving sessions share it without locking.
+// Apply quantizes only the activation operand. For activation-activation
+// matmul sites (attention scores), where the right operand changes every
+// call, callers run both phases per call via MatMul; the result is
+// identical either way.
 package schemes
 
 import (
@@ -14,28 +26,55 @@ import (
 	"tender/internal/tensor"
 )
 
-// SiteGEMM executes one matmul site with a scheme's quantization error.
-type SiteGEMM interface {
-	// MatMul computes x × w including quantization effects.
-	MatMul(x, w *tensor.Matrix) *tensor.Matrix
+// PackedWeights is the compiled weight-side state of one matmul site:
+// whatever a SiteKernel precomputes from the (fixed) right operand.
+// Implementations must be immutable after PrepareWeights returns — they
+// are shared across concurrent sessions with no synchronization.
+type PackedWeights interface{}
+
+// SiteKernel executes one matmul site with a scheme's quantization error,
+// split into a compile stage (PrepareWeights) and an execute stage (Apply).
+type SiteKernel interface {
+	// PrepareWeights compiles the right operand once. The result must be
+	// immutable and safe for concurrent Apply calls.
+	PrepareWeights(w *tensor.Matrix) PackedWeights
+	// Apply computes x × w including quantization effects, quantizing only
+	// the activation operand; packed must come from PrepareWeights on this
+	// kernel.
+	Apply(x *tensor.Matrix, packed PackedWeights) *tensor.Matrix
 }
 
-// Scheme builds calibrated SiteGEMMs.
+// Scheme builds calibrated SiteKernels.
 type Scheme interface {
 	// Name identifies the scheme in experiment tables.
 	Name() string
-	// NewSite calibrates a GEMM for one matmul site. xs holds calibration
-	// samples of the left (activation) operand; ws of the right operand —
-	// a single fixed matrix for weight matmuls, per-sample tensors for
-	// activation-activation matmuls.
-	NewSite(xs, ws []*tensor.Matrix, bits int) SiteGEMM
+	// NewSite calibrates a kernel for one matmul site. xs holds
+	// calibration samples of the left (activation) operand; ws of the
+	// right operand — a single fixed matrix for weight matmuls, per-sample
+	// tensors for activation-activation matmuls.
+	NewSite(xs, ws []*tensor.Matrix, bits int) SiteKernel
 }
 
-// MatMulFunc adapts a function to SiteGEMM.
+// MatMul runs both phases in one call: pack w, then apply. This is the
+// path for activation-activation sites (both operands change per call)
+// and the reference the compile-once path must match bit for bit.
+func MatMul(k SiteKernel, x, w *tensor.Matrix) *tensor.Matrix {
+	return k.Apply(x, k.PrepareWeights(w))
+}
+
+// MatMulFunc adapts a plain matmul function to SiteKernel: PrepareWeights
+// is the identity (no precomputable weight state) and Apply invokes the
+// function. It keeps stateless kernels and activation-activation sites on
+// the same interface.
 type MatMulFunc func(x, w *tensor.Matrix) *tensor.Matrix
 
-// MatMul implements SiteGEMM.
-func (f MatMulFunc) MatMul(x, w *tensor.Matrix) *tensor.Matrix { return f(x, w) }
+// PrepareWeights implements SiteKernel; the matrix itself is the pack.
+func (f MatMulFunc) PrepareWeights(w *tensor.Matrix) PackedWeights { return w }
+
+// Apply implements SiteKernel.
+func (f MatMulFunc) Apply(x *tensor.Matrix, packed PackedWeights) *tensor.Matrix {
+	return f(x, packed.(*tensor.Matrix))
+}
 
 // FP32 is the unquantized reference.
 type FP32 struct{}
@@ -44,7 +83,7 @@ type FP32 struct{}
 func (FP32) Name() string { return "FP32" }
 
 // NewSite implements Scheme; the GEMM is exact.
-func (FP32) NewSite(_, _ []*tensor.Matrix, _ int) SiteGEMM {
+func (FP32) NewSite(_, _ []*tensor.Matrix, _ int) SiteKernel {
 	return MatMulFunc(func(x, w *tensor.Matrix) *tensor.Matrix { return tensor.MatMul(x, w) })
 }
 
@@ -56,16 +95,25 @@ type FP16 struct{}
 func (FP16) Name() string { return "FP16" }
 
 // NewSite implements Scheme.
-func (FP16) NewSite(_, _ []*tensor.Matrix, _ int) SiteGEMM {
-	return MatMulFunc(func(x, w *tensor.Matrix) *tensor.Matrix {
-		xr := x.Clone()
-		wr := w.Clone()
-		tensor.F16RoundInPlace(xr)
-		tensor.F16RoundInPlace(wr)
-		out := tensor.MatMul(xr, wr)
-		tensor.F16RoundInPlace(out)
-		return out
-	})
+func (FP16) NewSite(_, _ []*tensor.Matrix, _ int) SiteKernel { return fp16Site{} }
+
+type fp16Site struct{}
+
+// PrepareWeights implements SiteKernel: the weight matrix is rounded to
+// half precision once.
+func (fp16Site) PrepareWeights(w *tensor.Matrix) PackedWeights {
+	wr := w.Clone()
+	tensor.F16RoundInPlace(wr)
+	return wr
+}
+
+// Apply implements SiteKernel.
+func (fp16Site) Apply(x *tensor.Matrix, packed PackedWeights) *tensor.Matrix {
+	xr := x.Clone()
+	tensor.F16RoundInPlace(xr)
+	out := tensor.MatMul(xr, packed.(*tensor.Matrix))
+	tensor.F16RoundInPlace(out)
+	return out
 }
 
 // Uniform is plain static uniform symmetric quantization at a fixed
@@ -84,13 +132,12 @@ func (u Uniform) Name() string { return "uniform/" + u.ActGran.String() }
 type uniformSite struct {
 	bits   int
 	gran   quant.Granularity
-	static *quant.Quantized // calibrated activation scales (nil if dynamic)
-	scales []float64
+	scales []float64 // calibrated activation scales (nil if dynamic)
 }
 
 // NewSite implements Scheme. Static scales come from the union of
 // calibration samples.
-func (u Uniform) NewSite(xs, _ []*tensor.Matrix, bits int) SiteGEMM {
+func (u Uniform) NewSite(xs, _ []*tensor.Matrix, bits int) SiteKernel {
 	s := &uniformSite{bits: bits, gran: u.ActGran}
 	if !u.Dynamic && len(xs) > 0 {
 		s.scales = calibratedScales(xs, u.ActGran, bits)
@@ -130,8 +177,14 @@ func calibratedScales(xs []*tensor.Matrix, gran quant.Granularity, bits int) []f
 	}
 }
 
-// MatMul implements SiteGEMM.
-func (s *uniformSite) MatMul(x, w *tensor.Matrix) *tensor.Matrix {
+// PrepareWeights implements SiteKernel: per-column weight fake
+// quantization runs once.
+func (s *uniformSite) PrepareWeights(w *tensor.Matrix) PackedWeights {
+	return quant.FakeQuant(w, quant.Config{Bits: s.bits, Gran: quant.PerColumn})
+}
+
+// Apply implements SiteKernel.
+func (s *uniformSite) Apply(x *tensor.Matrix, packed PackedWeights) *tensor.Matrix {
 	var xq *tensor.Matrix
 	switch {
 	case s.scales == nil:
@@ -141,8 +194,7 @@ func (s *uniformSite) MatMul(x, w *tensor.Matrix) *tensor.Matrix {
 	default:
 		xq = fakeQuantWithScales(x, s.scales, s.bits, quant.PerColumn)
 	}
-	wq := quant.FakeQuant(w, quant.Config{Bits: s.bits, Gran: quant.PerColumn})
-	return tensor.MatMul(xq, wq)
+	return tensor.MatMul(xq, packed.(*tensor.Matrix))
 }
 
 // fakeQuantWithScales applies quantize-dequantize with fixed static scales.

@@ -1,6 +1,7 @@
 package schemes
 
 import (
+	"sync"
 	"testing"
 
 	"tender/internal/quant"
@@ -20,7 +21,7 @@ func sampleXW(seed uint64) (*tensor.Matrix, *tensor.Matrix) {
 func TestFP32IsExact(t *testing.T) {
 	x, w := sampleXW(1)
 	g := FP32{}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
-	got := g.MatMul(x, w)
+	got := MatMul(g, x, w)
 	want := tensor.MatMul(x, w)
 	if tensor.MaxAbsDiff(got, want) != 0 {
 		t.Fatal("FP32 scheme must be exact")
@@ -30,7 +31,7 @@ func TestFP32IsExact(t *testing.T) {
 func TestFP16CloseButNotExact(t *testing.T) {
 	x, w := sampleXW(2)
 	g := FP16{}.NewSite(nil, nil, 0)
-	got := g.MatMul(x, w)
+	got := MatMul(g, x, w)
 	want := tensor.MatMul(x, w)
 	d := tensor.MaxAbsDiff(got, want)
 	if d == 0 {
@@ -47,7 +48,7 @@ func TestUniformGranularityOrdering(t *testing.T) {
 	errs := map[quant.Granularity]float64{}
 	for _, g := range []quant.Granularity{quant.PerTensor, quant.PerRow, quant.PerColumn} {
 		site := Uniform{ActGran: g, Dynamic: true}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
-		errs[g] = tensor.MSE(site.MatMul(x, w), want)
+		errs[g] = tensor.MSE(MatMul(site, x, w), want)
 	}
 	if !(errs[quant.PerColumn] < errs[quant.PerRow]) {
 		t.Fatalf("per-column %g should beat per-row %g on channel outliers", errs[quant.PerColumn], errs[quant.PerRow])
@@ -63,8 +64,8 @@ func TestUniformStaticUsesCalibrationScales(t *testing.T) {
 	site := Uniform{ActGran: quant.PerTensor}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
 	dyn := Uniform{ActGran: quant.PerTensor, Dynamic: true}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
 	want := tensor.MatMul(small, w)
-	eStatic := tensor.MSE(site.MatMul(small, w), want)
-	eDyn := tensor.MSE(dyn.MatMul(small, w), want)
+	eStatic := tensor.MSE(MatMul(site, small, w), want)
+	eDyn := tensor.MSE(MatMul(dyn, small, w), want)
 	if eStatic <= eDyn {
 		t.Fatalf("static scales must be visibly coarser on shrunken input: %g vs %g", eStatic, eDyn)
 	}
@@ -75,8 +76,8 @@ func TestTenderSchemeBeatsPerTensor(t *testing.T) {
 	want := tensor.MatMul(x, w)
 	td := Tender{}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
 	pt := Uniform{ActGran: quant.PerTensor, Dynamic: true}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
-	et := tensor.MSE(td.MatMul(x, w), want)
-	ep := tensor.MSE(pt.MatMul(x, w), want)
+	et := tensor.MSE(MatMul(td, x, w), want)
+	ep := tensor.MSE(MatMul(pt, x, w), want)
 	if et*3 > ep {
 		t.Fatalf("Tender %g should clearly beat per-tensor %g", et, ep)
 	}
@@ -86,26 +87,60 @@ func TestTenderSchemeIntegerPathMatchesFakeQuant(t *testing.T) {
 	x, w := sampleXW(6)
 	fq := Tender{NoRowChunk: true}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
 	ip := Tender{NoRowChunk: true, Integer: true}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
-	a := fq.MatMul(x, w)
-	b := ip.MatMul(x, w)
+	a := MatMul(fq, x, w)
+	b := MatMul(ip, x, w)
 	if tensor.MaxAbsDiff(a, b) > 1e-9*(a.AbsMax()+1) {
 		t.Fatal("integer and fake-quant Tender paths diverge")
 	}
 }
 
-func TestTenderSchemeWeightCaching(t *testing.T) {
+// TestPreparedApplyMatchesUnprepared is the compile-once contract: for
+// every scheme, Apply against a once-prepared pack is bit-identical to
+// running both phases per call.
+func TestPreparedApplyMatchesUnprepared(t *testing.T) {
 	x, w := sampleXW(7)
-	site := Tender{}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8).(*tenderSite)
-	site.MatMul(x, w)
-	first := site.wq
-	site.MatMul(x, w)
-	if site.wq != first {
-		t.Fatal("same weight matrix must reuse the cached quantization")
+	for _, s := range []Scheme{
+		FP32{}, FP16{},
+		Uniform{ActGran: quant.PerTensor},
+		Uniform{ActGran: quant.PerColumn, Dynamic: true},
+		Tender{}, Tender{Integer: true, NoRowChunk: true},
+	} {
+		site := s.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
+		packed := site.PrepareWeights(w)
+		prepared := site.Apply(x, packed)
+		perCall := MatMul(site, x, w)
+		if tensor.MaxAbsDiff(prepared, perCall) != 0 {
+			t.Fatalf("%s: prepared path diverges from per-call path", s.Name())
+		}
 	}
-	w2 := w.Clone()
-	site.MatMul(x, w2)
-	if site.wq == first {
-		t.Fatal("a different weight matrix must be re-quantized")
+}
+
+// TestTenderSiteConcurrentApply is the regression test for the removed
+// mutex-guarded weight cache: concurrent serving sessions share one
+// calibrated kernel and one immutable pack, and every goroutine must see
+// identical results with no data race (CI runs this under -race).
+func TestTenderSiteConcurrentApply(t *testing.T) {
+	x, w := sampleXW(8)
+	for _, s := range []Scheme{Tender{}, Tender{Integer: true, NoRowChunk: true}} {
+		site := s.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
+		packed := site.PrepareWeights(w)
+		want := site.Apply(x, packed)
+		const sessions = 8
+		outs := make([]*tensor.Matrix, sessions)
+		var wg sync.WaitGroup
+		for i := 0; i < sessions; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				outs[i] = site.Apply(x, packed)
+			}(i)
+		}
+		wg.Wait()
+		for i, out := range outs {
+			if tensor.MaxAbsDiff(out, want) != 0 {
+				t.Fatalf("session %d produced divergent output", i)
+			}
+		}
 	}
 }
 

@@ -28,15 +28,18 @@ func (Scheme) Name() string { return "SmoothQuant" }
 
 type site struct {
 	bits int
-	// smooth[j] divides activation channel j and multiplies weight row j.
-	smooth []float64
+	// smooth[j] divides activation channel j and multiplies weight row j;
+	// invSmooth holds the reciprocals, precomputed so the per-call path
+	// only multiplies.
+	smooth    []float64
+	invSmooth []float64
 	// static per-tensor activation scale (calibrated post-smoothing).
 	actScale float64
 }
 
 // NewSite implements schemes.Scheme. The smoothing factors are derived from
 // calibration activation maxima and the (first) weight sample.
-func (s Scheme) NewSite(xs, ws []*tensor.Matrix, bits int) schemes.SiteGEMM {
+func (s Scheme) NewSite(xs, ws []*tensor.Matrix, bits int) schemes.SiteKernel {
 	if len(xs) == 0 || len(ws) == 0 {
 		panic("smoothquant: calibration requires activation and weight samples")
 	}
@@ -78,24 +81,30 @@ func (s Scheme) NewSite(xs, ws []*tensor.Matrix, bits int) schemes.SiteGEMM {
 		}
 	}
 	st.actScale = quant.Scale(smoothedMax, bits)
+	st.invSmooth = make([]float64, cols)
+	for j, v := range st.smooth {
+		st.invSmooth[j] = 1 / v
+	}
 	return st
 }
 
-// MatMul implements schemes.SiteGEMM.
-func (st *site) MatMul(x, w *tensor.Matrix) *tensor.Matrix {
+// PrepareWeights implements schemes.SiteKernel: smoothing migration and
+// per-tensor weight quantization run once per site, not per call.
+func (st *site) PrepareWeights(w *tensor.Matrix) schemes.PackedWeights {
+	wsm := w.Clone()
+	wsm.MulRowVector(st.smooth)
+	return quant.FakeQuant(wsm, quant.Config{Bits: st.bits, Gran: quant.PerTensor})
+}
+
+// Apply implements schemes.SiteKernel: the activation is smoothed and
+// quantized with the calibrated static scale.
+func (st *site) Apply(x *tensor.Matrix, packed schemes.PackedWeights) *tensor.Matrix {
 	xs := x.Clone()
-	inv := make([]float64, len(st.smooth))
-	for j, v := range st.smooth {
-		inv[j] = 1 / v
-	}
-	xs.MulColVector(inv)
+	xs.MulColVector(st.invSmooth)
 	// Static per-tensor activation quantization.
 	xq := tensor.New(xs.Rows, xs.Cols)
 	for i, v := range xs.Data {
 		xq.Data[i] = float64(quant.QuantizeValue(v, st.actScale, st.bits)) * st.actScale
 	}
-	wsm := w.Clone()
-	wsm.MulRowVector(st.smooth)
-	wq := quant.FakeQuant(wsm, quant.Config{Bits: st.bits, Gran: quant.PerTensor})
-	return tensor.MatMul(xq, wq)
+	return tensor.MatMul(xq, packed.(*tensor.Matrix))
 }

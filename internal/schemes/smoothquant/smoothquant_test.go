@@ -43,7 +43,7 @@ func TestMathematicalEquivalenceWithoutQuantization(t *testing.T) {
 	// (X diag(1/s)) (diag(s) W) == X W exactly, so with very fine
 	// quantization the scheme approaches the exact product.
 	x, w := fixtures(2, 10)
-	got := New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8).MatMul(x, w)
+	got := schemes.MatMul(New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8), x, w)
 	want := tensor.MatMul(x, w)
 	rel := math.Sqrt(tensor.MSE(got, want)) / (want.MeanAbs() + 1e-12)
 	if rel > 0.1 {
@@ -56,8 +56,8 @@ func TestBeatsPlainPerTensorInt8OnModerateOutliers(t *testing.T) {
 	want := tensor.MatMul(x, w)
 	sq := New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
 	pt := schemes.Uniform{ActGran: quant.PerTensor, Dynamic: true}.NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8)
-	esq := tensor.MSE(sq.MatMul(x, w), want)
-	ept := tensor.MSE(pt.MatMul(x, w), want)
+	esq := tensor.MSE(schemes.MatMul(sq, x, w), want)
+	ept := tensor.MSE(schemes.MatMul(pt, x, w), want)
 	if esq >= ept {
 		t.Fatalf("SmoothQuant %g should beat per-tensor INT8 %g", esq, ept)
 	}
@@ -68,8 +68,8 @@ func TestInt4DegradesSharply(t *testing.T) {
 	// are only migrated, not isolated.
 	x, w := fixtures(4, 60)
 	want := tensor.MatMul(x, w)
-	e8 := tensor.MSE(New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8).MatMul(x, w), want)
-	e4 := tensor.MSE(New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 4).MatMul(x, w), want)
+	e8 := tensor.MSE(schemes.MatMul(New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8), x, w), want)
+	e4 := tensor.MSE(schemes.MatMul(New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 4), x, w), want)
 	if e4 < e8*10 {
 		t.Fatalf("INT4 should be far worse than INT8: %g vs %g", e4, e8)
 	}
@@ -84,7 +84,7 @@ func TestHandlesZeroChannels(t *testing.T) {
 	for r := 0; r < 8; r++ {
 		x.Set(r, 2, rng.Norm())
 	}
-	out := New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8).MatMul(x, w)
+	out := schemes.MatMul(New().NewSite([]*tensor.Matrix{x}, []*tensor.Matrix{w}, 8), x, w)
 	for _, v := range out.Data {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			t.Fatal("NaN/Inf leaked from zero channels")

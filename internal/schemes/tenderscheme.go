@@ -1,8 +1,6 @@
 package schemes
 
 import (
-	"sync"
-
 	"tender/internal/quant"
 	"tender/internal/tender"
 	"tender/internal/tensor"
@@ -51,46 +49,44 @@ func (t Tender) config(bits int) tender.Config {
 }
 
 type tenderSite struct {
-	cal       *tender.Calibration
-	bits      int
-	integer   bool
-	clustered bool
+	cal     *tender.Calibration
+	bits    int
+	integer bool
+}
 
-	// mu guards the lazy weight cache below: concurrent serving sessions
-	// share one calibrated site per matmul location, so the first-call
-	// quantization must be race-free. Calibration itself is read-only at
-	// inference time.
-	mu       sync.Mutex
-	wq       *quant.Quantized // cached quantized weight (static weights)
-	wf       *tensor.Matrix
-	wqSource *tensor.Matrix
+// tenderPacked is the compiled weight state: the per-column quantized
+// codes (for the implicit integer GEMM) and their dequantized form.
+// Both are write-once at PrepareWeights time and read-only after, so
+// concurrent serving sessions share one pack with no locking — the role
+// the pre-redesign mutex cache played.
+type tenderPacked struct {
+	wq *quant.Quantized
+	wf *tensor.Matrix
 }
 
 // NewSite implements Scheme. Activation metadata is calibrated statically
-// from xs; the right operand is per-column quantized (cached when the same
-// matrix is passed at every call, i.e. linear-layer weights).
-func (t Tender) NewSite(xs, _ []*tensor.Matrix, bits int) SiteGEMM {
+// from xs; the right operand is per-column quantized in PrepareWeights.
+func (t Tender) NewSite(xs, _ []*tensor.Matrix, bits int) SiteKernel {
 	cfg := t.config(bits)
 	return &tenderSite{
-		cal:       tender.Calibrate(xs, cfg),
-		bits:      bits,
-		integer:   t.Integer && !cfg.UseClustering,
-		clustered: cfg.UseClustering,
+		cal:     tender.Calibrate(xs, cfg),
+		bits:    bits,
+		integer: t.Integer && !cfg.UseClustering,
 	}
 }
 
-// MatMul implements SiteGEMM.
-func (s *tenderSite) MatMul(x, w *tensor.Matrix) *tensor.Matrix {
-	s.mu.Lock()
-	if s.wq == nil || s.wqSource != w {
-		s.wq = tender.QuantizeWeights(w, s.bits)
-		s.wf = s.wq.Dequantize()
-		s.wqSource = w
-	}
-	wq, wf := s.wq, s.wf
-	s.mu.Unlock()
+// PrepareWeights implements SiteKernel: per-column weight quantization
+// runs once per site.
+func (s *tenderSite) PrepareWeights(w *tensor.Matrix) PackedWeights {
+	wq := tender.QuantizeWeights(w, s.bits)
+	return &tenderPacked{wq: wq, wf: wq.Dequantize()}
+}
+
+// Apply implements SiteKernel: only the activation is quantized per call.
+func (s *tenderSite) Apply(x *tensor.Matrix, packed PackedWeights) *tensor.Matrix {
+	p := packed.(*tenderPacked)
 	if s.integer {
-		return s.cal.MatMulImplicit(x, wq, wf)
+		return s.cal.MatMulImplicit(x, p.wq, p.wf)
 	}
-	return tensor.MatMul(s.cal.FakeQuantActivation(x), wf)
+	return tensor.MatMul(s.cal.FakeQuantActivation(x), p.wf)
 }

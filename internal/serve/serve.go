@@ -1,6 +1,9 @@
 // Package serve is a continuous-batching inference server over the
-// reproduction's quantized engines. It turns the offline evaluation
-// substrate (internal/model + internal/schemes) into a serving path:
+// reproduction's quantized engines. Engines are built once — via
+// internal/engine with the Serving option, which guarantees
+// position-independent quantization metadata and prepared (compile-once)
+// weight packs — and shared read-only across requests. The server turns
+// the offline evaluation substrate (internal/model) into a serving path:
 // requests enter a bounded admission queue, an iteration-level scheduler
 // assembles batches that mix prefill chunks and single-token decode steps,
 // and a goroutine worker pool executes each active request's step in
@@ -67,8 +70,9 @@ type Result struct {
 type Config struct {
 	// Model is the decoder all engines share.
 	Model *model.Model
-	// Engines maps scheme name → calibrated engine. All requests for a
-	// scheme share the engine; engines are read-only at inference time.
+	// Engines maps engine spec → calibrated engine (the map
+	// engine.BuildEngines returns). All requests for a scheme share the
+	// engine; engines are read-only at inference time.
 	Engines map[string]model.Engine
 	// DefaultScheme is used when a request names none. Defaults to the
 	// sole engine when exactly one is hosted.

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"tender/internal/engine"
 	"tender/internal/model"
 	"tender/internal/workload"
 )
@@ -16,6 +17,12 @@ func tinyTrace(m *model.Model, n int, seed uint64) []workload.RequestSpec {
 		Requests: n, Vocab: m.Cfg.Vocab,
 		MinPrompt: 4, MaxPrompt: 12, MinNew: 2, MaxNew: 6,
 	}, seed)
+}
+
+// buildEngines is the serving-context shorthand for engine.BuildEngines.
+func buildEngines(m *model.Model, specs []string, opt engine.BuildOptions) (map[string]model.Engine, error) {
+	opt.Serving = true
+	return engine.BuildEngines(m, specs, opt)
 }
 
 func startServer(t *testing.T, cfg Config) *Server {
@@ -35,8 +42,10 @@ func startServer(t *testing.T, cfg Config) *Server {
 // single-threaded decode path.
 func TestBatchedBitIdenticalEveryScheme(t *testing.T) {
 	m := model.New(model.TinyConfig())
-	names := SchemeNames()
-	engines, err := BuildEngines(m, names, CalibOptions{Bits: 8, Streams: 2, StreamLen: 32})
+	// Every canonical registry scheme plus the spec'd variants the old
+	// name table carried (tender-int, uniform-tensor).
+	names := append(engine.SchemeNames(), "tender:int", "uniform:gran=tensor")
+	engines, err := buildEngines(m, names, engine.BuildOptions{Bits: 8, Streams: 2, StreamLen: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +81,7 @@ func TestBatchedBitIdenticalEveryScheme(t *testing.T) {
 // sampling: the per-request seeded RNG makes sampled outputs batch-stable.
 func TestSampledDecodeBitIdentical(t *testing.T) {
 	m := model.New(model.TinyConfig())
-	engines, err := BuildEngines(m, []string{"tender"}, CalibOptions{Bits: 4, Streams: 2, StreamLen: 32})
+	engines, err := buildEngines(m, []string{"tender"}, engine.BuildOptions{Bits: 4, Streams: 2, StreamLen: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +105,7 @@ func TestSampledDecodeBitIdentical(t *testing.T) {
 // pool + quantized engine) yields identical tokens at GOMAXPROCS 1 and 8.
 func TestDeterministicAcrossCPUs(t *testing.T) {
 	m := model.New(model.TinyConfig())
-	engines, err := BuildEngines(m, []string{"tender"}, CalibOptions{Bits: 8, Streams: 2, StreamLen: 32})
+	engines, err := buildEngines(m, []string{"tender"}, engine.BuildOptions{Bits: 8, Streams: 2, StreamLen: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +257,7 @@ func TestQueueBoundsDeadlinesCancellation(t *testing.T) {
 // outputs, and the per-scheme split adds up.
 func TestMetricsAccounting(t *testing.T) {
 	m := model.New(model.TinyConfig())
-	engines, err := BuildEngines(m, []string{"fp32", "fp16"}, CalibOptions{Bits: 8, Streams: 2, StreamLen: 32})
+	engines, err := buildEngines(m, []string{"fp32", "fp16"}, engine.BuildOptions{Bits: 8, Streams: 2, StreamLen: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,7 +320,7 @@ func TestLongCalibrationBitIdentical(t *testing.T) {
 		t.Skip("short mode")
 	}
 	m := model.New(model.Registry("opt-6.7b"))
-	engines, err := BuildEngines(m, []string{"tender"}, CalibOptions{
+	engines, err := buildEngines(m, []string{"tender"}, engine.BuildOptions{
 		Bits: 8, Streams: 2, StreamLen: 400,
 	})
 	if err != nil {
