@@ -3,6 +3,7 @@ package tender_test
 import (
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"testing"
 
@@ -90,6 +91,166 @@ func BenchmarkServeThroughput(b *testing.B) {
 		decoded += rep.DecodeTokens
 	}
 	b.ReportMetric(float64(decoded)/b.Elapsed().Seconds(), "tokens/s")
+}
+
+// BenchmarkFusedDecode compares steady-state decode throughput of the
+// fused batched step (one forward pass per iteration across all sessions,
+// model.BatchStepper) against the per-request path (one Session.Append per
+// session per iteration) at batch 8, for the FP32 reference and the
+// Tender engines. Sessions are rebuilt outside the timer every cycle so
+// the KV length stays bounded and comparable between the two paths.
+func BenchmarkFusedDecode(b *testing.B) {
+	m := model.New(model.Registry("opt-6.7b"))
+	specs := []string{"fp32", "tender", "tender:int"}
+	engines, err := engine.BuildEngines(m, specs, engine.BuildOptions{
+		Bits: 8, Streams: 2, StreamLen: 64, Serving: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 8
+	const cycle = 128 // decode steps per session lifetime
+	prompt := workload.TokenStream(workload.Wiki, 5, 32, m.Cfg.Vocab)
+	for _, spec := range specs {
+		eng := engines[spec]
+		build := func() ([]*model.Session, []int) {
+			sessions := make([]*model.Session, batch)
+			last := make([]int, batch)
+			for i := range sessions {
+				sessions[i] = m.NewSession(eng, len(prompt)+cycle+1)
+				lg := sessions[i].Append(prompt)
+				last[i] = model.Greedy(lg.Row(lg.Rows - 1))
+			}
+			return sessions, last
+		}
+		var perReq, fused float64 // tokens/s
+		b.Run(spec+"/per-request", func(b *testing.B) {
+			b.ReportAllocs()
+			sessions, last := build()
+			steps := 0
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				if steps == cycle {
+					b.StopTimer()
+					sessions, last = build()
+					steps = 0
+					b.StartTimer()
+				}
+				for i, s := range sessions {
+					last[i] = model.Greedy(s.Append([]int{last[i]}).Row(0))
+				}
+				steps++
+			}
+			perReq = float64(b.N*batch) / b.Elapsed().Seconds()
+			b.ReportMetric(perReq, "tokens/s")
+		})
+		b.Run(spec+"/fused", func(b *testing.B) {
+			b.ReportAllocs()
+			bs, err := m.NewBatchStepper(eng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sessions, last := build()
+			steps := 0
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				if steps == cycle {
+					b.StopTimer()
+					sessions, last = build()
+					steps = 0
+					b.StartTimer()
+				}
+				logits := bs.Step(sessions, last)
+				for i := range sessions {
+					last[i] = model.Greedy(logits.Row(i))
+				}
+				steps++
+			}
+			fused = float64(b.N*batch) / b.Elapsed().Seconds()
+			b.ReportMetric(fused, "tokens/s")
+		})
+		if perReq > 0 && fused > 0 {
+			b.Logf("%s: fused decode %.2fx the per-request path (%.0f vs %.0f tokens/s at batch %d, GOMAXPROCS=%d)",
+				spec, fused/perReq, fused, perReq, batch, runtime.GOMAXPROCS(0))
+		}
+	}
+}
+
+// BenchmarkDecodeAllocs gates the fused hot path's allocation diet: with
+// the FP32 engine (EngineInto + arena) steady-state fused decode must do
+// ~zero heap allocations per token. The model is sized below the GEMM
+// parallel threshold so the kernel spawns no goroutines — every remaining
+// allocation would be a real hot-path regression.
+func BenchmarkDecodeAllocs(b *testing.B) {
+	cfg := model.Config{
+		Name: "alloc-bench", Arch: model.Decoder, Layers: 4, DModel: 64, Heads: 4,
+		FFN: 256, Vocab: 256, MaxSeq: 256,
+		OutlierChannels: 3, OutlierGain: 20, Seed: 33,
+	}
+	m := model.New(cfg)
+	eng := model.Exact{}
+	bs, err := m.NewBatchStepper(eng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 4
+	const cycle = 128
+	prompt := workload.TokenStream(workload.Wiki, 9, 16, cfg.Vocab)
+	build := func() ([]*model.Session, []int) {
+		sessions := make([]*model.Session, batch)
+		last := make([]int, batch)
+		for i := range sessions {
+			sessions[i] = m.NewSession(eng, len(prompt)+cycle+1)
+			lg := sessions[i].Append(prompt)
+			last[i] = model.Greedy(lg.Row(lg.Rows - 1))
+		}
+		return sessions, last
+	}
+	// Warm the arena, then measure steady-state allocations per step.
+	sessions, last := build()
+	for i := 0; i < 5; i++ {
+		logits := bs.Step(sessions, last)
+		for j := range sessions {
+			last[j] = model.Greedy(logits.Row(j))
+		}
+	}
+	allocsPerStep := testing.AllocsPerRun(100, func() {
+		logits := bs.Step(sessions, last)
+		for j := range sessions {
+			last[j] = model.Greedy(logits.Row(j))
+		}
+	})
+	allocsPerToken := allocsPerStep / batch
+	b.Logf("fused fp32 decode: %.3f allocs/token (batch %d)", allocsPerToken, batch)
+	if allocsPerToken > 0.5 {
+		b.Fatalf("fused fp32 decode allocates %.2f times per token; want ~0", allocsPerToken)
+	}
+	if err := experiments.RewriteServeBench("BENCH_serve.json", func(scheme string) bool {
+		return scheme == "decode-allocs/fp32"
+	}, []map[string]any{{
+		"scheme":           "decode-allocs/fp32",
+		"batch":            batch,
+		"allocs_per_token": math.Round(allocsPerToken*1000) / 1000,
+	}}); err != nil {
+		b.Logf("recording decode allocs: %v", err)
+	}
+	sessions, last = build()
+	steps := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if steps == cycle {
+			b.StopTimer()
+			sessions, last = build()
+			steps = 0
+			b.StartTimer()
+		}
+		logits := bs.Step(sessions, last)
+		for j := range sessions {
+			last[j] = model.Greedy(logits.Row(j))
+		}
+		steps++
+	}
 }
 
 // BenchmarkPreparedDecode quantifies the compile-once engine API on the

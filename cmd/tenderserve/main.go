@@ -48,6 +48,7 @@ func main() {
 		queue         = flag.Int("queue", 0, "admission queue depth (0 = 4×batch)")
 		prefillChunk  = flag.Int("prefill-chunk", 32, "max prompt tokens per iteration per request")
 		workers       = flag.Int("workers", 0, "iteration worker pool size (0 = GOMAXPROCS)")
+		batchFused    = flag.Bool("batch-fused", true, "fuse same-engine decode steps into one forward pass per iteration (bit-identical; disable to step every request separately)")
 		listSchemes   = flag.Bool("list-schemes", false, "list engine spec schemes and their options, then exit")
 
 		load      = flag.Bool("load", false, "run a deterministic load test instead of serving")
@@ -105,6 +106,7 @@ func main() {
 		Model: m, Engines: engines, DefaultScheme: def,
 		MaxBatch: *batch, QueueDepth: *queue,
 		PrefillChunk: *prefillChunk, Workers: *workers,
+		DisableFusedDecode: !*batchFused,
 	})
 	if err != nil {
 		fatalf("%v", err)

@@ -19,6 +19,14 @@
 // immutable) and the per-call hot path (Apply) quantizes only
 // activations, which is what keeps serving decode steps cheap.
 //
+// On top of the packed engines, the serving scheduler (internal/serve)
+// fuses decode: all sessions on one engine advance through a single
+// forward pass per iteration (model.BatchStepper) — one MatMul per weight
+// site over the stacked batch, per-session attention, an arena-recycled
+// zero-allocation hot path — bit-identical to stepping each session
+// alone, for every scheme whose quantization treats activation rows
+// independently (schemes.RowIndependent documents the audit).
+//
 // See README.md for the layout, DESIGN.md for the system inventory and
 // substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
 // root package only anchors module documentation and the benchmark

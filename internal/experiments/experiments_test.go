@@ -290,14 +290,22 @@ func TestServeBenchQuick(t *testing.T) {
 	if tab.ID != "serve" {
 		t.Fatalf("id %q", tab.ID)
 	}
-	// Two schemes × two batch sizes.
-	if len(tab.Rows) != 4 {
-		t.Fatalf("expected 4 rows, got %d", len(tab.Rows))
+	// Three schemes × (batch 1, batch 8 per-request, batch 8 fused,
+	// batch 32 fused).
+	if len(tab.Rows) != 12 {
+		t.Fatalf("expected 12 rows, got %d", len(tab.Rows))
 	}
+	fusedRows := 0
 	for _, row := range tab.Rows {
 		if cellFloat(t, row[2]) <= 0 {
 			t.Fatalf("non-positive throughput in row %v", row)
 		}
+		if strings.HasPrefix(row[0], "fused-decode/") {
+			fusedRows++
+		}
+	}
+	if fusedRows != 6 {
+		t.Fatalf("expected 6 fused-decode rows, got %d", fusedRows)
 	}
 	if _, err := os.Stat(ServeBenchFile); err != nil {
 		t.Fatalf("BENCH_serve.json not emitted: %v", err)
@@ -310,8 +318,8 @@ func TestServeBenchQuick(t *testing.T) {
 	if err := json.Unmarshal(blob, &results); err != nil {
 		t.Fatalf("BENCH_serve.json not valid JSON: %v", err)
 	}
-	if len(results) != 4 {
-		t.Fatalf("expected 4 JSON results, got %d", len(results))
+	if len(results) != 12 {
+		t.Fatalf("expected 12 JSON results, got %d", len(results))
 	}
 	for _, r := range results {
 		if r["decode_tokens_per_sec"].(float64) <= 0 {

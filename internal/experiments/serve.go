@@ -30,16 +30,21 @@ type serveBenchResult struct {
 }
 
 // ServeBench benchmarks the continuous-batching server: a deterministic
-// closed-loop load test over calibrated engines at batch 1 (the
-// one-request-at-a-time baseline) versus batch 8, reporting decode
-// throughput and tail latency. Every scheme × batch row is also written
-// to BENCH_serve.json to seed the serving perf trajectory.
+// closed-loop load test over calibrated engines comparing the batch-1
+// baseline, the per-request batched scheduler (scheduling-only batching,
+// the pre-fusion behaviour) and the fused batched decode path at batch 8
+// and 32. Per-request rows keep the plain scheme name; fused rows are
+// recorded as "fused-decode/<spec>" with the same schema, both against
+// the shared batch-1 baseline. Every row is also written to
+// BENCH_serve.json to seed the serving perf trajectory.
 func ServeBench(o Options) Table {
 	modelName := "opt-6.7b"
-	schemeNames := []string{"fp32", "tender"}
-	requests, minP, maxP, newTok := 32, 24, 48, 12
+	schemeNames := []string{"fp32", "tender", "tender:int"}
+	// Decode-heavy trace: generation dominates the wall clock, the regime
+	// continuous batching (and the fused decode pass) is built for.
+	requests, minP, maxP, newTok := 32, 16, 32, 48
 	if o.Quick {
-		requests, minP, maxP, newTok = 12, 12, 24, 6
+		requests, minP, maxP, newTok = 12, 8, 16, 12
 	}
 	m := model.New(model.Registry(modelName))
 	engines, err := engine.BuildEngines(m, schemeNames, engine.BuildOptions{
@@ -56,37 +61,45 @@ func ServeBench(o Options) Table {
 	t := Table{
 		ID:    "serve",
 		Title: "Continuous-batching serving throughput (closed-loop load)",
-		Note: fmt.Sprintf("%s, %d requests, prompts %d-%d, %d decode tokens, GOMAXPROCS=%d",
+		Note: fmt.Sprintf("%s, %d requests, prompts %d-%d, %d decode tokens, GOMAXPROCS=%d; fused-decode/* rows share the scheme's batch-1 baseline",
 			modelName, requests, minP, maxP, newTok, runtime.GOMAXPROCS(0)),
 		Columns: []string{"Scheme", "Batch", "tok/s", "p50 ms", "p99 ms", "TTFT p50", "Mean batch", "Speedup"},
 	}
+	configs := []struct {
+		batch int
+		fused bool
+	}{{1, false}, {8, false}, {8, true}, {32, true}}
 	var emit []serveBenchResult
 	for _, name := range schemeNames {
 		var base float64
-		for _, batch := range []int{1, 8} {
+		for _, c := range configs {
 			srv, err := serve.New(serve.Config{
 				Model: m, Engines: engines, DefaultScheme: name,
-				MaxBatch: batch, PrefillChunk: 16,
+				MaxBatch: c.batch, PrefillChunk: 16,
+				DisableFusedDecode: !c.fused,
 			})
 			if err != nil {
 				panic(err)
 			}
 			srv.Start()
-			clients := batch
-			rep := serve.RunLoad(srv, serve.LoadConfig{Trace: trace, Clients: clients, Scheme: name})
+			rep := serve.RunLoad(srv, serve.LoadConfig{Trace: trace, Clients: c.batch, Scheme: name})
 			srv.Stop()
 			if rep.Failed > 0 {
 				panic(fmt.Sprintf("serve bench: %d requests failed", rep.Failed))
 			}
-			if batch == 1 {
+			if c.batch == 1 && !c.fused {
 				base = rep.TokensPerSec
 			}
 			speedup := 1.0
 			if base > 0 {
 				speedup = rep.TokensPerSec / base
 			}
+			rowName := name
+			if c.fused {
+				rowName = "fused-decode/" + name
+			}
 			t.Rows = append(t.Rows, []string{
-				name, fmt.Sprintf("%d", batch),
+				rowName, fmt.Sprintf("%d", c.batch),
 				fmt.Sprintf("%.1f", rep.TokensPerSec),
 				fmt.Sprintf("%.1f", rep.LatencyP50Ms),
 				fmt.Sprintf("%.1f", rep.LatencyP99Ms),
@@ -95,7 +108,7 @@ func ServeBench(o Options) Table {
 				FormatX(speedup),
 			})
 			emit = append(emit, serveBenchResult{
-				Scheme: name, Batch: batch,
+				Scheme: rowName, Batch: c.batch,
 				TokensPerSec: rep.TokensPerSec,
 				LatencyP50Ms: rep.LatencyP50Ms, LatencyP99Ms: rep.LatencyP99Ms,
 				TTFTP50Ms: rep.TTFTP50Ms, MeanBatchSize: rep.MeanBatchSize,
@@ -114,11 +127,12 @@ func ServeBench(o Options) Table {
 			}
 		}
 	}
-	// Own only the schemes this run measured, so rows any other writer
-	// records survive the rewrite.
-	owned := make(map[string]bool, len(schemeNames))
+	// Own only the rows this run measured (plain and fused spellings), so
+	// rows any other writer records survive the rewrite.
+	owned := make(map[string]bool, 2*len(schemeNames))
 	for _, n := range schemeNames {
 		owned[n] = true
+		owned["fused-decode/"+n] = true
 	}
 	if err := RewriteServeBench(ServeBenchFile, func(scheme string) bool {
 		return owned[scheme]

@@ -1,0 +1,275 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"tender/internal/tensor"
+)
+
+// BatchStepper runs one fused decode iteration across many Sessions: the
+// current token of every session is stacked into one [B × d_model]
+// activation matrix and the transformer runs once — a single Engine.MatMul
+// per weight site (Q/K/V/Out/FC1/FC2 and the unembedding) over the stacked
+// batch — while attention stays per session, scoring each row against that
+// session's own KV cache and position offset. The result is bit-identical
+// to stepping each session alone through Session.Append: every weight site
+// of the engine must treat activation rows independently
+// (RowIndependentEngine), and the per-session attention loops replicate
+// the sequential path's exact accumulation order.
+//
+// The stepper owns a tensor.Arena and reuses every intermediate, so with
+// an EngineInto engine (the FP32 reference) steady-state decode performs
+// no heap allocations per token. It is bound to one (Model, Engine) pair;
+// membership is passed per call, so the serving scheduler can regroup
+// requests every iteration as sessions join and finish. A BatchStepper is
+// not safe for concurrent use, but separate steppers sharing one engine
+// may run concurrently — engines and their packed weights are read-only
+// at inference time.
+type BatchStepper struct {
+	m        *Model
+	eng      Engine
+	into     EngineInto // nil when the engine has no Into fast path
+	exactAtt bool       // act-act sites run the exact GEMM → direct loops
+	arena    *tensor.Arena
+	logits   *tensor.Matrix // previous Step's output, recycled next call
+	// Scratch headers for allocation-free KV cache views.
+	kview, vview tensor.Matrix
+}
+
+// weightSiteKinds are the matmul sites fused over the stacked batch.
+var weightSiteKinds = [...]SiteKind{KindQ, KindK, KindV, KindOut, KindFC1, KindFC2}
+
+// NewBatchStepper returns a fused decode stepper for m over eng, or an
+// error when the engine cannot guarantee bit-identical fusion: it must
+// implement RowIndependentEngine and report every weight site of the
+// model row-independent. Row-dependent engines (e.g. OliVe's cross-row
+// outlier-victim pairing) must keep decoding per request.
+func (m *Model) NewBatchStepper(eng Engine) (*BatchStepper, error) {
+	if m.Cfg.Arch != Decoder {
+		return nil, fmt.Errorf("model: fused decode requires a decoder model")
+	}
+	rie, ok := eng.(RowIndependentEngine)
+	if !ok {
+		return nil, fmt.Errorf("model: engine %T does not declare row-independent matmuls", eng)
+	}
+	for l := 0; l < m.Cfg.Layers; l++ {
+		for _, kind := range weightSiteKinds {
+			site := Site{l, kind, -1}
+			if !rie.RowIndependentMatMul(site) {
+				return nil, fmt.Errorf("model: %v of engine %T is row-dependent; fused decode would not be bit-identical", site, eng)
+			}
+		}
+	}
+	bs := &BatchStepper{m: m, eng: eng, arena: tensor.NewArena()}
+	bs.into, _ = eng.(EngineInto)
+	if ea, ok := eng.(exactActAct); ok {
+		bs.exactAtt = ea.ExactActAct()
+	}
+	return bs, nil
+}
+
+// Step appends one token to every session in a single fused forward pass
+// and returns the stacked logits (len(sessions) × vocab, row i for
+// sessions[i]). All sessions must belong to the stepper's model and
+// engine, appear at most once, and have room for one more position. The
+// returned matrix is owned by the stepper and valid until the next Step.
+func (bs *BatchStepper) Step(sessions []*Session, tokens []int) *tensor.Matrix {
+	b := len(sessions)
+	if b == 0 || len(tokens) != b {
+		panic(fmt.Sprintf("model: BatchStepper.Step with %d sessions, %d tokens", b, len(tokens)))
+	}
+	m := bs.m
+	d := m.Cfg.DModel
+	for i, s := range sessions {
+		if s.m != m || s.eng != bs.eng {
+			panic("model: BatchStepper.Step session bound to a different model or engine")
+		}
+		if s.pos+1 > m.Cfg.MaxSeq {
+			panic(fmt.Sprintf("model: session length %d+1 exceeds max %d", s.pos, m.Cfg.MaxSeq))
+		}
+		if t := tokens[i]; t < 0 || t >= m.Cfg.Vocab {
+			panic(fmt.Sprintf("model: token %d out of vocab", t))
+		}
+	}
+	x := bs.arena.GetUninit(b, d)
+	for i, s := range sessions {
+		row := x.Row(i)
+		copy(row, m.Embed.Row(tokens[i]))
+		pos := m.Pos.Row(s.pos)
+		for c := range row {
+			row[c] += pos[c]
+		}
+	}
+	for l := range m.Layers {
+		bs.stepBlock(l, sessions, x)
+	}
+	for _, s := range sessions {
+		s.pos++
+	}
+	tensor.LayerNormRows(x, m.LNFGain, m.LNFBias)
+	if bs.logits != nil {
+		bs.arena.Put(bs.logits)
+	}
+	logits := bs.arena.GetUninit(b, m.Cfg.Vocab)
+	tensor.MatMulInto(x, m.Unembed, logits)
+	bs.arena.Put(x)
+	bs.logits = logits
+	return logits
+}
+
+// stepBlock is Session.stepBlock over the stacked batch: fused weight
+// matmuls, per-session attention, in-place residual adds (same values as
+// the sequential path's fresh Add results).
+func (bs *BatchStepper) stepBlock(l int, sessions []*Session, x *tensor.Matrix) {
+	m := bs.m
+	lay := &m.Layers[l]
+	b := x.Rows
+	d := m.Cfg.DModel
+
+	// --- Attention sub-layer ---
+	h := bs.arena.GetUninit(b, d)
+	copy(h.Data, x.Data)
+	tensor.LayerNormRows(h, lay.LN1Gain, lay.LN1Bias)
+	xq := bs.siteMatMul(Site{l, KindQ, -1}, h, lay.WQ)
+	xk := bs.siteMatMul(Site{l, KindK, -1}, h, lay.WK)
+	xv := bs.siteMatMul(Site{l, KindV, -1}, h, lay.WV)
+	bs.arena.Put(h)
+	for i, s := range sessions {
+		s.kv[l].k.AppendRow(xk.Row(i))
+		s.kv[l].v.AppendRow(xv.Row(i))
+	}
+	attnOut := bs.arena.Get(b, d)
+	for i, s := range sessions {
+		bs.attendOne(l, s, xq.Row(i), attnOut.Row(i))
+	}
+	bs.releaseSite(xq)
+	bs.releaseSite(xk)
+	bs.releaseSite(xv)
+	xo := bs.siteMatMul(Site{l, KindOut, -1}, attnOut, lay.WO)
+	bs.arena.Put(attnOut)
+	tensor.AddInPlace(x, xo)
+	bs.releaseSite(xo)
+
+	// --- Feed-forward sub-layer ---
+	h = bs.arena.GetUninit(b, d)
+	copy(h.Data, x.Data)
+	tensor.LayerNormRows(h, lay.LN2Gain, lay.LN2Bias)
+	f := bs.siteMatMul(Site{l, KindFC1, -1}, h, lay.WFC1)
+	bs.arena.Put(h)
+	if m.Cfg.UseGELU {
+		tensor.GELU(f)
+	} else {
+		tensor.ReLU(f)
+	}
+	f2 := bs.siteMatMul(Site{l, KindFC2, -1}, f, lay.WFC2)
+	bs.releaseSite(f)
+	tensor.AddInPlace(x, f2)
+	bs.releaseSite(f2)
+}
+
+// attendOne computes one session's attention rows against its own KV
+// cache: qrow is the session's row of the fused query projection, orow its
+// row of the attention output.
+func (bs *BatchStepper) attendOne(l int, s *Session, qrow, orow []float64) {
+	m := bs.m
+	heads := m.Cfg.Heads
+	dh := m.Cfg.HeadDim()
+	d := m.Cfg.DModel
+	invSqrt := 1 / math.Sqrt(float64(dh))
+	s.kv[l].k.ViewInto(&bs.kview)
+	s.kv[l].v.ViewInto(&bs.vview)
+	seq := bs.kview.Rows
+
+	if bs.exactAtt {
+		// The engine's act-act sites are the exact GEMM, so score and
+		// value products are computed straight off the cache views with
+		// tensor.MatMul's per-row accumulation order (k ascending,
+		// zero-skip, j ascending) — bit-identical, no per-head copies.
+		score := bs.arena.Get(1, seq)
+		srow := score.Row(0)
+		for hd := 0; hd < heads; hd++ {
+			lo := hd * dh
+			if hd > 0 {
+				for j := range srow {
+					srow[j] = 0
+				}
+			}
+			for k := 0; k < dh; k++ {
+				av := qrow[lo+k]
+				if av == 0 {
+					continue
+				}
+				col := lo + k
+				for j := 0; j < seq; j++ {
+					srow[j] += av * bs.kview.Data[j*d+col]
+				}
+			}
+			score.Scale(invSqrt)
+			tensor.CausalMaskOffsetInPlace(score, s.pos)
+			tensor.SoftmaxRows(score)
+			out := orow[lo : lo+dh]
+			for k := 0; k < seq; k++ {
+				sv := srow[k]
+				if sv == 0 {
+					continue
+				}
+				vrow := bs.vview.Data[k*d+lo : k*d+lo+dh]
+				for j, vv := range vrow {
+					out[j] += sv * vv
+				}
+			}
+		}
+		bs.arena.Put(score)
+		return
+	}
+
+	// Generic path (QuantActAct engines): materialize the per-head
+	// operands exactly as the sequential step does and route both
+	// attention sites through the engine.
+	qh := bs.arena.GetUninit(1, dh)
+	kh := bs.arena.GetUninit(seq, dh)
+	khT := bs.arena.GetUninit(dh, seq)
+	vh := bs.arena.GetUninit(seq, dh)
+	for hd := 0; hd < heads; hd++ {
+		lo, hi := hd*dh, (hd+1)*dh
+		copy(qh.Row(0), qrow[lo:hi])
+		for r := 0; r < seq; r++ {
+			krow := bs.kview.Data[r*d+lo : r*d+hi]
+			copy(kh.Row(r), krow)
+			copy(vh.Row(r), bs.vview.Data[r*d+lo:r*d+hi])
+			for c, v := range krow {
+				khT.Data[c*seq+r] = v
+			}
+		}
+		score := bs.eng.MatMul(Site{l, KindScore, hd}, qh, khT)
+		score.Scale(invSqrt)
+		tensor.CausalMaskOffsetInPlace(score, s.pos)
+		tensor.SoftmaxRows(score)
+		av := bs.eng.MatMul(Site{l, KindValue, hd}, score, vh)
+		copy(orow[lo:hi], av.Row(0))
+	}
+	bs.arena.Put(qh)
+	bs.arena.Put(kh)
+	bs.arena.Put(khT)
+	bs.arena.Put(vh)
+}
+
+// siteMatMul runs one fused weight site, through the engine's Into fast
+// path into an arena matrix when available.
+func (bs *BatchStepper) siteMatMul(site Site, x, w *tensor.Matrix) *tensor.Matrix {
+	if bs.into != nil {
+		out := bs.arena.GetUninit(x.Rows, w.Cols)
+		bs.into.MatMulInto(site, x, w, out)
+		return out
+	}
+	return bs.eng.MatMul(site, x, w)
+}
+
+// releaseSite returns a siteMatMul result to the arena when the stepper
+// owns it; engine-allocated results are left to the garbage collector.
+func (bs *BatchStepper) releaseSite(m *tensor.Matrix) {
+	if bs.into != nil {
+		bs.arena.Put(m)
+	}
+}

@@ -1,0 +1,231 @@
+package model_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"tender/internal/engine"
+	"tender/internal/model"
+	"tender/internal/tensor"
+	"tender/internal/workload"
+)
+
+// servingEngines builds one engine per registry scheme with the Serving
+// option, the configuration fused decode targets.
+func servingEngines(t *testing.T, m *model.Model, names []string) map[string]model.Engine {
+	t.Helper()
+	engines, err := engine.BuildEngines(m, names, engine.BuildOptions{
+		Bits: 8, Streams: 2, StreamLen: 32, Serving: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return engines
+}
+
+// prefill builds n sessions with deterministic prompts of differing
+// lengths (so per-session position offsets differ) and returns the
+// sessions plus each one's last greedy token.
+func prefill(t *testing.T, m *model.Model, eng model.Engine, n int, seed uint64) ([]*model.Session, []int) {
+	t.Helper()
+	sessions := make([]*model.Session, n)
+	last := make([]int, n)
+	for i := range sessions {
+		prompt := workload.TokenStream(workload.Wiki, seed+uint64(i), 3+2*i, m.Cfg.Vocab)
+		sessions[i] = m.NewSession(eng, len(prompt)+16)
+		logits := sessions[i].Append(prompt)
+		last[i] = model.Greedy(logits.Row(logits.Rows - 1))
+	}
+	return sessions, last
+}
+
+// TestFusedStepBitIdenticalEveryScheme is the fused-decode invariant: for
+// every registry scheme whose engine admits fusion, BatchStepper.Step
+// produces logits bit-identical to stepping each session alone through
+// Session.Append — including after a batch member finishes mid-decode.
+// Row-dependent engines must be rejected by NewBatchStepper instead.
+func TestFusedStepBitIdenticalEveryScheme(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	names := append(engine.SchemeNames(), "tender:int", "uniform:gran=tensor", "uniform:gran=row")
+	engines := servingEngines(t, m, names)
+	for _, name := range names {
+		key, err := engine.Canonical(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := engines[key]
+		t.Run(name, func(t *testing.T) {
+			bs, err := m.NewBatchStepper(eng)
+			if name == "olive" {
+				// OliVe's cross-row pair encoding is row-dependent; fusing
+				// it would change tokens, so it must be refused.
+				if err == nil {
+					t.Fatal("olive must not admit fused decode")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NewBatchStepper: %v", err)
+			}
+			const batch = 4
+			fused, fusedLast := prefill(t, m, eng, batch, 11)
+			seq, seqLast := prefill(t, m, eng, batch, 11)
+			for i := range fusedLast {
+				if fusedLast[i] != seqLast[i] {
+					t.Fatalf("prefill diverged before the experiment started")
+				}
+			}
+			live := make([]int, batch) // indices of still-active members
+			for i := range live {
+				live[i] = i
+			}
+			for step := 0; step < 6; step++ {
+				if step == 3 {
+					// A member finishes mid-decode: the group shrinks, the
+					// survivors' outputs must not move.
+					live = append(live[:1], live[2:]...)
+				}
+				group := make([]*model.Session, len(live))
+				toks := make([]int, len(live))
+				for gi, i := range live {
+					group[gi] = fused[i]
+					toks[gi] = fusedLast[i]
+				}
+				logits := bs.Step(group, toks)
+				for gi, i := range live {
+					ref := seq[i].Append([]int{seqLast[i]})
+					frow := logits.Row(gi)
+					rrow := ref.Row(0)
+					for c := range rrow {
+						if frow[c] != rrow[c] {
+							t.Fatalf("step %d session %d: fused logit[%d]=%v != sequential %v",
+								step, i, c, frow[c], rrow[c])
+						}
+					}
+					fusedLast[i] = model.Greedy(frow)
+					seqLast[i] = model.Greedy(rrow)
+					if fusedLast[i] != seqLast[i] {
+						t.Fatalf("step %d session %d: tokens diverged", step, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFusedStepSampledBitIdentical repeats the invariant under temperature
+// sampling: identical logits and identical per-session RNG streams yield
+// identical tokens.
+func TestFusedStepSampledBitIdentical(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	engines := servingEngines(t, m, []string{"tender"})
+	eng := engines["tender"]
+	bs, err := m.NewBatchStepper(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 3
+	fused, fusedLast := prefill(t, m, eng, batch, 23)
+	seq, seqLast := prefill(t, m, eng, batch, 23)
+	frng := make([]*tensor.RNG, batch)
+	srng := make([]*tensor.RNG, batch)
+	for i := range frng {
+		frng[i] = tensor.NewRNG(100 + uint64(i))
+		srng[i] = tensor.NewRNG(100 + uint64(i))
+	}
+	for step := 0; step < 5; step++ {
+		logits := bs.Step(fused, fusedLast)
+		for i := range fused {
+			fusedLast[i] = model.Sample(logits.Row(i), 0.7, frng[i].Float64())
+			ref := seq[i].Append([]int{seqLast[i]})
+			seqLast[i] = model.Sample(ref.Row(0), 0.7, srng[i].Float64())
+			if fusedLast[i] != seqLast[i] {
+				t.Fatalf("step %d session %d: sampled tokens diverged", step, i)
+			}
+		}
+	}
+}
+
+// TestFusedSteppersConcurrentOnSharedEngine: separate BatchSteppers over
+// one packed engine may run concurrently (run under -race in CI). Outputs
+// must still match the sequential reference.
+func TestFusedSteppersConcurrentOnSharedEngine(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	engines := servingEngines(t, m, []string{"smoothquant"})
+	eng := engines["smoothquant"]
+	ref := func(seed uint64) []int {
+		sess, last := prefill(t, m, eng, 2, seed)
+		var out []int
+		for step := 0; step < 4; step++ {
+			for i := range sess {
+				last[i] = model.Greedy(sess[i].Append([]int{last[i]}).Row(0))
+				out = append(out, last[i])
+			}
+		}
+		return out
+	}
+	want := [][]int{ref(41), ref(42)}
+	got := make([][]int, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			bs, err := m.NewBatchStepper(eng)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sess := make([]*model.Session, 2)
+			last := make([]int, 2)
+			for i := range sess {
+				prompt := workload.TokenStream(workload.Wiki, 41+uint64(g)+uint64(i), 3+2*i, m.Cfg.Vocab)
+				sess[i] = m.NewSession(eng, len(prompt)+16)
+				lg := sess[i].Append(prompt)
+				last[i] = model.Greedy(lg.Row(lg.Rows - 1))
+			}
+			for step := 0; step < 4; step++ {
+				logits := bs.Step(sess, last)
+				for i := range sess {
+					last[i] = model.Greedy(logits.Row(i))
+					got[g] = append(got[g], last[i])
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := range want {
+		if len(got[g]) != len(want[g]) {
+			t.Fatalf("group %d: %d tokens, want %d", g, len(got[g]), len(want[g]))
+		}
+		for i := range want[g] {
+			if got[g][i] != want[g][i] {
+				t.Fatalf("group %d token %d differs under concurrency", g, i)
+			}
+		}
+	}
+}
+
+// TestBatchStepperRejectsMismatchedSessions: sessions bound to another
+// engine must be refused loudly, not silently mis-served.
+func TestBatchStepperRejectsMismatchedSessions(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	engines := servingEngines(t, m, []string{"fp32", "fp16"})
+	bs, err := m.NewBatchStepper(engines["fp32"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := m.NewSession(engines["fp16"], 8)
+	other.Append([]int{1, 2})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic for mismatched session engine")
+		}
+		if !strings.Contains(r.(string), "different model or engine") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	bs.Step([]*model.Session{other}, []int{3})
+}

@@ -135,6 +135,29 @@ func (e *SchemeEngine) MatMul(site Site, x, w *tensor.Matrix) *tensor.Matrix {
 	return schemes.MatMul(cs.kernel, x, w)
 }
 
+// RowIndependentMatMul implements RowIndependentEngine by consulting the
+// site's calibrated kernel (schemes.RowIndependent). Sites that fall back
+// to the exact GEMM — act-act sites when QuantActAct is off, sites unseen
+// during calibration — are row-independent by construction, as is the
+// generic value path (a static per-tensor scale applied elementwise).
+func (e *SchemeEngine) RowIndependentMatMul(site Site) bool {
+	if site.Kind.IsActAct() && !e.QuantActAct {
+		return true
+	}
+	if site.Kind == KindValue {
+		return true
+	}
+	cs, ok := e.sites[site]
+	if !ok {
+		return true
+	}
+	return schemes.IsRowIndependent(cs.kernel)
+}
+
+// ExactActAct reports whether attention matmuls run the exact float GEMM
+// (they do unless the engine quantizes activation-activation sites).
+func (e *SchemeEngine) ExactActAct() bool { return !e.QuantActAct }
+
 // valueMatMul is the generic act-act path for the XS × XV site.
 func (e *SchemeEngine) valueMatMul(site Site, x, w *tensor.Matrix) *tensor.Matrix {
 	s, ok := e.valueScales[site]

@@ -242,11 +242,51 @@ type Engine interface {
 	MatMul(site Site, x, w *tensor.Matrix) *tensor.Matrix
 }
 
+// EngineInto is an optional Engine extension for allocation-free hot
+// paths: MatMulInto computes the site's product into a caller-owned
+// matrix, bit-identical to MatMul. The fused decode step uses it to run
+// steady-state decode without heap allocations.
+type EngineInto interface {
+	Engine
+	MatMulInto(site Site, x, w, out *tensor.Matrix)
+}
+
+// RowIndependentEngine is an optional Engine extension reporting whether a
+// site's MatMul treats every activation row independently — running the
+// site once over rows stacked from several sessions is bit-identical, row
+// for row, to running it on each row alone. Fused batched decode requires
+// it of every weight-matmul site; engines that do not implement the
+// interface are treated as row-dependent and served per request.
+type RowIndependentEngine interface {
+	Engine
+	RowIndependentMatMul(site Site) bool
+}
+
+// exactActAct is an optional Engine extension reporting that activation-
+// activation sites (attention score and value) execute the exact float
+// GEMM. The fused step then computes per-session attention with direct
+// dot-product loops over the KV cache instead of materializing per-head
+// operand copies — bit-identical because the loops replicate
+// tensor.MatMul's per-row accumulation order exactly.
+type exactActAct interface {
+	ExactActAct() bool
+}
+
 // Exact is the engine with no quantization.
 type Exact struct{}
 
 // MatMul implements Engine.
 func (Exact) MatMul(_ Site, x, w *tensor.Matrix) *tensor.Matrix { return tensor.MatMul(x, w) }
+
+// MatMulInto implements EngineInto.
+func (Exact) MatMulInto(_ Site, x, w, out *tensor.Matrix) { tensor.MatMulInto(x, w, out) }
+
+// RowIndependentMatMul implements RowIndependentEngine: the exact GEMM
+// accumulates each output row from its own input row only.
+func (Exact) RowIndependentMatMul(Site) bool { return true }
+
+// ExactActAct reports that attention matmuls run the exact float GEMM.
+func (Exact) ExactActAct() bool { return true }
 
 // Forward runs the transformer over tokens and returns the logits
 // (len(tokens) × vocab). Matmuls are routed through eng; softmax,

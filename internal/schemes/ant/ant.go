@@ -200,3 +200,7 @@ func (st *site) Apply(x *tensor.Matrix, packed schemes.PackedWeights) *tensor.Ma
 	xq := encodeWithScale(x, st.xType, st.bits, st.xScale)
 	return tensor.MatMul(xq, packed.(*tensor.Matrix))
 }
+
+// ApplyRowIndependent implements schemes.RowIndependent: the datatype and
+// scale are calibrated statics and encoding is elementwise.
+func (st *site) ApplyRowIndependent() bool { return true }

@@ -107,3 +107,8 @@ func (st *site) Apply(x *tensor.Matrix, pw schemes.PackedWeights) *tensor.Matrix
 	}
 	return out
 }
+
+// ApplyRowIndependent implements schemes.RowIndependent: the outlier-column
+// split is calibrated once, the INT8 half quantizes with per-row scales and
+// the FP16 half rounds elementwise — no row sees another.
+func (st *site) ApplyRowIndependent() bool { return true }

@@ -141,3 +141,9 @@ func (s site) PrepareWeights(w *tensor.Matrix) schemes.PackedWeights {
 func (s site) Apply(x *tensor.Matrix, packed schemes.PackedWeights) *tensor.Matrix {
 	return tensor.MatMul(Encode(x, s.cfg), packed.(*tensor.Matrix))
 }
+
+// ApplyRowIndependent implements schemes.RowIndependent: MSFP12's shared
+// exponents span row-contiguous blocks, so each row encodes alone; the OL
+// variant shares exponents down columns — across rows — and is
+// row-coupled.
+func (s site) ApplyRowIndependent() bool { return s.cfg.Layout == RowBlocks }

@@ -164,3 +164,8 @@ func (s site) PrepareWeights(w *tensor.Matrix) schemes.PackedWeights {
 func (s site) Apply(x *tensor.Matrix, packed schemes.PackedWeights) *tensor.Matrix {
 	return tensor.MatMul(s.enc(x), packed.(*tensor.Matrix))
 }
+
+// ApplyRowIndependent implements schemes.RowIndependent: both MX formats
+// derive shared scales over row-contiguous blocks only, so each row
+// encodes alone.
+func (s site) ApplyRowIndependent() bool { return true }

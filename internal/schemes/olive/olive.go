@@ -268,3 +268,11 @@ func (st *site) Apply(x *tensor.Matrix, packed schemes.PackedWeights) *tensor.Ma
 	xq := EncodePairs(x, st.xThr, st.bits)
 	return tensor.MatMul(xq, packed.(*tensor.Matrix))
 }
+
+// ApplyRowIndependent implements schemes.RowIndependent: false — OliVe's
+// outlier-victim pairing couples vertically adjacent rows (an outlier in
+// row r prunes its victim in row r±1) and the abfloat field split adapts
+// to the whole call tensor's absolute maximum, so stacking rows from
+// different sessions would change each session's encoding. OliVe serves
+// through the per-request path.
+func (st *site) ApplyRowIndependent() bool { return false }

@@ -44,6 +44,42 @@ type SiteKernel interface {
 	Apply(x *tensor.Matrix, packed PackedWeights) *tensor.Matrix
 }
 
+// RowIndependent is an optional SiteKernel capability: a kernel whose
+// ApplyRowIndependent reports true promises that Apply treats every
+// activation row independently — Apply over a stacked matrix is bit-
+// identical, row for row, to Apply over each row alone. That is the
+// property fused batched decode relies on: the serving scheduler stacks
+// the current row of several sessions into one matrix and runs each weight
+// site once, which only preserves per-session outputs when no row's
+// quantization depends on the other rows (runtime whole-tensor statistics,
+// cross-row encodings, or row-position metadata all break it).
+//
+// Kernels that do not implement the interface are treated as row-dependent
+// and served through the per-request path. The audit across the registry:
+//
+//   - fp32 / fp16: exact or elementwise rounding — independent.
+//   - uniform: static scales or per-row dynamic scales — independent;
+//     per-tensor dynamic scales are not (and are rejected for serving).
+//   - smoothquant / ant: calibrated static scales, elementwise — independent.
+//   - llmint8: static column split + per-row activation scales — independent.
+//   - msfp (row blocks) / mxfp4 / smx4: exponents shared along each row
+//     only — independent; msfp:ol blocks span rows — dependent.
+//   - tender: with row chunking disabled (the serving build) every row uses
+//     chunk-0 metadata — independent; with chunking, metadata varies by row
+//     position — dependent.
+//   - olive: outlier-victim pairs couple adjacent rows — dependent.
+type RowIndependent interface {
+	// ApplyRowIndependent reports whether Apply is row-independent as
+	// configured.
+	ApplyRowIndependent() bool
+}
+
+// IsRowIndependent reports whether k declares row-independent Apply.
+func IsRowIndependent(k SiteKernel) bool {
+	ri, ok := k.(RowIndependent)
+	return ok && ri.ApplyRowIndependent()
+}
+
 // Scheme builds calibrated SiteKernels.
 type Scheme interface {
 	// Name identifies the scheme in experiment tables.
@@ -75,6 +111,12 @@ func (f MatMulFunc) PrepareWeights(w *tensor.Matrix) PackedWeights { return w }
 func (f MatMulFunc) Apply(x *tensor.Matrix, packed PackedWeights) *tensor.Matrix {
 	return f(x, packed.(*tensor.Matrix))
 }
+
+// ApplyRowIndependent implements RowIndependent. Adapted functions must be
+// plain row-wise matmuls (the FP32 reference is tensor.MatMul, whose
+// per-row accumulation never looks at other rows); wrap row-coupled
+// kernels as full SiteKernels instead.
+func (f MatMulFunc) ApplyRowIndependent() bool { return true }
 
 // FP32 is the unquantized reference.
 type FP32 struct{}
@@ -115,6 +157,10 @@ func (fp16Site) Apply(x *tensor.Matrix, packed PackedWeights) *tensor.Matrix {
 	tensor.F16RoundInPlace(out)
 	return out
 }
+
+// ApplyRowIndependent implements RowIndependent: half-precision rounding is
+// elementwise.
+func (fp16Site) ApplyRowIndependent() bool { return true }
 
 // Uniform is plain static uniform symmetric quantization at a fixed
 // granularity for activations (weights are always per-column), the
@@ -195,6 +241,14 @@ func (s *uniformSite) Apply(x *tensor.Matrix, packed PackedWeights) *tensor.Matr
 		xq = fakeQuantWithScales(x, s.scales, s.bits, quant.PerColumn)
 	}
 	return tensor.MatMul(xq, packed.(*tensor.Matrix))
+}
+
+// ApplyRowIndependent implements RowIndependent: calibrated static scales
+// and dynamic per-row scales both quantize a row from that row alone; a
+// dynamic per-tensor or per-column scale is computed over the whole call
+// tensor and is therefore row-coupled.
+func (s *uniformSite) ApplyRowIndependent() bool {
+	return s.scales != nil || s.gran == quant.PerRow
 }
 
 // fakeQuantWithScales applies quantize-dequantize with fixed static scales.

@@ -108,3 +108,7 @@ func (st *site) Apply(x *tensor.Matrix, packed schemes.PackedWeights) *tensor.Ma
 	}
 	return tensor.MatMul(xq, packed.(*tensor.Matrix))
 }
+
+// ApplyRowIndependent implements schemes.RowIndependent: smoothing factors
+// and the activation scale are calibrated statics applied elementwise.
+func (st *site) ApplyRowIndependent() bool { return true }

@@ -90,3 +90,11 @@ func (s *tenderSite) Apply(x *tensor.Matrix, packed PackedWeights) *tensor.Matri
 	}
 	return tensor.MatMul(s.cal.FakeQuantActivation(x), p.wf)
 }
+
+// ApplyRowIndependent implements RowIndependent: with row chunking disabled
+// (RowChunk = 0, the serving build) every row is quantized against the
+// single chunk-0 metadata regardless of how many rows share the call, so
+// stacked and per-row Apply agree bit for bit. With chunking enabled the
+// metadata varies by row position within the call and fusing would shift
+// rows between chunks.
+func (s *tenderSite) ApplyRowIndependent() bool { return s.cal.Cfg.RowChunk == 0 }

@@ -61,6 +61,7 @@ type Metrics struct {
 	expired        int64
 	prefillTokens  int64
 	decodeTokens   int64
+	fusedTokens    int64
 	perScheme      map[string]int64
 	iterations     int64
 	batchOccupancy int64
@@ -101,12 +102,13 @@ func (m *Metrics) complete(latency, ttft time.Duration) {
 	m.mu.Unlock()
 }
 
-func (m *Metrics) iteration(batch int, prefill, decode int64, perScheme map[string]int64) {
+func (m *Metrics) iteration(batch int, prefill, decode, fused int64, perScheme map[string]int64) {
 	m.mu.Lock()
 	m.iterations++
 	m.batchOccupancy += int64(batch)
 	m.prefillTokens += prefill
 	m.decodeTokens += decode
+	m.fusedTokens += fused
 	for scheme, n := range perScheme {
 		m.perScheme[scheme] += n
 	}
@@ -115,23 +117,26 @@ func (m *Metrics) iteration(batch int, prefill, decode int64, perScheme map[stri
 
 // Snapshot is a JSON-ready view of the metrics at one instant.
 type Snapshot struct {
-	DefaultScheme string           `json:"default_scheme"`
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	Completed     int64            `json:"requests_completed"`
-	Rejected      int64            `json:"requests_rejected"`
-	Expired       int64            `json:"requests_expired"`
-	QueueDepth    int              `json:"queue_depth"`
-	PrefillTokens int64            `json:"prefill_tokens"`
-	DecodeTokens  int64            `json:"decode_tokens"`
-	TokensPerSec  float64          `json:"decode_tokens_per_sec"`
-	PerScheme     map[string]int64 `json:"decode_tokens_per_scheme"`
-	Iterations    int64            `json:"iterations"`
-	MeanBatchSize float64          `json:"mean_batch_size"`
-	LatencyP50Ms  float64          `json:"latency_p50_ms"`
-	LatencyP95Ms  float64          `json:"latency_p95_ms"`
-	LatencyP99Ms  float64          `json:"latency_p99_ms"`
-	TTFTP50Ms     float64          `json:"ttft_p50_ms"`
-	TTFTP99Ms     float64          `json:"ttft_p99_ms"`
+	DefaultScheme string  `json:"default_scheme"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Completed     int64   `json:"requests_completed"`
+	Rejected      int64   `json:"requests_rejected"`
+	Expired       int64   `json:"requests_expired"`
+	QueueDepth    int     `json:"queue_depth"`
+	PrefillTokens int64   `json:"prefill_tokens"`
+	DecodeTokens  int64   `json:"decode_tokens"`
+	// FusedDecodeTokens counts the decode tokens produced by fused batched
+	// passes (the rest went through the per-request path).
+	FusedDecodeTokens int64            `json:"fused_decode_tokens"`
+	TokensPerSec      float64          `json:"decode_tokens_per_sec"`
+	PerScheme         map[string]int64 `json:"decode_tokens_per_scheme"`
+	Iterations        int64            `json:"iterations"`
+	MeanBatchSize     float64          `json:"mean_batch_size"`
+	LatencyP50Ms      float64          `json:"latency_p50_ms"`
+	LatencyP95Ms      float64          `json:"latency_p95_ms"`
+	LatencyP99Ms      float64          `json:"latency_p99_ms"`
+	TTFTP50Ms         float64          `json:"ttft_p50_ms"`
+	TTFTP99Ms         float64          `json:"ttft_p99_ms"`
 }
 
 // Snapshot computes quantiles and rates over the current window.
@@ -140,15 +145,16 @@ func (m *Metrics) Snapshot() Snapshot {
 	defer m.mu.Unlock()
 	up := time.Since(m.start).Seconds()
 	s := Snapshot{
-		DefaultScheme: m.defaultScheme,
-		UptimeSeconds: up,
-		Completed:     m.completed,
-		Rejected:      m.rejected,
-		Expired:       m.expired,
-		PrefillTokens: m.prefillTokens,
-		DecodeTokens:  m.decodeTokens,
-		PerScheme:     make(map[string]int64, len(m.perScheme)),
-		Iterations:    m.iterations,
+		DefaultScheme:     m.defaultScheme,
+		UptimeSeconds:     up,
+		Completed:         m.completed,
+		Rejected:          m.rejected,
+		Expired:           m.expired,
+		PrefillTokens:     m.prefillTokens,
+		DecodeTokens:      m.decodeTokens,
+		FusedDecodeTokens: m.fusedTokens,
+		PerScheme:         make(map[string]int64, len(m.perScheme)),
+		Iterations:        m.iterations,
 	}
 	if m.queueDepth != nil {
 		s.QueueDepth = m.queueDepth()

@@ -92,6 +92,7 @@ func (s *Server) activate(p *pending) *activeReq {
 	return &activeReq{
 		p:       p,
 		sess:    s.cfg.Model.NewSession(eng, len(p.req.Prompt)+maxNew),
+		eng:     eng,
 		rng:     newRequestRNG(p.req.Seed),
 		scheme:  p.req.Scheme,
 		maxNew:  maxNew,
@@ -118,16 +119,30 @@ func (s *Server) reap(batch []*activeReq, now time.Time) []*activeReq {
 	return kept
 }
 
-// runIteration executes one step for every active request, sharding the
-// batch across the worker pool. Steps are per-request and independent, so
-// execution order cannot change any request's tokens — only wall-clock.
+// runIteration executes one step for every active request. Decode-ready
+// requests are partitioned into per-engine fused groups — requests on the
+// same scheme spec share one forward pass through model.BatchStepper, with
+// parallelism coming from within the fused matmuls (which tensor.MatMul
+// shards) rather than across requests. Prefill chunks, and decodes on
+// engines that cannot guarantee bit-identical fusion, keep the per-request
+// path sharded across the worker pool. Fused or not, each request's step
+// computes exactly the sequential Session.Append result, so the partition
+// cannot change any request's tokens — only wall-clock.
 func (s *Server) runIteration(batch []*activeReq) {
+	solo := batch
+	if !s.cfg.DisableFusedDecode {
+		var groups []*decodeGroup
+		groups, solo = s.partition(batch)
+		for _, g := range groups {
+			s.stepFused(g)
+		}
+	}
 	workers := s.cfg.Workers
-	if workers > len(batch) {
-		workers = len(batch)
+	if workers > len(solo) {
+		workers = len(solo)
 	}
 	if workers <= 1 {
-		for _, a := range batch {
+		for _, a := range solo {
 			s.stepOne(a)
 		}
 	} else {
@@ -136,12 +151,12 @@ func (s *Server) runIteration(batch []*activeReq) {
 		for w := 0; w < workers; w++ {
 			go func() {
 				for i := range idx {
-					s.stepOne(batch[i])
+					s.stepOne(solo[i])
 				}
 				done <- struct{}{}
 			}()
 		}
-		for i := range batch {
+		for i := range solo {
 			idx <- i
 		}
 		close(idx)
@@ -149,7 +164,7 @@ func (s *Server) runIteration(batch []*activeReq) {
 			<-done
 		}
 	}
-	var prefill, decode int64
+	var prefill, decode, fused int64
 	perScheme := make(map[string]int64, 1)
 	for _, a := range batch {
 		if a.lastStepPrefill > 0 {
@@ -158,9 +173,90 @@ func (s *Server) runIteration(batch []*activeReq) {
 		if a.lastStepDecoded {
 			decode++
 			perScheme[a.scheme]++
+			if a.lastStepFused {
+				fused++
+			}
 		}
 	}
-	s.metrics.iteration(len(batch), prefill, decode, perScheme)
+	s.metrics.iteration(len(batch), prefill, decode, fused, perScheme)
+}
+
+// decodeGroup is the decode-ready slice of one iteration that shares an
+// engine and therefore one fused forward pass.
+type decodeGroup struct {
+	bs   *model.BatchStepper
+	reqs []*activeReq
+}
+
+// partition splits the active batch into per-engine fused decode groups
+// and the per-request remainder (prefill chunks, engines without a
+// stepper). Group order follows first appearance in the batch, so the
+// partition is deterministic in the batch order.
+func (s *Server) partition(batch []*activeReq) ([]*decodeGroup, []*activeReq) {
+	var groups []*decodeGroup
+	solo := s.solo[:0]
+	for _, a := range batch {
+		if a.consumed < len(a.p.req.Prompt) {
+			solo = append(solo, a)
+			continue
+		}
+		bs := s.stepper(a.eng)
+		if bs == nil {
+			solo = append(solo, a)
+			continue
+		}
+		var g *decodeGroup
+		for _, cand := range groups {
+			if cand.bs == bs {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &decodeGroup{bs: bs}
+			groups = append(groups, g)
+		}
+		g.reqs = append(g.reqs, a)
+	}
+	s.solo = solo
+	return groups, solo
+}
+
+// stepper returns the fused stepper for eng, creating it on first use.
+// Engines that cannot fuse bit-identically (model.NewBatchStepper errors,
+// e.g. OliVe's row-coupled encoding) are cached as nil and served per
+// request. Only the scheduler goroutine touches the cache.
+func (s *Server) stepper(eng model.Engine) *model.BatchStepper {
+	if bs, seen := s.steppers[eng]; seen {
+		return bs
+	}
+	bs, err := s.cfg.Model.NewBatchStepper(eng)
+	if err != nil {
+		bs = nil
+	}
+	s.steppers[eng] = bs
+	return bs
+}
+
+// stepFused advances every request of a decode group by one token with a
+// single fused forward pass.
+func (s *Server) stepFused(g *decodeGroup) {
+	sessions := s.fusedSessions[:0]
+	tokens := s.fusedTokens[:0]
+	for _, a := range g.reqs {
+		a.lastStepPrefill = 0
+		a.lastStepDecoded = false
+		a.lastStepFused = false
+		sessions = append(sessions, a.sess)
+		tokens = append(tokens, a.out[len(a.out)-1])
+	}
+	logits := g.bs.Step(sessions, tokens)
+	for i, a := range g.reqs {
+		a.emit(logits.Row(i))
+		a.lastStepFused = true
+	}
+	s.fusedSessions = sessions
+	s.fusedTokens = tokens
 }
 
 // stepOne advances one request by one iteration: either the next prefill
@@ -168,6 +264,7 @@ func (s *Server) runIteration(batch []*activeReq) {
 func (s *Server) stepOne(a *activeReq) {
 	a.lastStepPrefill = 0
 	a.lastStepDecoded = false
+	a.lastStepFused = false
 	prompt := a.p.req.Prompt
 	if a.consumed < len(prompt) {
 		chunk := len(prompt) - a.consumed

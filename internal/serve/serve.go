@@ -4,12 +4,24 @@
 // position-independent quantization metadata and prepared (compile-once)
 // weight packs — and shared read-only across requests. The server turns
 // the offline evaluation substrate (internal/model) into a serving path:
-// requests enter a bounded admission queue, an iteration-level scheduler
-// assembles batches that mix prefill chunks and single-token decode steps,
-// and a goroutine worker pool executes each active request's step in
-// parallel. Every request runs its own model.Session, so per-request
-// outputs are bit-identical to the unbatched single-threaded decode path
-// for every scheme — batching changes wall-clock, never tokens.
+// requests enter a bounded admission queue and an iteration-level
+// scheduler assembles batches that mix prefill chunks and single-token
+// decode steps.
+//
+// Decode steps are fused: each iteration partitions the decode-ready
+// requests into per-engine groups, and every group runs one forward pass
+// through model.BatchStepper — the sessions' current rows stacked into a
+// single [B × d_model] matrix, one Engine.MatMul per weight site over the
+// whole group, attention still per session against its own KV cache and
+// position offset. Parallelism comes from within the fused matmuls (which
+// tensor.MatMul shards across GOMAXPROCS); prefill chunks and engines
+// whose quantization is not row-independent (see schemes.RowIndependent;
+// OliVe is the one registry case) keep the per-request path on the
+// worker pool. Fused or not, each request computes exactly its sequential
+// model.Session result, so per-request outputs stay bit-identical to the
+// unbatched single-threaded decode path for every scheme — batching and
+// fusion change wall-clock, never tokens. Config.DisableFusedDecode (the
+// tenderserve -batch-fused=false flag) restores per-request stepping.
 package serve
 
 import (
@@ -87,6 +99,11 @@ type Config struct {
 	PrefillChunk int
 	// Workers is the iteration worker-pool size (default GOMAXPROCS).
 	Workers int
+	// DisableFusedDecode turns off the fused batched decode pass and steps
+	// every request through its own session (the pre-fusion behaviour).
+	// Fused decode is bit-identical to the per-request path, so this is a
+	// performance toggle, not a correctness one.
+	DisableFusedDecode bool
 }
 
 func (c *Config) fill() error {
@@ -132,6 +149,12 @@ type Server struct {
 	metrics *Metrics
 	nextID  uint64
 	idMu    sync.Mutex
+	// Scheduler-goroutine state: fused steppers per engine (nil = engine
+	// cannot fuse) and scratch slices reused every iteration.
+	steppers      map[model.Engine]*model.BatchStepper
+	solo          []*activeReq
+	fusedSessions []*model.Session
+	fusedTokens   []int
 }
 
 // pending is a queued request.
@@ -147,6 +170,7 @@ type pending struct {
 type activeReq struct {
 	p        *pending
 	sess     *model.Session
+	eng      model.Engine
 	rng      *tensor.RNG
 	scheme   string
 	consumed int // prompt tokens prefilled so far
@@ -158,6 +182,7 @@ type activeReq struct {
 	// pool joins.
 	lastStepPrefill int
 	lastStepDecoded bool
+	lastStepFused   bool
 }
 
 // New builds a Server; call Start to run it.
@@ -166,8 +191,9 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:  cfg,
-		stop: make(chan struct{}),
+		cfg:      cfg,
+		stop:     make(chan struct{}),
+		steppers: make(map[model.Engine]*model.BatchStepper),
 	}
 	s.queue = make(chan *pending, cfg.QueueDepth)
 	s.metrics = newMetrics(cfg.DefaultScheme, func() int { return len(s.queue) })

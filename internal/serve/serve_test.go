@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -75,6 +76,148 @@ func TestBatchedBitIdenticalEveryScheme(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestFusedMatchesPerRequestPath: the fused scheduler and the
+// DisableFusedDecode per-request scheduler produce identical tokens, the
+// fused path actually engages for fusable engines, and row-dependent
+// engines (olive) fall back to the per-request path without changing
+// outputs.
+func TestFusedMatchesPerRequestPath(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	engines, err := buildEngines(m, []string{"tender", "olive"}, engine.BuildOptions{Bits: 8, Streams: 2, StreamLen: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := tinyTrace(m, 6, 17)
+	for _, name := range []string{"tender", "olive"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			run := func(disable bool) ([][]int, Snapshot) {
+				srv := startServer(t, Config{
+					Model: m, Engines: engines, DefaultScheme: name,
+					MaxBatch: 4, Workers: 2, PrefillChunk: 4,
+					DisableFusedDecode: disable,
+				})
+				rep := RunLoad(srv, LoadConfig{Trace: trace, Clients: 4, Scheme: name})
+				if rep.Failed != 0 {
+					t.Fatalf("%d requests failed", rep.Failed)
+				}
+				return rep.Outputs, srv.Metrics().Snapshot()
+			}
+			fused, fusedSnap := run(false)
+			plain, plainSnap := run(true)
+			for i := range trace {
+				for j := range plain[i] {
+					if fused[i][j] != plain[i][j] {
+						t.Fatalf("request %d token %d: fused %d != per-request %d", i, j, fused[i][j], plain[i][j])
+					}
+				}
+			}
+			if plainSnap.FusedDecodeTokens != 0 {
+				t.Fatalf("per-request run recorded %d fused tokens", plainSnap.FusedDecodeTokens)
+			}
+			if name == "olive" {
+				if fusedSnap.FusedDecodeTokens != 0 {
+					t.Fatalf("olive is row-dependent but %d tokens were fused", fusedSnap.FusedDecodeTokens)
+				}
+			} else if fusedSnap.FusedDecodeTokens == 0 {
+				t.Fatal("fused path never engaged for a fusable engine")
+			}
+		})
+	}
+}
+
+// TestMixedSchemeBatchesFused: one server hosting several engines decodes
+// a mixed-scheme load by partitioning each iteration into per-engine fused
+// groups; every request must still match its unbatched reference.
+func TestMixedSchemeBatchesFused(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	names := []string{"fp32", "tender", "llmint8", "olive"}
+	engines, err := buildEngines(m, names, engine.BuildOptions{Bits: 8, Streams: 2, StreamLen: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := tinyTrace(m, 8, 55)
+	srv := startServer(t, Config{
+		Model: m, Engines: engines, DefaultScheme: "fp32",
+		MaxBatch: 8, Workers: 2, PrefillChunk: 4,
+	})
+	outputs := make([][][]int, len(names))
+	var wg sync.WaitGroup
+	for si, name := range names {
+		wg.Add(1)
+		go func(si int, name string) {
+			defer wg.Done()
+			rep := RunLoad(srv, LoadConfig{Trace: trace, Clients: 2, Scheme: name, SeedBase: 9})
+			if rep.Failed != 0 {
+				t.Errorf("%s: %d requests failed", name, rep.Failed)
+				return
+			}
+			outputs[si] = rep.Outputs
+		}(si, name)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return // a load goroutine already reported its failure
+	}
+	for si, name := range names {
+		ref := DecodeUnbatched(m, engines[name], trace, 0, 9)
+		for i := range trace {
+			if len(outputs[si][i]) != len(ref[i]) {
+				t.Fatalf("%s request %d: %d tokens, want %d", name, i, len(outputs[si][i]), len(ref[i]))
+			}
+			for j := range ref[i] {
+				if outputs[si][i][j] != ref[i][j] {
+					t.Fatalf("%s request %d token %d differs in mixed-scheme batch", name, i, j)
+				}
+			}
+		}
+	}
+	if snap := srv.Metrics().Snapshot(); snap.FusedDecodeTokens == 0 {
+		t.Fatal("mixed-scheme load never used the fused path")
+	}
+}
+
+// TestConcurrentServersShareEngines: two servers fused-decoding over the
+// same engine map (shared packed weights) stay race-free and bit-exact —
+// the -race CI job runs this.
+func TestConcurrentServersShareEngines(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	engines, err := buildEngines(m, []string{"tender"}, engine.BuildOptions{Bits: 8, Streams: 2, StreamLen: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := tinyTrace(m, 6, 71)
+	ref := DecodeUnbatched(m, engines["tender"], trace, 0, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			srv, err := New(Config{Model: m, Engines: engines, MaxBatch: 3, Workers: 2})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			srv.Start()
+			defer srv.Stop()
+			rep := RunLoad(srv, LoadConfig{Trace: trace, Clients: 3})
+			if rep.Failed != 0 {
+				t.Errorf("%d requests failed", rep.Failed)
+				return
+			}
+			for i := range trace {
+				for j := range ref[i] {
+					if rep.Outputs[i][j] != ref[i][j] {
+						t.Errorf("request %d token %d differs across concurrent servers", i, j)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // TestSampledDecodeBitIdentical repeats the invariant for temperature

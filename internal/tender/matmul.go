@@ -36,7 +36,7 @@ func (cal *Calibration) MatMulImplicit(x *tensor.Matrix, w *quant.Quantized, wf 
 	}
 	xq := cal.QuantizeActivation(x)
 	out := tensor.New(x.Rows, w.Cols)
-	biasOut := tensor.MatMul(biasRowMatrix(cal, x.Rows), wf)
+	biasOut := cal.biasProduct(x.Rows, wf)
 	chunk := cal.rowChunkSize(x.Rows)
 	alpha := int64(cal.Cfg.Alpha)
 	g := cal.Cfg.Groups
@@ -113,7 +113,7 @@ func (cal *Calibration) MatMulExplicit(x *tensor.Matrix, w *quant.Quantized, wf 
 		panic("tender: MatMulExplicit shape mismatch")
 	}
 	xq := cal.QuantizeActivation(x)
-	out := tensor.MatMul(biasRowMatrix(cal, x.Rows), wf)
+	out := cal.biasProduct(x.Rows, wf)
 	chunk := cal.rowChunkSize(x.Rows)
 	for lo := 0; lo < x.Rows; lo += chunk {
 		hi := lo + chunk
@@ -154,13 +154,28 @@ func (cal *Calibration) FakeQuantMatMul(x *tensor.Matrix, w *quant.Quantized) *t
 	return tensor.MatMul(cal.FakeQuantActivation(x), w.Dequantize())
 }
 
-// biasRowMatrix expands the per-chunk bias vectors into a full rows×Cols
-// matrix so the bias-correction term bias×W can be computed with one GEMM.
-func biasRowMatrix(cal *Calibration, rows int) *tensor.Matrix {
-	out := tensor.New(rows, cal.Cols)
+// biasProduct returns the rows×Cols(wf) bias-correction term bias×W. Every
+// row of a chunk shares one bias vector, so the product is computed once
+// per distinct chunk and the row replicated — bit-identical to multiplying
+// the expanded per-row bias matrix (identical input rows give identical
+// output rows), but a batched decode step pays one bias GEMV instead of
+// one per stacked session. The hardware precomputes bias×W during
+// calibration (§III-B); this is the software analogue.
+func (cal *Calibration) biasProduct(rows int, wf *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(rows, wf.Cols)
 	chunk := cal.rowChunkSize(rows)
-	for r := 0; r < rows; r++ {
-		copy(out.Row(r), cal.chunkFor(r/chunk).Bias)
+	bias := tensor.Matrix{Rows: 1, Cols: cal.Cols}
+	var prod *tensor.Matrix
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		bias.Data = cal.chunkFor(lo / chunk).Bias
+		prod = tensor.MatMul(&bias, wf)
+		for r := lo; r < hi; r++ {
+			copy(out.Row(r), prod.Row(0))
+		}
 	}
 	return out
 }

@@ -1,0 +1,88 @@
+package tensor
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// arenaClasses bounds the Arena's size-class table: class c holds matrices
+// whose backing slab has capacity 1<<c, so the largest recyclable matrix is
+// 1<<(arenaClasses-1) elements (≈ 512 MiB of float64) — far beyond any
+// matrix this codebase builds.
+const arenaClasses = 27
+
+// Arena recycles Matrix values (header and backing slab together) for hot
+// loops that would otherwise allocate per call — the serving decode path
+// gets and returns scratch matrices every token. Slabs are pooled by
+// power-of-two capacity class, so a Get after a same-shaped Put is
+// allocation-free in steady state.
+//
+// Get zeroes the matrix, making Get/Put equivalent to New for callers.
+// An Arena is safe for concurrent use (each class is a sync.Pool), but the
+// matrices it hands out follow the usual rule: one goroutine at a time.
+type Arena struct {
+	classes [arenaClasses]sync.Pool
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// Get returns a zeroed rows×cols matrix, reusing a pooled slab when one of
+// sufficient capacity is available.
+func (a *Arena) Get(rows, cols int) *Matrix {
+	m := a.GetUninit(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// GetUninit is Get without the zeroing pass: the matrix may carry stale
+// values from a previous user. Only for destinations every element of
+// which is about to be overwritten (copies, MatMulInto); accumulating
+// consumers need Get.
+func (a *Arena) GetUninit(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: Arena.Get(%d, %d)", rows, cols))
+	}
+	need := rows * cols
+	c := sizeClass(need)
+	if v := a.classes[c].Get(); v != nil {
+		m := v.(*Matrix)
+		m.Rows, m.Cols = rows, cols
+		m.Data = m.Data[:need]
+		return m
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, need, 1<<c)}
+}
+
+// Put returns m to the pool for reuse. The caller must not touch m (or any
+// view aliasing it) afterwards. Matrices not allocated by Get are accepted
+// too; slabs with non-power-of-two capacity are pooled under the class
+// they can still satisfy in full.
+func (a *Arena) Put(m *Matrix) {
+	if m == nil || cap(m.Data) == 0 {
+		return
+	}
+	c := sizeClass(cap(m.Data))
+	if 1<<c > cap(m.Data) {
+		c--
+	}
+	m.Data = m.Data[:0]
+	m.Rows, m.Cols = 0, 0
+	a.classes[c].Put(m)
+}
+
+// sizeClass returns the smallest class whose slab capacity 1<<c holds n
+// elements.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	c := bits.Len(uint(n - 1))
+	if c >= arenaClasses {
+		panic(fmt.Sprintf("tensor: arena matrix of %d elements exceeds the largest size class", n))
+	}
+	return c
+}

@@ -47,6 +47,22 @@ func (b *RowBuffer) View() *Matrix {
 	return &Matrix{Rows: b.rows, Cols: b.cols, Data: b.data}
 }
 
+// ViewInto fills a caller-owned header with the accumulated rows, aliasing
+// the buffer's storage like View but without allocating. The view stays
+// valid until the next AppendRows.
+func (b *RowBuffer) ViewInto(m *Matrix) {
+	m.Rows, m.Cols, m.Data = b.rows, b.cols, b.data
+}
+
+// AppendRow appends a single row (length Cols) to the buffer.
+func (b *RowBuffer) AppendRow(row []float64) {
+	if len(row) != b.cols {
+		panic(fmt.Sprintf("tensor: RowBuffer append %d-wide row to %d-col buffer", len(row), b.cols))
+	}
+	b.data = append(b.data, row...)
+	b.rows++
+}
+
 // Reset empties the buffer, keeping its capacity.
 func (b *RowBuffer) Reset() {
 	b.data = b.data[:0]

@@ -20,30 +20,61 @@ func MatMul(a, b *Matrix) *Matrix {
 		panic(fmt.Sprintf("tensor: MatMul %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Cols)
-	work := a.Rows * a.Cols * b.Cols
-	if work < parallelThreshold || a.Rows < 2 {
-		matmulRows(a, b, out, 0, a.Rows)
-		return out
+	matmulInto(a, b, out)
+	return out
+}
+
+// MatMulInto computes a × b into out, which must be a.Rows × b.Cols. The
+// result is bit-identical to MatMul — every output row accumulates in the
+// same k-ascending order with the same zero-skip — so hot paths can reuse
+// a scratch matrix without changing a single bit of the product.
+func MatMulInto(a, b, out *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulInto %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulInto result %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
+	matmulInto(a, b, out)
+}
+
+// matmulInto runs the shared (possibly sharded) kernel into a zeroed out.
+func matmulInto(a, b, out *Matrix) {
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold || a.Rows < 2 || runtime.GOMAXPROCS(0) == 1 {
+		matmulRows(a, b, out, 0, a.Rows)
+		return
+	}
+	parallelRows(a.Rows, func(lo, hi int) { matmulRows(a, b, out, lo, hi) })
+}
+
+// parallelRows fans kernel out over row blocks, one per available worker.
+// Callers take the sequential path themselves when parallelism cannot pay
+// (small work, one row, GOMAXPROCS=1), so the kernel closure is only
+// constructed — and only escapes — when goroutines actually launch; the
+// allocation-free hot path never reaches here.
+func parallelRows(rows int, kernel func(lo, hi int)) {
 	workers := runtime.GOMAXPROCS(0)
-	if workers > a.Rows {
-		workers = a.Rows
+	if workers > rows {
+		workers = rows
 	}
 	var wg sync.WaitGroup
-	chunk := (a.Rows + workers - 1) / workers
-	for lo := 0; lo < a.Rows; lo += chunk {
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
 		hi := lo + chunk
-		if hi > a.Rows {
-			hi = a.Rows
+		if hi > rows {
+			hi = rows
 		}
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			matmulRows(a, b, out, lo, hi)
+			kernel(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
 }
 
 func matmulRows(a, b, out *Matrix, lo, hi int) {
@@ -66,6 +97,10 @@ func matmulRows(a, b, out *Matrix, lo, hi int) {
 // MatMulInt multiplies two integer matrices stored as []int8 with int32
 // accumulation, returning a Rows(a)×Cols(b) []int32 in row-major order.
 // It is the reference integer GEMM used by the quantization packages.
+//
+// Like MatMul it shards large products across GOMAXPROCS goroutines by row
+// blocks; integer accumulation is exact, so sharding cannot change the
+// result.
 func MatMulInt(aRows, aCols int, a []int8, bCols int, b []int8) []int32 {
 	if len(a) != aRows*aCols {
 		panic("tensor: MatMulInt lhs size mismatch")
@@ -74,7 +109,17 @@ func MatMulInt(aRows, aCols int, a []int8, bCols int, b []int8) []int32 {
 		panic("tensor: MatMulInt rhs size mismatch")
 	}
 	out := make([]int32, aRows*bCols)
-	for i := 0; i < aRows; i++ {
+	work := aRows * aCols * bCols
+	if work < parallelThreshold || aRows < 2 || runtime.GOMAXPROCS(0) == 1 {
+		matmulIntRows(aCols, a, bCols, b, out, 0, aRows)
+		return out
+	}
+	parallelRows(aRows, func(lo, hi int) { matmulIntRows(aCols, a, bCols, b, out, lo, hi) })
+	return out
+}
+
+func matmulIntRows(aCols int, a []int8, bCols int, b []int8, out []int32, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := a[i*aCols : (i+1)*aCols]
 		orow := out[i*bCols : (i+1)*bCols]
 		for k, av := range arow {
@@ -88,5 +133,4 @@ func MatMulInt(aRows, aCols int, a []int8, bCols int, b []int8) []int32 {
 			}
 		}
 	}
-	return out
 }
