@@ -253,6 +253,100 @@ func BenchmarkDecodeAllocs(b *testing.B) {
 	}
 }
 
+// BenchmarkPagedDecode gates the paged KV cache's allocation diet: fused
+// FP32 decode over sessions drawing pages from a warm shared
+// tensor.BlockPool must stay at ~zero heap allocations per token — page
+// turnover (acquire on growth, release on session end) has to come from
+// the pool's freelist, not the garbage collector.
+func BenchmarkPagedDecode(b *testing.B) {
+	cfg := model.Config{
+		Name: "alloc-bench", Arch: model.Decoder, Layers: 4, DModel: 64, Heads: 4,
+		FFN: 256, Vocab: 256, MaxSeq: 256,
+		OutlierChannels: 3, OutlierGain: 20, Seed: 33,
+	}
+	m := model.New(cfg)
+	eng := model.Exact{}
+	bs, err := m.NewBatchStepper(eng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 4
+	const cycle = 128
+	pool := tensor.NewBlockPool(cfg.DModel, tensor.DefaultPageRows, 0)
+	prompt := workload.TokenStream(workload.Wiki, 9, 16, cfg.Vocab)
+	var live []*model.Session
+	build := func() ([]*model.Session, []int) {
+		for _, s := range live {
+			s.ReleaseKV() // pages go back to the pool, as in serving
+		}
+		sessions := make([]*model.Session, batch)
+		last := make([]int, batch)
+		for i := range sessions {
+			sessions[i] = m.NewSessionWithKV(eng, func() model.KVStore {
+				return tensor.NewPagedRows(pool, len(prompt)+cycle+1)
+			})
+			lg := sessions[i].Append(prompt)
+			last[i] = model.Greedy(lg.Row(lg.Rows - 1))
+		}
+		live = sessions
+		return sessions, last
+	}
+	// Warm the arena and the page pool (one cycle creates every page the
+	// steady state needs), then measure from recycled pages only.
+	sessions, last := build()
+	for i := 0; i < cycle; i++ {
+		logits := bs.Step(sessions, last)
+		for j := range sessions {
+			last[j] = model.Greedy(logits.Row(j))
+		}
+	}
+	sessions, last = build()
+	allocsBefore, _ := pool.Counters()
+	allocsPerStep := testing.AllocsPerRun(100, func() {
+		logits := bs.Step(sessions, last)
+		for j := range sessions {
+			last[j] = model.Greedy(logits.Row(j))
+		}
+	})
+	allocsAfter, _ := pool.Counters()
+	allocsPerToken := allocsPerStep / batch
+	b.Logf("fused fp32 paged decode: %.3f heap allocs/token, %d pool page acquisitions (batch %d, page %d rows)",
+		allocsPerToken, allocsAfter-allocsBefore, batch, tensor.DefaultPageRows)
+	if allocsPerToken > 0.5 {
+		b.Fatalf("paged fused decode allocates %.2f times per token; pages must come from the pool, not the GC", allocsPerToken)
+	}
+	if allocsAfter == allocsBefore {
+		b.Fatal("paged decode never acquired a page; the gate is not measuring paging")
+	}
+	if err := experiments.RewriteServeBench("BENCH_serve.json", func(scheme string) bool {
+		return scheme == "decode-allocs/paged-fp32"
+	}, []map[string]any{{
+		"scheme":           "decode-allocs/paged-fp32",
+		"batch":            batch,
+		"allocs_per_token": math.Round(allocsPerToken*1000) / 1000,
+	}}); err != nil {
+		b.Logf("recording paged decode allocs: %v", err)
+	}
+	sessions, last = build()
+	steps := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if steps == cycle {
+			b.StopTimer()
+			sessions, last = build()
+			steps = 0
+			b.StartTimer()
+		}
+		logits := bs.Step(sessions, last)
+		for j := range sessions {
+			last[j] = model.Greedy(logits.Row(j))
+		}
+		steps++
+	}
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "tokens/s")
+}
+
 // BenchmarkPreparedDecode quantifies the compile-once engine API on the
 // decode hot path: a single-token step (1×d activation) against a d×4d
 // projection, comparing Apply against a prepared weight pack (what the

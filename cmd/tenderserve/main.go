@@ -14,10 +14,18 @@
 //	GET  /v1/schemes   hosted engines
 //	GET  /healthz
 //
-// Or run a deterministic closed-loop load test (no client needed):
+// KV cache memory is paged (fixed-size pages from one shared pool;
+// sessions acquire pages lazily). -kv-pages bounds the total pool —
+// admission is gated by KV budget and requests are preempted/requeued
+// under pressure, without changing their tokens — and -kv-page-rows sets
+// the page granularity. -kv-contiguous restores the preallocating
+// contiguous baseline.
+//
+// Or run a deterministic load test (no client needed), closed-loop or
+// open-loop Poisson (-poisson-ms):
 //
 //	tenderserve -load -model opt-6.7b -schemes tender -requests 64 \
-//	    -clients 8 -batch 8 -seed 1 -out BENCH_serve.json
+//	    -clients 8 -batch 8 -kv-pages 256 -seed 1 -out BENCH_serve.json
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"tender/internal/engine"
 	"tender/internal/model"
 	"tender/internal/serve"
+	"tender/internal/tensor"
 	"tender/internal/workload"
 )
 
@@ -49,6 +58,9 @@ func main() {
 		prefillChunk  = flag.Int("prefill-chunk", 32, "max prompt tokens per iteration per request")
 		workers       = flag.Int("workers", 0, "iteration worker pool size (0 = GOMAXPROCS)")
 		batchFused    = flag.Bool("batch-fused", true, "fuse same-engine decode steps into one forward pass per iteration (bit-identical; disable to step every request separately)")
+		kvPages       = flag.Int("kv-pages", 0, "total KV budget in pages across all active sessions (0 = unlimited); admission and preemption keep KV memory under pages×kv-page-rows positions")
+		kvPageRows    = flag.Int("kv-page-rows", 0, "rows per KV page (0 = default 16)")
+		kvContiguous  = flag.Bool("kv-contiguous", false, "use contiguous per-session KV buffers (worst-case MaxSeq reservation under a budget) instead of the shared paged pool")
 		listSchemes   = flag.Bool("list-schemes", false, "list engine spec schemes and their options, then exit")
 
 		load      = flag.Bool("load", false, "run a deterministic load test instead of serving")
@@ -59,6 +71,7 @@ func main() {
 		maxPrompt = flag.Int("max-prompt", 64, "load: max prompt tokens")
 		maxNew    = flag.Int("max-new", 16, "load: decode tokens per request")
 		temp      = flag.Float64("temperature", 0, "load: sampling temperature (0 = greedy)")
+		poissonMs = flag.Float64("poisson-ms", 0, "load: open-loop Poisson arrivals with this mean inter-arrival (ms) instead of the closed loop")
 		out       = flag.String("out", "", "load: also write the JSON report to this file")
 	)
 	flag.Parse()
@@ -102,11 +115,18 @@ func main() {
 	} else if def, err = engine.Canonical(def); err != nil {
 		fatalf("%v", err)
 	}
+	pageRows := *kvPageRows
+	if pageRows <= 0 {
+		pageRows = tensor.DefaultPageRows
+	}
 	srv, err := serve.New(serve.Config{
 		Model: m, Engines: engines, DefaultScheme: def,
 		MaxBatch: *batch, QueueDepth: *queue,
 		PrefillChunk: *prefillChunk, Workers: *workers,
 		DisableFusedDecode: !*batchFused,
+		KVBudgetRows:       *kvPages * pageRows,
+		KVPageRows:         pageRows,
+		ContiguousKV:       *kvContiguous,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -123,6 +143,8 @@ func main() {
 		rep := serve.RunLoad(srv, serve.LoadConfig{
 			Trace: trace, Clients: *clients,
 			Temperature: *temp, SeedBase: *seed,
+			PoissonMean: time.Duration(*poissonMs * float64(time.Millisecond)),
+			ArrivalSeed: *seed,
 		})
 		blob, _ := json.MarshalIndent(rep, "", "  ")
 		fmt.Println(string(blob))

@@ -27,6 +27,18 @@
 // alone, for every scheme whose quantization treats activation rows
 // independently (schemes.RowIndependent documents the audit).
 //
+// KV cache memory is paged: session caches live behind model.KVStore,
+// implemented by contiguous tensor.RowBuffer (reference) and
+// tensor.PagedRows — fixed-size pages acquired lazily from a shared,
+// size-bounded tensor.BlockPool. The scheduler admits by KV budget
+// (serve.Config.KVBudgetRows), reserves page-granular growth each
+// iteration, and preempts the most recently admitted request when the
+// pool runs dry; preempted requests requeue and resume by re-prefilling
+// their retained prompt + generated tokens with their RNG stream intact,
+// so preemption never changes tokens. Attention walks the cache in
+// gather-free page spans in the contiguous accumulation order, keeping
+// paged decode bit-identical to the RowBuffer reference for every scheme.
+//
 // See README.md for the layout, DESIGN.md for the system inventory and
 // substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
 // root package only anchors module documentation and the benchmark

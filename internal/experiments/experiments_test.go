@@ -291,11 +291,12 @@ func TestServeBenchQuick(t *testing.T) {
 		t.Fatalf("id %q", tab.ID)
 	}
 	// Three schemes × (batch 1, batch 8 per-request, batch 8 fused,
-	// batch 32 fused).
-	if len(tab.Rows) != 12 {
-		t.Fatalf("expected 12 rows, got %d", len(tab.Rows))
+	// batch 32 fused) + the two memory-pressure rows (kv-contiguous,
+	// kv-paged).
+	if len(tab.Rows) != 14 {
+		t.Fatalf("expected 14 rows, got %d", len(tab.Rows))
 	}
-	fusedRows := 0
+	fusedRows, kvRows := 0, 0
 	for _, row := range tab.Rows {
 		if cellFloat(t, row[2]) <= 0 {
 			t.Fatalf("non-positive throughput in row %v", row)
@@ -303,9 +304,15 @@ func TestServeBenchQuick(t *testing.T) {
 		if strings.HasPrefix(row[0], "fused-decode/") {
 			fusedRows++
 		}
+		if strings.HasPrefix(row[0], "kv-") {
+			kvRows++
+		}
 	}
 	if fusedRows != 6 {
 		t.Fatalf("expected 6 fused-decode rows, got %d", fusedRows)
+	}
+	if kvRows != 2 {
+		t.Fatalf("expected 2 kv memory-pressure rows, got %d", kvRows)
 	}
 	if _, err := os.Stat(ServeBenchFile); err != nil {
 		t.Fatalf("BENCH_serve.json not emitted: %v", err)
@@ -318,13 +325,24 @@ func TestServeBenchQuick(t *testing.T) {
 	if err := json.Unmarshal(blob, &results); err != nil {
 		t.Fatalf("BENCH_serve.json not valid JSON: %v", err)
 	}
-	if len(results) != 12 {
-		t.Fatalf("expected 12 JSON results, got %d", len(results))
+	if len(results) != 14 {
+		t.Fatalf("expected 14 JSON results, got %d", len(results))
 	}
+	var pagedSessions, contSessions float64
 	for _, r := range results {
 		if r["decode_tokens_per_sec"].(float64) <= 0 {
 			t.Fatalf("bad result %v", r)
 		}
+		switch r["scheme"] {
+		case "kv-paged/fp32":
+			pagedSessions = r["peak_active_sessions"].(float64)
+		case "kv-contiguous/fp32":
+			contSessions = r["peak_active_sessions"].(float64)
+		}
+	}
+	if contSessions <= 0 || pagedSessions < 2*contSessions {
+		t.Fatalf("paged scheduler peaked at %v sessions vs contiguous %v; want ≥ 2× under the same KV budget",
+			pagedSessions, contSessions)
 	}
 }
 

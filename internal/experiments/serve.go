@@ -6,6 +6,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"time"
 
 	"tender/internal/engine"
 	"tender/internal/model"
@@ -27,6 +28,25 @@ type serveBenchResult struct {
 	TTFTP50Ms     float64 `json:"ttft_p50_ms"`
 	MeanBatchSize float64 `json:"mean_batch_size"`
 	SpeedupVsB1   float64 `json:"speedup_vs_batch1"`
+}
+
+// kvBenchResult is the JSON summary of one memory-pressure configuration:
+// the paged scheduler and the contiguous preallocating baseline under the
+// same KV row budget.
+type kvBenchResult struct {
+	Scheme              string  `json:"scheme"`
+	Batch               int     `json:"batch"`
+	KVBudgetRows        int     `json:"kv_budget_rows"`
+	KVPageRows          int     `json:"kv_page_rows"`
+	TokensPerSec        float64 `json:"decode_tokens_per_sec"`
+	LatencyP50Ms        float64 `json:"latency_p50_ms"`
+	TTFTP50Ms           float64 `json:"ttft_p50_ms"`
+	PeakActiveSessions  int64   `json:"peak_active_sessions"`
+	Preemptions         int64   `json:"preemptions"`
+	KVPeakOccupancyRows int64   `json:"kv_peak_occupancy_rows"`
+	// SessionsVsContiguous is the paged row's concurrency multiple over
+	// the contiguous baseline (1.0 on the baseline row itself).
+	SessionsVsContiguous float64 `json:"sessions_vs_contiguous"`
 }
 
 // ServeBench benchmarks the continuous-batching server: a deterministic
@@ -116,9 +136,84 @@ func ServeBench(o Options) Table {
 			})
 		}
 	}
+	// Memory-pressure scenario: many long-prompt Poisson arrivals against
+	// a small shared KV budget. The paged scheduler admits by pages and
+	// preempts under pressure; the contiguous baseline reserves worst-case
+	// MaxSeq per session, so the same budget caps it at
+	// budget/MaxSeq concurrent sessions. Outputs are bit-identical either
+	// way — the scenario measures how much concurrency (and throughput)
+	// the same KV memory buys.
+	kvScheme := "fp32"
+	// Prompts land mid-page and decodes run long enough to cross page
+	// boundaries past the admission reservation, so the paged scheduler
+	// has to preempt once the pool saturates.
+	kvBudget := 2 * m.Cfg.MaxSeq
+	mpRequests, mpBatch := 24, 24
+	poissonMean := 2 * time.Millisecond
+	if o.Quick {
+		mpRequests = 12
+		kvBudget = m.Cfg.MaxSeq + m.Cfg.MaxSeq/4
+	}
+	mpTrace := workload.RequestTrace(workload.TraceConfig{
+		Requests: mpRequests, Vocab: m.Cfg.Vocab,
+		MinPrompt: 24, MaxPrompt: 40, MinNew: 24, MaxNew: 24,
+	}, 2+o.Seed)
+	var kvEmit []kvBenchResult
+	for _, contiguous := range []bool{true, false} {
+		srv, err := serve.New(serve.Config{
+			Model: m, Engines: engines, DefaultScheme: kvScheme,
+			MaxBatch: mpBatch, QueueDepth: mpRequests, PrefillChunk: 16,
+			KVBudgetRows: kvBudget, ContiguousKV: contiguous,
+		})
+		if err != nil {
+			panic(err)
+		}
+		srv.Start()
+		rep := serve.RunLoad(srv, serve.LoadConfig{
+			Trace: mpTrace, Scheme: kvScheme,
+			PoissonMean: poissonMean, ArrivalSeed: 3 + o.Seed,
+		})
+		snap := srv.Metrics().Snapshot()
+		srv.Stop()
+		if rep.Failed > 0 {
+			panic(fmt.Sprintf("serve bench: %d memory-pressure requests failed", rep.Failed))
+		}
+		rowName := "kv-paged/" + kvScheme
+		if contiguous {
+			rowName = "kv-contiguous/" + kvScheme
+		}
+		kvEmit = append(kvEmit, kvBenchResult{
+			Scheme: rowName, Batch: mpBatch,
+			KVBudgetRows: snap.KVBudgetRows, KVPageRows: snap.KVPageRows,
+			TokensPerSec: rep.TokensPerSec,
+			LatencyP50Ms: rep.LatencyP50Ms, TTFTP50Ms: rep.TTFTP50Ms,
+			PeakActiveSessions:  snap.PeakActiveSessions,
+			Preemptions:         snap.Preemptions,
+			KVPeakOccupancyRows: snap.KVPeakOccupancyRows,
+		})
+	}
+	ratio := 1.0
+	if base := kvEmit[0].PeakActiveSessions; base > 0 {
+		ratio = float64(kvEmit[1].PeakActiveSessions) / float64(base)
+	}
+	kvEmit[0].SessionsVsContiguous = 1
+	kvEmit[1].SessionsVsContiguous = ratio
+	for _, e := range kvEmit {
+		t.Rows = append(t.Rows, []string{
+			e.Scheme, fmt.Sprintf("%d", e.Batch),
+			fmt.Sprintf("%.1f", e.TokensPerSec),
+			fmt.Sprintf("%.1f", e.LatencyP50Ms),
+			fmt.Sprintf("peak %d sess", e.PeakActiveSessions),
+			fmt.Sprintf("%.1f", e.TTFTP50Ms),
+			fmt.Sprintf("%d preempt", e.Preemptions),
+			FormatX(e.SessionsVsContiguous),
+		})
+	}
+	t.Note += fmt.Sprintf("; kv-* rows: memory pressure under a %d-row KV budget (Poisson arrivals, mean %v) — p99 column = peak concurrent sessions, mean-batch column = preemptions, speedup = concurrency vs the contiguous MaxSeq-preallocating baseline", kvBudget, poissonMean)
+
 	// Best-effort: the table is the primary artifact, the JSON file seeds
 	// perf tracking across PRs.
-	rows := make([]map[string]any, 0, len(emit))
+	rows := make([]map[string]any, 0, len(emit)+len(kvEmit))
 	for _, e := range emit {
 		if blob, err := json.Marshal(e); err == nil {
 			var row map[string]any
@@ -127,9 +222,19 @@ func ServeBench(o Options) Table {
 			}
 		}
 	}
-	// Own only the rows this run measured (plain and fused spellings), so
-	// rows any other writer records survive the rewrite.
-	owned := make(map[string]bool, 2*len(schemeNames))
+	for _, e := range kvEmit {
+		if blob, err := json.Marshal(e); err == nil {
+			var row map[string]any
+			if json.Unmarshal(blob, &row) == nil {
+				rows = append(rows, row)
+			}
+		}
+	}
+	// Own only the rows this run measured (plain, fused and kv-scenario
+	// spellings), so rows any other writer records survive the rewrite.
+	owned := make(map[string]bool, 2*len(schemeNames)+2)
+	owned["kv-paged/"+kvScheme] = true
+	owned["kv-contiguous/"+kvScheme] = true
 	for _, n := range schemeNames {
 		owned[n] = true
 		owned["fused-decode/"+n] = true

@@ -33,8 +33,6 @@ type BatchStepper struct {
 	exactAtt bool       // act-act sites run the exact GEMM → direct loops
 	arena    *tensor.Arena
 	logits   *tensor.Matrix // previous Step's output, recycled next call
-	// Scratch headers for allocation-free KV cache views.
-	kview, vview tensor.Matrix
 }
 
 // weightSiteKinds are the matmul sites fused over the stacked batch.
@@ -170,20 +168,22 @@ func (bs *BatchStepper) stepBlock(l int, sessions []*Session, x *tensor.Matrix) 
 
 // attendOne computes one session's attention rows against its own KV
 // cache: qrow is the session's row of the fused query projection, orow its
-// row of the attention output.
+// row of the attention output. The cache is read through KVStore.Span, so
+// a paged store is walked page by page with no gather — and each
+// accumulator element still sums in exactly the contiguous path's order,
+// keeping logits bit-identical across store implementations.
 func (bs *BatchStepper) attendOne(l int, s *Session, qrow, orow []float64) {
 	m := bs.m
 	heads := m.Cfg.Heads
 	dh := m.Cfg.HeadDim()
 	d := m.Cfg.DModel
 	invSqrt := 1 / math.Sqrt(float64(dh))
-	s.kv[l].k.ViewInto(&bs.kview)
-	s.kv[l].v.ViewInto(&bs.vview)
-	seq := bs.kview.Rows
+	kst, vst := s.kv[l].k, s.kv[l].v
+	seq := kst.Rows()
 
 	if bs.exactAtt {
 		// The engine's act-act sites are the exact GEMM, so score and
-		// value products are computed straight off the cache views with
+		// value products are computed straight off the cache spans with
 		// tensor.MatMul's per-row accumulation order (k ascending,
 		// zero-skip, j ascending) — bit-identical, no per-head copies.
 		score := bs.arena.Get(1, seq)
@@ -195,29 +195,37 @@ func (bs *BatchStepper) attendOne(l int, s *Session, qrow, orow []float64) {
 					srow[j] = 0
 				}
 			}
-			for k := 0; k < dh; k++ {
-				av := qrow[lo+k]
-				if av == 0 {
-					continue
+			for base := 0; base < seq; {
+				data, run := kst.Span(base)
+				for k := 0; k < dh; k++ {
+					av := qrow[lo+k]
+					if av == 0 {
+						continue
+					}
+					col := lo + k
+					for j := 0; j < run; j++ {
+						srow[base+j] += av * data[j*d+col]
+					}
 				}
-				col := lo + k
-				for j := 0; j < seq; j++ {
-					srow[j] += av * bs.kview.Data[j*d+col]
-				}
+				base += run
 			}
 			score.Scale(invSqrt)
 			tensor.CausalMaskOffsetInPlace(score, s.pos)
 			tensor.SoftmaxRows(score)
 			out := orow[lo : lo+dh]
-			for k := 0; k < seq; k++ {
-				sv := srow[k]
-				if sv == 0 {
-					continue
+			for base := 0; base < seq; {
+				data, run := vst.Span(base)
+				for k := 0; k < run; k++ {
+					sv := srow[base+k]
+					if sv == 0 {
+						continue
+					}
+					vrow := data[k*d+lo : k*d+lo+dh]
+					for j, vv := range vrow {
+						out[j] += sv * vv
+					}
 				}
-				vrow := bs.vview.Data[k*d+lo : k*d+lo+dh]
-				for j, vv := range vrow {
-					out[j] += sv * vv
-				}
+				base += run
 			}
 		}
 		bs.arena.Put(score)
@@ -235,9 +243,9 @@ func (bs *BatchStepper) attendOne(l int, s *Session, qrow, orow []float64) {
 		lo, hi := hd*dh, (hd+1)*dh
 		copy(qh.Row(0), qrow[lo:hi])
 		for r := 0; r < seq; r++ {
-			krow := bs.kview.Data[r*d+lo : r*d+hi]
+			krow := kst.Row(r)[lo:hi]
 			copy(kh.Row(r), krow)
-			copy(vh.Row(r), bs.vview.Data[r*d+lo:r*d+hi])
+			copy(vh.Row(r), vst.Row(r)[lo:hi])
 			for c, v := range krow {
 				khT.Data[c*seq+r] = v
 			}

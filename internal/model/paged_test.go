@@ -1,0 +1,190 @@
+package model_test
+
+import (
+	"runtime"
+	"testing"
+
+	"tender/internal/engine"
+	"tender/internal/model"
+	"tender/internal/tensor"
+	"tender/internal/workload"
+)
+
+// pagedFactory mounts sessions on a fresh unbounded pool with a small page
+// size so short test prompts still cross page boundaries.
+func pagedFactory(m *model.Model, pageRows int) (*tensor.BlockPool, func() model.KVStore) {
+	pool := tensor.NewBlockPool(m.Cfg.DModel, pageRows, 0)
+	return pool, func() model.KVStore { return tensor.NewPagedRows(pool, 0) }
+}
+
+// TestPagedSessionBitIdenticalEveryScheme is the KVStore equivalence
+// invariant: for every registry scheme, a paged session produces logits
+// bit-identical to a contiguous session at every step, for prompt lengths
+// straddling page boundaries (page−1, page, page+1, multi-page) and a
+// decode run crossing several more pages.
+func TestPagedSessionBitIdenticalEveryScheme(t *testing.T) {
+	const pageRows = 8
+	m := model.New(model.TinyConfig())
+	names := append(engine.SchemeNames(), "tender:int", "uniform:gran=tensor")
+	engines := servingEngines(t, m, names)
+	for _, name := range names {
+		key, err := engine.Canonical(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := engines[key]
+		t.Run(name, func(t *testing.T) {
+			for _, plen := range []int{pageRows - 1, pageRows, pageRows + 1, 2*pageRows + 3} {
+				prompt := workload.TokenStream(workload.Wiki, 31+uint64(plen), plen, m.Cfg.Vocab)
+				ref := m.NewSession(eng, 0)
+				pool, newKV := pagedFactory(m, pageRows)
+				paged := m.NewSessionWithKV(eng, newKV)
+				lr, lp := ref.Append(prompt), paged.Append(prompt)
+				if d := tensor.MaxAbsDiff(lr, lp); d != 0 {
+					t.Fatalf("prompt %d: prefill logits differ by %g", plen, d)
+				}
+				tok := model.Greedy(lr.Row(lr.Rows - 1))
+				for step := 0; step < pageRows+2; step++ {
+					lr, lp = ref.Append([]int{tok}), paged.Append([]int{tok})
+					if d := tensor.MaxAbsDiff(lr, lp); d != 0 {
+						t.Fatalf("prompt %d step %d: decode logits differ by %g", plen, step, d)
+					}
+					tok = model.Greedy(lr.Row(0))
+				}
+				paged.ReleaseKV()
+				if got := pool.InUse(); got != 0 {
+					t.Fatalf("prompt %d: %d pages leaked after ReleaseKV", plen, got)
+				}
+			}
+		})
+	}
+}
+
+// TestPagedFusedStepBitIdentical repeats the equivalence for the fused
+// batched path: a BatchStepper over paged sessions must match one over
+// contiguous sessions token for token while the caches cross pages.
+func TestPagedFusedStepBitIdentical(t *testing.T) {
+	const pageRows = 8
+	m := model.New(model.TinyConfig())
+	engines := servingEngines(t, m, []string{"fp32", "tender", "smoothquant"})
+	for name, eng := range engines {
+		t.Run(name, func(t *testing.T) {
+			bs, err := m.NewBatchStepper(eng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const batch = 3
+			_, newKV := pagedFactory(m, pageRows)
+			pagedSess := make([]*model.Session, batch)
+			contSess := make([]*model.Session, batch)
+			pLast := make([]int, batch)
+			cLast := make([]int, batch)
+			for i := range pagedSess {
+				// Prompt lengths chosen to land before, on and after a
+				// page boundary across the batch.
+				prompt := workload.TokenStream(workload.Wiki, 7+uint64(i), pageRows-1+i, m.Cfg.Vocab)
+				pagedSess[i] = m.NewSessionWithKV(eng, newKV)
+				contSess[i] = m.NewSession(eng, 0)
+				lp := pagedSess[i].Append(prompt)
+				lc := contSess[i].Append(prompt)
+				pLast[i] = model.Greedy(lp.Row(lp.Rows - 1))
+				cLast[i] = model.Greedy(lc.Row(lc.Rows - 1))
+			}
+			for step := 0; step < 2*pageRows; step++ {
+				lp := bs.Step(pagedSess, pLast)
+				for i := range pagedSess {
+					ref := contSess[i].Append([]int{cLast[i]})
+					prow, rrow := lp.Row(i), ref.Row(0)
+					for c := range rrow {
+						if prow[c] != rrow[c] {
+							t.Fatalf("step %d session %d logit %d: paged %v != contiguous %v",
+								step, i, c, prow[c], rrow[c])
+						}
+					}
+					pLast[i] = model.Greedy(prow)
+					cLast[i] = model.Greedy(rrow)
+				}
+			}
+		})
+	}
+}
+
+// TestPagedResumeBitIdentical validates the preemption recipe at the model
+// level: decode partway, release the paged session's KV entirely, rebuild
+// a fresh paged session by re-prefilling prompt + generated tokens, and
+// continue — the remaining tokens must match an uninterrupted contiguous
+// run exactly.
+func TestPagedResumeBitIdentical(t *testing.T) {
+	const pageRows = 8
+	m := model.New(model.TinyConfig())
+	engines := servingEngines(t, m, []string{"tender"})
+	eng := engines["tender"]
+	prompt := workload.TokenStream(workload.PTB, 3, pageRows+3, m.Cfg.Vocab)
+	const total, cut = 12, 5
+
+	decode := func(sess *model.Session) []int {
+		logits := sess.Append(prompt)
+		out := make([]int, 0, total)
+		tok := model.Greedy(logits.Row(logits.Rows - 1))
+		for len(out) < total {
+			out = append(out, tok)
+			if len(out) == total {
+				break
+			}
+			tok = model.Greedy(sess.Append([]int{tok}).Row(0))
+		}
+		return out
+	}
+	want := decode(m.NewSession(eng, 0))
+
+	pool, newKV := pagedFactory(m, pageRows)
+	sess := m.NewSessionWithKV(eng, newKV)
+	logits := sess.Append(prompt)
+	out := make([]int, 0, total)
+	out = append(out, model.Greedy(logits.Row(logits.Rows-1)))
+	for len(out) < cut {
+		out = append(out, model.Greedy(sess.Append([]int{out[len(out)-1]}).Row(0)))
+	}
+	// Preempt: drop every page, then resume on a fresh session by
+	// re-prefilling the retained prompt + generated tokens (all but the
+	// last emitted token, which the next decode step appends as usual).
+	sess.ReleaseKV()
+	if pool.InUse() != 0 {
+		t.Fatalf("%d pages still held after preemption", pool.InUse())
+	}
+	sess = m.NewSessionWithKV(eng, newKV)
+	seq := append(append([]int{}, prompt...), out[:len(out)-1]...)
+	sess.Append(seq) // resume prefill; logits discarded, tokens already emitted
+	for len(out) < total {
+		out = append(out, model.Greedy(sess.Append([]int{out[len(out)-1]}).Row(0)))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("token %d: resumed %d != uninterrupted %d", i, out[i], want[i])
+		}
+	}
+}
+
+// TestSessionNoMaxSeqPrealloc is the lazy-allocation regression guard:
+// NewSession with capHint <= 0 must reserve about one page per store, not
+// the MaxSeq worst case. The config's full KV footprint is ~50 MiB, so a
+// preallocating regression trips the byte bound by orders of magnitude.
+func TestSessionNoMaxSeqPrealloc(t *testing.T) {
+	cfg := model.TinyConfig()
+	cfg.MaxSeq = 1 << 16
+	cfg.Name = "prealloc-guard"
+	m := model.New(cfg)
+	full := uint64(2*cfg.Layers*cfg.MaxSeq*cfg.DModel) * 8 // bytes if MaxSeq were preallocated
+	for _, capHint := range []int{0, -1} {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		sess := m.NewSession(model.Exact{}, capHint)
+		runtime.ReadMemStats(&after)
+		grew := after.TotalAlloc - before.TotalAlloc
+		if grew > full/64 {
+			t.Fatalf("capHint=%d: session creation allocated %d bytes (MaxSeq prealloc would be %d)", capHint, grew, full)
+		}
+		_ = sess
+	}
+}

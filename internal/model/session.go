@@ -32,30 +32,86 @@ type Session struct {
 	kv  []kvCache
 }
 
+// KVStore is the append-only row store a Session keeps per layer for its
+// cached keys and values. Two implementations exist: the contiguous
+// tensor.RowBuffer (one growing slab per store, the reference) and the
+// paged tensor.PagedRows (fixed-size pages from a shared tensor.BlockPool,
+// what the serving scheduler uses so KV memory is bounded by a pool budget
+// instead of worst-case sequence length). Attention reads rows through Row
+// and Span only, so both implementations feed the exact same values — and
+// the same accumulation order — into every matmul: decode output is
+// bit-identical across stores.
+type KVStore interface {
+	// Rows returns the number of rows appended so far.
+	Rows() int
+	// Cols returns the row width (the model's d_model).
+	Cols() int
+	// AppendRow appends one row of length Cols.
+	AppendRow(row []float64)
+	// AppendRows appends every row of m.
+	AppendRows(m *tensor.Matrix)
+	// Row returns row r aliasing the store's storage.
+	Row(r int) []float64
+	// Span returns the longest contiguous row-major run starting at row r
+	// (aliasing storage) and its length in rows; iterating spans visits
+	// every row in order without copying.
+	Span(r int) ([]float64, int)
+	// Release empties the store and returns its memory (pages to their
+	// pool, slabs to the garbage collector).
+	Release()
+}
+
 // kvCache stores the post-projection key and value rows (pre head-split,
 // d-model wide) for one layer.
 type kvCache struct {
-	k, v *tensor.RowBuffer
+	k, v KVStore
 }
 
-// NewSession returns an empty decode session for m over eng. capHint, if
-// positive, preallocates the KV cache for that many positions (prompt
-// length + expected new tokens); the cache grows on demand either way.
+// NewSession returns an empty decode session for m over eng backed by
+// contiguous per-session KV buffers. capHint, if positive, preallocates
+// the KV cache for that many positions (prompt length + expected new
+// tokens); otherwise one page worth of rows is reserved — never the full
+// MaxSeq worst case — and the cache grows on demand either way.
 func (m *Model) NewSession(eng Engine, capHint int) *Session {
+	if capHint <= 0 {
+		capHint = tensor.DefaultPageRows
+	}
+	if capHint > m.Cfg.MaxSeq {
+		capHint = m.Cfg.MaxSeq
+	}
+	return m.NewSessionWithKV(eng, func() KVStore {
+		return tensor.NewRowBuffer(m.Cfg.DModel, capHint)
+	})
+}
+
+// NewSessionWithKV returns an empty decode session whose per-layer KV
+// stores come from newStore (called twice per layer, for keys and values).
+// Stores must be empty and Cols() == d_model. This is how the serving
+// layer mounts sessions on a shared paged block pool; NewSession is the
+// contiguous shorthand.
+func (m *Model) NewSessionWithKV(eng Engine, newStore func() KVStore) *Session {
 	if m.Cfg.Arch != Decoder {
 		panic("model: sessions require a decoder model")
 	}
-	if capHint < 0 || capHint > m.Cfg.MaxSeq {
-		capHint = m.Cfg.MaxSeq
-	}
 	s := &Session{m: m, eng: eng, kv: make([]kvCache, len(m.Layers))}
 	for l := range s.kv {
-		s.kv[l] = kvCache{
-			k: tensor.NewRowBuffer(m.Cfg.DModel, capHint),
-			v: tensor.NewRowBuffer(m.Cfg.DModel, capHint),
+		s.kv[l] = kvCache{k: newStore(), v: newStore()}
+		if c := s.kv[l].k.Cols(); c != m.Cfg.DModel {
+			panic(fmt.Sprintf("model: KV store is %d columns wide, model is %d", c, m.Cfg.DModel))
 		}
 	}
 	return s
+}
+
+// ReleaseKV empties every layer's KV store and returns its memory — pages
+// back to their pool for a paged session. The session must not be used
+// afterwards; the serving scheduler calls this when a request finishes or
+// is preempted.
+func (s *Session) ReleaseKV() {
+	for l := range s.kv {
+		s.kv[l].k.Release()
+		s.kv[l].v.Release()
+	}
 }
 
 // Len returns the number of positions already in the cache.
@@ -117,16 +173,16 @@ func (s *Session) stepBlock(l int, x *tensor.Matrix) *tensor.Matrix {
 	xv := s.eng.MatMul(Site{l, KindV, -1}, h, lay.WV)
 	s.kv[l].k.AppendRows(xk)
 	s.kv[l].v.AppendRows(xv)
-	kAll := s.kv[l].k.View()
-	vAll := s.kv[l].v.View()
+	kst, vst := s.kv[l].k, s.kv[l].v
+	seq := kst.Rows()
 
 	attnOut := tensor.New(n, d)
 	invSqrt := 1 / math.Sqrt(float64(dh))
 	for hd := 0; hd < heads; hd++ {
 		lo, hi := hd*dh, (hd+1)*dh
 		qh := xq.SubColsRange(lo, hi)
-		kh := kAll.SubColsRange(lo, hi)
-		vh := vAll.SubColsRange(lo, hi)
+		kh := gatherHeadCols(kst, seq, lo, hi)
+		vh := gatherHeadCols(vst, seq, lo, hi)
 		score := s.eng.MatMul(Site{l, KindScore, hd}, qh, kh.Transpose())
 		score.Scale(invSqrt)
 		tensor.CausalMaskOffsetInPlace(score, s.pos)
@@ -150,6 +206,18 @@ func (s *Session) stepBlock(l int, x *tensor.Matrix) *tensor.Matrix {
 	}
 	f = s.eng.MatMul(Site{l, KindFC2, -1}, f, lay.WFC2)
 	return tensor.Add(x, f)
+}
+
+// gatherHeadCols materializes columns [lo, hi) of the store's first seq
+// rows as a fresh matrix: the KVStore analogue of View().SubColsRange —
+// the same per-row copy of the same values, so the engine's attention
+// matmuls see identical operands whichever store backs the cache.
+func gatherHeadCols(st KVStore, seq, lo, hi int) *tensor.Matrix {
+	out := tensor.New(seq, hi-lo)
+	for r := 0; r < seq; r++ {
+		copy(out.Row(r), st.Row(r)[lo:hi])
+	}
+	return out
 }
 
 // Greedy returns the argmax token of a logits row.

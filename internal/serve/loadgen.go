@@ -2,11 +2,13 @@ package serve
 
 import (
 	"context"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"tender/internal/model"
+	"tender/internal/tensor"
 	"tender/internal/workload"
 )
 
@@ -27,6 +29,15 @@ type LoadConfig struct {
 	SeedBase    uint64
 	// Timeout bounds each request (0 = none).
 	Timeout time.Duration
+	// PoissonMean, if positive, switches RunLoad from the closed loop to
+	// open-loop Poisson arrivals: request i is submitted at the i-th
+	// cumulative exponential gap with this mean, drawn deterministically
+	// from ArrivalSeed (see PoissonArrivals). Clients is ignored — every
+	// request gets its own submitter — so concurrency is governed by the
+	// arrival process and the server's admission control, the regime the
+	// memory-pressure scenarios probe.
+	PoissonMean time.Duration
+	ArrivalSeed uint64
 }
 
 // LoadReport summarizes a load run.
@@ -48,56 +59,90 @@ type LoadReport struct {
 	Outputs [][]int `json:"-"`
 }
 
+// PoissonArrivals returns n cumulative arrival offsets whose gaps are
+// exponentially distributed with the given mean — a Poisson arrival
+// process — drawn deterministically from seed: the same (n, mean, seed)
+// always yields the same schedule.
+func PoissonArrivals(n int, mean time.Duration, seed uint64) []time.Duration {
+	rng := tensor.NewRNG(seed ^ 0xa221)
+	out := make([]time.Duration, n)
+	var at float64
+	for i := range out {
+		at += -math.Log(1-rng.Float64()) * float64(mean)
+		out[i] = time.Duration(at)
+	}
+	return out
+}
+
 // RunLoad replays the trace against a started server and blocks until
-// every request completes.
+// every request completes: closed-loop (Clients virtual users, each
+// submitting its next request when the previous finishes) by default, or
+// open-loop Poisson arrivals when PoissonMean is set.
 func RunLoad(srv *Server, cfg LoadConfig) LoadReport {
 	n := len(cfg.Trace)
-	clients := cfg.Clients
-	if clients <= 0 {
-		clients = 1
-	}
-	if clients > n {
-		clients = n
-	}
 	outputs := make([][]int, n)
 	results := make([]Result, n)
 	errs := make([]error, n)
-	var next int64
+	submit := func(i int) {
+		spec := cfg.Trace[i]
+		req := Request{
+			Prompt:       spec.Prompt,
+			MaxNewTokens: spec.NewTokens,
+			Scheme:       cfg.Scheme,
+			Temperature:  cfg.Temperature,
+			Seed:         cfg.SeedBase + uint64(i),
+		}
+		ctx := context.Background()
+		var cancel context.CancelFunc
+		if cfg.Timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		}
+		r, err := srv.Generate(ctx, req)
+		if cancel != nil {
+			cancel()
+		}
+		results[i] = r
+		errs[i] = err
+		if err == nil {
+			outputs[i] = r.Tokens
+		}
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
-	for c := 0; c < clients; c++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= n {
-					return
+	if cfg.PoissonMean > 0 {
+		arrivals := PoissonArrivals(n, cfg.PoissonMean, cfg.ArrivalSeed)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int, at time.Duration) {
+				defer wg.Done()
+				if d := time.Until(start.Add(at)); d > 0 {
+					time.Sleep(d)
 				}
-				spec := cfg.Trace[i]
-				req := Request{
-					Prompt:       spec.Prompt,
-					MaxNewTokens: spec.NewTokens,
-					Scheme:       cfg.Scheme,
-					Temperature:  cfg.Temperature,
-					Seed:         cfg.SeedBase + uint64(i),
+				submit(i)
+			}(i, arrivals[i])
+		}
+	} else {
+		clients := cfg.Clients
+		if clients <= 0 {
+			clients = 1
+		}
+		if clients > n {
+			clients = n
+		}
+		var next int64
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= n {
+						return
+					}
+					submit(i)
 				}
-				ctx := context.Background()
-				var cancel context.CancelFunc
-				if cfg.Timeout > 0 {
-					ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
-				}
-				r, err := srv.Generate(ctx, req)
-				if cancel != nil {
-					cancel()
-				}
-				results[i] = r
-				errs[i] = err
-				if err == nil {
-					outputs[i] = r.Tokens
-				}
-			}
-		}()
+			}()
+		}
 	}
 	wg.Wait()
 	wall := time.Since(start).Seconds()

@@ -52,27 +52,40 @@ func quantile(xs []float64, q float64) float64 {
 // concurrent use.
 type Metrics struct {
 	defaultScheme string
+	kvBudgetRows  int
+	kvPageRows    int
 	queueDepth    func() int
-	start         time.Time
+	// kvPages reads the shared block pool (pages in use, cumulative
+	// allocs, cumulative frees); nil under contiguous KV.
+	kvPages func() (int64, int64, int64)
+	start   time.Time
 
 	mu             sync.Mutex
 	completed      int64
 	rejected       int64
 	expired        int64
+	preemptions    int64
 	prefillTokens  int64
 	decodeTokens   int64
 	fusedTokens    int64
 	perScheme      map[string]int64
 	iterations     int64
 	batchOccupancy int64
+	activeSessions int64
+	peakActive     int64
+	kvOccRows      int64
+	kvPeakOccRows  int64
 	latencies      *ring
 	ttfts          *ring
 }
 
-func newMetrics(defaultScheme string, queueDepth func() int) *Metrics {
+func newMetrics(defaultScheme string, kvBudgetRows, kvPageRows int, queueDepth func() int, kvPages func() (int64, int64, int64)) *Metrics {
 	return &Metrics{
 		defaultScheme: defaultScheme,
+		kvBudgetRows:  kvBudgetRows,
+		kvPageRows:    kvPageRows,
 		queueDepth:    queueDepth,
+		kvPages:       kvPages,
 		start:         time.Now(),
 		perScheme:     make(map[string]int64),
 		latencies:     newRing(latencyWindow),
@@ -102,10 +115,33 @@ func (m *Metrics) complete(latency, ttft time.Duration) {
 	m.mu.Unlock()
 }
 
-func (m *Metrics) iteration(batch int, prefill, decode, fused int64, perScheme map[string]int64) {
+func (m *Metrics) preempt() {
+	m.mu.Lock()
+	m.preemptions++
+	m.mu.Unlock()
+}
+
+// idle zeroes the per-iteration gauges when the scheduler has no active
+// batch, so an idle server does not keep reporting its last burst.
+func (m *Metrics) idle() {
+	m.mu.Lock()
+	m.activeSessions = 0
+	m.kvOccRows = 0
+	m.mu.Unlock()
+}
+
+func (m *Metrics) iteration(batch int, prefill, decode, fused int64, perScheme map[string]int64, kvOccRows int64) {
 	m.mu.Lock()
 	m.iterations++
 	m.batchOccupancy += int64(batch)
+	m.activeSessions = int64(batch)
+	if int64(batch) > m.peakActive {
+		m.peakActive = int64(batch)
+	}
+	m.kvOccRows = kvOccRows
+	if kvOccRows > m.kvPeakOccRows {
+		m.kvPeakOccRows = kvOccRows
+	}
 	m.prefillTokens += prefill
 	m.decodeTokens += decode
 	m.fusedTokens += fused
@@ -123,8 +159,25 @@ type Snapshot struct {
 	Rejected      int64   `json:"requests_rejected"`
 	Expired       int64   `json:"requests_expired"`
 	QueueDepth    int     `json:"queue_depth"`
-	PrefillTokens int64   `json:"prefill_tokens"`
-	DecodeTokens  int64   `json:"decode_tokens"`
+	// ActiveSessions is the batch size of the last scheduler iteration;
+	// PeakActiveSessions the largest batch ever run — with a paged KV
+	// cache this is what the memory budget actually bought.
+	ActiveSessions     int64 `json:"active_sessions"`
+	PeakActiveSessions int64 `json:"peak_active_sessions"`
+	// Preemptions counts requests evicted by KV pressure (pages freed,
+	// request requeued; tokens are unaffected).
+	Preemptions int64 `json:"preemptions"`
+	// KV cache accounting, in positions (rows) and pool pages.
+	// KVBudgetRows = 0 means unlimited.
+	KVBudgetRows        int   `json:"kv_budget_rows"`
+	KVPageRows          int   `json:"kv_page_rows"`
+	KVOccupancyRows     int64 `json:"kv_occupancy_rows"`
+	KVPeakOccupancyRows int64 `json:"kv_peak_occupancy_rows"`
+	KVPagesInUse        int64 `json:"kv_pages_in_use"`
+	KVPageAllocs        int64 `json:"kv_page_allocs"`
+	KVPageFrees         int64 `json:"kv_page_frees"`
+	PrefillTokens       int64 `json:"prefill_tokens"`
+	DecodeTokens        int64 `json:"decode_tokens"`
 	// FusedDecodeTokens counts the decode tokens produced by fused batched
 	// passes (the rest went through the per-request path).
 	FusedDecodeTokens int64            `json:"fused_decode_tokens"`
@@ -145,19 +198,29 @@ func (m *Metrics) Snapshot() Snapshot {
 	defer m.mu.Unlock()
 	up := time.Since(m.start).Seconds()
 	s := Snapshot{
-		DefaultScheme:     m.defaultScheme,
-		UptimeSeconds:     up,
-		Completed:         m.completed,
-		Rejected:          m.rejected,
-		Expired:           m.expired,
-		PrefillTokens:     m.prefillTokens,
-		DecodeTokens:      m.decodeTokens,
-		FusedDecodeTokens: m.fusedTokens,
-		PerScheme:         make(map[string]int64, len(m.perScheme)),
-		Iterations:        m.iterations,
+		DefaultScheme:       m.defaultScheme,
+		UptimeSeconds:       up,
+		Completed:           m.completed,
+		Rejected:            m.rejected,
+		Expired:             m.expired,
+		ActiveSessions:      m.activeSessions,
+		PeakActiveSessions:  m.peakActive,
+		Preemptions:         m.preemptions,
+		KVBudgetRows:        m.kvBudgetRows,
+		KVPageRows:          m.kvPageRows,
+		KVOccupancyRows:     m.kvOccRows,
+		KVPeakOccupancyRows: m.kvPeakOccRows,
+		PrefillTokens:       m.prefillTokens,
+		DecodeTokens:        m.decodeTokens,
+		FusedDecodeTokens:   m.fusedTokens,
+		PerScheme:           make(map[string]int64, len(m.perScheme)),
+		Iterations:          m.iterations,
 	}
 	if m.queueDepth != nil {
 		s.QueueDepth = m.queueDepth()
+	}
+	if m.kvPages != nil {
+		s.KVPagesInUse, s.KVPageAllocs, s.KVPageFrees = m.kvPages()
 	}
 	for k, v := range m.perScheme {
 		s.PerScheme[k] = v

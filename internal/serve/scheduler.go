@@ -12,16 +12,118 @@ import (
 // sampled decodes stay bit-identical across the two.
 func newRequestRNG(seed uint64) *tensor.RNG { return tensor.NewRNG(seed ^ 0x5e11e) }
 
-// loop is the scheduler: admit → reap expired → run one iteration over
-// the active batch → retire finished, forever. Batches are assembled at
-// iteration granularity (continuous batching): a request joins as soon as
-// a slot frees, mid-flight requests are unaffected, and one iteration may
-// mix prefill chunks of new requests with decode steps of old ones.
+// clampMaxNew applies the request defaults: at least one token, at most
+// what fits in the model context after the prompt (prompt + maxNew-1
+// fed-back tokens occupy positions).
+func (c *Config) clampMaxNew(promptLen, maxNew int) int {
+	if maxNew <= 0 {
+		maxNew = 1
+	}
+	if limit := c.Model.Cfg.MaxSeq - promptLen + 1; maxNew > limit {
+		maxNew = limit
+	}
+	return maxNew
+}
+
+// pageRoundUp rounds a row count up to a multiple of the page size.
+func pageRoundUp(rows, pageRows int) int {
+	return (rows + pageRows - 1) / pageRows * pageRows
+}
+
+// pageRound rounds a row count up to the server's KV page granularity.
+func (s *Server) pageRound(rows int) int {
+	return pageRoundUp(rows, s.cfg.KVPageRows)
+}
+
+// heldCap is the KV row capacity a session holding pos positions is
+// charged for: its page-rounded length, or the worst-case MaxSeq under
+// the contiguous preallocating baseline.
+func (s *Server) heldCap(pos int) int {
+	if s.cfg.ContiguousKV {
+		return s.cfg.Model.Cfg.MaxSeq
+	}
+	return s.pageRound(pos)
+}
+
+// admissionNeed is the KV reservation a request entering the batch with a
+// seqLen-token prefill must secure: enough to prefill fully and emit its
+// first decode row. Growth beyond it is reserved iteration by iteration.
+func (s *Server) admissionNeed(seqLen int) int {
+	if s.cfg.ContiguousKV {
+		return s.cfg.Model.Cfg.MaxSeq
+	}
+	return s.pageRound(seqLen + 1)
+}
+
+// kvFits reports whether a reservation of need rows fits the remaining
+// budget (always true without a budget).
+func (s *Server) kvFits(need int) bool {
+	return s.cfg.KVBudgetRows == 0 || need <= s.kvFree
+}
+
+// reserveKV charges need rows of the budget to a.
+func (s *Server) reserveKV(a *activeReq, need int) {
+	if s.cfg.KVBudgetRows == 0 {
+		return
+	}
+	s.kvFree -= need
+	a.kvHeld += need
+}
+
+// releaseKV returns a's pages to the pool and its reservation to the
+// budget.
+func (s *Server) releaseKV(a *activeReq) {
+	if a.sess != nil {
+		a.sess.ReleaseKV()
+		a.sess = nil
+	}
+	s.kvFree += a.kvHeld
+	a.kvHeld = 0
+}
+
+// newSession mounts a session on the server's KV layout: paged stores
+// drawing from the shared pool, or the contiguous reference buffers —
+// preallocated to worst-case MaxSeq when a budget makes that the
+// (deliberately wasteful) baseline being measured.
+func (s *Server) newSession(eng model.Engine, capRows int) *model.Session {
+	if s.cfg.ContiguousKV {
+		if s.cfg.KVBudgetRows > 0 {
+			return s.cfg.Model.NewSession(eng, s.cfg.Model.Cfg.MaxSeq)
+		}
+		return s.cfg.Model.NewSession(eng, capRows)
+	}
+	pool := s.kvPool
+	return s.cfg.Model.NewSessionWithKV(eng, func() model.KVStore {
+		return tensor.NewPagedRows(pool, capRows)
+	})
+}
+
+// updateWait mirrors the scheduler-local wait state (held + preempted)
+// into the atomic the queue-depth gauge reads.
+func (s *Server) updateWait() {
+	n := int64(len(s.preempted))
+	if s.held != nil {
+		n++
+	}
+	s.waitCount.Store(n)
+}
+
+// loop is the scheduler: admit → reap expired → reserve KV growth
+// (preempting if the pool is dry) → run one iteration over the active
+// batch → retire finished, forever. Batches are assembled at iteration
+// granularity (continuous batching): a request joins as soon as a slot —
+// and, with a KV budget, enough pool headroom — frees, mid-flight
+// requests are unaffected, and one iteration may mix prefill chunks of
+// new requests with decode steps of old ones.
 func (s *Server) loop() {
 	defer s.wg.Done()
 	var batch []*activeReq
 	for {
+		if len(batch) == 0 {
+			s.metrics.idle()
+		}
 		batch = s.admit(batch)
+		s.updateWait()
 		select {
 		case <-s.stop:
 			s.shutdown(batch)
@@ -36,29 +138,74 @@ func (s *Server) loop() {
 		if len(batch) == 0 {
 			continue
 		}
+		batch = s.ensureKV(batch)
+		s.updateWait()
+		if len(batch) == 0 {
+			continue
+		}
 		s.runIteration(batch)
 		batch = s.retire(batch)
 	}
 }
 
-// admit fills free batch slots from the queue. With an empty batch it
-// blocks until a request or stop arrives; otherwise it drains whatever is
-// immediately available.
+// admit fills free batch slots: preempted requests resume first (oldest
+// preemption first), then the KV-blocked held request, then the queue.
+// With nothing active or waiting it blocks until a request or stop
+// arrives; otherwise it takes whatever is immediately admissible. A
+// request that fits the batch but not the remaining KV budget is held at
+// the head of the line until pages free up — admission control by memory,
+// not just slots.
 func (s *Server) admit(batch []*activeReq) []*activeReq {
 	for len(batch) < s.cfg.MaxBatch {
-		var p *pending
-		if len(batch) == 0 {
-			select {
-			case p = <-s.queue:
-			case <-s.stop:
-				return batch
-			}
-		} else {
-			select {
-			case p = <-s.queue:
+		if len(s.preempted) > 0 {
+			a := s.preempted[0]
+			now := time.Now()
+			switch {
+			case a.p.ctx.Err() != nil:
+				s.preempted = s.preempted[1:]
+				s.finish(a.p, a.out, a.prefilled, now, a.firstTok, a.p.ctx.Err())
+			case !a.p.req.Deadline.IsZero() && now.After(a.p.req.Deadline):
+				s.preempted = s.preempted[1:]
+				s.metrics.expire()
+				s.finish(a.p, a.out, a.prefilled, now, a.firstTok, ErrDeadlineExceeded)
+			case s.kvFits(s.admissionNeed(len(a.seq))):
+				s.preempted = s.preempted[1:]
+				s.resume(a)
+				batch = append(batch, a)
 			default:
-				return batch
+				return batch // wait for pages to free before anything newer
 			}
+			continue
+		}
+		p := s.held
+		s.held = nil
+		if p == nil {
+			if len(batch) == 0 {
+				select {
+				case p = <-s.queue:
+				case <-s.stop:
+					return batch
+				}
+			} else {
+				select {
+				case p = <-s.queue:
+				default:
+					return batch
+				}
+			}
+		}
+		// Admission needs no growth headroom beyond the prompt footprint:
+		// if the batch's next growth collides with a fresh admission,
+		// ensureKV preempts the newcomer — the LIFO victim with the least
+		// progress to lose (prefill only starts after ensureKV, so a
+		// same-iteration eviction discards nothing but a session object).
+		if !s.kvFits(s.admissionNeed(len(p.req.Prompt))) {
+			if p.ctx.Err() != nil || (!p.req.Deadline.IsZero() && time.Now().After(p.req.Deadline)) {
+				s.activate(p) // finishes the dead request, returns nil
+				continue
+			}
+			s.held = p
+			return batch
 		}
 		if a := s.activate(p); a != nil {
 			batch = append(batch, a)
@@ -67,8 +214,9 @@ func (s *Server) admit(batch []*activeReq) []*activeReq {
 	return batch
 }
 
-// activate turns a queued request into an active one, or finishes it
-// immediately if it is already cancelled or expired.
+// activate turns a queued request into an active one — reserving its
+// prompt's KV admission need — or finishes it immediately if it is
+// already cancelled or expired.
 func (s *Server) activate(p *pending) *activeReq {
 	now := time.Now()
 	if err := p.ctx.Err(); err != nil {
@@ -80,43 +228,129 @@ func (s *Server) activate(p *pending) *activeReq {
 		s.finish(p, nil, 0, now, time.Time{}, ErrDeadlineExceeded)
 		return nil
 	}
-	maxNew := p.req.MaxNewTokens
-	if maxNew <= 0 {
-		maxNew = 1
-	}
-	// Positions consumed: prompt + maxNew-1 fed-back tokens.
-	if limit := s.cfg.Model.Cfg.MaxSeq - len(p.req.Prompt) + 1; maxNew > limit {
-		maxNew = limit
-	}
+	maxNew := s.cfg.clampMaxNew(len(p.req.Prompt), p.req.MaxNewTokens)
 	eng := s.cfg.Engines[p.req.Scheme]
-	return &activeReq{
-		p:       p,
-		sess:    s.cfg.Model.NewSession(eng, len(p.req.Prompt)+maxNew),
-		eng:     eng,
-		rng:     newRequestRNG(p.req.Seed),
-		scheme:  p.req.Scheme,
-		maxNew:  maxNew,
-		out:     make([]int, 0, maxNew),
-		started: now,
+	a := &activeReq{
+		p:           p,
+		eng:         eng,
+		rng:         newRequestRNG(p.req.Seed),
+		scheme:      p.req.Scheme,
+		seq:         p.req.Prompt,
+		emitPrefill: true,
+		maxNew:      maxNew,
+		out:         make([]int, 0, maxNew),
+		started:     now,
 	}
+	a.sess = s.newSession(eng, len(p.req.Prompt)+maxNew)
+	s.reserveKV(a, s.admissionNeed(len(a.seq)))
+	return a
 }
 
-// reap fails active requests whose deadline or context expired, returning
-// the survivors.
+// resume re-enters a preempted request: a fresh session whose prefill
+// will rebuild the retained prompt + generated tokens. The request keeps
+// its RNG stream and output, so the tokens it goes on to emit are exactly
+// those of an unpreempted run.
+func (s *Server) resume(a *activeReq) {
+	a.sess = s.newSession(a.eng, len(a.seq)+a.maxNew-len(a.out)+1)
+	s.reserveKV(a, s.admissionNeed(len(a.seq)))
+}
+
+// preemptReq evicts an active request: its pages are freed and it is
+// queued to resume later by re-prefilling the prompt plus every generated
+// token but the last emitted one (which the next decode step appends, as
+// it would have anyway).
+func (s *Server) preemptReq(a *activeReq) {
+	s.releaseKV(a)
+	if len(a.out) > 0 {
+		seq := make([]int, 0, len(a.p.req.Prompt)+len(a.out)-1)
+		seq = append(seq, a.p.req.Prompt...)
+		a.seq = append(seq, a.out[:len(a.out)-1]...)
+		a.emitPrefill = false
+	} else {
+		a.seq = a.p.req.Prompt
+		a.emitPrefill = true
+	}
+	a.consumed = 0
+	s.preempted = append(s.preempted, a)
+	s.metrics.preempt()
+}
+
+// ensureKV reserves this iteration's page-granular KV growth for every
+// active request in admission order, preempting from the tail — the most
+// recently admitted request — whenever the budget runs dry. The oldest
+// request can always proceed: its worst-case footprint was checked
+// against the whole budget at submission, so preemption guarantees
+// progress rather than deadlock. No-op without a budget.
+func (s *Server) ensureKV(batch []*activeReq) []*activeReq {
+	if s.cfg.KVBudgetRows == 0 {
+		return batch
+	}
+	i := 0
+	for i < len(batch) {
+		a := batch[i]
+		c := 1
+		if a.consumed < len(a.seq) {
+			c = len(a.seq) - a.consumed
+			if c > s.cfg.PrefillChunk {
+				c = s.cfg.PrefillChunk
+			}
+		}
+		need := s.heldCap(a.sess.Len()+c) - a.kvHeld
+		if need < 0 {
+			need = 0
+		}
+		for need > s.kvFree && len(batch) > i+1 {
+			s.preemptReq(batch[len(batch)-1])
+			batch = batch[:len(batch)-1]
+		}
+		if need > s.kvFree {
+			// a is itself the newest survivor and still cannot grow;
+			// requeue it too and let the older requests run.
+			s.preemptReq(a)
+			batch = append(batch[:i], batch[i+1:]...)
+			continue
+		}
+		s.kvFree -= need
+		a.kvHeld += need
+		i++
+	}
+	return batch
+}
+
+// reap fails active and preempted requests whose deadline or context
+// expired, returning the surviving batch.
 func (s *Server) reap(batch []*activeReq, now time.Time) []*activeReq {
 	kept := batch[:0]
 	for _, a := range batch {
-		switch {
-		case a.p.ctx.Err() != nil:
-			s.finish(a.p, a.out, a.consumed, now, a.firstTok, a.p.ctx.Err())
-		case !a.p.req.Deadline.IsZero() && now.After(a.p.req.Deadline):
-			s.metrics.expire()
-			s.finish(a.p, a.out, a.consumed, now, a.firstTok, ErrDeadlineExceeded)
-		default:
+		if !s.reapOne(a, now) {
 			kept = append(kept, a)
 		}
 	}
+	keptP := s.preempted[:0]
+	for _, a := range s.preempted {
+		if !s.reapOne(a, now) {
+			keptP = append(keptP, a)
+		}
+	}
+	s.preempted = keptP
 	return kept
+}
+
+// reapOne finishes a if its context or deadline expired (releasing any KV
+// it holds) and reports whether it did.
+func (s *Server) reapOne(a *activeReq, now time.Time) bool {
+	switch {
+	case a.p.ctx.Err() != nil:
+		s.releaseKV(a)
+		s.finish(a.p, a.out, a.prefilled, now, a.firstTok, a.p.ctx.Err())
+	case !a.p.req.Deadline.IsZero() && now.After(a.p.req.Deadline):
+		s.releaseKV(a)
+		s.metrics.expire()
+		s.finish(a.p, a.out, a.prefilled, now, a.firstTok, ErrDeadlineExceeded)
+	default:
+		return false
+	}
+	return true
 }
 
 // runIteration executes one step for every active request. Decode-ready
@@ -178,7 +412,17 @@ func (s *Server) runIteration(batch []*activeReq) {
 			}
 		}
 	}
-	s.metrics.iteration(len(batch), prefill, decode, fused, perScheme)
+	var kvOcc int64
+	if s.kvPool != nil {
+		// Pages are per-layer per-K/V; convert to positions so occupancy
+		// reads in the same unit as the budget.
+		kvOcc = int64(s.kvPool.InUse()) * int64(s.cfg.KVPageRows) / int64(2*s.cfg.Model.Cfg.Layers)
+	} else {
+		for _, a := range batch {
+			kvOcc += int64(a.kvHeld)
+		}
+	}
+	s.metrics.iteration(len(batch), prefill, decode, fused, perScheme, kvOcc)
 }
 
 // decodeGroup is the decode-ready slice of one iteration that shares an
@@ -196,7 +440,7 @@ func (s *Server) partition(batch []*activeReq) ([]*decodeGroup, []*activeReq) {
 	var groups []*decodeGroup
 	solo := s.solo[:0]
 	for _, a := range batch {
-		if a.consumed < len(a.p.req.Prompt) {
+		if a.consumed < len(a.seq) {
 			solo = append(solo, a)
 			continue
 		}
@@ -260,21 +504,24 @@ func (s *Server) stepFused(g *decodeGroup) {
 }
 
 // stepOne advances one request by one iteration: either the next prefill
-// chunk or one decode token.
+// chunk of its pending sequence (the prompt, or — after a preemption —
+// prompt + regenerated tokens, emitting nothing) or one decode token.
 func (s *Server) stepOne(a *activeReq) {
 	a.lastStepPrefill = 0
 	a.lastStepDecoded = false
 	a.lastStepFused = false
-	prompt := a.p.req.Prompt
-	if a.consumed < len(prompt) {
-		chunk := len(prompt) - a.consumed
+	if a.consumed < len(a.seq) {
+		chunk := len(a.seq) - a.consumed
 		if chunk > s.cfg.PrefillChunk {
 			chunk = s.cfg.PrefillChunk
 		}
-		logits := a.sess.Append(prompt[a.consumed : a.consumed+chunk])
+		logits := a.sess.Append(a.seq[a.consumed : a.consumed+chunk])
 		a.consumed += chunk
 		a.lastStepPrefill = chunk
-		if a.consumed == len(prompt) {
+		if p := min(a.consumed, len(a.p.req.Prompt)); p > a.prefilled {
+			a.prefilled = p
+		}
+		if a.consumed == len(a.seq) && a.emitPrefill {
 			a.emit(logits.Row(logits.Rows - 1))
 		}
 		return
@@ -298,13 +545,15 @@ func (a *activeReq) emit(row []float64) {
 	a.lastStepDecoded = true
 }
 
-// retire delivers results for requests that reached their token budget.
+// retire delivers results for requests that reached their token budget,
+// returning their pages to the pool.
 func (s *Server) retire(batch []*activeReq) []*activeReq {
 	now := time.Now()
 	kept := batch[:0]
 	for _, a := range batch {
 		if len(a.out) >= a.maxNew {
-			s.finish(a.p, a.out, a.consumed, now, a.firstTok, nil)
+			s.releaseKV(a)
+			s.finish(a.p, a.out, a.prefilled, now, a.firstTok, nil)
 			continue
 		}
 		kept = append(kept, a)
@@ -312,12 +561,21 @@ func (s *Server) retire(batch []*activeReq) []*activeReq {
 	return kept
 }
 
-// shutdown fails everything still queued or active.
+// shutdown fails everything still active, preempted, held or queued.
 func (s *Server) shutdown(batch []*activeReq) {
 	now := time.Now()
 	for _, a := range batch {
-		s.finish(a.p, a.out, a.consumed, now, a.firstTok, ErrStopped)
+		s.finish(a.p, a.out, a.prefilled, now, a.firstTok, ErrStopped)
 	}
+	for _, a := range s.preempted {
+		s.finish(a.p, a.out, a.prefilled, now, a.firstTok, ErrStopped)
+	}
+	s.preempted = nil
+	if s.held != nil {
+		s.finish(s.held, nil, 0, now, time.Time{}, ErrStopped)
+		s.held = nil
+	}
+	s.updateWait()
 	for {
 		select {
 		case p := <-s.queue:

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tender/internal/model"
@@ -40,6 +41,9 @@ import (
 var (
 	// ErrQueueFull means the bounded admission queue rejected the request.
 	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrKVBudget means the request's worst-case KV footprint exceeds the
+	// server's total KV budget — it could never be scheduled.
+	ErrKVBudget = errors.New("serve: request KV need exceeds budget")
 	// ErrDeadlineExceeded means the request's deadline passed before it
 	// finished; partial output is returned alongside it.
 	ErrDeadlineExceeded = errors.New("serve: request deadline exceeded")
@@ -104,6 +108,27 @@ type Config struct {
 	// Fused decode is bit-identical to the per-request path, so this is a
 	// performance toggle, not a correctness one.
 	DisableFusedDecode bool
+	// KVBudgetRows caps the total KV positions held by all active
+	// sessions (0 = unlimited). One position is one row of keys and one
+	// of values in every layer; the scheduler admits new requests only
+	// while their prompt fits, reserves page-granular growth before each
+	// iteration, and preempts the most recently admitted request when
+	// the pool runs dry (its pages are freed and it is requeued, to be
+	// resumed later by re-prefilling its retained prompt + generated
+	// tokens — output tokens are unchanged by preemption). Rounded up to
+	// a multiple of KVPageRows.
+	KVBudgetRows int
+	// KVPageRows is the page granularity of the shared KV block pool
+	// (default tensor.DefaultPageRows). Sessions acquire pages lazily as
+	// they grow instead of preallocating worst-case MaxSeq buffers.
+	KVPageRows int
+	// ContiguousKV restores the reference KV layout: each session owns
+	// contiguous per-layer RowBuffers and, when KVBudgetRows is set,
+	// reserves the worst-case MaxSeq rows up front — so the budget
+	// admits only KVBudgetRows/MaxSeq concurrent sessions and
+	// preemption never triggers. The baseline the paged scheduler is
+	// benchmarked against; outputs are bit-identical either way.
+	ContiguousKV bool
 }
 
 func (c *Config) fill() error {
@@ -137,6 +162,21 @@ func (c *Config) fill() error {
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
+	if c.KVPageRows <= 0 {
+		c.KVPageRows = tensor.DefaultPageRows
+	}
+	if c.KVBudgetRows < 0 {
+		c.KVBudgetRows = 0
+	}
+	if c.KVBudgetRows > 0 {
+		// Page-align the budget so position accounting and the page pool
+		// agree exactly.
+		c.KVBudgetRows = pageRoundUp(c.KVBudgetRows, c.KVPageRows)
+		if c.ContiguousKV && c.KVBudgetRows < c.Model.Cfg.MaxSeq {
+			return fmt.Errorf("serve: KV budget %d below MaxSeq %d with contiguous KV — no request could ever run",
+				c.KVBudgetRows, c.Model.Cfg.MaxSeq)
+		}
+	}
 	return nil
 }
 
@@ -149,12 +189,24 @@ type Server struct {
 	metrics *Metrics
 	nextID  uint64
 	idMu    sync.Mutex
+	// kvPool is the shared page pool every paged session draws from
+	// (nil with ContiguousKV).
+	kvPool *tensor.BlockPool
+	// waitCount mirrors len(held)+len(preempted) for the queue-depth
+	// gauge, which is read outside the scheduler goroutine.
+	waitCount atomic.Int64
 	// Scheduler-goroutine state: fused steppers per engine (nil = engine
-	// cannot fuse) and scratch slices reused every iteration.
+	// cannot fuse), scratch slices reused every iteration, and the
+	// memory-aware admission state — remaining KV budget rows, the
+	// popped-but-not-yet-admitted request, and preempted requests
+	// waiting to resume.
 	steppers      map[model.Engine]*model.BatchStepper
 	solo          []*activeReq
 	fusedSessions []*model.Session
 	fusedTokens   []int
+	kvFree        int
+	held          *pending
+	preempted     []*activeReq
 }
 
 // pending is a queued request.
@@ -166,14 +218,32 @@ type pending struct {
 	done chan Result
 }
 
-// activeReq is a request currently in the iteration batch.
+// activeReq is a request currently in the iteration batch (or preempted
+// and waiting to re-enter it).
 type activeReq struct {
-	p        *pending
-	sess     *model.Session
-	eng      model.Engine
-	rng      *tensor.RNG
-	scheme   string
-	consumed int // prompt tokens prefilled so far
+	p      *pending
+	sess   *model.Session
+	eng    model.Engine
+	rng    *tensor.RNG
+	scheme string
+	// seq is the token sequence the session must contain before decoding:
+	// the prompt, or — after a preemption — the prompt plus every
+	// generated token except the last emitted one (which the next decode
+	// step appends as usual). consumed counts how much of seq has been
+	// prefilled.
+	seq      []int
+	consumed int
+	// prefilled counts the prompt tokens prefilled, capped at the prompt
+	// length so resume re-prefills do not inflate it — this is what
+	// Result.PrefillTokens reports.
+	prefilled int
+	// emitPrefill is true while the final prefill logits should emit a
+	// token (a first prefill); a resume re-prefill re-derives tokens the
+	// request already emitted, so it stays silent.
+	emitPrefill bool
+	// kvHeld is the page-rounded KV row capacity reserved for this
+	// request out of Config.KVBudgetRows (0 when no budget is set).
+	kvHeld   int
 	maxNew   int
 	out      []int
 	started  time.Time
@@ -194,9 +264,28 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		stop:     make(chan struct{}),
 		steppers: make(map[model.Engine]*model.BatchStepper),
+		kvFree:   cfg.KVBudgetRows,
+	}
+	if !cfg.ContiguousKV {
+		maxPages := 0
+		if cfg.KVBudgetRows > 0 {
+			// The budget is page-aligned, so this bound is exactly what
+			// position accounting can hand out: one K and one V page per
+			// layer per budgeted page of positions.
+			maxPages = cfg.KVBudgetRows / cfg.KVPageRows * 2 * cfg.Model.Cfg.Layers
+		}
+		s.kvPool = tensor.NewBlockPool(cfg.Model.Cfg.DModel, cfg.KVPageRows, maxPages)
 	}
 	s.queue = make(chan *pending, cfg.QueueDepth)
-	s.metrics = newMetrics(cfg.DefaultScheme, func() int { return len(s.queue) })
+	var pages func() (int64, int64, int64)
+	if s.kvPool != nil {
+		pages = func() (int64, int64, int64) {
+			allocs, frees := s.kvPool.Counters()
+			return int64(s.kvPool.InUse()), allocs, frees
+		}
+	}
+	s.metrics = newMetrics(cfg.DefaultScheme, cfg.KVBudgetRows, cfg.KVPageRows,
+		func() int { return len(s.queue) + int(s.waitCount.Load()) }, pages)
 	return s, nil
 }
 
@@ -232,6 +321,23 @@ func (s *Server) Generate(ctx context.Context, req Request) (Result, error) {
 	if len(req.Prompt) >= s.cfg.Model.Cfg.MaxSeq {
 		return Result{}, fmt.Errorf("serve: prompt length %d exceeds context %d",
 			len(req.Prompt), s.cfg.Model.Cfg.MaxSeq)
+	}
+	if s.cfg.KVBudgetRows > 0 && !s.cfg.ContiguousKV {
+		// A request whose worst-case footprint exceeds the whole budget
+		// can never be scheduled; fail fast instead of queueing it. Peak
+		// occupancy is prompt + maxNew−1 positions (the last emitted
+		// token is never appended), and admission reserves at least
+		// prompt+1 — the larger of the two page-rounds is the request's
+		// true worst-case reservation.
+		maxNew := s.cfg.clampMaxNew(len(req.Prompt), req.MaxNewTokens)
+		peak := len(req.Prompt) + maxNew - 1
+		if minPeak := len(req.Prompt) + 1; peak < minPeak {
+			peak = minPeak
+		}
+		if s.pageRound(peak) > s.cfg.KVBudgetRows {
+			return Result{}, fmt.Errorf("%w: %d rows needed, budget %d",
+				ErrKVBudget, s.pageRound(peak), s.cfg.KVBudgetRows)
+		}
 	}
 	s.idMu.Lock()
 	s.nextID++

@@ -63,6 +63,25 @@ func (b *RowBuffer) AppendRow(row []float64) {
 	b.rows++
 }
 
+// Row returns row r as a slice aliasing the buffer's storage.
+func (b *RowBuffer) Row(r int) []float64 {
+	return b.data[r*b.cols : (r+1)*b.cols]
+}
+
+// Span returns rows [r, Rows) as a row-major slice aliasing the buffer's
+// storage plus the run length: a contiguous buffer is one span. It gives
+// RowBuffer the same page-iteration surface as PagedRows.
+func (b *RowBuffer) Span(r int) ([]float64, int) {
+	return b.data[r*b.cols : b.rows*b.cols], b.rows - r
+}
+
+// Release empties the buffer and drops its storage for the garbage
+// collector — the contiguous counterpart of PagedRows.Release.
+func (b *RowBuffer) Release() {
+	b.data = nil
+	b.rows = 0
+}
+
 // Reset empties the buffer, keeping its capacity.
 func (b *RowBuffer) Reset() {
 	b.data = b.data[:0]

@@ -1,0 +1,189 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultPageRows is the default KV page granularity: pages hold this many
+// rows unless a pool is built with another size. Small enough that a short
+// session wastes at most one page per store, large enough that the
+// per-page bookkeeping disappears against the row compute.
+const DefaultPageRows = 16
+
+// BlockPool hands out fixed-size KV pages — pageRows×cols row slabs — from
+// one shared, optionally size-bounded pool. It is the memory substrate for
+// paged KV caches: every PagedRows store of a server draws from the same
+// pool, so total KV memory is governed by the pool bound instead of by
+// worst-case per-session sequence length. Released pages go on a freelist
+// and are recycled, so steady-state page turnover performs no heap
+// allocations.
+//
+// A BlockPool is safe for concurrent use; sessions stepping on parallel
+// workers acquire and release pages under one mutex (page traffic is rare:
+// once per pageRows appended rows per store).
+type BlockPool struct {
+	cols     int
+	pageRows int
+	maxPages int // 0 = unbounded
+
+	mu     sync.Mutex
+	free   [][]float64
+	inUse  int
+	allocs int64 // pages handed out, cumulative
+	frees  int64 // pages returned, cumulative
+}
+
+// NewBlockPool returns a pool of pageRows×cols pages holding at most
+// maxPages pages in flight (0 = unbounded). No memory is reserved up
+// front; pages are created on demand and recycled thereafter.
+func NewBlockPool(cols, pageRows, maxPages int) *BlockPool {
+	if cols <= 0 || pageRows <= 0 || maxPages < 0 {
+		panic(fmt.Sprintf("tensor: NewBlockPool(%d, %d, %d)", cols, pageRows, maxPages))
+	}
+	return &BlockPool{cols: cols, pageRows: pageRows, maxPages: maxPages}
+}
+
+// Cols returns the row width of the pool's pages.
+func (p *BlockPool) Cols() int { return p.cols }
+
+// PageRows returns the number of rows per page.
+func (p *BlockPool) PageRows() int { return p.pageRows }
+
+// Cap returns the pool's page bound (0 = unbounded).
+func (p *BlockPool) Cap() int { return p.maxPages }
+
+// InUse returns the number of pages currently handed out.
+func (p *BlockPool) InUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inUse
+}
+
+// Counters returns the cumulative page-allocation and page-free counts.
+func (p *BlockPool) Counters() (allocs, frees int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.allocs, p.frees
+}
+
+// get hands out one page. Exceeding a bounded pool is a scheduler
+// accounting bug — admission and preemption must keep demand within the
+// bound — so it panics rather than degrading silently.
+func (p *BlockPool) get() []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.maxPages > 0 && p.inUse >= p.maxPages {
+		panic(fmt.Sprintf("tensor: BlockPool exhausted (%d pages of %d rows in use)", p.inUse, p.pageRows))
+	}
+	p.inUse++
+	p.allocs++
+	if n := len(p.free); n > 0 {
+		pg := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return pg
+	}
+	return make([]float64, p.pageRows*p.cols)
+}
+
+// put returns a page to the freelist. Stale contents are kept — PagedRows
+// never reads past the rows it appended, so recycled pages need no
+// zeroing.
+func (p *BlockPool) put(pg []float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.inUse--
+	p.frees++
+	p.free = append(p.free, pg)
+}
+
+// PagedRows is an append-only row store backed by fixed-size pages from a
+// shared BlockPool: the paged counterpart of RowBuffer. Pages are acquired
+// lazily as rows arrive — an empty store holds no memory — and returned to
+// the pool by Release. Rows never straddle pages, so Row and Span hand out
+// views directly into page storage with no gather or copy.
+type PagedRows struct {
+	pool  *BlockPool
+	pages [][]float64
+	rows  int
+}
+
+// NewPagedRows returns an empty store drawing pages from pool. capRows, if
+// positive, pre-sizes the page-pointer slice (a few words per page, not
+// page memory) so steady-state appends up to capRows rows never grow it.
+func NewPagedRows(pool *BlockPool, capRows int) *PagedRows {
+	if capRows < 0 {
+		capRows = 0
+	}
+	r := pool.pageRows
+	return &PagedRows{pool: pool, pages: make([][]float64, 0, (capRows+r-1)/r)}
+}
+
+// Rows returns the number of rows appended so far.
+func (p *PagedRows) Rows() int { return p.rows }
+
+// Cols returns the row width.
+func (p *PagedRows) Cols() int { return p.pool.cols }
+
+// AppendRow appends a single row (length Cols), acquiring a page from the
+// pool when the current one is full.
+func (p *PagedRows) AppendRow(row []float64) {
+	cols := p.pool.cols
+	if len(row) != cols {
+		panic(fmt.Sprintf("tensor: PagedRows append %d-wide row to %d-col store", len(row), cols))
+	}
+	r := p.pool.pageRows
+	pg := p.rows / r
+	if pg == len(p.pages) {
+		p.pages = append(p.pages, p.pool.get())
+	}
+	off := (p.rows % r) * cols
+	copy(p.pages[pg][off:off+cols], row)
+	p.rows++
+}
+
+// AppendRows appends every row of m to the store.
+func (p *PagedRows) AppendRows(m *Matrix) {
+	if m.Cols != p.pool.cols {
+		panic(fmt.Sprintf("tensor: PagedRows append %d cols to %d-col store", m.Cols, p.pool.cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		p.AppendRow(m.Row(r))
+	}
+}
+
+// Row returns row r as a slice aliasing page storage.
+func (p *PagedRows) Row(r int) []float64 {
+	pr := p.pool.pageRows
+	cols := p.pool.cols
+	off := (r % pr) * cols
+	return p.pages[r/pr][off : off+cols]
+}
+
+// Span returns the longest contiguous run of rows starting at r — the
+// remainder of r's page, clipped to the appended rows — as a row-major
+// slice aliasing page storage, plus the run length (≥ 1 for r < Rows).
+// Iterating spans walks the whole store page by page without copying.
+func (p *PagedRows) Span(r int) ([]float64, int) {
+	pr := p.pool.pageRows
+	cols := p.pool.cols
+	pg := r / pr
+	end := (pg + 1) * pr
+	if end > p.rows {
+		end = p.rows
+	}
+	lo := (r % pr) * cols
+	return p.pages[pg][lo : lo+(end-r)*cols], end - r
+}
+
+// Release empties the store and returns every page to the pool. The store
+// is reusable afterwards (appends acquire fresh pages).
+func (p *PagedRows) Release() {
+	for i, pg := range p.pages {
+		p.pool.put(pg)
+		p.pages[i] = nil
+	}
+	p.pages = p.pages[:0]
+	p.rows = 0
+}

@@ -1,0 +1,122 @@
+package tensor
+
+import (
+	"testing"
+)
+
+// TestPagedRowsMatchesRowBuffer: appending the same rows through PagedRows
+// and RowBuffer yields identical Rows/Row/Span contents, including page
+// boundaries at page−1, page, page+1 and multi-page lengths.
+func TestPagedRowsMatchesRowBuffer(t *testing.T) {
+	const cols, pageRows = 6, 4
+	rng := NewRNG(3)
+	for _, n := range []int{1, pageRows - 1, pageRows, pageRows + 1, 3*pageRows + 2} {
+		pool := NewBlockPool(cols, pageRows, 0)
+		paged := NewPagedRows(pool, n)
+		ref := NewRowBuffer(cols, 0)
+		src := RandNormal(rng, n, cols, 1)
+		// Mix single-row and bulk appends so both entry points are covered.
+		paged.AppendRow(src.Row(0))
+		ref.AppendRow(src.Row(0))
+		if n > 1 {
+			rest := src.RowView(1, n)
+			paged.AppendRows(rest)
+			ref.AppendRows(rest)
+		}
+		if paged.Rows() != ref.Rows() || paged.Cols() != ref.Cols() {
+			t.Fatalf("n=%d: shape (%d,%d) vs (%d,%d)", n, paged.Rows(), paged.Cols(), ref.Rows(), ref.Cols())
+		}
+		for r := 0; r < n; r++ {
+			pr, rr := paged.Row(r), ref.Row(r)
+			for c := range rr {
+				if pr[c] != rr[c] {
+					t.Fatalf("n=%d row %d col %d: %v vs %v", n, r, c, pr[c], rr[c])
+				}
+			}
+		}
+		// Span iteration must cover every row exactly once, in order.
+		for base := 0; base < n; {
+			data, run := paged.Span(base)
+			if run < 1 || base+run > n {
+				t.Fatalf("n=%d: Span(%d) run %d", n, base, run)
+			}
+			if base/pageRows != (base+run-1)/pageRows {
+				t.Fatalf("n=%d: Span(%d) crosses a page boundary (run %d)", n, base, run)
+			}
+			for j := 0; j < run; j++ {
+				rr := ref.Row(base + j)
+				for c := range rr {
+					if data[j*cols+c] != rr[c] {
+						t.Fatalf("n=%d: span at %d row %d differs", n, base, j)
+					}
+				}
+			}
+			base += run
+		}
+		// RowBuffer's span is the whole remainder.
+		if _, run := ref.Span(1); n > 1 && run != n-1 {
+			t.Fatalf("RowBuffer.Span(1) run %d, want %d", run, n-1)
+		}
+	}
+}
+
+// TestBlockPoolBoundAndRecycling: a bounded pool panics past its cap,
+// Release returns pages for reuse, and the counters track the traffic.
+func TestBlockPoolBoundAndRecycling(t *testing.T) {
+	const cols, pageRows = 4, 2
+	pool := NewBlockPool(cols, pageRows, 2)
+	a := NewPagedRows(pool, 0)
+	row := make([]float64, cols)
+	for i := 0; i < 2*pageRows; i++ {
+		row[0] = float64(i)
+		a.AppendRow(row)
+	}
+	if got := pool.InUse(); got != 2 {
+		t.Fatalf("pages in use %d, want 2", got)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("append past the pool bound must panic")
+			}
+		}()
+		a.AppendRow(row)
+	}()
+	a.Release()
+	if got := pool.InUse(); got != 0 {
+		t.Fatalf("pages in use after Release %d, want 0", got)
+	}
+	// Reuse: the freed pages satisfy a new store without growing the pool.
+	b := NewPagedRows(pool, 2*pageRows)
+	for i := 0; i < 2*pageRows; i++ {
+		b.AppendRow(row)
+	}
+	allocs, frees := pool.Counters()
+	if allocs != 4 || frees != 2 {
+		t.Fatalf("counters allocs=%d frees=%d, want 4/2", allocs, frees)
+	}
+	if b.Rows() != 2*pageRows {
+		t.Fatalf("rows %d after reuse", b.Rows())
+	}
+	b.Release()
+}
+
+// TestPagedRowsReleaseReuse: a released store is empty and append-ready,
+// and recycled pages never leak previous contents into visible rows.
+func TestPagedRowsReleaseReuse(t *testing.T) {
+	pool := NewBlockPool(3, 2, 0)
+	p := NewPagedRows(pool, 0)
+	p.AppendRow([]float64{1, 2, 3})
+	p.AppendRow([]float64{4, 5, 6})
+	p.Release()
+	if p.Rows() != 0 {
+		t.Fatalf("rows %d after Release", p.Rows())
+	}
+	p.AppendRow([]float64{7, 8, 9})
+	if got := p.Row(0); got[0] != 7 || got[1] != 8 || got[2] != 9 {
+		t.Fatalf("row after reuse %v", got)
+	}
+	if _, run := p.Span(0); run != 1 {
+		t.Fatalf("span run %d over a partially filled page, want 1", run)
+	}
+}
