@@ -19,7 +19,9 @@
 // admission is gated by KV budget and requests are preempted/requeued
 // under pressure, without changing their tokens — and -kv-page-rows sets
 // the page granularity. -kv-contiguous restores the preallocating
-// contiguous baseline.
+// contiguous baseline. -prefix-cache additionally shares the KV pages of
+// common prompt prefixes across requests (refcounted, copy-on-write,
+// bit-identical; -prefix-cache-rows caps the retained positions).
 //
 // Or run a deterministic load test (no client needed), closed-loop or
 // open-loop Poisson (-poisson-ms):
@@ -61,6 +63,8 @@ func main() {
 		kvPages       = flag.Int("kv-pages", 0, "total KV budget in pages across all active sessions (0 = unlimited); admission and preemption keep KV memory under pages×kv-page-rows positions")
 		kvPageRows    = flag.Int("kv-page-rows", 0, "rows per KV page (0 = default 16)")
 		kvContiguous  = flag.Bool("kv-contiguous", false, "use contiguous per-session KV buffers (worst-case MaxSeq reservation under a budget) instead of the shared paged pool")
+		prefixCache   = flag.Bool("prefix-cache", false, "share KV pages of common prompt prefixes across requests: completed prefills are indexed and later prompts mount the matched prefix instead of recomputing it (bit-identical; requires the paged KV layout)")
+		prefixRows    = flag.Int("prefix-cache-rows", 0, "cap on KV positions retained by cached prefixes (0 = the KV budget when set, else unbounded); rounded up to kv-page-rows")
 		listSchemes   = flag.Bool("list-schemes", false, "list engine spec schemes and their options, then exit")
 
 		load      = flag.Bool("load", false, "run a deterministic load test instead of serving")
@@ -127,6 +131,8 @@ func main() {
 		KVBudgetRows:       *kvPages * pageRows,
 		KVPageRows:         pageRows,
 		ContiguousKV:       *kvContiguous,
+		PrefixCache:        *prefixCache,
+		PrefixCacheRows:    *prefixRows,
 	})
 	if err != nil {
 		fatalf("%v", err)

@@ -39,8 +39,25 @@
 // gather-free page spans in the contiguous accumulation order, keeping
 // paged decode bit-identical to the RowBuffer reference for every scheme.
 //
-// See README.md for the layout, DESIGN.md for the system inventory and
-// substitutions, and EXPERIMENTS.md for paper-vs-measured results. The
+// On top of paging, common prompt prefixes are shared: pages are
+// refcounted, completed prefills donate their prompt's KV pages to a
+// per-engine prefix index (model.PrefixCache, a trie of page-aligned
+// token chunks), and later prompts sharing the prefix mount those pages
+// instead of recomputing them — copy-on-write protects a partially filled
+// shared page, admission charges only the unshared tail against the KV
+// budget, and unreferenced cached prefixes are evicted LRU-first whenever
+// live sessions need the memory (serve.Config.PrefixCache, the
+// tenderserve -prefix-cache flag). Hits are bit-identical to cold
+// prefill for every engine whose quantization treats activation rows
+// independently; row-coupled engines keep the cold path automatically.
+//
+// The one invariant every layer preserves: scheduling, batching, fusion,
+// paging, preemption and prefix sharing change wall-clock and memory,
+// never tokens.
+//
+// See README.md for the layout and serving quickstart, and
+// docs/ARCHITECTURE.md for the layer-by-layer design, the KV page-table
+// diagram, the determinism invariant and the metrics reference. The
 // root package only anchors module documentation and the benchmark
 // harness (bench_test.go); all functionality lives under internal/.
 package tender

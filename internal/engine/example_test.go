@@ -1,0 +1,43 @@
+package engine_test
+
+import (
+	"fmt"
+
+	"tender/internal/engine"
+)
+
+// Engine specs are strings resolved against one registry; Canonical
+// normalizes case, aliases, flag shorthands and option order so hosted
+// engines can be keyed consistently.
+func ExampleCanonical() {
+	for _, spec := range []string{"FP16", "tender:int,bits=4", "uniform:dynamic,gran=column"} {
+		c, err := engine.Canonical(spec)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		fmt.Println(c)
+	}
+	// Output:
+	// fp16
+	// tender:bits=4,int
+	// uniform:dynamic,gran=column
+}
+
+// SplitSpecList parses the CLI form of a spec list (tenderserve -schemes):
+// specs separated by semicolons or spaces, with legacy comma-separated
+// bare names still accepted.
+func ExampleSplitSpecList() {
+	specs, err := engine.SplitSpecList("tender:bits=4 fp16; smoothquant:alpha=0.7")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, s := range specs {
+		fmt.Println(s)
+	}
+	// Output:
+	// tender:bits=4
+	// fp16
+	// smoothquant:alpha=0.7
+}

@@ -292,11 +292,11 @@ func TestServeBenchQuick(t *testing.T) {
 	}
 	// Three schemes × (batch 1, batch 8 per-request, batch 8 fused,
 	// batch 32 fused) + the two memory-pressure rows (kv-contiguous,
-	// kv-paged).
-	if len(tab.Rows) != 14 {
-		t.Fatalf("expected 14 rows, got %d", len(tab.Rows))
+	// kv-paged) + the two shared-prefix rows (prefix-cold, prefix-cache).
+	if len(tab.Rows) != 16 {
+		t.Fatalf("expected 16 rows, got %d", len(tab.Rows))
 	}
-	fusedRows, kvRows := 0, 0
+	fusedRows, kvRows, prefixRows := 0, 0, 0
 	for _, row := range tab.Rows {
 		if cellFloat(t, row[2]) <= 0 {
 			t.Fatalf("non-positive throughput in row %v", row)
@@ -307,12 +307,18 @@ func TestServeBenchQuick(t *testing.T) {
 		if strings.HasPrefix(row[0], "kv-") {
 			kvRows++
 		}
+		if strings.HasPrefix(row[0], "prefix-") {
+			prefixRows++
+		}
 	}
 	if fusedRows != 6 {
 		t.Fatalf("expected 6 fused-decode rows, got %d", fusedRows)
 	}
 	if kvRows != 2 {
 		t.Fatalf("expected 2 kv memory-pressure rows, got %d", kvRows)
+	}
+	if prefixRows != 2 {
+		t.Fatalf("expected 2 shared-prefix rows, got %d", prefixRows)
 	}
 	if _, err := os.Stat(ServeBenchFile); err != nil {
 		t.Fatalf("BENCH_serve.json not emitted: %v", err)
@@ -325,10 +331,11 @@ func TestServeBenchQuick(t *testing.T) {
 	if err := json.Unmarshal(blob, &results); err != nil {
 		t.Fatalf("BENCH_serve.json not valid JSON: %v", err)
 	}
-	if len(results) != 14 {
-		t.Fatalf("expected 14 JSON results, got %d", len(results))
+	if len(results) != 16 {
+		t.Fatalf("expected 16 JSON results, got %d", len(results))
 	}
 	var pagedSessions, contSessions float64
+	var ttftSpeedup, prefillSpeedup, prefixHits float64
 	for _, r := range results {
 		if r["decode_tokens_per_sec"].(float64) <= 0 {
 			t.Fatalf("bad result %v", r)
@@ -338,11 +345,24 @@ func TestServeBenchQuick(t *testing.T) {
 			pagedSessions = r["peak_active_sessions"].(float64)
 		case "kv-contiguous/fp32":
 			contSessions = r["peak_active_sessions"].(float64)
+		case "prefix-cache/fp32":
+			ttftSpeedup = r["ttft_speedup_vs_cold"].(float64)
+			prefillSpeedup = r["prefill_speedup_vs_cold"].(float64)
+			prefixHits = r["prefix_hits"].(float64)
 		}
 	}
 	if contSessions <= 0 || pagedSessions < 2*contSessions {
 		t.Fatalf("paged scheduler peaked at %v sessions vs contiguous %v; want ≥ 2× under the same KV budget",
 			pagedSessions, contSessions)
+	}
+	// The shared-system-prompt acceptance bar: prefix caching must at
+	// least double both TTFT and served prefill throughput over cold
+	// prefill at batch ≥ 8, with every non-warm request hitting.
+	if ttftSpeedup < 2 || prefillSpeedup < 2 {
+		t.Fatalf("shared-prefix speedups below 2x: ttft %.2fx, prefill %.2fx", ttftSpeedup, prefillSpeedup)
+	}
+	if prefixHits <= 0 {
+		t.Fatalf("prefix-cache row recorded no hits")
 	}
 }
 

@@ -30,6 +30,26 @@ type serveBenchResult struct {
 	SpeedupVsB1   float64 `json:"speedup_vs_batch1"`
 }
 
+// prefixBenchResult is the JSON summary of one shared-system-prompt
+// configuration: the prefix-cached scheduler against the cold-prefill
+// baseline on the same trace.
+type prefixBenchResult struct {
+	Scheme       string  `json:"scheme"`
+	Batch        int     `json:"batch"`
+	TokensPerSec float64 `json:"decode_tokens_per_sec"`
+	// PrefillTokPerSec is submitted prompt tokens per wall second — served
+	// prefill throughput, counting cache-skipped tokens as served (that is
+	// the point of the cache).
+	PrefillTokPerSec float64 `json:"prefill_tok_per_sec"`
+	TTFTP50Ms        float64 `json:"ttft_p50_ms"`
+	LatencyP50Ms     float64 `json:"latency_p50_ms"`
+	PrefixHits       int64   `json:"prefix_hits"`
+	PrefillSkipped   int64   `json:"prefill_tokens_skipped"`
+	// Speedups vs the prefix-cold row (1.0 on the cold row itself).
+	TTFTSpeedupVsCold    float64 `json:"ttft_speedup_vs_cold"`
+	PrefillSpeedupVsCold float64 `json:"prefill_speedup_vs_cold"`
+}
+
 // kvBenchResult is the JSON summary of one memory-pressure configuration:
 // the paged scheduler and the contiguous preallocating baseline under the
 // same KV row budget.
@@ -211,6 +231,92 @@ func ServeBench(o Options) Table {
 	}
 	t.Note += fmt.Sprintf("; kv-* rows: memory pressure under a %d-row KV budget (Poisson arrivals, mean %v) — p99 column = peak concurrent sessions, mean-batch column = preemptions, speedup = concurrency vs the contiguous MaxSeq-preallocating baseline", kvBudget, poissonMean)
 
+	// Shared-system-prompt scenario: every request carries the same long
+	// page-aligned system prefix plus a short unique user tail — the
+	// dominant real serving pattern. One warm request seeds the prefix
+	// index, then a closed-loop batch measures prefill throughput and TTFT
+	// with the cache on (tails prefill, prefixes mount) against the cold
+	// baseline recomputing the prefix every time.
+	pcScheme := "fp32"
+	sysLen, tailLen, pcNew := 96, 8, 4
+	pcRequests, pcBatch := 24, 8
+	if o.Quick {
+		sysLen, pcRequests = 48, 12
+	}
+	sys := workload.TokenStream(workload.Wiki, 11+o.Seed, sysLen, m.Cfg.Vocab)
+	pcTrace := make([]workload.RequestSpec, pcRequests)
+	for i := range pcTrace {
+		tail := workload.TokenStream(workload.PTB, 300+uint64(i)+o.Seed, tailLen, m.Cfg.Vocab)
+		pcTrace[i] = workload.RequestSpec{
+			Prompt:    append(append([]int(nil), sys...), tail...),
+			NewTokens: pcNew,
+		}
+	}
+	warm := []workload.RequestSpec{{
+		Prompt:    append(append([]int(nil), sys...), sys[0]),
+		NewTokens: 1,
+	}}
+	promptTokens := 0
+	for _, r := range pcTrace {
+		promptTokens += len(r.Prompt)
+	}
+	var pcEmit []prefixBenchResult
+	for _, cached := range []bool{false, true} {
+		srv, err := serve.New(serve.Config{
+			Model: m, Engines: engines, DefaultScheme: pcScheme,
+			MaxBatch: pcBatch, QueueDepth: pcRequests, PrefillChunk: 16,
+			PrefixCache: cached,
+		})
+		if err != nil {
+			panic(err)
+		}
+		srv.Start()
+		serve.RunLoad(srv, serve.LoadConfig{Trace: warm, Clients: 1, Scheme: pcScheme})
+		rep := serve.RunLoad(srv, serve.LoadConfig{Trace: pcTrace, Clients: pcBatch, Scheme: pcScheme})
+		snap := srv.Metrics().Snapshot()
+		srv.Stop()
+		if rep.Failed > 0 {
+			panic(fmt.Sprintf("serve bench: %d shared-prefix requests failed", rep.Failed))
+		}
+		rowName := "prefix-cold/" + pcScheme
+		if cached {
+			rowName = "prefix-cache/" + pcScheme
+		}
+		pcEmit = append(pcEmit, prefixBenchResult{
+			Scheme: rowName, Batch: pcBatch,
+			TokensPerSec:     rep.TokensPerSec,
+			PrefillTokPerSec: float64(promptTokens) / rep.WallSeconds,
+			TTFTP50Ms:        rep.TTFTP50Ms,
+			LatencyP50Ms:     rep.LatencyP50Ms,
+			PrefixHits:       snap.PrefixHits,
+			PrefillSkipped:   snap.PrefillTokensSkipped,
+		})
+	}
+	pcEmit[0].TTFTSpeedupVsCold = 1
+	pcEmit[0].PrefillSpeedupVsCold = 1
+	if pcEmit[1].TTFTP50Ms > 0 {
+		pcEmit[1].TTFTSpeedupVsCold = pcEmit[0].TTFTP50Ms / pcEmit[1].TTFTP50Ms
+	}
+	if pcEmit[0].PrefillTokPerSec > 0 {
+		pcEmit[1].PrefillSpeedupVsCold = pcEmit[1].PrefillTokPerSec / pcEmit[0].PrefillTokPerSec
+	}
+	if pcEmit[1].TTFTSpeedupVsCold < 2 || pcEmit[1].PrefillSpeedupVsCold < 2 {
+		fmt.Fprintf(os.Stderr, "serve bench: shared-prefix speedup below 2x (ttft %.2fx, prefill %.2fx)\n",
+			pcEmit[1].TTFTSpeedupVsCold, pcEmit[1].PrefillSpeedupVsCold)
+	}
+	for _, e := range pcEmit {
+		t.Rows = append(t.Rows, []string{
+			e.Scheme, fmt.Sprintf("%d", e.Batch),
+			fmt.Sprintf("%.1f", e.PrefillTokPerSec),
+			fmt.Sprintf("%.1f", e.LatencyP50Ms),
+			fmt.Sprintf("%d hits", e.PrefixHits),
+			fmt.Sprintf("%.1f", e.TTFTP50Ms),
+			fmt.Sprintf("%d skipped", e.PrefillSkipped),
+			FormatX(e.TTFTSpeedupVsCold),
+		})
+	}
+	t.Note += fmt.Sprintf("; prefix-* rows: %d requests sharing a %d-token system prompt (+%d-token unique tails) — tok/s column = served prefill tokens/s, p99 column = prefix hits, mean-batch column = prefill tokens skipped, speedup = TTFT p50 vs the cold-prefill baseline", pcRequests, sysLen, tailLen)
+
 	// Best-effort: the table is the primary artifact, the JSON file seeds
 	// perf tracking across PRs.
 	rows := make([]map[string]any, 0, len(emit)+len(kvEmit))
@@ -230,11 +336,22 @@ func ServeBench(o Options) Table {
 			}
 		}
 	}
-	// Own only the rows this run measured (plain, fused and kv-scenario
-	// spellings), so rows any other writer records survive the rewrite.
-	owned := make(map[string]bool, 2*len(schemeNames)+2)
+	for _, e := range pcEmit {
+		if blob, err := json.Marshal(e); err == nil {
+			var row map[string]any
+			if json.Unmarshal(blob, &row) == nil {
+				rows = append(rows, row)
+			}
+		}
+	}
+	// Own only the rows this run measured (plain, fused, kv- and
+	// prefix-scenario spellings), so rows any other writer records survive
+	// the rewrite.
+	owned := make(map[string]bool, 2*len(schemeNames)+4)
 	owned["kv-paged/"+kvScheme] = true
 	owned["kv-contiguous/"+kvScheme] = true
+	owned["prefix-cache/"+pcScheme] = true
+	owned["prefix-cold/"+pcScheme] = true
 	for _, n := range schemeNames {
 		owned[n] = true
 		owned["fused-decode/"+n] = true

@@ -1,0 +1,33 @@
+// Package model provides the transformer substrate the reproduction
+// quantizes and serves: scaled-down OPT/LLaMA/BERT stand-ins with
+// deterministic pseudo-random parameters and the fixed-channel activation
+// outlier structure of the paper's §II-B, so quantization error propagates
+// through a real forward pass.
+//
+// Every matmul routes through the Engine interface, which is how exact
+// FP32 (Exact), the paper's Tender algorithm and all baseline schemes
+// execute the same model: Model.Forward for full-sequence evaluation,
+// Session for incremental (KV-cached) decoding, and BatchStepper for
+// fused batched decode — one forward pass over the stacked current tokens
+// of many sessions, attention still per session. Calibrate records
+// per-site operands with a Recorder and compiles a SchemeEngine whose
+// weight packs are prepared once (the compile-once split internal/engine
+// exposes).
+//
+// KV state lives behind the KVStore interface: contiguous
+// tensor.RowBuffer (the reference) or paged tensor.PagedRows over a
+// shared tensor.BlockPool. SharedKVStore extends it with refcounted page
+// sharing, and PrefixCache builds shared-prompt KV reuse on top — a trie
+// of page-aligned token chunks whose entries hold the K/V pages of cached
+// prompt prefixes, mounted into new sessions by NewSessionWithPrefix so
+// covered tokens skip prefill entirely. PrefixShareable gates the feature
+// per engine: only schemes whose activation quantization treats rows
+// independently may re-chunk prefill bit-identically (the same audit
+// NewBatchStepper applies to fused decode; OliVe fails both).
+//
+// Throughout the package the contract is bit-identity: chunked prefill,
+// batched or fused decode, paged or contiguous KV, and prefix mounts all
+// produce exactly the logits of a one-shot single-session run, for every
+// engine built with the Serving option — the tests in paged_test.go,
+// batch_test.go and prefix_test.go enforce it per registry scheme.
+package model

@@ -61,6 +61,23 @@ type KVStore interface {
 	Release()
 }
 
+// SharedKVStore is a KVStore whose pages can be shared across stores:
+// tensor.PagedRows implements it over refcounted tensor.BlockPool pages.
+// SharePages hands out retained page references covering the store's first
+// rows; MountShared seeds an empty store with such references, serving the
+// mounted rows read-only and copy-on-writing a partially filled last page
+// on append. It is the substrate PrefixCache builds shared-prompt KV reuse
+// on; the contiguous RowBuffer deliberately does not implement it.
+type SharedKVStore interface {
+	KVStore
+	// SharePages returns one retained page reference per page covering the
+	// first rows rows; each must eventually be released to the pool.
+	SharePages(rows int) []*tensor.Page
+	// MountShared mounts rows rows of shared pages into an empty store,
+	// taking its own references.
+	MountShared(pages []*tensor.Page, rows int)
+}
+
 // kvCache stores the post-projection key and value rows (pre head-split,
 // d-model wide) for one layer.
 type kvCache struct {
@@ -100,6 +117,35 @@ func (m *Model) NewSessionWithKV(eng Engine, newStore func() KVStore) *Session {
 			panic(fmt.Sprintf("model: KV store is %d columns wide, model is %d", c, m.Cfg.DModel))
 		}
 	}
+	return s
+}
+
+// NewSessionWithPrefix returns a decode session that mounts a cached
+// prompt prefix instead of prefilling it: every layer's K/V store starts
+// with e's shared pages, the session's position starts at e.Rows(), and
+// the first Append must continue the same prompt from that position. The
+// stores newStore returns must implement SharedKVStore (paged stores over
+// the entry's pool). A nil entry degrades to NewSessionWithKV.
+//
+// Because causal attention makes each cached row depend only on the tokens
+// before it, and serving engines quantize rows position-independently, a
+// mounted session's logits are bit-identical to a cold session's at every
+// step — the prefix hit changes work, never tokens.
+func (m *Model) NewSessionWithPrefix(eng Engine, newStore func() KVStore, e *PrefixEntry) *Session {
+	s := m.NewSessionWithKV(eng, newStore)
+	if e == nil {
+		return s
+	}
+	for l := range s.kv {
+		ks, ok := s.kv[l].k.(SharedKVStore)
+		vs, ok2 := s.kv[l].v.(SharedKVStore)
+		if !ok || !ok2 {
+			panic("model: NewSessionWithPrefix requires SharedKVStore KV stores")
+		}
+		ks.MountShared(e.k[l], e.rows)
+		vs.MountShared(e.v[l], e.rows)
+	}
+	s.pos = e.rows
 	return s
 }
 

@@ -1,0 +1,71 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+
+	"tender/internal/model"
+	"tender/internal/serve"
+)
+
+// A Server hosts calibrated engines behind one blocking Generate call.
+// Production configurations come from engine.BuildEngines; the exact FP32
+// engine is enough to serve a model directly.
+func ExampleServer() {
+	m := model.New(model.TinyConfig())
+	srv, err := serve.New(serve.Config{
+		Model:   m,
+		Engines: map[string]model.Engine{"fp32": model.Exact{}},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	res, err := srv.Generate(context.Background(), serve.Request{
+		Prompt:       []int{1, 2, 3},
+		MaxNewTokens: 4,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("scheme:", res.Scheme)
+	fmt.Println("tokens:", len(res.Tokens))
+	// Output:
+	// scheme: fp32
+	// tokens: 4
+}
+
+// Metrics are live: Snapshot can be called at any time (the HTTP API's
+// /v1/metrics endpoint serves exactly this struct as JSON).
+func ExampleMetrics() {
+	m := model.New(model.TinyConfig())
+	srv, err := serve.New(serve.Config{
+		Model:   m,
+		Engines: map[string]model.Engine{"fp32": model.Exact{}},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	srv.Start()
+	defer srv.Stop()
+
+	if _, err := srv.Generate(context.Background(), serve.Request{
+		Prompt: []int{5, 6}, MaxNewTokens: 2,
+	}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	snap := srv.Metrics().Snapshot()
+	fmt.Println("completed:", snap.Completed)
+	fmt.Println("decode tokens:", snap.DecodeTokens)
+	fmt.Println("prefill tokens:", snap.PrefillTokens)
+	// Output:
+	// completed: 1
+	// decode tokens: 2
+	// prefill tokens: 2
+}

@@ -58,7 +58,10 @@ type Metrics struct {
 	// kvPages reads the shared block pool (pages in use, cumulative
 	// allocs, cumulative frees); nil under contiguous KV.
 	kvPages func() (int64, int64, int64)
-	start   time.Time
+	// prefixStats reads the prefix caches (held rows, held pages, entries,
+	// cumulative evictions); nil with the prefix cache off.
+	prefixStats func() (int64, int64, int64, int64)
+	start       time.Time
 
 	mu             sync.Mutex
 	completed      int64
@@ -75,22 +78,39 @@ type Metrics struct {
 	peakActive     int64
 	kvOccRows      int64
 	kvPeakOccRows  int64
+	prefixHits     int64
+	prefixMisses   int64
+	prefixSkipped  int64
 	latencies      *ring
 	ttfts          *ring
 }
 
-func newMetrics(defaultScheme string, kvBudgetRows, kvPageRows int, queueDepth func() int, kvPages func() (int64, int64, int64)) *Metrics {
+func newMetrics(defaultScheme string, kvBudgetRows, kvPageRows int, queueDepth func() int, kvPages func() (int64, int64, int64), prefixStats func() (int64, int64, int64, int64)) *Metrics {
 	return &Metrics{
 		defaultScheme: defaultScheme,
 		kvBudgetRows:  kvBudgetRows,
 		kvPageRows:    kvPageRows,
 		queueDepth:    queueDepth,
 		kvPages:       kvPages,
+		prefixStats:   prefixStats,
 		start:         time.Now(),
 		perScheme:     make(map[string]int64),
 		latencies:     newRing(latencyWindow),
 		ttfts:         newRing(latencyWindow),
 	}
+}
+
+// prefixMount records one prefix-cache consultation when a session enters
+// (or re-enters) the batch: a hit skips skipped prefill positions.
+func (m *Metrics) prefixMount(skipped int) {
+	m.mu.Lock()
+	if skipped > 0 {
+		m.prefixHits++
+		m.prefixSkipped += int64(skipped)
+	} else {
+		m.prefixMisses++
+	}
+	m.mu.Unlock()
 }
 
 func (m *Metrics) reject() {
@@ -176,8 +196,21 @@ type Snapshot struct {
 	KVPagesInUse        int64 `json:"kv_pages_in_use"`
 	KVPageAllocs        int64 `json:"kv_page_allocs"`
 	KVPageFrees         int64 `json:"kv_page_frees"`
-	PrefillTokens       int64 `json:"prefill_tokens"`
-	DecodeTokens        int64 `json:"decode_tokens"`
+	// Prefix-cache accounting (all zero with the cache off). Hits/misses
+	// count sessions entering or re-entering the batch through a hosted
+	// prefix index; PrefillTokensSkipped is the prefill work hits avoided.
+	// Cached rows/pages are what the caches currently retain (rows are
+	// positions, pages count every layer's K and V pages); Evictions
+	// counts cached prefixes reclaimed under cap or pool pressure.
+	PrefixHits           int64 `json:"prefix_hits"`
+	PrefixMisses         int64 `json:"prefix_misses"`
+	PrefillTokensSkipped int64 `json:"prefill_tokens_skipped"`
+	PrefixCachedRows     int64 `json:"prefix_cached_rows"`
+	PrefixSharedPages    int64 `json:"prefix_shared_pages"`
+	PrefixCachedEntries  int64 `json:"prefix_cached_entries"`
+	PrefixEvictions      int64 `json:"prefix_evictions"`
+	PrefillTokens        int64 `json:"prefill_tokens"`
+	DecodeTokens         int64 `json:"decode_tokens"`
 	// FusedDecodeTokens counts the decode tokens produced by fused batched
 	// passes (the rest went through the per-request path).
 	FusedDecodeTokens int64            `json:"fused_decode_tokens"`
@@ -221,6 +254,12 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	if m.kvPages != nil {
 		s.KVPagesInUse, s.KVPageAllocs, s.KVPageFrees = m.kvPages()
+	}
+	s.PrefixHits = m.prefixHits
+	s.PrefixMisses = m.prefixMisses
+	s.PrefillTokensSkipped = m.prefixSkipped
+	if m.prefixStats != nil {
+		s.PrefixCachedRows, s.PrefixSharedPages, s.PrefixCachedEntries, s.PrefixEvictions = m.prefixStats()
 	}
 	for k, v := range m.perScheme {
 		s.PerScheme[k] = v

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"testing"
+
+	"tender/internal/engine"
+	"tender/internal/model"
+	"tender/internal/workload"
+)
+
+// sharedPrefixTrace builds requests over one common prefix: exact repeats,
+// shared-prefix/distinct-tail prompts whose lengths straddle the page
+// boundary, and one unrelated prompt. prefixLen should end mid-page so
+// hits exercise the copy-on-write path.
+func sharedPrefixTrace(m *model.Model, prefixLen, n int, seed uint64) []workload.RequestSpec {
+	prefix := workload.TokenStream(workload.Wiki, seed, prefixLen, m.Cfg.Vocab)
+	trace := make([]workload.RequestSpec, n)
+	for i := range trace {
+		var prompt []int
+		switch {
+		case i%3 == 0: // exact repeat of the shared prompt
+			prompt = append([]int(nil), prefix...)
+		case i%3 == 1: // shared prefix, unique tail
+			tail := workload.TokenStream(workload.PTB, seed+uint64(i), 1+i%4, m.Cfg.Vocab)
+			prompt = append(append([]int(nil), prefix...), tail...)
+		default: // unrelated prompt
+			prompt = workload.TokenStream(workload.PTB, 1000+seed+uint64(i), prefixLen/2+i%3, m.Cfg.Vocab)
+		}
+		trace[i] = workload.RequestSpec{Prompt: prompt, NewTokens: 4 + i%3}
+	}
+	return trace
+}
+
+// runTwice replays the trace twice against one server — the first pass
+// populates the prefix index, the second hits it — and asserts every
+// output of both passes matches the unbatched reference exactly.
+func runTwice(t *testing.T, srv *Server, trace []workload.RequestSpec, ref [][]int, scheme string, temp float64, seedBase uint64) {
+	t.Helper()
+	for pass := 0; pass < 2; pass++ {
+		rep := RunLoad(srv, LoadConfig{
+			Trace: trace, Clients: 4, Scheme: scheme,
+			Temperature: temp, SeedBase: seedBase,
+		})
+		if rep.Failed != 0 {
+			t.Fatalf("pass %d: %d requests failed", pass, rep.Failed)
+		}
+		for i := range trace {
+			if len(rep.Outputs[i]) != len(ref[i]) {
+				t.Fatalf("pass %d request %d: %d tokens, want %d", pass, i, len(rep.Outputs[i]), len(ref[i]))
+			}
+			for j := range ref[i] {
+				if rep.Outputs[i][j] != ref[i][j] {
+					t.Fatalf("pass %d request %d token %d: %d != cold-prefill %d",
+						pass, i, j, rep.Outputs[i][j], ref[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestPrefixServeBitIdenticalEveryScheme is the serving half of the
+// tentpole invariant: with the prefix cache on, every hosted scheme
+// produces exactly the tokens of the cold unbatched reference on a
+// shared-prefix workload — and the shareable schemes actually hit the
+// cache, while the row-coupled one (olive) transparently keeps the cold
+// path.
+func TestPrefixServeBitIdenticalEveryScheme(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	names := append(engine.SchemeNames(), "tender:int", "uniform:gran=tensor")
+	engines, err := buildEngines(m, names, engine.BuildOptions{Bits: 8, Streams: 2, StreamLen: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := sharedPrefixTrace(m, 17, 6, 41)
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ref := DecodeUnbatched(m, engines[name], trace, 0, 11)
+			srv := startServer(t, Config{
+				Model: m, Engines: engines, DefaultScheme: name,
+				MaxBatch: 4, Workers: 4, PrefillChunk: 5,
+				KVPageRows: 8, PrefixCache: true,
+			})
+			runTwice(t, srv, trace, ref, name, 0, 11)
+			snap := srv.Metrics().Snapshot()
+			if m.PrefixShareable(engines[name]) {
+				if snap.PrefixHits == 0 || snap.PrefillTokensSkipped == 0 {
+					t.Fatalf("no prefix hits on a shared-prefix workload: %+v", snap)
+				}
+				if snap.PrefixCachedRows == 0 || snap.PrefixSharedPages == 0 {
+					t.Fatalf("cache retains nothing after hits: %+v", snap)
+				}
+			} else if snap.PrefixHits != 0 || snap.PrefixCachedRows != 0 {
+				t.Fatalf("row-coupled engine used the prefix cache: %+v", snap)
+			}
+		})
+	}
+}
+
+// TestPrefixSampledAndPerRequestPaths repeats the invariant for sampled
+// decoding and for the per-request (fusion-disabled) scheduler: the four
+// combinations must all match the cold reference bit for bit.
+func TestPrefixSampledAndPerRequestPaths(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	engines, err := buildEngines(m, []string{"fp32", "tender"}, engine.BuildOptions{Bits: 8, Streams: 2, StreamLen: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := sharedPrefixTrace(m, 17, 6, 83)
+	for _, name := range []string{"fp32", "tender"} {
+		for _, temp := range []float64{0, 0.8} {
+			for _, disableFused := range []bool{false, true} {
+				ref := DecodeUnbatched(m, engines[name], trace, temp, 29)
+				srv := startServer(t, Config{
+					Model: m, Engines: engines, DefaultScheme: name,
+					MaxBatch: 4, Workers: 2, PrefillChunk: 6,
+					KVPageRows: 8, PrefixCache: true,
+					DisableFusedDecode: disableFused,
+				})
+				runTwice(t, srv, trace, ref, name, temp, 29)
+				if snap := srv.Metrics().Snapshot(); snap.PrefixHits == 0 {
+					t.Fatalf("%s temp=%v fusedOff=%v: no prefix hits", name, temp, disableFused)
+				}
+			}
+		}
+	}
+}
+
+// TestPrefixEvictionUnderTightBudget: with a KV budget too small to retain
+// every completed prompt's prefix, admission evicts unreferenced cached
+// prefixes LRU-first instead of holding requests; outputs stay exact, the
+// budget is never exceeded, and a stopped server holds zero pages.
+func TestPrefixEvictionUnderTightBudget(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	engines := map[string]model.Engine{"fp32": model.Exact{}}
+	// Five distinct 20-token prompts plus a repeat of the last one: each
+	// completed prefill donates ~24 rows, so a 64-row budget forces
+	// evictions by the third admission while the repeat still hits.
+	trace := make([]workload.RequestSpec, 6)
+	for i := range trace {
+		seed := uint64(500 + i)
+		if i == len(trace)-1 {
+			seed = uint64(500 + i - 1)
+		}
+		trace[i] = workload.RequestSpec{
+			Prompt:    workload.TokenStream(workload.Wiki, seed, 20, m.Cfg.Vocab),
+			NewTokens: 6,
+		}
+	}
+	ref := DecodeUnbatched(m, model.Exact{}, trace, 0, 3)
+	srv, err := New(Config{
+		Model: m, Engines: engines, MaxBatch: 1, QueueDepth: len(trace),
+		PrefillChunk: 8, KVBudgetRows: 64, KVPageRows: 8, PrefixCache: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	rep := RunLoad(srv, LoadConfig{Trace: trace, Clients: 1, SeedBase: 3})
+	if rep.Failed != 0 {
+		t.Fatalf("%d requests failed", rep.Failed)
+	}
+	for i := range trace {
+		for j := range ref[i] {
+			if rep.Outputs[i][j] != ref[i][j] {
+				t.Fatalf("request %d token %d differs under eviction pressure", i, j)
+			}
+		}
+	}
+	snap := srv.Metrics().Snapshot()
+	if snap.PrefixEvictions == 0 {
+		t.Fatalf("tight budget never evicted a cached prefix: %+v", snap)
+	}
+	if snap.PrefixHits == 0 {
+		t.Fatalf("repeated prompt never hit: %+v", snap)
+	}
+	if snap.KVPeakOccupancyRows > int64(snap.KVBudgetRows) {
+		t.Fatalf("KV occupancy %d exceeded budget %d", snap.KVPeakOccupancyRows, snap.KVBudgetRows)
+	}
+	srv.Stop() // shutdown flushes the caches
+	after := srv.Metrics().Snapshot()
+	if after.KVPagesInUse != 0 || after.KVPageAllocs != after.KVPageFrees {
+		t.Fatalf("pages leaked after shutdown: %+v", after)
+	}
+}
+
+// TestPrefixPreemptionRefcountStress drives preemption, resume and prefix
+// sharing against one tight pool (the -race CI job runs this): preempted
+// requests must release exactly their private references, resumes re-hit
+// the cache, outputs never change, and alloc/free counters balance to zero
+// pages after shutdown.
+func TestPrefixPreemptionRefcountStress(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	engines := map[string]model.Engine{"fp32": model.Exact{}}
+	// The shared prefix spans exactly two pages, so finished requests
+	// donate an aligned entry the others (and their own resumes) mount.
+	prefix := workload.TokenStream(workload.Wiki, 7, 16, m.Cfg.Vocab)
+	trace := make([]workload.RequestSpec, 4)
+	for i := range trace {
+		tail := workload.TokenStream(workload.PTB, 60+uint64(i), 8, m.Cfg.Vocab)
+		trace[i] = workload.RequestSpec{
+			Prompt:    append(append([]int(nil), prefix...), tail...),
+			NewTokens: 12,
+		}
+	}
+	for _, temp := range []float64{0, 0.8} {
+		name := "greedy"
+		if temp > 0 {
+			name = "sampled"
+		}
+		t.Run(name, func(t *testing.T) {
+			ref := DecodeUnbatched(m, model.Exact{}, trace, temp, 17)
+			srv, err := New(Config{
+				Model: m, Engines: engines, MaxBatch: 4, QueueDepth: 8,
+				PrefillChunk: 4, Workers: 2,
+				KVBudgetRows: 64, KVPageRows: 8, PrefixCache: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			outputs, snap := preloadAndRun(t, srv, trace, temp, 17)
+			for i := range trace {
+				if len(outputs[i]) != len(ref[i]) {
+					t.Fatalf("request %d: %d tokens, want %d", i, len(outputs[i]), len(ref[i]))
+				}
+				for j := range ref[i] {
+					if outputs[i][j] != ref[i][j] {
+						t.Fatalf("request %d token %d: %d != unpressured %d", i, j, outputs[i][j], ref[i][j])
+					}
+				}
+			}
+			if snap.Preemptions < 1 {
+				t.Fatalf("pressure never preempted: %+v", snap)
+			}
+			if snap.KVPeakOccupancyRows > int64(snap.KVBudgetRows) {
+				t.Fatalf("KV occupancy %d exceeded budget %d", snap.KVPeakOccupancyRows, snap.KVBudgetRows)
+			}
+			// preloadAndRun stopped the server, which flushed the caches:
+			// the pool must be empty and the counters balanced.
+			after := srv.Metrics().Snapshot()
+			if after.KVPagesInUse != 0 || after.KVPageAllocs != after.KVPageFrees {
+				t.Fatalf("pages leaked after shutdown: %+v", after)
+			}
+			if after.KVPageAllocs == 0 {
+				t.Fatal("paged sessions never touched the pool")
+			}
+		})
+	}
+}

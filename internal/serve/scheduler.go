@@ -35,6 +35,11 @@ func (s *Server) pageRound(rows int) int {
 	return pageRoundUp(rows, s.cfg.KVPageRows)
 }
 
+// pageFloor rounds a row count down to the server's KV page granularity.
+func (s *Server) pageFloor(rows int) int {
+	return rows / s.cfg.KVPageRows * s.cfg.KVPageRows
+}
+
 // heldCap is the KV row capacity a session holding pos positions is
 // charged for: its page-rounded length, or the worst-case MaxSeq under
 // the contiguous preallocating baseline.
@@ -61,6 +66,52 @@ func (s *Server) kvFits(need int) bool {
 	return s.cfg.KVBudgetRows == 0 || need <= s.kvFree
 }
 
+// acquirePrefix pins the longest cached prefix of prompt for the scheme's
+// engine (nil on a miss, with the cache off, or for engines without a
+// prefix index).
+func (s *Server) acquirePrefix(scheme string, prompt []int) *model.PrefixEntry {
+	c := s.prefixCaches[scheme]
+	if c == nil {
+		return nil
+	}
+	return c.Acquire(prompt)
+}
+
+// releasePrefix drops an admission-time pin that never reached a session.
+func (s *Server) releasePrefix(scheme string, e *model.PrefixEntry) {
+	if e != nil {
+		s.prefixCaches[scheme].Release(e)
+	}
+}
+
+// prefixBase is the page-aligned floor of an entry's covered rows: the
+// positions a mounting session reads from cache-charged pages and is
+// therefore not charged for itself. The partial last page of a mid-page
+// match stays in the session's own charge — copy-on-write gives it a
+// private copy of that page.
+func (s *Server) prefixBase(e *model.PrefixEntry) int {
+	if e == nil {
+		return 0
+	}
+	return s.pageFloor(e.Rows())
+}
+
+// reclaimKV evicts unreferenced cached prefixes, least recently used
+// first, until need rows fit the budget or nothing evictable remains —
+// cache memory yields to live sessions before the scheduler holds
+// admission or preempts anyone.
+func (s *Server) reclaimKV(need int) {
+	if s.cfg.KVBudgetRows == 0 || s.prefixCaches == nil {
+		return
+	}
+	for _, spec := range s.prefixOrder {
+		if need <= s.kvFree {
+			return
+		}
+		s.kvFree += s.prefixCaches[spec].EvictLRU(need - s.kvFree)
+	}
+}
+
 // reserveKV charges need rows of the budget to a.
 func (s *Server) reserveKV(a *activeReq, need int) {
 	if s.cfg.KVBudgetRows == 0 {
@@ -70,22 +121,29 @@ func (s *Server) reserveKV(a *activeReq, need int) {
 	a.kvHeld += need
 }
 
-// releaseKV returns a's pages to the pool and its reservation to the
-// budget.
+// releaseKV returns a's pages to the pool (the refcounts keep any shared
+// prefix pages alive for their other holders), unpins its prefix entry,
+// and returns its reservation to the budget.
 func (s *Server) releaseKV(a *activeReq) {
 	if a.sess != nil {
 		a.sess.ReleaseKV()
 		a.sess = nil
 	}
+	if a.entry != nil {
+		s.prefixCaches[a.scheme].Release(a.entry)
+		a.entry = nil
+	}
+	a.kvBase = 0
 	s.kvFree += a.kvHeld
 	a.kvHeld = 0
 }
 
 // newSession mounts a session on the server's KV layout: paged stores
-// drawing from the shared pool, or the contiguous reference buffers —
+// drawing from the shared pool — seeded with a pinned prefix entry's
+// shared pages when one matched — or the contiguous reference buffers,
 // preallocated to worst-case MaxSeq when a budget makes that the
 // (deliberately wasteful) baseline being measured.
-func (s *Server) newSession(eng model.Engine, capRows int) *model.Session {
+func (s *Server) newSession(eng model.Engine, capRows int, e *model.PrefixEntry) *model.Session {
 	if s.cfg.ContiguousKV {
 		if s.cfg.KVBudgetRows > 0 {
 			return s.cfg.Model.NewSession(eng, s.cfg.Model.Cfg.MaxSeq)
@@ -93,9 +151,9 @@ func (s *Server) newSession(eng model.Engine, capRows int) *model.Session {
 		return s.cfg.Model.NewSession(eng, capRows)
 	}
 	pool := s.kvPool
-	return s.cfg.Model.NewSessionWithKV(eng, func() model.KVStore {
+	return s.cfg.Model.NewSessionWithPrefix(eng, func() model.KVStore {
 		return tensor.NewPagedRows(pool, capRows)
-	})
+	}, e)
 }
 
 // updateWait mirrors the scheduler-local wait state (held + preempted)
@@ -168,12 +226,22 @@ func (s *Server) admit(batch []*activeReq) []*activeReq {
 				s.preempted = s.preempted[1:]
 				s.metrics.expire()
 				s.finish(a.p, a.out, a.prefilled, now, a.firstTok, ErrDeadlineExceeded)
-			case s.kvFits(s.admissionNeed(len(a.seq))):
-				s.preempted = s.preempted[1:]
-				s.resume(a)
-				batch = append(batch, a)
 			default:
-				return batch // wait for pages to free before anything newer
+				// The resume prefill may itself hit the prefix cache: the
+				// pin must be taken before the fit check so eviction
+				// cannot invalidate the sizing underneath it.
+				e := s.acquirePrefix(a.scheme, a.p.req.Prompt)
+				need := s.admissionNeed(len(a.seq)) - s.prefixBase(e)
+				if !s.kvFits(need) {
+					s.reclaimKV(need)
+				}
+				if !s.kvFits(need) {
+					s.releasePrefix(a.scheme, e)
+					return batch // wait for pages to free before anything newer
+				}
+				s.preempted = s.preempted[1:]
+				s.resume(a, e)
+				batch = append(batch, a)
 			}
 			continue
 		}
@@ -199,31 +267,43 @@ func (s *Server) admit(batch []*activeReq) []*activeReq {
 		// ensureKV preempts the newcomer — the LIFO victim with the least
 		// progress to lose (prefill only starts after ensureKV, so a
 		// same-iteration eviction discards nothing but a session object).
-		if !s.kvFits(s.admissionNeed(len(p.req.Prompt))) {
+		// A prefix-cache hit shrinks the footprint to the unshared tail;
+		// before holding, unreferenced cached prefixes are evicted to make
+		// room — live requests outrank cache retention.
+		e := s.acquirePrefix(p.req.Scheme, p.req.Prompt)
+		need := s.admissionNeed(len(p.req.Prompt)) - s.prefixBase(e)
+		if !s.kvFits(need) {
+			s.reclaimKV(need)
+		}
+		if !s.kvFits(need) {
+			s.releasePrefix(p.req.Scheme, e)
 			if p.ctx.Err() != nil || (!p.req.Deadline.IsZero() && time.Now().After(p.req.Deadline)) {
-				s.activate(p) // finishes the dead request, returns nil
+				s.activate(p, nil) // finishes the dead request, returns nil
 				continue
 			}
 			s.held = p
 			return batch
 		}
-		if a := s.activate(p); a != nil {
+		if a := s.activate(p, e); a != nil {
 			batch = append(batch, a)
 		}
 	}
 	return batch
 }
 
-// activate turns a queued request into an active one — reserving its
-// prompt's KV admission need — or finishes it immediately if it is
+// activate turns a queued request into an active one — mounting the
+// pinned prefix entry (if any) and reserving the unshared remainder of
+// its prompt's KV admission need — or finishes it immediately if it is
 // already cancelled or expired.
-func (s *Server) activate(p *pending) *activeReq {
+func (s *Server) activate(p *pending, e *model.PrefixEntry) *activeReq {
 	now := time.Now()
 	if err := p.ctx.Err(); err != nil {
+		s.releasePrefix(p.req.Scheme, e)
 		s.finish(p, nil, 0, now, time.Time{}, err)
 		return nil
 	}
 	if !p.req.Deadline.IsZero() && now.After(p.req.Deadline) {
+		s.releasePrefix(p.req.Scheme, e)
 		s.metrics.expire()
 		s.finish(p, nil, 0, now, time.Time{}, ErrDeadlineExceeded)
 		return nil
@@ -241,18 +321,38 @@ func (s *Server) activate(p *pending) *activeReq {
 		out:         make([]int, 0, maxNew),
 		started:     now,
 	}
-	a.sess = s.newSession(eng, len(p.req.Prompt)+maxNew)
-	s.reserveKV(a, s.admissionNeed(len(a.seq)))
+	s.mount(a, e, len(p.req.Prompt)+maxNew)
 	return a
 }
 
 // resume re-enters a preempted request: a fresh session whose prefill
-// will rebuild the retained prompt + generated tokens. The request keeps
-// its RNG stream and output, so the tokens it goes on to emit are exactly
-// those of an unpreempted run.
-func (s *Server) resume(a *activeReq) {
-	a.sess = s.newSession(a.eng, len(a.seq)+a.maxNew-len(a.out)+1)
-	s.reserveKV(a, s.admissionNeed(len(a.seq)))
+// will rebuild the retained prompt + generated tokens — minus whatever
+// prefix the cache still covers. The request keeps its RNG stream and
+// output, so the tokens it goes on to emit are exactly those of an
+// unpreempted run.
+func (s *Server) resume(a *activeReq, e *model.PrefixEntry) {
+	a.consumed = 0
+	s.mount(a, e, len(a.seq)+a.maxNew-len(a.out)+1)
+}
+
+// mount builds a's session over the server's KV layout, seeds it with the
+// pinned prefix entry (marking its covered tokens consumed), and reserves
+// the admission need net of the cache-charged base.
+func (s *Server) mount(a *activeReq, e *model.PrefixEntry, capRows int) {
+	a.entry = e
+	a.kvBase = s.prefixBase(e)
+	a.sess = s.newSession(a.eng, capRows, e)
+	if e != nil {
+		a.consumed = e.Rows()
+	}
+	s.reserveKV(a, s.admissionNeed(len(a.seq))-a.kvBase)
+	if s.prefixCaches[a.scheme] != nil {
+		skipped := 0
+		if e != nil {
+			skipped = e.Rows()
+		}
+		s.metrics.prefixMount(skipped)
+	}
 }
 
 // preemptReq evicts an active request: its pages are freed and it is
@@ -295,13 +395,22 @@ func (s *Server) ensureKV(batch []*activeReq) []*activeReq {
 				c = s.cfg.PrefillChunk
 			}
 		}
-		need := s.heldCap(a.sess.Len()+c) - a.kvHeld
+		need := s.heldCap(a.sess.Len()+c) - a.kvBase - a.kvHeld
 		if need < 0 {
 			need = 0
+		}
+		if need > s.kvFree {
+			s.reclaimKV(need) // cached prefixes yield before anyone is preempted
 		}
 		for need > s.kvFree && len(batch) > i+1 {
 			s.preemptReq(batch[len(batch)-1])
 			batch = batch[:len(batch)-1]
+			// The victim's release may have unpinned prefix entries that
+			// were unevictable a moment ago; reclaim again before taking
+			// another victim.
+			if need > s.kvFree {
+				s.reclaimKV(need)
+			}
 		}
 		if need > s.kvFree {
 			// a is itself the newest survivor and still cannot grow;
@@ -398,6 +507,16 @@ func (s *Server) runIteration(batch []*activeReq) {
 			<-done
 		}
 	}
+	// Donate completed prefills to the prefix index (scheduler goroutine,
+	// after the workers join): the next prompt sharing the prefix mounts
+	// these pages instead of recomputing them.
+	if s.prefixCaches != nil {
+		for _, a := range batch {
+			if a.lastStepPrefill > 0 && a.consumed == len(a.seq) {
+				s.insertPrefix(a)
+			}
+		}
+	}
 	var prefill, decode, fused int64
 	perScheme := make(map[string]int64, 1)
 	for _, a := range batch {
@@ -423,6 +542,26 @@ func (s *Server) runIteration(batch []*activeReq) {
 		}
 	}
 	s.metrics.iteration(len(batch), prefill, decode, fused, perScheme, kvOcc)
+}
+
+// insertPrefix donates a's freshly prefilled prompt KV to its engine's
+// prefix index, best effort: the new charge is bounded by the remaining
+// KV budget (cached pages must never crowd out admissible requests), and
+// the cache may evict older unpinned prefixes to fit its own cap — both
+// movements settle against the budget here.
+func (s *Server) insertPrefix(a *activeReq) {
+	c := s.prefixCaches[a.scheme]
+	if c == nil {
+		return
+	}
+	maxCharge := int(^uint(0) >> 1)
+	if s.cfg.KVBudgetRows > 0 {
+		maxCharge = s.kvFree
+	}
+	charged, freed, _ := c.Insert(a.p.req.Prompt, a.sess, maxCharge)
+	if s.cfg.KVBudgetRows > 0 {
+		s.kvFree += freed - charged
+	}
 }
 
 // decodeGroup is the decode-ready slice of one iteration that shares an
@@ -546,12 +685,21 @@ func (a *activeReq) emit(row []float64) {
 }
 
 // retire delivers results for requests that reached their token budget,
-// returning their pages to the pool.
+// returning their pages to the pool. A finishing request donates its
+// prompt prefix to the cache one last time, funded by the budget it is
+// about to release — this is the attempt that succeeds when the pool was
+// too tight at prefill-completion time (the whole point of caching under
+// pressure: memory frees exactly when a request ends).
 func (s *Server) retire(batch []*activeReq) []*activeReq {
 	now := time.Now()
 	kept := batch[:0]
 	for _, a := range batch {
 		if len(a.out) >= a.maxNew {
+			if s.prefixCaches != nil && a.consumed == len(a.seq) {
+				s.kvFree += a.kvHeld
+				a.kvHeld = 0
+				s.insertPrefix(a)
+			}
 			s.releaseKV(a)
 			s.finish(a.p, a.out, a.prefilled, now, a.firstTok, nil)
 			continue
@@ -561,10 +709,12 @@ func (s *Server) retire(batch []*activeReq) []*activeReq {
 	return kept
 }
 
-// shutdown fails everything still active, preempted, held or queued.
+// shutdown fails everything still active, preempted, held or queued, and
+// flushes the prefix caches so a stopped server holds no pool pages.
 func (s *Server) shutdown(batch []*activeReq) {
 	now := time.Now()
 	for _, a := range batch {
+		s.releaseKV(a)
 		s.finish(a.p, a.out, a.prefilled, now, a.firstTok, ErrStopped)
 	}
 	for _, a := range s.preempted {
@@ -576,6 +726,9 @@ func (s *Server) shutdown(batch []*activeReq) {
 		s.held = nil
 	}
 	s.updateWait()
+	for _, c := range s.prefixCaches {
+		s.kvFree += c.Flush()
+	}
 	for {
 		select {
 		case p := <-s.queue:

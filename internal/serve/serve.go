@@ -22,6 +22,22 @@
 // unbatched single-threaded decode path for every scheme — batching and
 // fusion change wall-clock, never tokens. Config.DisableFusedDecode (the
 // tenderserve -batch-fused=false flag) restores per-request stepping.
+//
+// KV memory is paged and budgeted: sessions draw fixed-size pages from
+// one shared tensor.BlockPool, Config.KVBudgetRows bounds total positions,
+// admission reserves page-rounded footprints, and the scheduler preempts
+// (and later resumes, bit-identically) the most recently admitted request
+// when the pool runs dry. With Config.PrefixCache, completed prefills
+// donate their prompt's KV pages to a per-engine prefix index
+// (model.PrefixCache): later prompts sharing the prefix mount those
+// refcounted pages instead of recomputing them, admission charges only
+// the unshared tail, and unreferenced cached prefixes are evicted
+// LRU-first whenever live sessions need the memory. Prefix hits are
+// bit-identical to cold prefill for every row-independent engine;
+// row-coupled ones (OliVe) transparently keep the cold path.
+//
+// See docs/ARCHITECTURE.md for the full design, the page-table diagram
+// and the metrics reference.
 package serve
 
 import (
@@ -29,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -129,6 +146,21 @@ type Config struct {
 	// preemption never triggers. The baseline the paged scheduler is
 	// benchmarked against; outputs are bit-identical either way.
 	ContiguousKV bool
+	// PrefixCache enables shared-prefix KV reuse over the paged pool: each
+	// completed prefill donates its prompt's KV pages to a per-engine
+	// prefix index (model.PrefixCache), and later prompts sharing the
+	// prefix mount those refcounted pages instead of recomputing them —
+	// admission charges only the unshared tail against KVBudgetRows, and
+	// unreferenced cached prefixes are evicted LRU-first under pool
+	// pressure before the scheduler holds or preempts anything. Hits are
+	// bit-identical to cold prefill for every engine whose quantization
+	// treats activation rows independently; row-coupled engines (OliVe)
+	// keep the cold path automatically. Incompatible with ContiguousKV.
+	PrefixCache bool
+	// PrefixCacheRows caps the KV positions retained by cached prefixes
+	// (rounded up to KVPageRows). 0 defaults to KVBudgetRows when a budget
+	// is set, and to unbounded otherwise.
+	PrefixCacheRows int
 }
 
 func (c *Config) fill() error {
@@ -177,6 +209,20 @@ func (c *Config) fill() error {
 				c.KVBudgetRows, c.Model.Cfg.MaxSeq)
 		}
 	}
+	if c.PrefixCache {
+		if c.ContiguousKV {
+			return errors.New("serve: PrefixCache requires the paged KV layout (ContiguousKV must be off)")
+		}
+		if c.PrefixCacheRows < 0 {
+			c.PrefixCacheRows = 0
+		}
+		if c.PrefixCacheRows == 0 {
+			c.PrefixCacheRows = c.KVBudgetRows // 0 without a budget: unbounded
+		}
+		if c.PrefixCacheRows > 0 {
+			c.PrefixCacheRows = pageRoundUp(c.PrefixCacheRows, c.KVPageRows)
+		}
+	}
 	return nil
 }
 
@@ -207,6 +253,15 @@ type Server struct {
 	kvFree        int
 	held          *pending
 	preempted     []*activeReq
+	// prefixCaches maps engine spec → prefix index (nil map when the
+	// prefix cache is off; engines whose quantization couples activation
+	// rows get no cache and always cold-prefill). prefixOrder is the
+	// sorted spec list — reclaim walks it instead of the map so eviction
+	// order (and therefore every downstream scheduling decision) is
+	// deterministic. Only the scheduler goroutine mutates the caches;
+	// Metrics reads their Stats.
+	prefixCaches map[string]*model.PrefixCache
+	prefixOrder  []string
 }
 
 // pending is a queued request.
@@ -243,7 +298,12 @@ type activeReq struct {
 	emitPrefill bool
 	// kvHeld is the page-rounded KV row capacity reserved for this
 	// request out of Config.KVBudgetRows (0 when no budget is set).
-	kvHeld   int
+	kvHeld int
+	// entry is the pinned prefix-cache entry the session mounted (nil on a
+	// miss or with the cache off); kvBase is the page-aligned floor of its
+	// covered rows — positions charged to the cache, not to this request.
+	entry    *model.PrefixEntry
+	kvBase   int
 	maxNew   int
 	out      []int
 	started  time.Time
@@ -276,6 +336,16 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.kvPool = tensor.NewBlockPool(cfg.Model.Cfg.DModel, cfg.KVPageRows, maxPages)
 	}
+	if cfg.PrefixCache {
+		s.prefixCaches = make(map[string]*model.PrefixCache, len(cfg.Engines))
+		for spec, eng := range cfg.Engines {
+			if cfg.Model.PrefixShareable(eng) {
+				s.prefixCaches[spec] = model.NewPrefixCache(s.kvPool, cfg.Model.Cfg.Layers, cfg.PrefixCacheRows)
+				s.prefixOrder = append(s.prefixOrder, spec)
+			}
+		}
+		sort.Strings(s.prefixOrder)
+	}
 	s.queue = make(chan *pending, cfg.QueueDepth)
 	var pages func() (int64, int64, int64)
 	if s.kvPool != nil {
@@ -284,8 +354,21 @@ func New(cfg Config) (*Server, error) {
 			return int64(s.kvPool.InUse()), allocs, frees
 		}
 	}
+	var prefixStats func() (rows, pages, entries, evictions int64)
+	if s.prefixCaches != nil {
+		prefixStats = func() (rows, pages, entries, evictions int64) {
+			for _, c := range s.prefixCaches {
+				st := c.Stats()
+				rows += int64(st.HeldRows)
+				pages += int64(st.HeldPages)
+				entries += int64(st.Entries)
+				evictions += st.Evictions
+			}
+			return rows, pages, entries, evictions
+		}
+	}
 	s.metrics = newMetrics(cfg.DefaultScheme, cfg.KVBudgetRows, cfg.KVPageRows,
-		func() int { return len(s.queue) + int(s.waitCount.Load()) }, pages)
+		func() int { return len(s.queue) + int(s.waitCount.Load()) }, pages, prefixStats)
 	return s, nil
 }
 

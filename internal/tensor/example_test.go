@@ -1,0 +1,48 @@
+package tensor_test
+
+import (
+	"fmt"
+
+	"tender/internal/tensor"
+)
+
+// PagedRows stores grow by fixed-size pages drawn from one shared
+// BlockPool; refcounted pages let several stores share a common prefix,
+// with copy-on-write protecting a partially filled shared page.
+func ExampleBlockPool() {
+	pool := tensor.NewBlockPool(2, 4, 0) // 2-wide rows, 4-row pages
+
+	donor := tensor.NewPagedRows(pool, 0)
+	for i := 0; i < 6; i++ {
+		donor.AppendRow([]float64{float64(i), float64(i)})
+	}
+	fmt.Println("pages after donor:", pool.InUse())
+
+	// Share the first 5 rows (page 0 full, page 1 partial) into a second
+	// store: no new pages, only new references.
+	shared := donor.SharePages(5)
+	mounted := tensor.NewPagedRows(pool, 0)
+	mounted.MountShared(shared, 5)
+	for _, pg := range shared {
+		pool.Release(pg) // MountShared took its own references
+	}
+	fmt.Println("pages after mount:", pool.InUse())
+	fmt.Println("mounted row 4:", mounted.Row(4)[0])
+
+	// Appending into the partial shared page copies it first: the donor's
+	// row 5 is untouched.
+	mounted.AppendRow([]float64{-1, -1})
+	fmt.Println("pages after copy-on-write:", pool.InUse())
+	fmt.Println("donor row 5:", donor.Row(5)[0], "mounted row 5:", mounted.Row(5)[0])
+
+	donor.Release()
+	mounted.Release()
+	fmt.Println("pages after release:", pool.InUse())
+	// Output:
+	// pages after donor: 2
+	// pages after mount: 2
+	// mounted row 4: 4
+	// pages after copy-on-write: 3
+	// donor row 5: 5 mounted row 5: -1
+	// pages after release: 0
+}

@@ -101,6 +101,117 @@ func TestBlockPoolBoundAndRecycling(t *testing.T) {
 	b.Release()
 }
 
+// TestPagedRowsShareMountCOW covers the prefix-sharing surface at every
+// partial-page boundary: a donor store shares its first L rows (L = page−1,
+// page, page+1), a second store mounts them, reads them bit-identically,
+// and appends its own rows — copying the partially filled shared page
+// (copy-on-write) without disturbing the donor — while the pool's refcounts
+// keep every page alive exactly as long as some holder remains.
+func TestPagedRowsShareMountCOW(t *testing.T) {
+	const cols, pageRows = 3, 4
+	rng := NewRNG(11)
+	for _, share := range []int{pageRows - 1, pageRows, pageRows + 1} {
+		pool := NewBlockPool(cols, pageRows, 0)
+		donor := NewPagedRows(pool, 0)
+		src := RandNormal(rng, share+2, cols, 1)
+		donor.AppendRows(src)
+
+		pages := donor.SharePages(share)
+		wantPages := (share + pageRows - 1) / pageRows
+		if len(pages) != wantPages {
+			t.Fatalf("share=%d: %d pages shared, want %d", share, len(pages), wantPages)
+		}
+		mounted := NewPagedRows(pool, 0)
+		mounted.MountShared(pages, share)
+		for _, pg := range pages {
+			pool.Release(pg) // the cache-style holder drops its references
+		}
+		if mounted.Rows() != share {
+			t.Fatalf("share=%d: mounted %d rows", share, mounted.Rows())
+		}
+		for r := 0; r < share; r++ {
+			dr, mr := donor.Row(r), mounted.Row(r)
+			for c := range dr {
+				if dr[c] != mr[c] {
+					t.Fatalf("share=%d row %d col %d: mounted %v != donor %v", share, r, c, mr[c], dr[c])
+				}
+			}
+		}
+
+		// Divergent appends: the mounted store writes its own row at
+		// position share while the donor's row at the same position (from
+		// src) must stay untouched — COW when share lands mid-page.
+		own := make([]float64, cols)
+		for c := range own {
+			own[c] = -100 - float64(c)
+		}
+		mounted.AppendRow(own)
+		if got := mounted.Row(share); got[0] != own[0] {
+			t.Fatalf("share=%d: appended row reads %v", share, got)
+		}
+		if got, want := donor.Row(share), src.Row(share); got[0] != want[0] {
+			t.Fatalf("share=%d: donor row %d corrupted by mounted append: %v", share, share, got)
+		}
+		// Mounted rows before the boundary survived the COW copy.
+		for r := 0; r < share; r++ {
+			dr, mr := donor.Row(r), mounted.Row(r)
+			for c := range dr {
+				if dr[c] != mr[c] {
+					t.Fatalf("share=%d row %d: COW lost mounted contents", share, r)
+				}
+			}
+		}
+
+		// Donor gone: shared full pages stay alive for the mounted store.
+		donor.Release()
+		for r := 0; r < share; r++ {
+			if mounted.Row(r)[0] != src.Row(r)[0] {
+				t.Fatalf("share=%d: mounted row %d lost after donor release", share, r)
+			}
+		}
+		mounted.Release()
+		if got := pool.InUse(); got != 0 {
+			t.Fatalf("share=%d: %d pages leaked", share, got)
+		}
+		allocs, frees := pool.Counters()
+		if allocs != frees {
+			t.Fatalf("share=%d: counters unbalanced: %d allocs, %d frees", share, allocs, frees)
+		}
+	}
+}
+
+// TestBlockPoolRefcount: Retain/Release reference accounting — a page
+// survives any one holder's release, InUse counts distinct pages, and
+// over-release panics.
+func TestBlockPoolRefcount(t *testing.T) {
+	pool := NewBlockPool(2, 2, 0)
+	p := NewPagedRows(pool, 0)
+	p.AppendRow([]float64{1, 2})
+	pages := p.SharePages(1)
+	pool.Retain(pages[0])
+	if got := pool.InUse(); got != 1 {
+		t.Fatalf("InUse %d with one thrice-held page, want 1", got)
+	}
+	p.Release()
+	pool.Release(pages[0])
+	if got := pool.InUse(); got != 1 {
+		t.Fatalf("page freed while a reference remains (InUse %d)", got)
+	}
+	if pages[0].data[0] != 1 {
+		t.Fatal("page contents lost while still referenced")
+	}
+	pool.Release(pages[0])
+	if got := pool.InUse(); got != 0 {
+		t.Fatalf("InUse %d after final release", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release past zero references must panic")
+		}
+	}()
+	pool.Release(pages[0])
+}
+
 // TestPagedRowsReleaseReuse: a released store is empty and append-ready,
 // and recycled pages never leak previous contents into visible rows.
 func TestPagedRowsReleaseReuse(t *testing.T) {

@@ -5,7 +5,23 @@
 //
 // The package is deliberately small and allocation-conscious: a Matrix is a
 // row-major []float64 plus dimensions, and every operation documents whether
-// it allocates or works in place.
+// it allocates or works in place. MatMul's per-row accumulation order
+// (k ascending, zero-skip, j ascending) is part of the contract — the
+// serving layers replicate it so that batching and storage layout never
+// change a result bit.
+//
+// Three allocation-management facilities back the serving hot paths:
+//
+//   - Arena, a size-classed sync.Pool of matrix slabs that lets fused
+//     decode reuse every intermediate (zero heap allocations per token).
+//   - RowBuffer, the contiguous append-only row store (the KV-cache
+//     reference implementation).
+//   - BlockPool / Page / PagedRows, the paged KV substrate: fixed-size
+//     refcounted pages drawn from one shared, optionally bounded pool.
+//     PagedRows can mount shared read-only prefix pages produced by
+//     another store (MountShared/SharePages) with copy-on-write on a
+//     partially filled last page — the mechanism prompt-prefix KV reuse
+//     is built on.
 package tensor
 
 import (
