@@ -6,10 +6,12 @@ import (
 	"runtime"
 	"sort"
 	"testing"
+	"time"
 
 	"tender/internal/engine"
 	"tender/internal/experiments"
 	"tender/internal/model"
+	"tender/internal/obs"
 	"tender/internal/quant"
 	"tender/internal/schemes"
 	"tender/internal/serve"
@@ -345,6 +347,87 @@ func BenchmarkPagedDecode(b *testing.B) {
 		steps++
 	}
 	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "tokens/s")
+}
+
+// BenchmarkObsOverhead measures what lifecycle tracing costs on the
+// serving decode path: the same closed-loop load with the tracer off
+// (the default — every Record is one nil check) and on (ring writes per
+// state transition). The measured rates and overhead are merged into
+// BENCH_serve.json as the obs-overhead/fp32 row; the budget is <3%.
+func BenchmarkObsOverhead(b *testing.B) {
+	cfg := model.Config{
+		Name: "alloc-bench", Arch: model.Decoder, Layers: 4, DModel: 64, Heads: 4,
+		FFN: 256, Vocab: 256, MaxSeq: 256,
+		OutlierChannels: 3, OutlierGain: 20, Seed: 33,
+	}
+	m := model.New(cfg)
+	engines := map[string]model.Engine{"fp32": model.Exact{}}
+	trace := workload.RequestTrace(workload.TraceConfig{
+		Requests: 16, Vocab: cfg.Vocab,
+		MinPrompt: 16, MaxPrompt: 32, MinNew: 16, MaxNew: 16,
+	}, 3)
+	mkServer := func(tracer *obs.Tracer) *serve.Server {
+		srv, err := serve.New(serve.Config{
+			Model: m, Engines: engines, MaxBatch: 4, PrefillChunk: 8,
+			Tracer: tracer,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv.Start()
+		// Warm-up pass so neither variant pays scheduler and arena
+		// cold-start inside the timed loop.
+		serve.RunLoad(srv, serve.LoadConfig{Trace: trace, Clients: 4})
+		return srv
+	}
+	srvOff := mkServer(nil)
+	defer srvOff.Stop()
+	srvOn := mkServer(obs.NewTracer(1 << 16))
+	defer srvOn.Stop()
+	// The two variants are interleaved within every iteration so clock
+	// drift and scheduling noise hit both equally; comparing back-to-back
+	// sub-benchmarks proved noisier than the effect being measured.
+	timedLoad := func(srv *serve.Server, dur *time.Duration, decoded *int64) {
+		t0 := time.Now()
+		rep := serve.RunLoad(srv, serve.LoadConfig{Trace: trace, Clients: 4})
+		*dur += time.Since(t0)
+		if rep.Failed > 0 {
+			b.Fatalf("%d requests failed", rep.Failed)
+		}
+		*decoded += rep.DecodeTokens
+	}
+	var offDur, onDur time.Duration
+	var offTok, onTok int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		timedLoad(srvOff, &offDur, &offTok)
+		timedLoad(srvOn, &onDur, &onTok)
+	}
+	b.StopTimer()
+	if offDur > 0 && onDur > 0 {
+		off := float64(offTok) / offDur.Seconds()
+		on := float64(onTok) / onDur.Seconds()
+		pct := (off - on) / off * 100
+		b.ReportMetric(off, "off-tokens/s")
+		b.ReportMetric(on, "on-tokens/s")
+		b.ReportMetric(pct, "overhead-%")
+		// Don't overwrite the tracked perf artifact with noisy
+		// low-iteration measurements (e.g. the CI -benchtime 1x smoke).
+		if b.N >= 10 {
+			if err := experiments.RewriteServeBench("BENCH_serve.json", func(scheme string) bool {
+				return scheme == "obs-overhead/fp32"
+			}, []map[string]any{{
+				"scheme":             "obs-overhead/fp32",
+				"tokens_per_sec_off": math.Round(off*10) / 10,
+				"tokens_per_sec_on":  math.Round(on*10) / 10,
+				"overhead_pct":       math.Round(pct*100) / 100,
+			}}); err != nil {
+				b.Logf("recording obs overhead: %v", err)
+			}
+		} else {
+			b.Logf("too few iterations (%d) for a stable overhead, not updating BENCH_serve.json", b.N)
+		}
+	}
 }
 
 // BenchmarkPrefixCache measures what a prefix-cache hit saves on the

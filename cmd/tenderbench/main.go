@@ -25,9 +25,10 @@ func main() {
 	headline := flag.Bool("headline", false, "print the paper-vs-measured headline report")
 	list := flag.Bool("list", false, "list experiment ids")
 	seed := flag.Uint64("seed", 0, "seed offset for streams and tasks")
+	artifacts := flag.String("artifacts", "", "directory for serving trace artifacts (Chrome trace + metrics snapshot per serve scenario)")
 	flag.Parse()
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, ArtifactDir: *artifacts}
 
 	switch {
 	case *list:

@@ -13,6 +13,11 @@
 //	GET  /v1/metrics   live counters: tokens/s, queue depth, p50/p95/p99
 //	GET  /v1/schemes   hosted engines
 //	GET  /healthz
+//	GET  /metrics      Prometheus text exposition (counters, gauges,
+//	                   per-stage and latency histograms)
+//	GET  /debug/trace  Chrome trace_event JSON of recent request
+//	                   lifecycles (-trace; open in Perfetto)
+//	GET  /debug/pprof  Go profiling endpoints (-pprof)
 //
 // KV cache memory is paged (fixed-size pages from one shared pool;
 // sessions acquire pages lazily). -kv-pages bounds the total pool —
@@ -37,11 +42,14 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"path/filepath"
 	"time"
 
 	"tender/internal/engine"
 	"tender/internal/model"
+	"tender/internal/obs"
 	"tender/internal/serve"
 	"tender/internal/tensor"
 	"tender/internal/workload"
@@ -65,6 +73,9 @@ func main() {
 		kvContiguous  = flag.Bool("kv-contiguous", false, "use contiguous per-session KV buffers (worst-case MaxSeq reservation under a budget) instead of the shared paged pool")
 		prefixCache   = flag.Bool("prefix-cache", false, "share KV pages of common prompt prefixes across requests: completed prefills are indexed and later prompts mount the matched prefix instead of recomputing it (bit-identical; requires the paged KV layout)")
 		prefixRows    = flag.Int("prefix-cache-rows", 0, "cap on KV positions retained by cached prefixes (0 = the KV budget when set, else unbounded); rounded up to kv-page-rows")
+		traceOn       = flag.Bool("trace", false, "record request-lifecycle events into a bounded ring, exported at GET /debug/trace as Chrome trace_event JSON (open in Perfetto)")
+		traceEvents   = flag.Int("trace-events", 0, "trace ring capacity in events (0 = default 65536); the oldest events are overwritten when full")
+		pprofOn       = flag.Bool("pprof", false, "expose Go profiling endpoints under /debug/pprof/")
 		listSchemes   = flag.Bool("list-schemes", false, "list engine spec schemes and their options, then exit")
 
 		load      = flag.Bool("load", false, "run a deterministic load test instead of serving")
@@ -77,6 +88,7 @@ func main() {
 		temp      = flag.Float64("temperature", 0, "load: sampling temperature (0 = greedy)")
 		poissonMs = flag.Float64("poisson-ms", 0, "load: open-loop Poisson arrivals with this mean inter-arrival (ms) instead of the closed loop")
 		out       = flag.String("out", "", "load: also write the JSON report to this file")
+		outDir    = flag.String("out-dir", "", "load: write report.json, metrics.json and (with -trace) trace.json + events.jsonl artifacts to this directory")
 	)
 	flag.Parse()
 
@@ -123,6 +135,10 @@ func main() {
 	if pageRows <= 0 {
 		pageRows = tensor.DefaultPageRows
 	}
+	var tracer *obs.Tracer
+	if *traceOn {
+		tracer = obs.NewTracer(*traceEvents)
+	}
 	srv, err := serve.New(serve.Config{
 		Model: m, Engines: engines, DefaultScheme: def,
 		MaxBatch: *batch, QueueDepth: *queue,
@@ -133,6 +149,7 @@ func main() {
 		ContiguousKV:       *kvContiguous,
 		PrefixCache:        *prefixCache,
 		PrefixCacheRows:    *prefixRows,
+		Tracer:             tracer,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -157,6 +174,11 @@ func main() {
 		if *out != "" {
 			if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
 				fatalf("writing %s: %v", *out, err)
+			}
+		}
+		if *outDir != "" {
+			if err := writeLoadArtifacts(*outDir, blob, srv, tracer); err != nil {
+				fatalf("%v", err)
 			}
 		}
 		if rep.Failed > 0 {
@@ -217,6 +239,28 @@ func main() {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, map[string]bool{"ok": true})
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		srv.WritePrometheus(w)
+	})
+	if tracer != nil {
+		mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="tenderserve-trace.json"`)
+			tracer.WriteChromeTrace(w)
+		})
+		mux.HandleFunc("GET /debug/trace.jsonl", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/jsonl")
+			tracer.WriteJSONL(w)
+		})
+	}
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 
 	fmt.Fprintf(os.Stderr, "tenderserve: %s hosting %v on %s\n", *modelName, names, *addr)
 	if err := http.ListenAndServe(*addr, mux); err != nil {
@@ -265,6 +309,49 @@ func httpError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// writeLoadArtifacts persists a load run's observability artifacts:
+// report.json (the LoadReport), metrics.json (the final Snapshot), and —
+// when tracing is on — trace.json (Chrome trace_event, loadable in
+// Perfetto) plus events.jsonl (the raw event log).
+func writeLoadArtifacts(dir string, report []byte, srv *serve.Server, tracer *obs.Tracer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "report.json"), append(report, '\n'), 0o644); err != nil {
+		return err
+	}
+	snap, err := json.MarshalIndent(srv.Metrics().Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "metrics.json"), append(snap, '\n'), 0o644); err != nil {
+		return err
+	}
+	if tracer == nil {
+		return nil
+	}
+	tf, err := os.Create(filepath.Join(dir, "trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChromeTrace(tf); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	ef, err := os.Create(filepath.Join(dir, "events.jsonl"))
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSONL(ef); err != nil {
+		ef.Close()
+		return err
+	}
+	return ef.Close()
 }
 
 func fatalf(format string, args ...any) {

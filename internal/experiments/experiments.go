@@ -18,6 +18,10 @@ type Options struct {
 	Quick bool
 	// Seed offsets every stream/task seed (0 = canonical results).
 	Seed uint64
+	// ArtifactDir, when set, makes the serving benchmark attach a
+	// lifecycle tracer to each scenario and drop per-scenario trace
+	// artifacts (Chrome trace_event JSON + a metrics snapshot) there.
+	ArtifactDir string
 }
 
 // evalSeq is the evaluation stream length.

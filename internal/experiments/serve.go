@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"tender/internal/engine"
 	"tender/internal/model"
+	"tender/internal/obs"
 	"tender/internal/serve"
 	"tender/internal/workload"
 )
@@ -69,6 +72,45 @@ type kvBenchResult struct {
 	SessionsVsContiguous float64 `json:"sessions_vs_contiguous"`
 }
 
+// scenarioTracer returns a fresh lifecycle tracer when artifacts were
+// requested, else nil (a nil tracer keeps the scheduler's record calls a
+// single nil check each).
+func (o Options) scenarioTracer() *obs.Tracer {
+	if o.ArtifactDir == "" {
+		return nil
+	}
+	return obs.NewTracer(1 << 16)
+}
+
+// writeServeArtifacts drops one scenario row's Chrome trace and metrics
+// snapshot under dir as <row>.trace.json / <row>.metrics.json.
+// Best-effort: the rendered table stays the primary artifact.
+func writeServeArtifacts(dir, rowName string, tracer *obs.Tracer, srv *serve.Server) {
+	if dir == "" || tracer == nil {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "serve bench artifacts: %v\n", err)
+		return
+	}
+	base := strings.NewReplacer("/", "-", ":", "-").Replace(rowName)
+	f, err := os.Create(filepath.Join(dir, base+".trace.json"))
+	if err == nil {
+		err = tracer.WriteChromeTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serve bench artifacts: %v\n", err)
+	}
+	if blob, merr := json.MarshalIndent(srv.Metrics().Snapshot(), "", "  "); merr == nil {
+		if werr := os.WriteFile(filepath.Join(dir, base+".metrics.json"), append(blob, '\n'), 0o644); werr != nil {
+			fmt.Fprintf(os.Stderr, "serve bench artifacts: %v\n", werr)
+		}
+	}
+}
+
 // ServeBench benchmarks the continuous-batching server: a deterministic
 // closed-loop load test over calibrated engines comparing the batch-1
 // baseline, the per-request batched scheduler (scheduling-only batching,
@@ -113,10 +155,12 @@ func ServeBench(o Options) Table {
 	for _, name := range schemeNames {
 		var base float64
 		for _, c := range configs {
+			tracer := o.scenarioTracer()
 			srv, err := serve.New(serve.Config{
 				Model: m, Engines: engines, DefaultScheme: name,
 				MaxBatch: c.batch, PrefillChunk: 16,
 				DisableFusedDecode: !c.fused,
+				Tracer:             tracer,
 			})
 			if err != nil {
 				panic(err)
@@ -138,6 +182,7 @@ func ServeBench(o Options) Table {
 			if c.fused {
 				rowName = "fused-decode/" + name
 			}
+			writeServeArtifacts(o.ArtifactDir, fmt.Sprintf("%s-b%d", rowName, c.batch), tracer, srv)
 			t.Rows = append(t.Rows, []string{
 				rowName, fmt.Sprintf("%d", c.batch),
 				fmt.Sprintf("%.1f", rep.TokensPerSec),
@@ -180,10 +225,12 @@ func ServeBench(o Options) Table {
 	}, 2+o.Seed)
 	var kvEmit []kvBenchResult
 	for _, contiguous := range []bool{true, false} {
+		tracer := o.scenarioTracer()
 		srv, err := serve.New(serve.Config{
 			Model: m, Engines: engines, DefaultScheme: kvScheme,
 			MaxBatch: mpBatch, QueueDepth: mpRequests, PrefillChunk: 16,
 			KVBudgetRows: kvBudget, ContiguousKV: contiguous,
+			Tracer: tracer,
 		})
 		if err != nil {
 			panic(err)
@@ -202,6 +249,7 @@ func ServeBench(o Options) Table {
 		if contiguous {
 			rowName = "kv-contiguous/" + kvScheme
 		}
+		writeServeArtifacts(o.ArtifactDir, rowName, tracer, srv)
 		kvEmit = append(kvEmit, kvBenchResult{
 			Scheme: rowName, Batch: mpBatch,
 			KVBudgetRows: snap.KVBudgetRows, KVPageRows: snap.KVPageRows,
@@ -262,10 +310,12 @@ func ServeBench(o Options) Table {
 	}
 	var pcEmit []prefixBenchResult
 	for _, cached := range []bool{false, true} {
+		tracer := o.scenarioTracer()
 		srv, err := serve.New(serve.Config{
 			Model: m, Engines: engines, DefaultScheme: pcScheme,
 			MaxBatch: pcBatch, QueueDepth: pcRequests, PrefillChunk: 16,
 			PrefixCache: cached,
+			Tracer:      tracer,
 		})
 		if err != nil {
 			panic(err)
@@ -282,6 +332,7 @@ func ServeBench(o Options) Table {
 		if cached {
 			rowName = "prefix-cache/" + pcScheme
 		}
+		writeServeArtifacts(o.ArtifactDir, rowName, tracer, srv)
 		pcEmit = append(pcEmit, prefixBenchResult{
 			Scheme: rowName, Batch: pcBatch,
 			TokensPerSec:     rep.TokensPerSec,

@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"tender/internal/tensor"
 )
@@ -33,6 +34,18 @@ type BatchStepper struct {
 	exactAtt bool       // act-act sites run the exact GEMM → direct loops
 	arena    *tensor.Arena
 	logits   *tensor.Matrix // previous Step's output, recycled next call
+	// stepHook, when set, observes every Step's batch size and wall-clock.
+	// The clock is read only with a hook installed, so the unhooked path —
+	// including the zero-alloc decode benchmarks — pays nothing.
+	stepHook func(batch int, d time.Duration)
+}
+
+// SetStepHook installs (or, with nil, removes) a per-Step timing callback.
+// The hook runs on the Step caller's goroutine after the forward pass; it
+// must not retain the stepper's matrices. Not safe to call concurrently
+// with Step.
+func (bs *BatchStepper) SetStepHook(hook func(batch int, d time.Duration)) {
+	bs.stepHook = hook
 }
 
 // weightSiteKinds are the matmul sites fused over the stacked batch.
@@ -77,6 +90,10 @@ func (bs *BatchStepper) Step(sessions []*Session, tokens []int) *tensor.Matrix {
 	if b == 0 || len(tokens) != b {
 		panic(fmt.Sprintf("model: BatchStepper.Step with %d sessions, %d tokens", b, len(tokens)))
 	}
+	var t0 time.Time
+	if bs.stepHook != nil {
+		t0 = time.Now()
+	}
 	m := bs.m
 	d := m.Cfg.DModel
 	for i, s := range sessions {
@@ -113,6 +130,9 @@ func (bs *BatchStepper) Step(sessions []*Session, tokens []int) *tensor.Matrix {
 	tensor.MatMulInto(x, m.Unembed, logits)
 	bs.arena.Put(x)
 	bs.logits = logits
+	if bs.stepHook != nil {
+		bs.stepHook(b, time.Since(t0))
+	}
 	return logits
 }
 

@@ -1,0 +1,28 @@
+// Package obs is the serving stack's observability substrate: a bounded,
+// allocation-conscious request-lifecycle tracer, fixed log-bucket latency
+// histograms, and a Prometheus text-exposition writer. It deliberately
+// knows nothing about the scheduler — internal/serve records events and
+// durations into obs types, and the export surfaces (tenderserve
+// /metrics, /debug/trace, load-mode artifacts) render them.
+//
+// The cost model is the point: a nil *Tracer is valid and every method on
+// it is a nil-check, so a server built without -trace pays one branch per
+// would-be event and allocates nothing. An enabled tracer appends
+// fixed-size Event structs into a preallocated ring under one mutex —
+// when the ring wraps, the oldest events are overwritten and counted as
+// dropped rather than growing memory.
+//
+// Exports:
+//
+//   - Tracer.WriteJSONL — one JSON object per event, oldest first, for
+//     grep/jq-style inspection.
+//   - Tracer.WriteChromeTrace — Chrome trace_event JSON ("traceEvents"),
+//     one track per request (queued/prefill/decode/preempted spans plus
+//     terminal instants) and one for scheduler iterations, loadable in
+//     Perfetto (ui.perfetto.dev) or chrome://tracing.
+//   - Histogram.Snapshot — counts, sum and estimated quantiles over
+//     fixed power-of-two log buckets (1µs, 2µs, 4µs, ...), the shape
+//     Prometheus histograms want.
+//   - PromWriter — Prometheus text exposition format v0.0.4 with
+//     HELP/TYPE emitted once per family and label escaping.
+package obs

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations at 1ms: all land in one bucket, quantiles must
+	// fall inside it (512µs..1024µs — 1000µs needs bucket 10).
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count %d, want 100", s.Count)
+	}
+	if math.Abs(s.SumMs-100) > 1e-9 {
+		t.Fatalf("sum %.3fms, want 100ms", s.SumMs)
+	}
+	for _, q := range []float64{s.P50Ms, s.P95Ms, s.P99Ms} {
+		if q < 0.512 || q > 1.024 {
+			t.Fatalf("quantile %.4fms outside the 1ms observation's bucket", q)
+		}
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if !(s.P50Ms <= s.P95Ms && s.P95Ms <= s.P99Ms) {
+		t.Fatalf("quantiles not monotone: p50=%.4f p95=%.4f p99=%.4f", s.P50Ms, s.P95Ms, s.P99Ms)
+	}
+	// The true p50 is ~0.5ms; the log-bucket estimate must be within the
+	// containing bucket (a factor of 2).
+	if s.P50Ms < 0.25 || s.P50Ms > 1.1 {
+		t.Fatalf("p50 estimate %.4fms too far from true 0.5ms", s.P50Ms)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.P50Ms != 0 || s.Count != 0 {
+		t.Fatalf("empty histogram snapshot not zero: %+v", s)
+	}
+	h.Observe(-time.Second) // clamped, not panicking
+	h.Observe(0)
+	h.Observe(24 * time.Hour) // overflow bucket
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count %d, want 3", s.Count)
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if !math.IsInf(last.UpperSeconds, 1) || last.Count != 1 {
+		t.Fatalf("overflow bucket wrong: %+v", last)
+	}
+	// p99 lands in the overflow bucket and must report the last finite
+	// bound, not infinity.
+	if math.IsInf(s.P99Ms, 1) {
+		t.Fatal("overflow quantile reported +Inf")
+	}
+}
+
+func TestBucketUpperLadder(t *testing.T) {
+	if BucketUpper(0) != 1e-6 {
+		t.Fatalf("bucket 0 upper %g, want 1µs", BucketUpper(0))
+	}
+	for i := 1; i < histFiniteBuckets; i++ {
+		if BucketUpper(i) != 2*BucketUpper(i-1) {
+			t.Fatalf("bucket %d not a doubling", i)
+		}
+	}
+	if !math.IsInf(BucketUpper(histFiniteBuckets), 1) {
+		t.Fatal("overflow bucket bound not +Inf")
+	}
+}

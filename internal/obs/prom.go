@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Name, Value string
+}
+
+// PromWriter renders metrics in Prometheus text exposition format v0.0.4.
+// HELP and TYPE are emitted exactly once per metric family (the first
+// sample of a family carries them; later samples of the same family —
+// e.g. other label values — reuse the declared type, and declaring the
+// same family under a different type is an error). Sample order is the
+// call order, so callers produce a stable exposition by emitting in a
+// fixed sequence.
+type PromWriter struct {
+	w     *bufio.Writer
+	err   error
+	types map[string]string
+	order []string // families in declaration order, for duplicate detection in tests
+}
+
+// NewPromWriter wraps w; call Flush (or check Err) when done.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: bufio.NewWriter(w), types: make(map[string]string)}
+}
+
+// Err returns the first error hit while writing (including family type
+// conflicts).
+func (p *PromWriter) Err() error { return p.err }
+
+// Flush flushes the buffered output and returns the first error.
+func (p *PromWriter) Flush() error {
+	if p.err != nil {
+		return p.err
+	}
+	p.err = p.w.Flush()
+	return p.err
+}
+
+func (p *PromWriter) family(name, help, typ string) {
+	if p.err != nil {
+		return
+	}
+	if prev, seen := p.types[name]; seen {
+		if prev != typ {
+			p.err = fmt.Errorf("obs: metric family %q declared as both %s and %s", name, prev, typ)
+		}
+		return
+	}
+	p.types[name] = typ
+	p.order = append(p.order, name)
+	fmt.Fprintf(p.w, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(p.w, "# TYPE %s %s\n", name, typ)
+}
+
+func (p *PromWriter) sample(name string, labels []Label, v float64) {
+	if p.err != nil {
+		return
+	}
+	p.w.WriteString(name)
+	writeLabels(p.w, labels)
+	p.w.WriteByte(' ')
+	p.w.WriteString(formatValue(v))
+	p.w.WriteByte('\n')
+}
+
+// Counter emits one counter sample (name should end in _total by
+// convention).
+func (p *PromWriter) Counter(name, help string, v float64, labels ...Label) {
+	p.family(name, help, "counter")
+	p.sample(name, labels, v)
+}
+
+// Gauge emits one gauge sample.
+func (p *PromWriter) Gauge(name, help string, v float64, labels ...Label) {
+	p.family(name, help, "gauge")
+	p.sample(name, labels, v)
+}
+
+// Histogram emits one histogram series from a snapshot: cumulative
+// _bucket samples with le labels (always ending in le="+Inf"), then _sum
+// (seconds) and _count. Extra labels are attached to every sample, so one
+// family can carry many labeled series (e.g. stage="prefill").
+func (p *PromWriter) Histogram(name, help string, s HistogramSnapshot, labels ...Label) {
+	p.family(name, help, "histogram")
+	var cum int64
+	sawInf := false
+	for _, b := range s.Buckets {
+		cum += b.Count
+		le := "+Inf"
+		if !math.IsInf(b.UpperSeconds, 1) {
+			le = formatValue(b.UpperSeconds)
+		} else {
+			sawInf = true
+		}
+		p.sample(name+"_bucket", append(append([]Label{}, labels...), Label{"le", le}), float64(cum))
+	}
+	if !sawInf {
+		p.sample(name+"_bucket", append(append([]Label{}, labels...), Label{"le", "+Inf"}), float64(s.Count))
+	}
+	p.sample(name+"_sum", labels, s.SumMs/1e3)
+	p.sample(name+"_count", labels, float64(s.Count))
+}
+
+// Families returns the family names in declaration order (test hook).
+func (p *PromWriter) Families() []string {
+	return append([]string(nil), p.order...)
+}
+
+func writeLabels(w *bufio.Writer, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	w.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(l.Name)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(l.Value))
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// SortLabels orders labels by name — handy for callers assembling label
+// sets from maps so the exposition stays deterministic.
+func SortLabels(labels []Label) {
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Name < labels[j].Name })
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPromGolden pins the exposition format byte for byte on a fixed
+// input: HELP/TYPE once per family, label rendering, histogram buckets
+// cumulative and +Inf-terminated.
+func TestPromGolden(t *testing.T) {
+	var h Histogram
+	h.Observe(1 * time.Microsecond)
+	h.Observe(3 * time.Microsecond)
+	h.Observe(3 * time.Microsecond)
+
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Counter("t_requests_total", "Requests finished.", 42)
+	p.Gauge("t_queue_depth", "Requests waiting.", 3)
+	p.Counter("t_tokens_total", "Tokens by scheme.", 10, Label{"scheme", "fp32"})
+	p.Counter("t_tokens_total", "Tokens by scheme.", 20, Label{"scheme", "tender"})
+	snap := h.Snapshot()
+	snap.Buckets = snap.Buckets[:3] // trim for a readable golden; writer adds +Inf
+	p.Histogram("t_stage_seconds", "Stage durations.", snap, Label{"stage", "prefill"})
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := `# HELP t_requests_total Requests finished.
+# TYPE t_requests_total counter
+t_requests_total 42
+# HELP t_queue_depth Requests waiting.
+# TYPE t_queue_depth gauge
+t_queue_depth 3
+# HELP t_tokens_total Tokens by scheme.
+# TYPE t_tokens_total counter
+t_tokens_total{scheme="fp32"} 10
+t_tokens_total{scheme="tender"} 20
+# HELP t_stage_seconds Stage durations.
+# TYPE t_stage_seconds histogram
+t_stage_seconds_bucket{stage="prefill",le="1e-06"} 1
+t_stage_seconds_bucket{stage="prefill",le="2e-06"} 1
+t_stage_seconds_bucket{stage="prefill",le="4e-06"} 3
+t_stage_seconds_bucket{stage="prefill",le="+Inf"} 3
+t_stage_seconds_sum{stage="prefill"} 7e-06
+t_stage_seconds_count{stage="prefill"} 3
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestPromNoDuplicateTypeLines(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	for i := 0; i < 3; i++ {
+		p.Counter("t_x_total", "X.", float64(i), Label{"k", string(rune('a' + i))})
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			seen[line]++
+		}
+	}
+	for line, n := range seen {
+		if n > 1 {
+			t.Fatalf("duplicate TYPE line (%d times): %s", n, line)
+		}
+	}
+	if len(seen) != 1 {
+		t.Fatalf("want exactly one TYPE line, got %d", len(seen))
+	}
+}
+
+func TestPromTypeConflict(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Counter("t_x_total", "X.", 1)
+	p.Gauge("t_x_total", "X.", 2)
+	if p.Err() == nil {
+		t.Fatal("conflicting family types not rejected")
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Gauge("t_g", "G.", 1, Label{"v", "a\"b\\c\nd"})
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := `t_g{v="a\"b\\c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaping wrong:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(KindEnqueue, 1, 0, 2, 3) // must not panic
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if got := tr.Events(); got != nil {
+		t.Fatalf("nil tracer returned events: %v", got)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatal("nil tracer reports drops")
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(KindDecode, uint64(i), int64(i), int64(i), 0)
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events, want 4", len(ev))
+	}
+	// Oldest-first and exactly the last four records.
+	for i, e := range ev {
+		if want := uint64(6 + i); e.Req != want {
+			t.Fatalf("event %d: req %d, want %d", i, e.Req, want)
+		}
+	}
+	if d := tr.Dropped(); d != 6 {
+		t.Fatalf("dropped %d, want 6", d)
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].TS < ev[i-1].TS {
+			t.Fatalf("events out of order: %v before %v", ev[i-1].TS, ev[i].TS)
+		}
+	}
+}
+
+func TestTracerConcurrentRecord(t *testing.T) {
+	tr := NewTracer(1024)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Record(KindDecode, uint64(g), int64(i), 1, 0)
+				if i%10 == 0 {
+					tr.Events()
+					tr.Dropped()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(tr.Events()); got != 800 {
+		t.Fatalf("retained %d events, want 800", got)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record(KindEnqueue, 7, 0, 12, 4)
+	tr.Record(KindAdmit, 7, 1, 32, 16)
+	tr.Record(KindPreempt, 7, 2, ReasonKVPressure, 3)
+	tr.Record(KindComplete, 7, 5, 4, 0)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d does not parse: %v\n%s", lines, err, sc.Text())
+		}
+		if _, ok := obj["kind"]; !ok {
+			t.Fatalf("line %d missing kind: %s", lines, sc.Text())
+		}
+		if obj["kind"] == "preempt" && obj["reason"] != "kv_pressure" {
+			t.Fatalf("preempt reason %v, want kv_pressure", obj["reason"])
+		}
+		lines++
+	}
+	if lines != 4 {
+		t.Fatalf("wrote %d lines, want 4", lines)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(64)
+	// One full request lifecycle with a preemption, plus an iteration.
+	tr.Record(KindEnqueue, 3, 0, 10, 8)
+	tr.Record(KindAdmit, 3, 1, 16, 0)
+	tr.Record(KindPrefillEnd, 3, 2, 10, 0)
+	tr.Record(KindDecode, 3, 3, 1, 1)
+	tr.Record(KindPreempt, 3, 4, ReasonKVPressure, 1)
+	tr.Record(KindResume, 3, 6, 16, 0)
+	tr.Record(KindPrefillEnd, 3, 7, 11, 0)
+	tr.Record(KindComplete, 3, 9, 8, 0)
+	tr.Record(KindIteration, 0, 9, 2, int64(3*time.Millisecond))
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int64          `json:"pid"`
+			TID  int64          `json:"tid"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+	spans := map[string]int{}
+	instants := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			if strings.HasPrefix(e.Name, "iteration") {
+				spans["iteration"]++
+			} else {
+				spans[e.Name]++
+			}
+		case "i":
+			instants[e.Name]++
+		}
+	}
+	for _, want := range []string{"queued", "prefill", "decode", "preempted", "re-prefill", "iteration"} {
+		if spans[want] == 0 {
+			t.Fatalf("missing %q span; got %v", want, spans)
+		}
+	}
+	if spans["decode"] != 2 {
+		t.Fatalf("decode spans %d, want 2 (pre- and post-preemption)", spans["decode"])
+	}
+	if instants["complete"] != 1 || instants["preempt"] != 1 {
+		t.Fatalf("instants %v, want 1 complete + 1 preempt", instants)
+	}
+}
+
+func TestKindAndReasonNames(t *testing.T) {
+	for k := KindEnqueue; k <= KindIteration; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if ReasonString(ReasonDeadline) != "deadline" {
+		t.Fatal("reason name mismatch")
+	}
+	if !strings.HasPrefix(ReasonString(99), "reason(") {
+		t.Fatal("out-of-range reason not flagged")
+	}
+}

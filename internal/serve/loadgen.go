@@ -157,9 +157,9 @@ func RunLoad(srv *Server, cfg LoadConfig) LoadReport {
 		rep.DecodeTokens += int64(len(results[i].Tokens))
 		rep.PrefillTokens += int64(results[i].PrefillTokens)
 		lats = append(lats, float64(results[i].Latency)/float64(time.Millisecond))
-		if results[i].TTFT > 0 {
-			ttfts = append(ttfts, float64(results[i].TTFT)/float64(time.Millisecond))
-		}
+		// Every completed request emitted at least one token, so its TTFT
+		// is always meaningful — including an (instantaneous-clock) zero.
+		ttfts = append(ttfts, float64(results[i].TTFT)/float64(time.Millisecond))
 	}
 	if wall > 0 {
 		rep.TokensPerSec = float64(rep.DecodeTokens) / wall

@@ -1,13 +1,28 @@
 package serve
 
 import (
+	"io"
 	"sort"
 	"sync"
 	"time"
+
+	"tender/internal/obs"
 )
 
 // latencyWindow bounds how many recent samples back each quantile.
 const latencyWindow = 8192
+
+// rateWindowSecs is the span of the windowed decode-throughput gauge:
+// Snapshot.TokensPerSec10s averages over the trailing window instead of
+// the whole uptime, so an idle or cooling server converges to zero
+// instead of reporting its lifetime mean forever.
+const rateWindowSecs = 10
+
+// rateBucket accumulates the decode tokens of one wall-clock second.
+type rateBucket struct {
+	sec    int64
+	tokens int64
+}
 
 // ring is a fixed-capacity sample window for latency quantiles.
 type ring struct {
@@ -62,6 +77,9 @@ type Metrics struct {
 	// cumulative evictions); nil with the prefix cache off.
 	prefixStats func() (int64, int64, int64, int64)
 	start       time.Time
+	// now is the clock every rate window and uptime read goes through;
+	// tests inject a fake one to make windowed rates deterministic.
+	now func() time.Time
 
 	mu             sync.Mutex
 	completed      int64
@@ -83,6 +101,22 @@ type Metrics struct {
 	prefixSkipped  int64
 	latencies      *ring
 	ttfts          *ring
+	rate           [rateWindowSecs + 1]rateBucket
+	// Per-stage timing: full-history log-bucket histograms over the
+	// request lifecycle, fed from transition timestamps at completion
+	// (never per-token clock reads). Hold and preempted time are observed
+	// only when nonzero — most requests never wait on KV pages, and a
+	// histogram of zeros would bury the pressure signal.
+	stageQueueWait obs.Histogram
+	stageHold      obs.Histogram
+	stagePrefill   obs.Histogram
+	stageDecode    obs.Histogram
+	stagePreempted obs.Histogram
+	latencyHist    obs.Histogram
+	ttftHist       obs.Histogram
+	// fusedStepMs times each fused BatchStepper.Step per engine spec, via
+	// the model-layer step hook.
+	fusedStepMs map[string]*obs.Histogram
 }
 
 func newMetrics(defaultScheme string, kvBudgetRows, kvPageRows int, queueDepth func() int, kvPages func() (int64, int64, int64), prefixStats func() (int64, int64, int64, int64)) *Metrics {
@@ -94,9 +128,11 @@ func newMetrics(defaultScheme string, kvBudgetRows, kvPageRows int, queueDepth f
 		kvPages:       kvPages,
 		prefixStats:   prefixStats,
 		start:         time.Now(),
+		now:           time.Now,
 		perScheme:     make(map[string]int64),
 		latencies:     newRing(latencyWindow),
 		ttfts:         newRing(latencyWindow),
+		fusedStepMs:   make(map[string]*obs.Histogram),
 	}
 }
 
@@ -125,13 +161,46 @@ func (m *Metrics) expire() {
 	m.mu.Unlock()
 }
 
-func (m *Metrics) complete(latency, ttft time.Duration) {
+// complete records one successful request. hasTTFT distinguishes "no
+// first token was ever timed" from a genuinely zero-duration TTFT, so
+// instantaneous first tokens are not silently dropped from the window.
+func (m *Metrics) complete(latency, ttft time.Duration, hasTTFT bool) {
 	m.mu.Lock()
 	m.completed++
 	m.latencies.push(float64(latency) / float64(time.Millisecond))
-	if ttft > 0 {
+	m.latencyHist.Observe(latency)
+	if hasTTFT && ttft >= 0 {
 		m.ttfts.push(float64(ttft) / float64(time.Millisecond))
+		m.ttftHist.Observe(ttft)
 	}
+	m.mu.Unlock()
+}
+
+// stages records one completed request's per-stage durations, derived
+// from its lifecycle transition timestamps.
+func (m *Metrics) stages(queueWait, hold, prefill, decode, preempted time.Duration) {
+	m.mu.Lock()
+	m.stageQueueWait.Observe(queueWait)
+	if hold > 0 {
+		m.stageHold.Observe(hold)
+	}
+	m.stagePrefill.Observe(prefill)
+	m.stageDecode.Observe(decode)
+	if preempted > 0 {
+		m.stagePreempted.Observe(preempted)
+	}
+	m.mu.Unlock()
+}
+
+// fusedStep times one fused BatchStepper.Step of the given engine spec.
+func (m *Metrics) fusedStep(scheme string, d time.Duration) {
+	m.mu.Lock()
+	h := m.fusedStepMs[scheme]
+	if h == nil {
+		h = &obs.Histogram{}
+		m.fusedStepMs[scheme] = h
+	}
+	h.Observe(d)
 	m.mu.Unlock()
 }
 
@@ -168,7 +237,37 @@ func (m *Metrics) iteration(batch int, prefill, decode, fused int64, perScheme m
 	for scheme, n := range perScheme {
 		m.perScheme[scheme] += n
 	}
+	if decode > 0 {
+		sec := m.now().Unix()
+		i := int(sec % int64(len(m.rate)))
+		if m.rate[i].sec != sec {
+			m.rate[i] = rateBucket{sec: sec}
+		}
+		m.rate[i].tokens += decode
+	}
 	m.mu.Unlock()
+}
+
+// windowedRate sums the decode tokens of the trailing rateWindowSecs
+// seconds (including the current partial second) and divides by the
+// window span, clamped to the uptime so a young server is not
+// underreported. Caller holds mu.
+func (m *Metrics) windowedRate(now time.Time, uptime float64) float64 {
+	sec := now.Unix()
+	var recent int64
+	for _, b := range m.rate {
+		if b.sec > sec-rateWindowSecs && b.sec <= sec {
+			recent += b.tokens
+		}
+	}
+	span := uptime
+	if span > rateWindowSecs {
+		span = rateWindowSecs
+	}
+	if span <= 0 {
+		return 0
+	}
+	return float64(recent) / span
 }
 
 // Snapshot is a JSON-ready view of the metrics at one instant.
@@ -213,23 +312,45 @@ type Snapshot struct {
 	DecodeTokens         int64 `json:"decode_tokens"`
 	// FusedDecodeTokens counts the decode tokens produced by fused batched
 	// passes (the rest went through the per-request path).
-	FusedDecodeTokens int64            `json:"fused_decode_tokens"`
-	TokensPerSec      float64          `json:"decode_tokens_per_sec"`
-	PerScheme         map[string]int64 `json:"decode_tokens_per_scheme"`
-	Iterations        int64            `json:"iterations"`
-	MeanBatchSize     float64          `json:"mean_batch_size"`
-	LatencyP50Ms      float64          `json:"latency_p50_ms"`
-	LatencyP95Ms      float64          `json:"latency_p95_ms"`
-	LatencyP99Ms      float64          `json:"latency_p99_ms"`
-	TTFTP50Ms         float64          `json:"ttft_p50_ms"`
-	TTFTP99Ms         float64          `json:"ttft_p99_ms"`
+	FusedDecodeTokens int64 `json:"fused_decode_tokens"`
+	// TokensPerSec is the lifetime decode rate (decode tokens / uptime);
+	// TokensPerSec10s averages over the trailing rateWindowSecs seconds,
+	// the number to watch on a long-lived server.
+	TokensPerSec    float64          `json:"decode_tokens_per_sec"`
+	TokensPerSec10s float64          `json:"decode_tokens_per_sec_10s"`
+	PerScheme       map[string]int64 `json:"decode_tokens_per_scheme"`
+	Iterations      int64            `json:"iterations"`
+	MeanBatchSize   float64          `json:"mean_batch_size"`
+	LatencyP50Ms    float64          `json:"latency_p50_ms"`
+	LatencyP95Ms    float64          `json:"latency_p95_ms"`
+	LatencyP99Ms    float64          `json:"latency_p99_ms"`
+	TTFTP50Ms       float64          `json:"ttft_p50_ms"`
+	TTFTP99Ms       float64          `json:"ttft_p99_ms"`
+	// Per-stage lifecycle timing (full-history log-bucket histograms; the
+	// latency/TTFT quantiles above stay exact over their sample window).
+	// QueueWait spans enqueue → admission (KV-hold time included);
+	// AdmissionHold is the held-at-head-of-line slice of that wait (only
+	// requests that were held are observed); Prefill spans admission →
+	// first token; Decode spans first token → completion; Preempted is the
+	// total time spent evicted (only preempted requests are observed).
+	StageQueueWait     obs.HistogramSnapshot `json:"stage_queue_wait"`
+	StageAdmissionHold obs.HistogramSnapshot `json:"stage_admission_hold"`
+	StagePrefill       obs.HistogramSnapshot `json:"stage_prefill"`
+	StageDecode        obs.HistogramSnapshot `json:"stage_decode"`
+	StagePreempted     obs.HistogramSnapshot `json:"stage_preempted"`
+	LatencyHist        obs.HistogramSnapshot `json:"latency_hist"`
+	TTFTHist           obs.HistogramSnapshot `json:"ttft_hist"`
+	// FusedStep times each fused batched decode forward pass, per engine
+	// spec (empty until a fused step runs).
+	FusedStep map[string]obs.HistogramSnapshot `json:"fused_step_per_scheme"`
 }
 
 // Snapshot computes quantiles and rates over the current window.
 func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	up := time.Since(m.start).Seconds()
+	now := m.now()
+	up := now.Sub(m.start).Seconds()
 	s := Snapshot{
 		DefaultScheme:       m.defaultScheme,
 		UptimeSeconds:       up,
@@ -267,6 +388,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	if up > 0 {
 		s.TokensPerSec = float64(m.decodeTokens) / up
 	}
+	s.TokensPerSec10s = m.windowedRate(now, up)
 	if m.iterations > 0 {
 		s.MeanBatchSize = float64(m.batchOccupancy) / float64(m.iterations)
 	}
@@ -277,5 +399,108 @@ func (m *Metrics) Snapshot() Snapshot {
 	tt := m.ttfts.samples()
 	s.TTFTP50Ms = quantile(tt, 0.50)
 	s.TTFTP99Ms = quantile(tt, 0.99)
+	s.StageQueueWait = m.stageQueueWait.Snapshot()
+	s.StageAdmissionHold = m.stageHold.Snapshot()
+	s.StagePrefill = m.stagePrefill.Snapshot()
+	s.StageDecode = m.stageDecode.Snapshot()
+	s.StagePreempted = m.stagePreempted.Snapshot()
+	s.LatencyHist = m.latencyHist.Snapshot()
+	s.TTFTHist = m.ttftHist.Snapshot()
+	s.FusedStep = make(map[string]obs.HistogramSnapshot, len(m.fusedStepMs))
+	for k, h := range m.fusedStepMs {
+		s.FusedStep[k] = h.Snapshot()
+	}
 	return s
+}
+
+// WritePrometheus renders the current snapshot in Prometheus text
+// exposition format: every Snapshot field as a counter or gauge, the
+// per-stage and end-to-end histograms as labeled histogram families.
+// Family and label order is fixed, so the exposition is stable across
+// calls (map-keyed families iterate in sorted key order).
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	s := m.Snapshot()
+	p := obs.NewPromWriter(w)
+	writeSnapshotProm(p, s)
+	return p.Flush()
+}
+
+func writeSnapshotProm(p *obs.PromWriter, s Snapshot) {
+	p.Gauge("tender_server_info", "Server identity (value is always 1).", 1,
+		obs.Label{Name: "default_scheme", Value: s.DefaultScheme})
+	p.Gauge("tender_uptime_seconds", "Seconds since the server started.", s.UptimeSeconds)
+	p.Counter("tender_requests_completed_total", "Requests finished successfully.", float64(s.Completed))
+	p.Counter("tender_requests_rejected_total", "Requests refused by the bounded admission queue.", float64(s.Rejected))
+	p.Counter("tender_requests_expired_total", "Requests failed by deadline.", float64(s.Expired))
+	p.Gauge("tender_queue_depth", "Requests queued, held, or preempted.", float64(s.QueueDepth))
+	p.Gauge("tender_active_sessions", "Batch size of the last scheduler iteration.", float64(s.ActiveSessions))
+	p.Gauge("tender_peak_active_sessions", "Largest batch ever run.", float64(s.PeakActiveSessions))
+	p.Counter("tender_preemptions_total", "Requests evicted by KV pressure.", float64(s.Preemptions))
+	p.Gauge("tender_kv_budget_rows", "Total KV position budget (0 = unlimited).", float64(s.KVBudgetRows))
+	p.Gauge("tender_kv_page_rows", "KV page granularity in positions.", float64(s.KVPageRows))
+	p.Gauge("tender_kv_occupancy_rows", "KV positions held by active sessions.", float64(s.KVOccupancyRows))
+	p.Gauge("tender_kv_peak_occupancy_rows", "Peak KV positions ever held.", float64(s.KVPeakOccupancyRows))
+	p.Gauge("tender_kv_pages_in_use", "Pages checked out of the shared block pool.", float64(s.KVPagesInUse))
+	p.Counter("tender_kv_page_allocs_total", "Cumulative pool page acquisitions.", float64(s.KVPageAllocs))
+	p.Counter("tender_kv_page_frees_total", "Cumulative pool page releases.", float64(s.KVPageFrees))
+	p.Counter("tender_prefix_hits_total", "Batch entries that mounted a cached prefix.", float64(s.PrefixHits))
+	p.Counter("tender_prefix_misses_total", "Batch entries that cold-prefilled.", float64(s.PrefixMisses))
+	p.Counter("tender_prefill_tokens_skipped_total", "Prefill positions served from cached prefixes.", float64(s.PrefillTokensSkipped))
+	p.Gauge("tender_prefix_cached_rows", "KV positions retained by cached prefixes.", float64(s.PrefixCachedRows))
+	p.Gauge("tender_prefix_shared_pages", "Pool pages held by cached prefixes.", float64(s.PrefixSharedPages))
+	p.Gauge("tender_prefix_cached_entries", "Cached prefix entries.", float64(s.PrefixCachedEntries))
+	p.Counter("tender_prefix_evictions_total", "Cached prefixes reclaimed under pressure.", float64(s.PrefixEvictions))
+	p.Counter("tender_prefill_tokens_total", "Prompt tokens prefilled.", float64(s.PrefillTokens))
+	p.Counter("tender_decode_tokens_total", "Decode tokens emitted.", float64(s.DecodeTokens))
+	p.Counter("tender_fused_decode_tokens_total", "Decode tokens from fused batched passes.", float64(s.FusedDecodeTokens))
+	for _, scheme := range sortedKeys(s.PerScheme) {
+		p.Counter("tender_decode_tokens_per_scheme_total", "Decode tokens by engine spec.",
+			float64(s.PerScheme[scheme]), obs.Label{Name: "scheme", Value: scheme})
+	}
+	p.Gauge("tender_decode_tokens_per_sec", "Lifetime decode throughput.", s.TokensPerSec)
+	p.Gauge("tender_decode_tokens_per_sec_10s", "Decode throughput over the trailing 10 s.", s.TokensPerSec10s)
+	p.Counter("tender_iterations_total", "Scheduler iterations run.", float64(s.Iterations))
+	p.Gauge("tender_mean_batch_size", "Mean batch size across iterations.", s.MeanBatchSize)
+	p.Gauge("tender_latency_window_p50_ms", "Exact windowed latency p50.", s.LatencyP50Ms)
+	p.Gauge("tender_latency_window_p95_ms", "Exact windowed latency p95.", s.LatencyP95Ms)
+	p.Gauge("tender_latency_window_p99_ms", "Exact windowed latency p99.", s.LatencyP99Ms)
+	p.Gauge("tender_ttft_window_p50_ms", "Exact windowed TTFT p50.", s.TTFTP50Ms)
+	p.Gauge("tender_ttft_window_p99_ms", "Exact windowed TTFT p99.", s.TTFTP99Ms)
+	p.Histogram("tender_latency_seconds", "End-to-end request latency.", s.LatencyHist)
+	p.Histogram("tender_ttft_seconds", "Time to first token.", s.TTFTHist)
+	for _, st := range []struct {
+		stage string
+		snap  obs.HistogramSnapshot
+	}{
+		{"queue_wait", s.StageQueueWait},
+		{"admission_hold", s.StageAdmissionHold},
+		{"prefill", s.StagePrefill},
+		{"decode", s.StageDecode},
+		{"preempted", s.StagePreempted},
+	} {
+		p.Histogram("tender_stage_seconds", "Per-stage request lifecycle time.",
+			st.snap, obs.Label{Name: "stage", Value: st.stage})
+	}
+	for _, scheme := range sortedHistKeys(s.FusedStep) {
+		p.Histogram("tender_fused_step_seconds", "Fused batched decode forward-pass time.",
+			s.FusedStep[scheme], obs.Label{Name: "scheme", Value: scheme})
+	}
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedHistKeys(m map[string]obs.HistogramSnapshot) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"errors"
 	"time"
 
 	"tender/internal/model"
+	"tender/internal/obs"
 	"tender/internal/tensor"
 )
 
@@ -221,11 +223,11 @@ func (s *Server) admit(batch []*activeReq) []*activeReq {
 			switch {
 			case a.p.ctx.Err() != nil:
 				s.preempted = s.preempted[1:]
-				s.finish(a.p, a.out, a.prefilled, now, a.firstTok, a.p.ctx.Err())
+				s.finish(a.p, a, now, a.p.ctx.Err())
 			case !a.p.req.Deadline.IsZero() && now.After(a.p.req.Deadline):
 				s.preempted = s.preempted[1:]
 				s.metrics.expire()
-				s.finish(a.p, a.out, a.prefilled, now, a.firstTok, ErrDeadlineExceeded)
+				s.finish(a.p, a, now, ErrDeadlineExceeded)
 			default:
 				// The resume prefill may itself hit the prefix cache: the
 				// pin must be taken before the fit check so eviction
@@ -281,6 +283,9 @@ func (s *Server) admit(batch []*activeReq) []*activeReq {
 				s.activate(p, nil) // finishes the dead request, returns nil
 				continue
 			}
+			if p.heldAt.IsZero() {
+				p.heldAt = time.Now()
+			}
 			s.held = p
 			return batch
 		}
@@ -299,13 +304,13 @@ func (s *Server) activate(p *pending, e *model.PrefixEntry) *activeReq {
 	now := time.Now()
 	if err := p.ctx.Err(); err != nil {
 		s.releasePrefix(p.req.Scheme, e)
-		s.finish(p, nil, 0, now, time.Time{}, err)
+		s.finish(p, nil, now, err)
 		return nil
 	}
 	if !p.req.Deadline.IsZero() && now.After(p.req.Deadline) {
 		s.releasePrefix(p.req.Scheme, e)
 		s.metrics.expire()
-		s.finish(p, nil, 0, now, time.Time{}, ErrDeadlineExceeded)
+		s.finish(p, nil, now, ErrDeadlineExceeded)
 		return nil
 	}
 	maxNew := s.cfg.clampMaxNew(len(p.req.Prompt), p.req.MaxNewTokens)
@@ -321,8 +326,20 @@ func (s *Server) activate(p *pending, e *model.PrefixEntry) *activeReq {
 		out:         make([]int, 0, maxNew),
 		started:     now,
 	}
+	if !p.heldAt.IsZero() {
+		a.heldFor = now.Sub(p.heldAt)
+	}
 	s.mount(a, e, len(p.req.Prompt)+maxNew)
+	s.tracer.Record(obs.KindAdmit, p.id, s.iter, int64(a.kvHeld), int64(a.kvSkipped()))
 	return a
+}
+
+// kvSkipped is the prefix positions a's mount served from cache.
+func (a *activeReq) kvSkipped() int {
+	if a.entry == nil {
+		return 0
+	}
+	return a.entry.Rows()
 }
 
 // resume re-enters a preempted request: a fresh session whose prefill
@@ -332,7 +349,12 @@ func (s *Server) activate(p *pending, e *model.PrefixEntry) *activeReq {
 // unpreempted run.
 func (s *Server) resume(a *activeReq, e *model.PrefixEntry) {
 	a.consumed = 0
+	if !a.preemptedAt.IsZero() {
+		a.preemptedFor += time.Since(a.preemptedAt)
+		a.preemptedAt = time.Time{}
+	}
 	s.mount(a, e, len(a.seq)+a.maxNew-len(a.out)+1)
+	s.tracer.Record(obs.KindResume, a.p.id, s.iter, int64(a.kvHeld), int64(a.kvSkipped()))
 }
 
 // mount builds a's session over the server's KV layout, seeds it with the
@@ -341,6 +363,7 @@ func (s *Server) resume(a *activeReq, e *model.PrefixEntry) {
 func (s *Server) mount(a *activeReq, e *model.PrefixEntry, capRows int) {
 	a.entry = e
 	a.kvBase = s.prefixBase(e)
+	a.prefillStartTraced = false
 	a.sess = s.newSession(a.eng, capRows, e)
 	if e != nil {
 		a.consumed = e.Rows()
@@ -371,8 +394,10 @@ func (s *Server) preemptReq(a *activeReq) {
 		a.emitPrefill = true
 	}
 	a.consumed = 0
+	a.preemptedAt = time.Now()
 	s.preempted = append(s.preempted, a)
 	s.metrics.preempt()
+	s.tracer.Record(obs.KindPreempt, a.p.id, s.iter, obs.ReasonKVPressure, int64(len(a.out)))
 }
 
 // ensureKV reserves this iteration's page-granular KV growth for every
@@ -451,11 +476,11 @@ func (s *Server) reapOne(a *activeReq, now time.Time) bool {
 	switch {
 	case a.p.ctx.Err() != nil:
 		s.releaseKV(a)
-		s.finish(a.p, a.out, a.prefilled, now, a.firstTok, a.p.ctx.Err())
+		s.finish(a.p, a, now, a.p.ctx.Err())
 	case !a.p.req.Deadline.IsZero() && now.After(a.p.req.Deadline):
 		s.releaseKV(a)
 		s.metrics.expire()
-		s.finish(a.p, a.out, a.prefilled, now, a.firstTok, ErrDeadlineExceeded)
+		s.finish(a.p, a, now, ErrDeadlineExceeded)
 	default:
 		return false
 	}
@@ -472,6 +497,12 @@ func (s *Server) reapOne(a *activeReq, now time.Time) bool {
 // computes exactly the sequential Session.Append result, so the partition
 // cannot change any request's tokens — only wall-clock.
 func (s *Server) runIteration(batch []*activeReq) {
+	s.iter++
+	traced := s.tracer.Enabled()
+	var iterStart time.Time
+	if traced {
+		iterStart = time.Now()
+	}
 	solo := batch
 	if !s.cfg.DisableFusedDecode {
 		var groups []*decodeGroup
@@ -530,6 +561,32 @@ func (s *Server) runIteration(batch []*activeReq) {
 				fused++
 			}
 		}
+		if !traced {
+			continue
+		}
+		// Trace events are recorded here — on the scheduler goroutine,
+		// after the worker pool joins — so the tracer never contends with
+		// (or races) the step workers.
+		if a.lastStepPrefill > 0 {
+			if !a.prefillStartTraced {
+				a.prefillStartTraced = true
+				pending := int64(len(a.seq) - a.consumed + a.lastStepPrefill)
+				s.tracer.Record(obs.KindPrefillStart, a.p.id, s.iter, pending, 0)
+			}
+			if a.consumed == len(a.seq) {
+				s.tracer.Record(obs.KindPrefillEnd, a.p.id, s.iter, int64(a.consumed), 0)
+			}
+		}
+		if a.lastStepDecoded {
+			var f int64
+			if a.lastStepFused {
+				f = 1
+			}
+			s.tracer.Record(obs.KindDecode, a.p.id, s.iter, int64(len(a.out)), f)
+		}
+	}
+	if traced {
+		s.tracer.Record(obs.KindIteration, 0, s.iter, int64(len(batch)), int64(time.Since(iterStart)))
 	}
 	var kvOcc int64
 	if s.kvPool != nil {
@@ -583,7 +640,7 @@ func (s *Server) partition(batch []*activeReq) ([]*decodeGroup, []*activeReq) {
 			solo = append(solo, a)
 			continue
 		}
-		bs := s.stepper(a.eng)
+		bs := s.stepper(a.scheme, a.eng)
 		if bs == nil {
 			solo = append(solo, a)
 			continue
@@ -608,14 +665,21 @@ func (s *Server) partition(batch []*activeReq) ([]*decodeGroup, []*activeReq) {
 // stepper returns the fused stepper for eng, creating it on first use.
 // Engines that cannot fuse bit-identically (model.NewBatchStepper errors,
 // e.g. OliVe's row-coupled encoding) are cached as nil and served per
-// request. Only the scheduler goroutine touches the cache.
-func (s *Server) stepper(eng model.Engine) *model.BatchStepper {
+// request. Only the scheduler goroutine touches the cache. New steppers
+// get a step hook feeding the per-spec fused-step timing histogram (the
+// spec of the first request that reached the engine names the series).
+func (s *Server) stepper(scheme string, eng model.Engine) *model.BatchStepper {
 	if bs, seen := s.steppers[eng]; seen {
 		return bs
 	}
 	bs, err := s.cfg.Model.NewBatchStepper(eng)
 	if err != nil {
 		bs = nil
+	}
+	if bs != nil {
+		bs.SetStepHook(func(batch int, d time.Duration) {
+			s.metrics.fusedStep(scheme, d)
+		})
 	}
 	s.steppers[eng] = bs
 	return bs
@@ -701,7 +765,7 @@ func (s *Server) retire(batch []*activeReq) []*activeReq {
 				s.insertPrefix(a)
 			}
 			s.releaseKV(a)
-			s.finish(a.p, a.out, a.prefilled, now, a.firstTok, nil)
+			s.finish(a.p, a, now, nil)
 			continue
 		}
 		kept = append(kept, a)
@@ -715,14 +779,14 @@ func (s *Server) shutdown(batch []*activeReq) {
 	now := time.Now()
 	for _, a := range batch {
 		s.releaseKV(a)
-		s.finish(a.p, a.out, a.prefilled, now, a.firstTok, ErrStopped)
+		s.finish(a.p, a, now, ErrStopped)
 	}
 	for _, a := range s.preempted {
-		s.finish(a.p, a.out, a.prefilled, now, a.firstTok, ErrStopped)
+		s.finish(a.p, a, now, ErrStopped)
 	}
 	s.preempted = nil
 	if s.held != nil {
-		s.finish(s.held, nil, 0, now, time.Time{}, ErrStopped)
+		s.finish(s.held, nil, now, ErrStopped)
 		s.held = nil
 	}
 	s.updateWait()
@@ -732,15 +796,23 @@ func (s *Server) shutdown(batch []*activeReq) {
 	for {
 		select {
 		case p := <-s.queue:
-			s.finish(p, nil, 0, now, time.Time{}, ErrStopped)
+			s.finish(p, nil, now, ErrStopped)
 		default:
 			return
 		}
 	}
 }
 
-// finish delivers a Result and records metrics.
-func (s *Server) finish(p *pending, out []int, prefilled int, now time.Time, firstTok time.Time, err error) {
+// finish delivers a Result, records metrics and stage timings, and logs
+// the terminal trace event. a is nil for requests that never activated
+// (dead on arrival, held or queued at shutdown) — always a failure path.
+func (s *Server) finish(p *pending, a *activeReq, now time.Time, err error) {
+	var out []int
+	prefilled := 0
+	var firstTok time.Time
+	if a != nil {
+		out, prefilled, firstTok = a.out, a.prefilled, a.firstTok
+	}
 	r := Result{
 		ID:            p.id,
 		Scheme:        p.req.Scheme,
@@ -753,7 +825,25 @@ func (s *Server) finish(p *pending, out []int, prefilled int, now time.Time, fir
 		r.TTFT = firstTok.Sub(p.enq)
 	}
 	if err == nil {
-		s.metrics.complete(r.Latency, r.TTFT)
+		s.metrics.complete(r.Latency, r.TTFT, !firstTok.IsZero())
+		// Stage durations from the lifecycle transition timestamps:
+		// queue wait spans enqueue → admission (hold included), prefill
+		// spans admission → first token, decode the rest. Preempted time
+		// is tracked separately and overlaps prefill/decode.
+		queueWait := a.started.Sub(p.enq)
+		prefillD := firstTok.Sub(a.started)
+		decodeD := now.Sub(firstTok)
+		s.metrics.stages(queueWait, a.heldFor, prefillD, decodeD, a.preemptedFor)
+	}
+	switch {
+	case err == nil:
+		s.tracer.Record(obs.KindComplete, p.id, s.iter, int64(len(out)), 0)
+	case errors.Is(err, ErrDeadlineExceeded):
+		s.tracer.Record(obs.KindExpire, p.id, s.iter, obs.ReasonDeadline, int64(len(out)))
+	case errors.Is(err, ErrStopped):
+		s.tracer.Record(obs.KindCancel, p.id, s.iter, obs.ReasonStopped, int64(len(out)))
+	default:
+		s.tracer.Record(obs.KindCancel, p.id, s.iter, obs.ReasonCanceled, int64(len(out)))
 	}
 	p.done <- r
 }

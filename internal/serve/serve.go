@@ -44,6 +44,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
@@ -51,6 +52,7 @@ import (
 	"time"
 
 	"tender/internal/model"
+	"tender/internal/obs"
 	"tender/internal/tensor"
 )
 
@@ -161,6 +163,13 @@ type Config struct {
 	// (rounded up to KVPageRows). 0 defaults to KVBudgetRows when a budget
 	// is set, and to unbounded otherwise.
 	PrefixCacheRows int
+	// Tracer, when non-nil, records every request-lifecycle state
+	// transition (enqueue, admit, prefill, per-iteration decode, preempt,
+	// resume, terminal) plus one event per scheduler iteration into a
+	// bounded ring, exportable as JSONL or Chrome trace_event JSON. A nil
+	// tracer costs one nil check per event — the decode hot path stays
+	// allocation-free either way.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) fill() error {
@@ -233,6 +242,7 @@ type Server struct {
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	metrics *Metrics
+	tracer  *obs.Tracer
 	nextID  uint64
 	idMu    sync.Mutex
 	// kvPool is the shared page pool every paged session draws from
@@ -253,6 +263,9 @@ type Server struct {
 	kvFree        int
 	held          *pending
 	preempted     []*activeReq
+	// iter numbers scheduler iterations for trace events; only the
+	// scheduler goroutine touches it (client-side events carry iter 0).
+	iter int64
 	// prefixCaches maps engine spec → prefix index (nil map when the
 	// prefix cache is off; engines whose quantization couples activation
 	// rows get no cache and always cold-prefill). prefixOrder is the
@@ -271,6 +284,9 @@ type pending struct {
 	ctx  context.Context
 	enq  time.Time
 	done chan Result
+	// heldAt marks when admission first held this request for KV pages
+	// (zero if it was never held); the hold ends at activation.
+	heldAt time.Time
 }
 
 // activeReq is a request currently in the iteration batch (or preempted
@@ -308,6 +324,14 @@ type activeReq struct {
 	out      []int
 	started  time.Time
 	firstTok time.Time
+	// Stage-timing state, all maintained from transition timestamps on the
+	// scheduler goroutine: heldFor is the admission hold that preceded
+	// activation, preemptedAt/preemptedFor track time spent evicted, and
+	// prefillStartTraced gates the one prefill-start trace event per mount.
+	heldFor            time.Duration
+	preemptedAt        time.Time
+	preemptedFor       time.Duration
+	prefillStartTraced bool
 	// Per-iteration accounting, read by the scheduler after the worker
 	// pool joins.
 	lastStepPrefill int
@@ -323,6 +347,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		stop:     make(chan struct{}),
+		tracer:   cfg.Tracer,
 		steppers: make(map[model.Engine]*model.BatchStepper),
 		kvFree:   cfg.KVBudgetRows,
 	}
@@ -374,6 +399,22 @@ func New(cfg Config) (*Server, error) {
 
 // Metrics returns the server's live metrics.
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Tracer returns the server's lifecycle tracer (nil when tracing is off).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// WritePrometheus renders the server's metrics — and, with tracing on,
+// the tracer's retention counters — in Prometheus text exposition format.
+func (s *Server) WritePrometheus(w io.Writer) error {
+	snap := s.metrics.Snapshot()
+	p := obs.NewPromWriter(w)
+	writeSnapshotProm(p, snap)
+	if s.tracer != nil {
+		p.Counter("tender_trace_events_total", "Lifecycle events ever recorded.", float64(len(s.tracer.Events()))+float64(s.tracer.Dropped()))
+		p.Counter("tender_trace_events_dropped_total", "Lifecycle events overwritten by ring wrap-around.", float64(s.tracer.Dropped()))
+	}
+	return p.Flush()
+}
 
 // Start launches the scheduler loop.
 func (s *Server) Start() {
@@ -432,10 +473,14 @@ func (s *Server) Generate(ctx context.Context, req Request) (Result, error) {
 		return Result{ID: id, Err: ErrStopped}, ErrStopped
 	default:
 	}
+	// Recorded before the send so the scheduler can never log this
+	// request's admission ahead of its enqueue.
+	s.tracer.Record(obs.KindEnqueue, id, 0, int64(len(req.Prompt)), int64(req.MaxNewTokens))
 	select {
 	case s.queue <- p:
 	default:
 		s.metrics.reject()
+		s.tracer.Record(obs.KindReject, id, 0, obs.ReasonQueueFull, 0)
 		return Result{}, ErrQueueFull
 	}
 	select {
