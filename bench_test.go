@@ -1,6 +1,7 @@
 package tender_test
 
 import (
+	"fmt"
 	"io"
 	"math"
 	"runtime"
@@ -13,6 +14,7 @@ import (
 	"tender/internal/model"
 	"tender/internal/obs"
 	"tender/internal/quant"
+	"tender/internal/router"
 	"tender/internal/schemes"
 	"tender/internal/serve"
 	"tender/internal/sim/accel"
@@ -725,5 +727,60 @@ func BenchmarkAccelModelRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		accel.RunModel(cfg, "opt-6.7b", 512)
+	}
+}
+
+// BenchmarkRouterThroughput measures aggregate decode throughput of the
+// prefix-affinity router over three sharded replicas on a prefix-grouped
+// multi-tenant trace; b.N scales the number of load rounds. See
+// `tenderbench -exp router` for the full affinity/scatter/failover sweep.
+func BenchmarkRouterThroughput(b *testing.B) {
+	m := model.New(model.Registry("opt-6.7b"))
+	engines, err := engine.BuildEngines(m, []string{"fp32"}, engine.BuildOptions{
+		Bits: 8, Streams: 2, StreamLen: 64, Serving: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := workload.PrefixGroupedTrace(workload.PrefixGroupConfig{
+		Groups: 4, RequestsPerGroup: 4,
+		PrefixTokens: 32, TailTokens: 8, NewTokens: 8, Vocab: m.Cfg.Vocab,
+	}, 1)
+	const replicas = 3
+	var members []router.Replica
+	for i := 0; i < replicas; i++ {
+		srv, err := serve.New(serve.Config{
+			Model: m, Engines: engines, MaxBatch: 8, QueueDepth: len(trace),
+			PrefillChunk: 16, KVPageRows: tensor.DefaultPageRows, PrefixCache: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv.Start()
+		defer srv.Stop()
+		members = append(members, router.Replica{
+			ID: fmt.Sprintf("r%d", i), Backend: router.InProc{Srv: srv},
+		})
+	}
+	rt, err := router.New(router.Config{Replicas: members, Policy: router.PolicyAffinity})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var decoded int64
+	for i := 0; i < b.N; i++ {
+		rep := serve.RunLoad(rt, serve.LoadConfig{Trace: trace, Clients: 4})
+		if rep.Failed > 0 {
+			b.Fatalf("%d requests failed", rep.Failed)
+		}
+		decoded += rep.DecodeTokens
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(decoded)/b.Elapsed().Seconds(), "tokens/s")
+	if rate, ok := rt.Snapshot().AggregatePrefixHitRate(); ok {
+		b.ReportMetric(rate, "hit-rate")
 	}
 }

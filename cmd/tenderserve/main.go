@@ -12,7 +12,9 @@
 //	POST /v1/generate  {"prompt":[1,2,3],"max_new_tokens":16,"scheme":"tender"}
 //	GET  /v1/metrics   live counters: tokens/s, queue depth, p50/p95/p99
 //	GET  /v1/schemes   hosted engines
-//	GET  /healthz
+//	GET  /healthz      process liveness (always 200 while serving)
+//	GET  /readyz       readiness: 200 while accepting work, 503 once a
+//	                   drain begins (load balancers stop sending here)
 //	GET  /metrics      Prometheus text exposition (counters, gauges,
 //	                   per-stage and latency histograms)
 //	GET  /debug/trace  Chrome trace_event JSON of recent request
@@ -27,6 +29,18 @@
 // contiguous baseline. -prefix-cache additionally shares the KV pages of
 // common prompt prefixes across requests (refcounted, copy-on-write,
 // bit-identical; -prefix-cache-rows caps the retained positions).
+//
+// -router shards serving across N in-process replicas (-replicas, each
+// with its own scheduler, KV pool and prefix cache) behind the
+// prefix-affinity router (internal/router): prompts are routed by a
+// consistent hash of their page-aligned prefix chunks so one tenant's
+// cache hits concentrate on the owning replica, with residual load
+// spilled by queue depth and KV occupancy. -route-policy selects
+// affinity (default), random (scatter) or round-robin.
+//
+// Shutdown is drain-first: SIGINT/SIGTERM flips /readyz to 503, refuses
+// new requests with 503 + Retry-After, lets in-flight requests finish
+// (bounded by -drain-timeout), then exits.
 //
 // Or run a deterministic load test (no client needed), closed-loop or
 // open-loop Poisson (-poisson-ms):
@@ -44,12 +58,16 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"time"
 
 	"tender/internal/engine"
 	"tender/internal/model"
 	"tender/internal/obs"
+	"tender/internal/router"
 	"tender/internal/serve"
 	"tender/internal/tensor"
 	"tender/internal/workload"
@@ -77,6 +95,11 @@ func main() {
 		traceEvents   = flag.Int("trace-events", 0, "trace ring capacity in events (0 = default 65536); the oldest events are overwritten when full")
 		pprofOn       = flag.Bool("pprof", false, "expose Go profiling endpoints under /debug/pprof/")
 		listSchemes   = flag.Bool("list-schemes", false, "list engine spec schemes and their options, then exit")
+		routerOn      = flag.Bool("router", false, "shard serving across in-process replicas behind the prefix-affinity router (see -replicas, -route-policy)")
+		replicasFlag  = flag.Int("replicas", 0, "router: in-process replica count, each with its own scheduler, KV pool and prefix cache (0 = 3 when -router is set; >1 implies -router)")
+		backendsFlag  = flag.String("backends", "", "router: ';'/space-separated base URLs of remote tenderserve replicas to front over HTTP instead of in-process replicas (implies -router; health-checked via their /readyz)")
+		routePolicy   = flag.String("route-policy", "affinity", "router: request placement policy — affinity (consistent-hash prefix chunks), random (scatter) or round-robin")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "bound on finishing in-flight requests when SIGINT/SIGTERM starts a drain")
 
 		load      = flag.Bool("load", false, "run a deterministic load test instead of serving")
 		requests  = flag.Int("requests", 64, "load: number of requests")
@@ -87,6 +110,7 @@ func main() {
 		maxNew    = flag.Int("max-new", 16, "load: decode tokens per request")
 		temp      = flag.Float64("temperature", 0, "load: sampling temperature (0 = greedy)")
 		poissonMs = flag.Float64("poisson-ms", 0, "load: open-loop Poisson arrivals with this mean inter-arrival (ms) instead of the closed loop")
+		groups    = flag.Int("prefix-groups", 0, "load: group requests into this many tenants sharing a page-aligned prompt prefix (0 = independent prompts); the multi-tenant trace the router's affinity policy is built for")
 		out       = flag.String("out", "", "load: also write the JSON report to this file")
 		outDir    = flag.String("out-dir", "", "load: write report.json, metrics.json and (with -trace) trace.json + events.jsonl artifacts to this directory")
 	)
@@ -118,12 +142,17 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
-	fmt.Fprintf(os.Stderr, "calibrating %v on %s (bits=%d)...\n", names, *modelName, *bits)
-	engines, err := engine.BuildEngines(m, names, engine.BuildOptions{
-		Bits: *bits, QuantActAct: *qaa, Serving: true,
-	})
-	if err != nil {
-		fatalf("%v", err)
+	backendURLs := strings.FieldsFunc(*backendsFlag, func(r rune) bool { return r == ';' || r == ' ' })
+	var engines map[string]model.Engine
+	if len(backendURLs) == 0 {
+		// A pure HTTP front end (-backends) runs no engine of its own; the
+		// remote replicas calibrated theirs.
+		fmt.Fprintf(os.Stderr, "calibrating %v on %s (bits=%d)...\n", names, *modelName, *bits)
+		if engines, err = engine.BuildEngines(m, names, engine.BuildOptions{
+			Bits: *bits, QuantActAct: *qaa, Serving: true,
+		}); err != nil {
+			fatalf("%v", err)
+		}
 	}
 	def := *defaultScheme
 	if def == "" {
@@ -139,31 +168,127 @@ func main() {
 	if *traceOn {
 		tracer = obs.NewTracer(*traceEvents)
 	}
-	srv, err := serve.New(serve.Config{
-		Model: m, Engines: engines, DefaultScheme: def,
-		MaxBatch: *batch, QueueDepth: *queue,
-		PrefillChunk: *prefillChunk, Workers: *workers,
-		DisableFusedDecode: !*batchFused,
-		KVBudgetRows:       *kvPages * pageRows,
-		KVPageRows:         pageRows,
-		ContiguousKV:       *kvContiguous,
-		PrefixCache:        *prefixCache,
-		PrefixCacheRows:    *prefixRows,
-		Tracer:             tracer,
-	})
+	// One replica by default; -router (or an explicit -replicas > 1) shards
+	// the fleet. Replicas share the model and the calibrated engines — both
+	// read-only at inference time — but each owns its scheduler, KV page
+	// pool and prefix cache: the state the router's affinity keeps hot.
+	if len(backendURLs) > 0 {
+		*routerOn = true
+	}
+	nReplicas := *replicasFlag
+	if nReplicas > 1 {
+		*routerOn = true
+	}
+	if *routerOn && nReplicas <= 0 {
+		nReplicas = 3
+	}
+	if !*routerOn {
+		nReplicas = 1
+	}
+	policy, err := router.ParsePolicy(*routePolicy)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	srv.Start()
-	defer srv.Stop()
+	mkServer := func() *serve.Server {
+		srv, err := serve.New(serve.Config{
+			Model: m, Engines: engines, DefaultScheme: def,
+			MaxBatch: *batch, QueueDepth: *queue,
+			PrefillChunk: *prefillChunk, Workers: *workers,
+			DisableFusedDecode: !*batchFused,
+			KVBudgetRows:       *kvPages * pageRows,
+			KVPageRows:         pageRows,
+			ContiguousKV:       *kvContiguous,
+			PrefixCache:        *prefixCache,
+			PrefixCacheRows:    *prefixRows,
+			Tracer:             tracer,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		srv.Start()
+		return srv
+	}
+	var (
+		gen   serve.Generator // the submission surface the API serves
+		srv   *serve.Server   // single-replica mode only
+		rt    *router.Router  // router mode only
+		fleet []*serve.Server
+	)
+	if *routerOn {
+		rcfg := router.Config{Policy: policy, PageRows: pageRows}
+		if len(backendURLs) > 0 {
+			// Multi-process front end: this process runs no scheduler of its
+			// own, only the router over the remote tenderserve replicas.
+			// Remote processes come and go, so probe: unreachable replicas
+			// leave the ring and returning ones rejoin without operator
+			// action. (In-process replicas change state only through the
+			// router's own drain/failover paths.)
+			nReplicas = len(backendURLs)
+			rcfg.ProbePeriod = time.Second
+			for _, u := range backendURLs {
+				rcfg.Replicas = append(rcfg.Replicas, router.Replica{
+					ID:      u,
+					Backend: &router.HTTPBackend{BaseURL: u},
+				})
+			}
+		} else {
+			for i := 0; i < nReplicas; i++ {
+				s := mkServer()
+				fleet = append(fleet, s)
+				rcfg.Replicas = append(rcfg.Replicas, router.Replica{
+					ID:      fmt.Sprintf("r%d", i),
+					Backend: router.InProc{Srv: s},
+				})
+			}
+		}
+		if rt, err = router.New(rcfg); err != nil {
+			fatalf("%v", err)
+		}
+		rt.Start()
+		defer rt.Stop()
+		gen = rt
+	} else {
+		srv = mkServer()
+		fleet = []*serve.Server{srv}
+		gen = srv
+	}
+	defer func() {
+		for _, s := range fleet {
+			s.Stop()
+		}
+	}()
+	metricsSnapshot := func() any {
+		if rt != nil {
+			return rt.Snapshot()
+		}
+		return srv.Metrics().Snapshot()
+	}
+	ready := func() bool {
+		if rt != nil {
+			return rt.Ready()
+		}
+		return !srv.Draining()
+	}
 
 	if *load {
-		trace := workload.RequestTrace(workload.TraceConfig{
-			Requests: *requests, Vocab: m.Cfg.Vocab,
-			MinPrompt: *minPrompt, MaxPrompt: *maxPrompt,
-			MinNew: *maxNew, MaxNew: *maxNew,
-		}, *seed)
-		rep := serve.RunLoad(srv, serve.LoadConfig{
+		var trace []workload.RequestSpec
+		if *groups > 0 {
+			trace = workload.PrefixGroupedTrace(workload.PrefixGroupConfig{
+				Groups:           *groups,
+				RequestsPerGroup: (*requests + *groups - 1) / *groups,
+				PrefixTokens:     *minPrompt,
+				TailTokens:       *maxPrompt - *minPrompt,
+				NewTokens:        *maxNew,
+				Vocab:            m.Cfg.Vocab,
+			}, *seed)
+		} else {
+			trace = workload.RequestTrace(workload.TraceConfig{
+				Requests: *requests, Vocab: m.Cfg.Vocab,
+				MinPrompt: *minPrompt, MaxPrompt: *maxPrompt,
+				MinNew: *maxNew, MaxNew: *maxNew,
+			}, *seed)
+		}
+		rep := serve.RunLoad(gen, serve.LoadConfig{
 			Trace: trace, Clients: *clients,
 			Temperature: *temp, SeedBase: *seed,
 			PoissonMean: time.Duration(*poissonMs * float64(time.Millisecond)),
@@ -177,7 +302,7 @@ func main() {
 			}
 		}
 		if *outDir != "" {
-			if err := writeLoadArtifacts(*outDir, blob, srv, tracer); err != nil {
+			if err := writeLoadArtifacts(*outDir, blob, metricsSnapshot(), tracer); err != nil {
 				fatalf("%v", err)
 			}
 		}
@@ -219,19 +344,26 @@ func main() {
 			defer cancel()
 			req.Deadline = time.Now().Add(time.Duration(in.TimeoutMs) * time.Millisecond)
 		}
-		res, err := srv.Generate(ctx, req)
+		res, err := gen.Generate(ctx, req)
 		if err != nil {
-			httpError(w, statusFor(err), err)
+			code := statusFor(err)
+			if code == http.StatusServiceUnavailable {
+				// Draining: the request was refused, not lost — retry against
+				// another replica (or after the restart) shortly.
+				w.Header().Set("Retry-After", "1")
+			}
+			httpError(w, code, err)
 			return
 		}
 		writeJSON(w, generateResponse{
 			ID: res.ID, Scheme: res.Scheme, Tokens: res.Tokens,
-			TTFTMs:    float64(res.TTFT) / float64(time.Millisecond),
-			LatencyMs: float64(res.Latency) / float64(time.Millisecond),
+			TTFTMs:        float64(res.TTFT) / float64(time.Millisecond),
+			LatencyMs:     float64(res.Latency) / float64(time.Millisecond),
+			PrefillTokens: res.PrefillTokens,
 		})
 	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, srv.Metrics().Snapshot())
+		writeJSON(w, metricsSnapshot())
 	})
 	mux.HandleFunc("GET /v1/schemes", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, map[string]any{"schemes": names, "default": def, "model": m.Cfg.Name})
@@ -239,8 +371,21 @@ func main() {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, map[string]bool{"ok": true})
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !ready() {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]bool{"ready": false})
+			return
+		}
+		writeJSON(w, map[string]bool{"ready": true})
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if rt != nil {
+			rt.WritePrometheus(w)
+			return
+		}
 		srv.WritePrometheus(w)
 	})
 	if tracer != nil {
@@ -262,10 +407,38 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
-	fmt.Fprintf(os.Stderr, "tenderserve: %s hosting %v on %s\n", *modelName, names, *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
-		fatalf("%v", err)
+	if rt != nil {
+		fmt.Fprintf(os.Stderr, "tenderserve: %s hosting %v on %s, %s-routing %d replicas\n",
+			*modelName, names, *addr, policy, nReplicas)
+	} else {
+		fmt.Fprintf(os.Stderr, "tenderserve: %s hosting %v on %s\n", *modelName, names, *addr)
 	}
+	// Drain-first shutdown: SIGINT/SIGTERM flips /readyz, lets in-flight
+	// requests finish within -drain-timeout, then closes the listener.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		fatalf("%v", err)
+	case <-sigCtx.Done():
+	}
+	stopSignals() // a second signal kills immediately, default disposition
+	fmt.Fprintf(os.Stderr, "tenderserve: draining (bound %s)...\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if rt != nil {
+		err = rt.DrainAll(dctx)
+	} else {
+		err = srv.Drain(dctx)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tenderserve: drain incomplete: %v\n", err)
+	}
+	httpSrv.Shutdown(dctx)
+	fmt.Fprintln(os.Stderr, "tenderserve: drained, exiting")
 }
 
 type generateRequest struct {
@@ -278,17 +451,21 @@ type generateRequest struct {
 }
 
 type generateResponse struct {
-	ID        uint64  `json:"id"`
-	Scheme    string  `json:"scheme"`
-	Tokens    []int   `json:"tokens"`
-	TTFTMs    float64 `json:"ttft_ms"`
-	LatencyMs float64 `json:"latency_ms"`
+	ID            uint64  `json:"id"`
+	Scheme        string  `json:"scheme"`
+	Tokens        []int   `json:"tokens"`
+	TTFTMs        float64 `json:"ttft_ms"`
+	LatencyMs     float64 `json:"latency_ms"`
+	PrefillTokens int     `json:"prefill_tokens"`
 }
 
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, serve.ErrQueueFull):
 		return http.StatusTooManyRequests
+	case errors.Is(err, serve.ErrDraining), errors.Is(err, serve.ErrStopped),
+		errors.Is(err, router.ErrNoReplicas):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, serve.ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, serve.ErrUnknownScheme):
@@ -312,17 +489,18 @@ func httpError(w http.ResponseWriter, code int, err error) {
 }
 
 // writeLoadArtifacts persists a load run's observability artifacts:
-// report.json (the LoadReport), metrics.json (the final Snapshot), and —
-// when tracing is on — trace.json (Chrome trace_event, loadable in
-// Perfetto) plus events.jsonl (the raw event log).
-func writeLoadArtifacts(dir string, report []byte, srv *serve.Server, tracer *obs.Tracer) error {
+// report.json (the LoadReport), metrics.json (the final snapshot — the
+// server's, or the router's with per-replica breakdowns), and — when
+// tracing is on — trace.json (Chrome trace_event, loadable in Perfetto)
+// plus events.jsonl (the raw event log).
+func writeLoadArtifacts(dir string, report []byte, metrics any, tracer *obs.Tracer) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	if err := os.WriteFile(filepath.Join(dir, "report.json"), append(report, '\n'), 0o644); err != nil {
 		return err
 	}
-	snap, err := json.MarshalIndent(srv.Metrics().Snapshot(), "", "  ")
+	snap, err := json.MarshalIndent(metrics, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -51,9 +51,17 @@
 // prefill for every engine whose quantization treats activation rows
 // independently; row-coupled engines keep the cold path automatically.
 //
+// Serving scales out by sharding: internal/router fronts N replicas
+// (in-process, or separate tenderserve processes over HTTP) and places
+// each request by consistent-hashing its page-aligned prompt-prefix
+// chunks, so prompts sharing a prefix keep hitting the same replica's
+// prefix cache; residual load spills by queue depth and KV occupancy,
+// and failed replicas drain out of the hash ring with requests failing
+// over to the survivors.
+//
 // The one invariant every layer preserves: scheduling, batching, fusion,
-// paging, preemption and prefix sharing change wall-clock and memory,
-// never tokens.
+// paging, preemption, prefix sharing, routing and failover change
+// wall-clock and memory — and with the router, placement — never tokens.
 //
 // See README.md for the layout and serving quickstart, and
 // docs/ARCHITECTURE.md for the layer-by-layer design, the KV page-table

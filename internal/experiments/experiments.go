@@ -138,7 +138,7 @@ func AllFuncs() []func(Options) Table {
 		TableVI, TableVII, Figure13, Figure23Stats,
 		AblationAlpha, AblationRowChunk, AblationBias,
 		AblationClustering, AblationBits, AblationDataflow,
-		ServeBench,
+		ServeBench, RouterBench,
 	}
 }
 
@@ -152,7 +152,7 @@ func All(o Options) []Table {
 }
 
 // ByID returns the experiment function for an id ("table1".."table7",
-// "figure9".."figure13", "figure23", "serve").
+// "figure9".."figure13", "figure23", "serve", "router").
 func ByID(id string, o Options) (Table, bool) {
 	fns := map[string]func(Options) Table{
 		"table1":   TableI,
@@ -169,6 +169,7 @@ func ByID(id string, o Options) (Table, bool) {
 		"figure13": Figure13,
 		"figure23": Figure23Stats,
 		"serve":    ServeBench,
+		"router":   RouterBench,
 	}
 	if f, ok := fns[id]; ok {
 		return f(o), true

@@ -372,3 +372,48 @@ func TestServeByID(t *testing.T) {
 		t.Fatal("serve must resolve")
 	}
 }
+
+func TestRouterBenchQuick(t *testing.T) {
+	t.Chdir(t.TempDir()) // BENCH_serve.json lands here, not in the repo
+	tab := RouterBench(q)
+	if tab.ID != "router" {
+		t.Fatalf("id %q", tab.ID)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("expected 3 rows, got %d", len(tab.Rows))
+	}
+	blob, err := os.ReadFile(ServeBenchFile)
+	if err != nil {
+		t.Fatalf("BENCH_serve.json not emitted: %v", err)
+	}
+	var results []map[string]any
+	if err := json.Unmarshal(blob, &results); err != nil {
+		t.Fatalf("BENCH_serve.json not valid JSON: %v", err)
+	}
+	byScheme := map[string]map[string]any{}
+	for _, r := range results {
+		byScheme[r["scheme"].(string)] = r
+	}
+	aff := byScheme["router-affinity/fp32"]
+	rnd := byScheme["router-random/fp32"]
+	fov := byScheme["router-failover/fp32"]
+	if aff == nil || rnd == nil || fov == nil {
+		t.Fatalf("missing router rows in %v", results)
+	}
+	// Acceptance bars: affinity preserves ≥ 0.9× the single-replica
+	// aggregate hit rate, scatter degrades below affinity, and the
+	// replica-kill run completes everything bit-identically.
+	if aff["hit_rate_vs_single"].(float64) < 0.9 {
+		t.Fatalf("affinity hit-rate ratio %v < 0.9", aff["hit_rate_vs_single"])
+	}
+	if rnd["prefix_hit_rate"].(float64) >= aff["prefix_hit_rate"].(float64) {
+		t.Fatalf("random routing did not degrade hit rate: %v vs %v",
+			rnd["prefix_hit_rate"], aff["prefix_hit_rate"])
+	}
+	if fov["completed_fraction"].(float64) != 1 || fov["bit_identical"].(bool) != true {
+		t.Fatalf("failover row: %v", fov)
+	}
+	if fov["failovers"].(float64) <= 0 {
+		t.Fatalf("failover row recorded no failovers: %v", fov)
+	}
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"tender/internal/engine"
+	"tender/internal/model"
+	"tender/internal/router"
+	"tender/internal/serve"
+	"tender/internal/workload"
+)
+
+// routerBenchResult is the JSON summary of one multi-replica routing
+// configuration over the prefix-grouped multi-tenant trace.
+type routerBenchResult struct {
+	Scheme       string  `json:"scheme"`
+	Batch        int     `json:"batch"` // replica count
+	TokensPerSec float64 `json:"decode_tokens_per_sec"`
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	TTFTP50Ms    float64 `json:"ttft_p50_ms"`
+	// HitRate is the fleet's aggregate prefix-cache hit rate; HitRateVsSingle
+	// is its ratio to one shared-cache replica on the same trace (affinity's
+	// acceptance bar is ≥ 0.9, scatter is the degraded baseline).
+	HitRate         float64 `json:"prefix_hit_rate"`
+	HitRateVsSingle float64 `json:"hit_rate_vs_single"`
+	// Failovers counts submissions retried on another replica; Completed is
+	// the fraction of requests that finished (1.0 = all, the failover
+	// scenario's acceptance bar); BitIdentical reports outputs matched the
+	// no-failure reference exactly.
+	Failovers    int64   `json:"failovers"`
+	Completed    float64 `json:"completed_fraction"`
+	BitIdentical bool    `json:"bit_identical"`
+}
+
+// RouterBench benchmarks the prefix-affinity router: three sharded
+// serving replicas (own scheduler, KV pool and prefix cache each) behind
+// internal/router on a prefix-grouped multi-tenant trace, against one
+// shared-cache replica. Three rows land in BENCH_serve.json:
+//
+//   - router-affinity/fp32: consistent-hash prefix affinity — aggregate
+//     hit rate must stay ≥ 0.9× the single replica's.
+//   - router-random/fp32: scatter routing, the degraded baseline that
+//     splits every tenant's cached prefix across all replicas.
+//   - router-failover/fp32: one replica killed before the run — every
+//     request must still complete, bit-identical to a no-failure run.
+func RouterBench(o Options) Table {
+	const (
+		modelName = "opt-6.7b"
+		scheme    = "fp32"
+		replicas  = 3
+		pageRows  = 16
+	)
+	groups, perGroup, prefixTok, tailTok, newTok := 6, 8, 64, 8, 12
+	clients := 6
+	if o.Quick {
+		groups, perGroup, prefixTok, newTok = 4, 4, 32, 6
+		clients = 4
+	}
+	m := model.New(model.Registry(modelName))
+	engines, err := engine.BuildEngines(m, []string{scheme}, engine.BuildOptions{
+		Bits: 8, Streams: 2, StreamLen: 64, Serving: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	trace := workload.PrefixGroupedTrace(workload.PrefixGroupConfig{
+		Groups: groups, RequestsPerGroup: perGroup,
+		PrefixTokens: prefixTok, TailTokens: tailTok,
+		NewTokens: newTok, Vocab: m.Cfg.Vocab,
+	}, 4+o.Seed)
+
+	newReplica := func() *serve.Server {
+		srv, err := serve.New(serve.Config{
+			Model: m, Engines: engines, DefaultScheme: scheme,
+			MaxBatch: 8, QueueDepth: len(trace), PrefillChunk: 16,
+			KVPageRows: pageRows, PrefixCache: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		srv.Start()
+		return srv
+	}
+
+	// Single shared-cache replica: the hit-rate ceiling the sharded fleet
+	// is measured against.
+	single := newReplica()
+	srep := serve.RunLoad(single, serve.LoadConfig{Trace: trace, Clients: clients, Scheme: scheme})
+	ssnap := single.Metrics().Snapshot()
+	single.Stop()
+	if srep.Failed > 0 {
+		panic(fmt.Sprintf("router bench: %d single-replica requests failed", srep.Failed))
+	}
+	singleRate := 0.0
+	if lk := ssnap.PrefixHits + ssnap.PrefixMisses; lk > 0 {
+		singleRate = float64(ssnap.PrefixHits) / float64(lk)
+	}
+
+	// The no-failure reference the failover run must reproduce exactly.
+	ref := serve.DecodeUnbatched(m, engines[scheme], trace, 0, 7+o.Seed)
+
+	runRouter := func(policy router.Policy, kill bool) routerBenchResult {
+		var servers []*serve.Server
+		var members []router.Replica
+		for i := 0; i < replicas; i++ {
+			srv := newReplica()
+			servers = append(servers, srv)
+			members = append(members, router.Replica{
+				ID:      fmt.Sprintf("r%d", i),
+				Backend: router.InProc{Srv: srv},
+			})
+		}
+		rt, err := router.New(router.Config{
+			Replicas: members, Policy: policy, PageRows: pageRows,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rt.Start()
+		if kill {
+			// Die while the router still lists the replica Up: requests it
+			// owns deterministically hit ErrStopped and fail over.
+			servers[1].Stop()
+		}
+		rep := serve.RunLoad(rt, serve.LoadConfig{Trace: trace, Clients: clients, Scheme: scheme, SeedBase: 7 + o.Seed})
+		snap := rt.Snapshot()
+		rt.Stop()
+		for _, srv := range servers {
+			srv.Stop()
+		}
+		rate, _ := snap.AggregatePrefixHitRate()
+		identical := true
+		for i := range trace {
+			if len(rep.Outputs[i]) != len(ref[i]) {
+				identical = false
+				break
+			}
+			for j := range ref[i] {
+				if rep.Outputs[i][j] != ref[i][j] {
+					identical = false
+					break
+				}
+			}
+		}
+		ratio := 0.0
+		if singleRate > 0 {
+			ratio = rate / singleRate
+		}
+		return routerBenchResult{
+			Batch:        replicas,
+			TokensPerSec: rep.TokensPerSec,
+			LatencyP50Ms: rep.LatencyP50Ms, TTFTP50Ms: rep.TTFTP50Ms,
+			HitRate: rate, HitRateVsSingle: ratio,
+			Failovers:    snap.Failovers,
+			Completed:    float64(rep.Requests-rep.Failed) / float64(rep.Requests),
+			BitIdentical: identical,
+		}
+	}
+
+	affinity := runRouter(router.PolicyAffinity, false)
+	affinity.Scheme = "router-affinity/" + scheme
+	random := runRouter(router.PolicyScatter, false)
+	random.Scheme = "router-random/" + scheme
+	failover := runRouter(router.PolicyAffinity, true)
+	failover.Scheme = "router-failover/" + scheme
+
+	if affinity.HitRateVsSingle < 0.9 {
+		panic(fmt.Sprintf("router bench: affinity hit rate %.3f < 0.9× single-replica %.3f",
+			affinity.HitRate, singleRate))
+	}
+	if failover.Completed < 1 || !failover.BitIdentical {
+		panic(fmt.Sprintf("router bench: failover run completed=%.2f bit_identical=%v",
+			failover.Completed, failover.BitIdentical))
+	}
+
+	t := Table{
+		ID:    "router",
+		Title: "Prefix-affinity routing over sharded serving replicas",
+		Note: fmt.Sprintf("%s/%s, %d replicas, %d tenants × %d requests (%d-token shared prefixes, %d-token tails, %d decode), GOMAXPROCS=%d; single shared-cache replica hit rate %.3f; failover row kills 1 replica pre-run",
+			modelName, scheme, replicas, groups, perGroup, prefixTok, tailTok, newTok, runtime.GOMAXPROCS(0), singleRate),
+		Columns: []string{"Scheme", "Replicas", "tok/s", "p50 ms", "TTFT p50", "Hit rate", "vs single", "Failovers", "Complete"},
+	}
+	emit := []routerBenchResult{affinity, random, failover}
+	for _, e := range emit {
+		t.Rows = append(t.Rows, []string{
+			e.Scheme, fmt.Sprintf("%d", e.Batch),
+			fmt.Sprintf("%.1f", e.TokensPerSec),
+			fmt.Sprintf("%.1f", e.LatencyP50Ms),
+			fmt.Sprintf("%.1f", e.TTFTP50Ms),
+			fmt.Sprintf("%.3f", e.HitRate),
+			FormatX(e.HitRateVsSingle),
+			fmt.Sprintf("%d", e.Failovers),
+			fmt.Sprintf("%.0f%%", 100*e.Completed),
+		})
+	}
+
+	rows := make([]map[string]any, 0, len(emit))
+	for _, e := range emit {
+		if blob, err := json.Marshal(e); err == nil {
+			var row map[string]any
+			if json.Unmarshal(blob, &row) == nil {
+				rows = append(rows, row)
+			}
+		}
+	}
+	owned := map[string]bool{
+		"router-affinity/" + scheme: true,
+		"router-random/" + scheme:   true,
+		"router-failover/" + scheme: true,
+	}
+	if err := RewriteServeBench(ServeBenchFile, func(s string) bool { return owned[s] }, rows); err != nil {
+		fmt.Fprintf(os.Stderr, "router bench: %v\n", err)
+	}
+	return t
+}

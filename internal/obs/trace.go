@@ -103,6 +103,8 @@ const (
 	ReasonStopped
 	// ReasonQueueFull: the bounded admission queue was full.
 	ReasonQueueFull
+	// ReasonDraining: the server was draining and refused the new request.
+	ReasonDraining
 )
 
 var reasonNames = [...]string{
@@ -112,6 +114,7 @@ var reasonNames = [...]string{
 	ReasonCanceled:   "canceled",
 	ReasonStopped:    "stopped",
 	ReasonQueueFull:  "queue_full",
+	ReasonDraining:   "draining",
 }
 
 // ReasonString names a reason code ("" for ReasonNone or out of range).

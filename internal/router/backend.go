@@ -1,0 +1,195 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"tender/internal/serve"
+)
+
+// Backend is one serving replica behind the router: a *serve.Server in
+// this process (InProc) or a remote tenderserve over HTTP (HTTPBackend).
+// The router only needs to submit requests, read a metrics snapshot for
+// load scoring, probe liveness, and drain.
+type Backend interface {
+	Generate(ctx context.Context, req serve.Request) (serve.Result, error)
+	// Snapshot returns the replica's live metrics; ok=false when the
+	// replica is unreachable (the router then scores it by its own
+	// in-flight accounting alone).
+	Snapshot() (serve.Snapshot, bool)
+	// Healthy is the liveness/readiness probe.
+	Healthy() bool
+	// Drain flips the replica into draining mode (new submissions refused
+	// with ErrDraining) and blocks until in-flight work completes or ctx
+	// expires.
+	Drain(ctx context.Context) error
+}
+
+// InProc adapts a *serve.Server into a Backend. Replicas share the model
+// and the read-only engines (calibrate once, host N times) but each owns
+// its scheduler, KV page pool and prefix cache — the state the router
+// shards.
+type InProc struct {
+	Srv *serve.Server
+}
+
+// Generate submits to the wrapped server.
+func (b InProc) Generate(ctx context.Context, req serve.Request) (serve.Result, error) {
+	return b.Srv.Generate(ctx, req)
+}
+
+// Snapshot reads the server's live metrics.
+func (b InProc) Snapshot() (serve.Snapshot, bool) {
+	return b.Srv.Metrics().Snapshot(), true
+}
+
+// Healthy reports readiness: an in-process replica is ready unless it is
+// draining (a stopped server fails Generate with ErrStopped, which the
+// router treats as a hard failure on first contact).
+func (b InProc) Healthy() bool { return !b.Srv.Draining() }
+
+// Drain delegates to the server's bounded drain.
+func (b InProc) Drain(ctx context.Context) error { return b.Srv.Drain(ctx) }
+
+// HTTPBackend speaks the cmd/tenderserve JSON API, making the router a
+// multi-process front end: Generate posts /v1/generate, Snapshot reads
+// /v1/metrics, Healthy probes /readyz (which tenderserve flips to 503
+// while draining).
+type HTTPBackend struct {
+	// BaseURL is the replica's root, e.g. "http://127.0.0.1:8081".
+	BaseURL string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+}
+
+func (b *HTTPBackend) client() *http.Client {
+	if b.Client != nil {
+		return b.Client
+	}
+	return http.DefaultClient
+}
+
+type httpGenerateRequest struct {
+	Prompt       []int   `json:"prompt"`
+	MaxNewTokens int     `json:"max_new_tokens"`
+	Scheme       string  `json:"scheme"`
+	Temperature  float64 `json:"temperature"`
+	Seed         uint64  `json:"seed"`
+}
+
+type httpGenerateResponse struct {
+	ID            uint64  `json:"id"`
+	Scheme        string  `json:"scheme"`
+	Tokens        []int   `json:"tokens"`
+	TTFTMs        float64 `json:"ttft_ms"`
+	LatencyMs     float64 `json:"latency_ms"`
+	PrefillTokens int     `json:"prefill_tokens"`
+}
+
+// Generate posts the request and maps the replica's HTTP status back to
+// the serve error vocabulary, so the router's retry policy is identical
+// in-process and over the wire.
+func (b *HTTPBackend) Generate(ctx context.Context, req serve.Request) (serve.Result, error) {
+	body, err := json.Marshal(httpGenerateRequest{
+		Prompt:       req.Prompt,
+		MaxNewTokens: req.MaxNewTokens,
+		Scheme:       req.Scheme,
+		Temperature:  req.Temperature,
+		Seed:         req.Seed,
+	})
+	if err != nil {
+		return serve.Result{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, b.BaseURL+"/v1/generate", bytes.NewReader(body))
+	if err != nil {
+		return serve.Result{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := b.client().Do(hreq)
+	if err != nil {
+		// Connection-level failure: the replica is unreachable. Wrap so the
+		// router can classify it as retriable-and-mark-down.
+		return serve.Result{}, fmt.Errorf("%w: %v", ErrReplicaUnreachable, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return serve.Result{}, errorForStatus(resp.StatusCode)
+	}
+	var out httpGenerateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return serve.Result{}, fmt.Errorf("%w: decoding response: %v", ErrReplicaUnreachable, err)
+	}
+	return serve.Result{
+		ID:            out.ID,
+		Scheme:        out.Scheme,
+		Tokens:        out.Tokens,
+		TTFT:          time.Duration(out.TTFTMs * float64(time.Millisecond)),
+		Latency:       time.Duration(out.LatencyMs * float64(time.Millisecond)),
+		PrefillTokens: out.PrefillTokens,
+	}, nil
+}
+
+// Snapshot reads /v1/metrics; ok=false when the replica is unreachable.
+func (b *HTTPBackend) Snapshot() (serve.Snapshot, bool) {
+	resp, err := b.client().Get(b.BaseURL + "/v1/metrics")
+	if err != nil {
+		return serve.Snapshot{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return serve.Snapshot{}, false
+	}
+	var snap serve.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return serve.Snapshot{}, false
+	}
+	return snap, true
+}
+
+// Healthy probes /readyz: 200 = ready; 503 (draining), other statuses
+// and connection errors are all unready.
+func (b *HTTPBackend) Healthy() bool {
+	resp, err := b.client().Get(b.BaseURL + "/readyz")
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Drain is remote-initiated shutdown-from-the-router; tenderserve drains
+// on SIGTERM rather than exposing a drain endpoint, so the HTTP backend
+// only observes the transition (readyz flips, generates 503) — there is
+// nothing to invoke remotely.
+func (b *HTTPBackend) Drain(ctx context.Context) error { return nil }
+
+// ErrReplicaUnreachable wraps connection-level failures of an HTTP
+// backend (dial refused, mid-stream cut, garbled response): the request
+// never ran to completion on that replica, so the router retries it
+// elsewhere and takes the replica out of rotation.
+var ErrReplicaUnreachable = errors.New("router: replica unreachable")
+
+// errorForStatus maps a replica's HTTP status back into the serve error
+// vocabulary (the inverse of cmd/tenderserve's statusFor).
+func errorForStatus(code int) error {
+	switch code {
+	case http.StatusTooManyRequests:
+		return serve.ErrQueueFull
+	case http.StatusServiceUnavailable:
+		return serve.ErrDraining
+	case http.StatusGatewayTimeout:
+		return serve.ErrDeadlineExceeded
+	case http.StatusNotFound:
+		return serve.ErrUnknownScheme
+	default:
+		return fmt.Errorf("router: replica returned HTTP %d", code)
+	}
+}

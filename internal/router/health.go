@@ -1,0 +1,168 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// The health/drain state machine:
+//
+//	          probe ok ×1 / Restore
+//	   ┌───────────────────────────────┐
+//	   ▼                               │
+//	  Up ──Drain()──► Draining ──────► Down
+//	   │                 drain done/expired ▲
+//	   └──probe fail ×N / hard Generate failure──┘
+//
+// Up replicas are on the hash ring; Draining and Down replicas are not,
+// so every state change rehashes ring ownership and later requests for
+// the departed shard land on its clockwise successor. Draining differs
+// from Down only in what the replica is doing (finishing in-flight
+// work vs gone); the router routes around both.
+
+// Drain takes one replica out of rotation gracefully: it leaves the
+// ring immediately (new requests rehash to the surviving replicas; any
+// already-submitted request that races the transition is refused with
+// ErrDraining and failed over by Generate), then the replica finishes
+// its in-flight work, bounded by ctx. The replica ends Down either way;
+// the drain error reports whether the bound was hit.
+func (r *Router) Drain(ctx context.Context, id string) error {
+	r.mu.Lock()
+	rep := r.byID[id]
+	if rep == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("router: unknown replica %q", id)
+	}
+	if rep.state != StateUp {
+		r.mu.Unlock()
+		return fmt.Errorf("router: replica %q is %s, not up", id, rep.state)
+	}
+	rep.state = StateDraining
+	be := rep.be
+	r.rebuildRingLocked()
+	r.mu.Unlock()
+
+	err := be.Drain(ctx)
+
+	r.mu.Lock()
+	if rep.state == StateDraining {
+		rep.state = StateDown
+	}
+	r.mu.Unlock()
+	return err
+}
+
+// DrainAll drains every Up replica concurrently — the router-level
+// graceful shutdown (tenderserve's signal path in -router mode). The
+// first drain error is returned; all drains run to their bound.
+func (r *Router) DrainAll(ctx context.Context) error {
+	r.mu.Lock()
+	var ids []string
+	for _, rep := range r.replicas {
+		if rep.state == StateUp {
+			ids = append(ids, rep.id)
+		}
+	}
+	r.mu.Unlock()
+	errc := make(chan error, len(ids))
+	for _, id := range ids {
+		go func(id string) { errc <- r.Drain(ctx, id) }(id)
+	}
+	var first error
+	for range ids {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// markDown records a hard failure: the replica leaves the ring at once.
+func (r *Router) markDown(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := r.byID[id]
+	if rep == nil || rep.state == StateDown {
+		return
+	}
+	rep.state = StateDown
+	r.rebuildRingLocked()
+}
+
+// Restore puts a replica back in rotation, rebalancing ring ownership
+// onto it. A non-nil backend replaces the old handle — the recovery
+// path for in-process replicas, whose serve.Server cannot restart once
+// stopped or drained: the operator swaps in a fresh server under the
+// same identity and the ring hands the shard back.
+func (r *Router) Restore(id string, be Backend) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := r.byID[id]
+	if rep == nil {
+		return fmt.Errorf("router: unknown replica %q", id)
+	}
+	if be != nil {
+		rep.be = be
+	}
+	rep.state = StateUp
+	rep.probeFails.Store(0)
+	r.rebuildRingLocked()
+	return nil
+}
+
+// probeLoop is the background health checker: every period it probes
+// each replica's Healthy() and refreshes its metrics snapshot. An Up
+// replica failing ProbeFailures consecutive probes is marked Down; a
+// Down replica passing one probe is restored (HTTP replicas come back
+// by themselves — their process restarts; in-process replicas only
+// return through an explicit Restore with a fresh backend, which their
+// Healthy() going true again implies).
+func (r *Router) probeLoop() {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.cfg.ProbePeriod)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-tick.C:
+			r.probeOnce()
+		}
+	}
+}
+
+func (r *Router) probeOnce() {
+	r.mu.Lock()
+	reps := append([]*replica(nil), r.replicas...)
+	bes := make([]Backend, len(reps))
+	states := make([]State, len(reps))
+	for i, rep := range reps {
+		bes[i] = rep.be
+		states[i] = rep.state
+	}
+	r.mu.Unlock()
+
+	for i, rep := range reps {
+		if states[i] == StateDraining {
+			continue // the drain owns this replica's lifecycle
+		}
+		healthy := bes[i].Healthy()
+		// Refresh the load-scoring snapshot while we are here.
+		if snap, ok := bes[i].Snapshot(); ok {
+			rep.snapMu.Lock()
+			rep.snap, rep.snapOK, rep.snapAt = snap, true, time.Now()
+			rep.snapMu.Unlock()
+		}
+		switch {
+		case states[i] == StateUp && !healthy:
+			if int(rep.probeFails.Add(1)) >= r.cfg.ProbeFailures {
+				r.markDown(rep.id)
+			}
+		case states[i] == StateUp && healthy:
+			rep.probeFails.Store(0)
+		case states[i] == StateDown && healthy:
+			r.Restore(rep.id, nil)
+		}
+	}
+}

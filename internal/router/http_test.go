@@ -1,0 +1,134 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"tender/internal/model"
+	"tender/internal/serve"
+)
+
+// serveAPI mirrors the slice of the cmd/tenderserve JSON API the router
+// speaks — POST /v1/generate, GET /v1/metrics, GET /readyz — so the
+// HTTP backend can be exercised against a real scheduler without a
+// subprocess.
+func serveAPI(srv *serve.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/generate", func(w http.ResponseWriter, r *http.Request) {
+		var in httpGenerateRequest
+		if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		res, err := srv.Generate(r.Context(), serve.Request{
+			Prompt: in.Prompt, MaxNewTokens: in.MaxNewTokens,
+			Scheme: in.Scheme, Temperature: in.Temperature, Seed: in.Seed,
+		})
+		if err != nil {
+			code := http.StatusBadRequest
+			switch {
+			case errors.Is(err, serve.ErrQueueFull):
+				code = http.StatusTooManyRequests
+			case errors.Is(err, serve.ErrDraining), errors.Is(err, serve.ErrStopped):
+				code = http.StatusServiceUnavailable
+			case errors.Is(err, serve.ErrUnknownScheme):
+				code = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), code)
+			return
+		}
+		json.NewEncoder(w).Encode(httpGenerateResponse{
+			ID: res.ID, Scheme: res.Scheme, Tokens: res.Tokens,
+			PrefillTokens: res.PrefillTokens,
+		})
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(srv.Metrics().Snapshot())
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if srv.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+// TestHTTPBackendMultiProcess fronts one replica over the wire next to
+// an in-process one: requests route and return bit-identical tokens,
+// snapshots flow back for load scoring, and killing the HTTP replica
+// fails its owned requests over to the survivor and marks it Down.
+func TestHTTPBackendMultiProcess(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	engines := testEngines(t, m, []string{"fp32"})
+	remote := startReplica(t, m, engines, "fp32")
+	local := startReplica(t, m, engines, "fp32")
+	ts := httptest.NewServer(serveAPI(remote))
+	defer ts.Close()
+
+	hb := &HTTPBackend{BaseURL: ts.URL}
+	if !hb.Healthy() {
+		t.Fatal("HTTP replica not healthy")
+	}
+	if _, ok := hb.Snapshot(); !ok {
+		t.Fatal("HTTP snapshot unreachable")
+	}
+
+	r := startRouter(t, Config{
+		Replicas: []Replica{
+			{ID: "remote", Backend: hb},
+			{ID: "local", Backend: InProc{Srv: local}},
+		},
+		PageRows: testPageRows,
+	})
+	trace := groupedTrace(m)
+	rep := serve.RunLoad(r, serve.LoadConfig{Trace: trace, Clients: 2})
+	if rep.Failed > 0 {
+		t.Fatalf("%d requests failed through the HTTP backend", rep.Failed)
+	}
+	ref := serve.DecodeUnbatched(m, engines["fp32"], trace, 0, 0)
+	for i := range trace {
+		if len(rep.Outputs[i]) != len(ref[i]) {
+			t.Fatalf("request %d: %d tokens, reference %d", i, len(rep.Outputs[i]), len(ref[i]))
+		}
+		for j := range ref[i] {
+			if rep.Outputs[i][j] != ref[i][j] {
+				t.Fatalf("request %d token %d differs over the wire", i, j)
+			}
+		}
+	}
+
+	// Find a prompt the ring assigns to the remote replica, then kill the
+	// replica: that request must fail over to the survivor, and the
+	// unreachable backend must leave rotation.
+	ring := NewRing([]string{"local", "remote"}, DefaultVNodes)
+	var owned []int
+	for i := 0; len(owned) == 0; i++ {
+		owned = append([]int(nil), i%m.Cfg.Vocab, (i*3+1)%m.Cfg.Vocab, (i*7+2)%m.Cfg.Vocab)
+		if ring.Owner(AffinityKey(owned, testPageRows, DefaultAffinityChunks)) != "remote" {
+			owned = nil
+		}
+	}
+	ts.Close()
+	if hb.Healthy() {
+		t.Fatal("closed HTTP replica still reports healthy")
+	}
+	res, err := r.Generate(context.Background(), serve.Request{Prompt: owned, MaxNewTokens: 2})
+	if err != nil {
+		t.Fatalf("failover generate: %v", err)
+	}
+	if len(res.Tokens) != 2 {
+		t.Fatalf("failover generate returned %d tokens, want 2", len(res.Tokens))
+	}
+	if got := r.States()["remote"]; got != StateDown {
+		t.Fatalf("unreachable HTTP replica state = %v, want Down", got)
+	}
+	if snap := r.Snapshot(); snap.Failovers == 0 {
+		t.Fatal("no failover recorded for the unreachable replica")
+	}
+}

@@ -74,11 +74,19 @@ func PoissonArrivals(n int, mean time.Duration, seed uint64) []time.Duration {
 	return out
 }
 
-// RunLoad replays the trace against a started server and blocks until
+// Generator is anything that can serve a Request: a *Server, or a
+// multi-replica front end (router.Router) fanning requests out to several.
+// The load harness and the determinism gates are written against this, so
+// every serving topology is exercised by the same machinery.
+type Generator interface {
+	Generate(ctx context.Context, req Request) (Result, error)
+}
+
+// RunLoad replays the trace against a started Generator and blocks until
 // every request completes: closed-loop (Clients virtual users, each
 // submitting its next request when the previous finishes) by default, or
 // open-loop Poisson arrivals when PoissonMean is set.
-func RunLoad(srv *Server, cfg LoadConfig) LoadReport {
+func RunLoad(srv Generator, cfg LoadConfig) LoadReport {
 	n := len(cfg.Trace)
 	outputs := make([][]int, n)
 	results := make([]Result, n)
@@ -169,7 +177,11 @@ func RunLoad(srv *Server, cfg LoadConfig) LoadReport {
 	rep.LatencyP99Ms = quantile(lats, 0.99)
 	rep.TTFTP50Ms = quantile(ttfts, 0.50)
 	rep.TTFTP99Ms = quantile(ttfts, 0.99)
-	rep.MeanBatchSize = srv.Metrics().Snapshot().MeanBatchSize
+	// Generators without server metrics (multi-replica fronts) report the
+	// per-replica mean batch through their own snapshots instead.
+	if ms, ok := srv.(interface{ Metrics() *Metrics }); ok {
+		rep.MeanBatchSize = ms.Metrics().Snapshot().MeanBatchSize
+	}
 	return rep
 }
 

@@ -84,6 +84,7 @@ type Metrics struct {
 	mu             sync.Mutex
 	completed      int64
 	rejected       int64
+	drainRejected  int64
 	expired        int64
 	preemptions    int64
 	prefillTokens  int64
@@ -152,6 +153,13 @@ func (m *Metrics) prefixMount(skipped int) {
 func (m *Metrics) reject() {
 	m.mu.Lock()
 	m.rejected++
+	m.mu.Unlock()
+}
+
+// drainReject records one request refused because the server was draining.
+func (m *Metrics) drainReject() {
+	m.mu.Lock()
+	m.drainRejected++
 	m.mu.Unlock()
 }
 
@@ -276,8 +284,12 @@ type Snapshot struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Completed     int64   `json:"requests_completed"`
 	Rejected      int64   `json:"requests_rejected"`
-	Expired       int64   `json:"requests_expired"`
-	QueueDepth    int     `json:"queue_depth"`
+	// DrainRejected counts requests refused with ErrDraining after
+	// BeginDrain — what a router sees while it takes a replica out of
+	// rotation.
+	DrainRejected int64 `json:"requests_drain_rejected"`
+	Expired       int64 `json:"requests_expired"`
+	QueueDepth    int   `json:"queue_depth"`
 	// ActiveSessions is the batch size of the last scheduler iteration;
 	// PeakActiveSessions the largest batch ever run — with a paged KV
 	// cache this is what the memory budget actually bought.
@@ -356,6 +368,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		UptimeSeconds:       up,
 		Completed:           m.completed,
 		Rejected:            m.rejected,
+		DrainRejected:       m.drainRejected,
 		Expired:             m.expired,
 		ActiveSessions:      m.activeSessions,
 		PeakActiveSessions:  m.peakActive,
@@ -431,6 +444,7 @@ func writeSnapshotProm(p *obs.PromWriter, s Snapshot) {
 	p.Gauge("tender_uptime_seconds", "Seconds since the server started.", s.UptimeSeconds)
 	p.Counter("tender_requests_completed_total", "Requests finished successfully.", float64(s.Completed))
 	p.Counter("tender_requests_rejected_total", "Requests refused by the bounded admission queue.", float64(s.Rejected))
+	p.Counter("tender_requests_drain_rejected_total", "Requests refused while the server drained.", float64(s.DrainRejected))
 	p.Counter("tender_requests_expired_total", "Requests failed by deadline.", float64(s.Expired))
 	p.Gauge("tender_queue_depth", "Requests queued, held, or preempted.", float64(s.QueueDepth))
 	p.Gauge("tender_active_sessions", "Batch size of the last scheduler iteration.", float64(s.ActiveSessions))

@@ -68,6 +68,10 @@ var (
 	ErrDeadlineExceeded = errors.New("serve: request deadline exceeded")
 	// ErrStopped means the server shut down before the request finished.
 	ErrStopped = errors.New("serve: server stopped")
+	// ErrDraining means the server is draining: in-flight requests run to
+	// completion but new submissions are refused. Clients should retry on
+	// another replica (HTTP surfaces map this to 503 + Retry-After).
+	ErrDraining = errors.New("serve: server draining")
 	// ErrUnknownScheme means the request named an engine the server does
 	// not host.
 	ErrUnknownScheme = errors.New("serve: unknown scheme")
@@ -237,20 +241,27 @@ func (c *Config) fill() error {
 
 // Server runs the continuous-batching scheduler.
 type Server struct {
-	cfg     Config
-	queue   chan *pending
-	stop    chan struct{}
-	wg      sync.WaitGroup
-	metrics *Metrics
-	tracer  *obs.Tracer
-	nextID  uint64
-	idMu    sync.Mutex
+	cfg      Config
+	queue    chan *pending
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	metrics  *Metrics
+	tracer   *obs.Tracer
+	nextID   uint64
+	idMu     sync.Mutex
 	// kvPool is the shared page pool every paged session draws from
 	// (nil with ContiguousKV).
 	kvPool *tensor.BlockPool
 	// waitCount mirrors len(held)+len(preempted) for the queue-depth
 	// gauge, which is read outside the scheduler goroutine.
 	waitCount atomic.Int64
+	// draining flips once when drain begins: Generate then fails fast with
+	// ErrDraining while requests already submitted run to completion.
+	draining atomic.Bool
+	// inflight counts requests Generate has accepted and not yet returned
+	// to their callers — what a bounded drain waits on.
+	inflight atomic.Int64
 	// Scheduler-goroutine state: fused steppers per engine (nil = engine
 	// cannot fuse), scratch slices reused every iteration, and the
 	// memory-aware admission state — remaining KV budget rows, the
@@ -423,16 +434,56 @@ func (s *Server) Start() {
 }
 
 // Stop shuts the scheduler down. In-flight and queued requests fail with
-// ErrStopped. Stop blocks until the loop exits.
+// ErrStopped. Stop blocks until the loop exits; repeated calls are
+// no-ops, so drain-then-stop paths compose with deferred stops.
 func (s *Server) Stop() {
-	close(s.stop)
+	s.stopOnce.Do(func() { close(s.stop) })
 	s.wg.Wait()
+}
+
+// BeginDrain flips the server into draining mode: requests already
+// accepted run to completion, new Generate calls fail fast with
+// ErrDraining. Irreversible for the life of the server — a drained
+// replica is taken out of rotation, not put back.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether the server is refusing new submissions.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight returns how many accepted requests have not yet been delivered
+// back to their callers.
+func (s *Server) InFlight() int { return int(s.inflight.Load()) }
+
+// Drain is the bounded graceful-shutdown path: it begins draining and
+// blocks until every in-flight request has been delivered or ctx expires.
+// It does not stop the scheduler — callers Stop after a clean drain (or
+// immediately after an expired one, failing the stragglers with
+// ErrStopped). The router's drain state machine and tenderserve's signal
+// handler both sit on this.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.inflight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
 }
 
 // Generate submits a request and blocks until it completes, the context is
 // cancelled, or the server rejects/stops it. Rejection (full queue) is
 // immediate, never blocking — the bounded-queue contract.
 func (s *Server) Generate(ctx context.Context, req Request) (Result, error) {
+	// Counted before the draining check so a drain that begins between the
+	// two always waits for this request or sees it refused — never loses it.
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	if req.Scheme == "" {
 		req.Scheme = s.cfg.DefaultScheme
 	}
@@ -462,6 +513,11 @@ func (s *Server) Generate(ctx context.Context, req Request) (Result, error) {
 			return Result{}, fmt.Errorf("%w: %d rows needed, budget %d",
 				ErrKVBudget, s.pageRound(peak), s.cfg.KVBudgetRows)
 		}
+	}
+	if s.draining.Load() {
+		s.metrics.drainReject()
+		s.tracer.Record(obs.KindReject, 0, 0, obs.ReasonDraining, 0)
+		return Result{}, ErrDraining
 	}
 	s.idMu.Lock()
 	s.nextID++

@@ -12,6 +12,9 @@ type RequestSpec struct {
 	// ArrivalStep is the earliest scheduler iteration at which the request
 	// may be admitted, for open-loop replay; closed-loop drivers ignore it.
 	ArrivalStep int
+	// Group is the tenant index for prefix-grouped traces (requests with
+	// the same Group share a prompt prefix); 0 for ungrouped traces.
+	Group int
 }
 
 // TraceConfig bounds the shape of a request trace.
@@ -72,6 +75,61 @@ func RequestTrace(cfg TraceConfig, seed uint64) []RequestSpec {
 			for rng.Float64() >= p {
 				step++
 			}
+		}
+	}
+	return out
+}
+
+// PrefixGroupConfig bounds the shape of a prefix-grouped multi-tenant
+// trace: Groups tenants, each with its own shared system prompt, each
+// submitting RequestsPerGroup requests that append a unique user tail.
+type PrefixGroupConfig struct {
+	Groups           int
+	RequestsPerGroup int
+	// PrefixTokens is the per-tenant shared system-prompt length. Routers
+	// that hash page-aligned prefix chunks keep a whole tenant on one
+	// replica when this is a multiple of the KV page size.
+	PrefixTokens int
+	// TailTokens is the unique per-request user suffix length.
+	TailTokens int
+	NewTokens  int
+	Vocab      int
+}
+
+// PrefixGroupedTrace builds the multi-tenant shared-prefix arrival
+// pattern: Groups tenants each own a PrefixTokens-token system prompt
+// (distinct across tenants), and every request is that prefix plus a
+// TailTokens-token unique user message. Requests interleave round-robin
+// across tenants — g0,g1,...,gN,g0,... — so consecutive arrivals almost
+// never share a prefix and affinity, not arrival order, decides which
+// replica's PrefixCache can serve a hit. Deterministic in (cfg, seed).
+func PrefixGroupedTrace(cfg PrefixGroupConfig, seed uint64) []RequestSpec {
+	if cfg.Groups <= 0 || cfg.RequestsPerGroup <= 0 {
+		return nil
+	}
+	if cfg.PrefixTokens < 1 {
+		cfg.PrefixTokens = 1
+	}
+	if cfg.NewTokens < 1 {
+		cfg.NewTokens = 1
+	}
+	prefixes := make([][]int, cfg.Groups)
+	for g := range prefixes {
+		prefixes[g] = TokenStream(Wiki, seed+uint64(g)*7907+17, cfg.PrefixTokens, cfg.Vocab)
+	}
+	out := make([]RequestSpec, 0, cfg.Groups*cfg.RequestsPerGroup)
+	for r := 0; r < cfg.RequestsPerGroup; r++ {
+		for g := 0; g < cfg.Groups; g++ {
+			prompt := append([]int(nil), prefixes[g]...)
+			if cfg.TailTokens > 0 {
+				tail := TokenStream(PTB, seed+uint64(g)*104729+uint64(r)*31+1000003, cfg.TailTokens, cfg.Vocab)
+				prompt = append(prompt, tail...)
+			}
+			out = append(out, RequestSpec{
+				Prompt:    prompt,
+				NewTokens: cfg.NewTokens,
+				Group:     g,
+			})
 		}
 	}
 	return out

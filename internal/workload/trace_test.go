@@ -66,3 +66,72 @@ func TestRequestTraceDegenerateBounds(t *testing.T) {
 		t.Fatal("empty config must give nil trace")
 	}
 }
+
+func TestPrefixGroupedTrace(t *testing.T) {
+	cfg := PrefixGroupConfig{
+		Groups: 3, RequestsPerGroup: 4,
+		PrefixTokens: 8, TailTokens: 2, NewTokens: 3, Vocab: 64,
+	}
+	a := PrefixGroupedTrace(cfg, 7)
+	b := PrefixGroupedTrace(cfg, 7)
+	if len(a) != 12 {
+		t.Fatalf("trace length %d, want 12", len(a))
+	}
+	prefixes := map[int][]int{}
+	tails := map[string]bool{}
+	for i, r := range a {
+		// Deterministic in the seed.
+		if len(r.Prompt) != len(b[i].Prompt) || r.Group != b[i].Group {
+			t.Fatalf("request %d differs between identical seeds", i)
+		}
+		for j := range r.Prompt {
+			if r.Prompt[j] != b[i].Prompt[j] {
+				t.Fatalf("request %d token %d differs between identical seeds", i, j)
+			}
+			if r.Prompt[j] < 0 || r.Prompt[j] >= cfg.Vocab {
+				t.Fatalf("token %d out of vocab", r.Prompt[j])
+			}
+		}
+		// Round-robin interleave: consecutive arrivals rotate groups.
+		if r.Group != i%cfg.Groups {
+			t.Fatalf("request %d in group %d, want %d", i, r.Group, i%cfg.Groups)
+		}
+		if len(r.Prompt) != cfg.PrefixTokens+cfg.TailTokens || r.NewTokens != cfg.NewTokens {
+			t.Fatalf("request %d shape: prompt %d, new %d", i, len(r.Prompt), r.NewTokens)
+		}
+		// Same group ⇒ same prefix; tails unique across all requests.
+		if p, seen := prefixes[r.Group]; seen {
+			for j := 0; j < cfg.PrefixTokens; j++ {
+				if r.Prompt[j] != p[j] {
+					t.Fatalf("group %d prefix diverged at token %d", r.Group, j)
+				}
+			}
+		} else {
+			prefixes[r.Group] = r.Prompt[:cfg.PrefixTokens]
+		}
+		key := ""
+		for _, tok := range r.Prompt[cfg.PrefixTokens:] {
+			key += string(rune(tok + 1))
+		}
+		if tails[key+string(rune(r.Group))] {
+			t.Fatalf("request %d repeats a tail within its group", i)
+		}
+		tails[key+string(rune(r.Group))] = true
+	}
+	// Distinct groups get distinct prefixes.
+	for g := 1; g < cfg.Groups; g++ {
+		same := true
+		for j := range prefixes[0] {
+			if prefixes[g][j] != prefixes[0][j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("groups 0 and %d share a prefix", g)
+		}
+	}
+	if PrefixGroupedTrace(PrefixGroupConfig{}, 1) != nil {
+		t.Fatal("empty config must give nil trace")
+	}
+}
