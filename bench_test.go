@@ -784,3 +784,11 @@ func BenchmarkRouterThroughput(b *testing.B) {
 		b.ReportMetric(rate, "hit-rate")
 	}
 }
+
+// BenchmarkChaosSoak runs the seeded fault-injection soak: Poisson load
+// over three replicas while the injector drops, stalls, and crashes
+// submissions and vetoes KV admission. The experiment panics — failing
+// the benchmark — unless every request completes, every output is
+// bit-identical to the fault-free reference, and no replica leaks a KV
+// page. See `tenderbench -exp chaos` for the full-size soak.
+func BenchmarkChaosSoak(b *testing.B) { benchTable(b, experiments.ChaosBench) }

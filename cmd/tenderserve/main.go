@@ -38,6 +38,17 @@
 // spilled by queue depth and KV occupancy. -route-policy selects
 // affinity (default), random (scatter) or round-robin.
 //
+// The router's resilience layer retries failed submissions across
+// replicas with bounded attempts and deterministic-jitter backoff
+// (-attempt-timeout, -max-attempts, -retry-backoff) and opens a
+// per-replica circuit breaker after consecutive failures
+// (-breaker-threshold, -breaker-cooldown). The server itself validates
+// requests at the boundary (400), sheds load with 503 + Retry-After
+// under queue or KV pressure (-brownout-queue-wait, -brownout-kv-frac),
+// and isolates scheduler-step panics to the offending request (500).
+// -chaos injects seeded deterministic faults (-chaos-*) to exercise all
+// of it against a live server.
+//
 // Shutdown is drain-first: SIGINT/SIGTERM flips /readyz to 503, refuses
 // new requests with 503 + Retry-After, lets in-flight requests finish
 // (bounded by -drain-timeout), then exits.
@@ -64,6 +75,7 @@ import (
 	"syscall"
 	"time"
 
+	"tender/internal/chaos"
 	"tender/internal/engine"
 	"tender/internal/model"
 	"tender/internal/obs"
@@ -100,6 +112,29 @@ func main() {
 		backendsFlag  = flag.String("backends", "", "router: ';'/space-separated base URLs of remote tenderserve replicas to front over HTTP instead of in-process replicas (implies -router; health-checked via their /readyz)")
 		routePolicy   = flag.String("route-policy", "affinity", "router: request placement policy — affinity (consistent-hash prefix chunks), random (scatter) or round-robin")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "bound on finishing in-flight requests when SIGINT/SIGTERM starts a drain")
+
+		attemptTimeout   = flag.Duration("attempt-timeout", 0, "router: per-attempt deadline; a replica that does not answer in time is retried elsewhere (0 = no per-attempt bound). Must exceed worst-case request latency, queue wait included")
+		maxAttempts      = flag.Int("max-attempts", 0, "router: total attempts per request across retries and failovers (0 = one try per healthy replica)")
+		retryBackoff     = flag.Duration("retry-backoff", 0, "router: base delay before a retry, doubled per attempt with deterministic jitter (0 = retry immediately)")
+		retryBackoffMax  = flag.Duration("retry-backoff-max", 0, "router: cap on the exponential retry backoff (0 = 32x retry-backoff)")
+		breakerThreshold = flag.Int("breaker-threshold", 0, "router: consecutive retriable failures that open a replica's circuit breaker (0 = breaker off)")
+		breakerCooldown  = flag.Duration("breaker-cooldown", 0, "router: how long an open breaker rejects a replica before a half-open probe (0 = 250ms)")
+
+		brownoutQueueWait = flag.Duration("brownout-queue-wait", 0, "shed new requests with 503 while the scheduler's recent queue wait exceeds this (0 = off)")
+		brownoutKVFrac    = flag.Float64("brownout-kv-frac", 0, "shed new requests with 503 while live KV occupancy exceeds this fraction of the KV budget (0 = off; needs -kv-pages)")
+
+		chaosOn        = flag.Bool("chaos", false, "inject seeded faults into the serving stack (testing only; see -chaos-* for the fault mix)")
+		chaosSeed      = flag.Uint64("chaos-seed", 1, "chaos: decision seed; the same seed faults the same operation sequence")
+		chaosTransport = flag.Float64("chaos-transport-rate", 0, "chaos: probability a submission fails as replica-unreachable")
+		chaosStallRate = flag.Float64("chaos-stall-rate", 0, "chaos: probability a submission stalls for -chaos-stall-for")
+		chaosStallFor  = flag.Duration("chaos-stall-for", 0, "chaos: stall duration (0 = 10ms)")
+		chaosMaxStalls = flag.Int("chaos-max-stalls", 0, "chaos: cap on injected stalls (0 = unlimited)")
+		chaosCrashRate = flag.Float64("chaos-crash-rate", 0, "chaos: probability a submission kills its replica (needs -chaos-max-crashes)")
+		chaosMaxCrash  = flag.Int("chaos-max-crashes", 0, "chaos: cap on replica kills (0 = crashes off)")
+		chaosKVRate    = flag.Float64("chaos-kv-rate", 0, "chaos: probability a KV admission check is vetoed as if the pool were dry")
+		chaosMaxKV     = flag.Int("chaos-max-kv", 0, "chaos: cap on KV vetoes (0 = unlimited)")
+		chaosPanicRate = flag.Float64("chaos-panic-rate", 0, "chaos: probability a scheduler step panics (isolated per request)")
+		chaosMaxPanics = flag.Int("chaos-max-panics", 0, "chaos: cap on injected panics (0 = unlimited)")
 
 		load      = flag.Bool("load", false, "run a deterministic load test instead of serving")
 		requests  = flag.Int("requests", 64, "load: number of requests")
@@ -168,6 +203,25 @@ func main() {
 	if *traceOn {
 		tracer = obs.NewTracer(*traceEvents)
 	}
+	// One injector shared by every hook site (backend submissions, KV
+	// admission, scheduler steps); nil keeps the hooks free.
+	var inj *chaos.Injector
+	if *chaosOn {
+		inj = chaos.New(chaos.Config{
+			Seed:          *chaosSeed,
+			TransportRate: *chaosTransport,
+			StallRate:     *chaosStallRate,
+			StallFor:      *chaosStallFor,
+			MaxStalls:     *chaosMaxStalls,
+			CrashRate:     *chaosCrashRate,
+			MaxCrashes:    *chaosMaxCrash,
+			KVExhaustRate: *chaosKVRate,
+			MaxKVExhaust:  *chaosMaxKV,
+			PanicRate:     *chaosPanicRate,
+			MaxPanics:     *chaosMaxPanics,
+		})
+		fmt.Fprintf(os.Stderr, "chaos: injecting seeded faults (seed=%d)\n", *chaosSeed)
+	}
 	// One replica by default; -router (or an explicit -replicas > 1) shards
 	// the fleet. Replicas share the model and the calibrated engines — both
 	// read-only at inference time — but each owns its scheduler, KV page
@@ -201,6 +255,9 @@ func main() {
 			PrefixCache:        *prefixCache,
 			PrefixCacheRows:    *prefixRows,
 			Tracer:             tracer,
+			BrownoutQueueWait:  *brownoutQueueWait,
+			BrownoutKVFrac:     *brownoutKVFrac,
+			Chaos:              inj,
 		})
 		if err != nil {
 			fatalf("%v", err)
@@ -215,7 +272,15 @@ func main() {
 		fleet []*serve.Server
 	)
 	if *routerOn {
-		rcfg := router.Config{Policy: policy, PageRows: pageRows}
+		rcfg := router.Config{
+			Policy: policy, PageRows: pageRows,
+			AttemptTimeout:   *attemptTimeout,
+			MaxAttempts:      *maxAttempts,
+			RetryBackoff:     *retryBackoff,
+			RetryBackoffMax:  *retryBackoffMax,
+			BreakerThreshold: *breakerThreshold,
+			BreakerCooldown:  *breakerCooldown,
+		}
 		if len(backendURLs) > 0 {
 			// Multi-process front end: this process runs no scheduler of its
 			// own, only the router over the remote tenderserve replicas.
@@ -228,16 +293,23 @@ func main() {
 			for _, u := range backendURLs {
 				rcfg.Replicas = append(rcfg.Replicas, router.Replica{
 					ID:      u,
-					Backend: &router.HTTPBackend{BaseURL: u},
+					Backend: &router.HTTPBackend{BaseURL: u, Chaos: inj, ID: u},
 				})
 			}
 		} else {
+			if inj != nil {
+				// Injected transport faults hard-fail in-process replicas
+				// Down; without a prober nothing ever restores them, so
+				// chaos mode probes (InProc.Healthy answers instantly).
+				rcfg.ProbePeriod = 250 * time.Millisecond
+			}
 			for i := 0; i < nReplicas; i++ {
 				s := mkServer()
 				fleet = append(fleet, s)
+				id := fmt.Sprintf("r%d", i)
 				rcfg.Replicas = append(rcfg.Replicas, router.Replica{
-					ID:      fmt.Sprintf("r%d", i),
-					Backend: router.InProc{Srv: s},
+					ID:      id,
+					Backend: router.InProc{Srv: s, Chaos: inj, ID: id},
 				})
 			}
 		}
@@ -337,6 +409,13 @@ func main() {
 			Temperature:  in.Temperature,
 			Seed:         in.Seed,
 		}
+		// Boundary validation: a malformed request is a 400 here even when
+		// the fleet behind the router is unreachable (which would otherwise
+		// answer 503 before validation ran on a replica).
+		if err := serve.ValidateRequest(m.Cfg, req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
 		ctx := r.Context()
 		if in.TimeoutMs > 0 {
 			var cancel context.CancelFunc
@@ -348,8 +427,9 @@ func main() {
 		if err != nil {
 			code := statusFor(err)
 			if code == http.StatusServiceUnavailable {
-				// Draining: the request was refused, not lost — retry against
-				// another replica (or after the restart) shortly.
+				// Draining or browned out: the request was refused, not lost
+				// — retry against another replica (or once pressure clears)
+				// shortly.
 				w.Header().Set("Retry-After", "1")
 			}
 			httpError(w, code, err)
@@ -461,15 +541,19 @@ type generateResponse struct {
 
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, serve.ErrInvalidRequest):
+		return http.StatusBadRequest
 	case errors.Is(err, serve.ErrQueueFull):
 		return http.StatusTooManyRequests
-	case errors.Is(err, serve.ErrDraining), errors.Is(err, serve.ErrStopped),
-		errors.Is(err, router.ErrNoReplicas):
+	case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrDraining),
+		errors.Is(err, serve.ErrStopped), errors.Is(err, router.ErrNoReplicas):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, serve.ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, serve.ErrUnknownScheme):
 		return http.StatusNotFound
+	case errors.Is(err, serve.ErrInternal):
+		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
 	}

@@ -1,0 +1,273 @@
+// Package chaos injects deterministic, seeded faults into the serving
+// stack so the failure paths are as tested as the happy path.
+//
+// The injector sits behind tiny hooks in the router backends and the
+// serve scheduler: a submission may be dropped with a transport error,
+// stalled past the router's attempt timeout, or turned into a replica
+// crash; a KV admission check may be vetoed as if the page pool were
+// dry; a scheduler step may panic. Every decision is a pure function of
+// (seed, operation, sequence number) — a splitmix64 hash, not a shared
+// RNG — so the set of faulted operations is reproducible even when the
+// operations themselves race on many goroutines.
+//
+// A nil *Injector is the off switch: every hook method has a nil
+// receiver fast path that returns the zero decision, so wiring chaos
+// into a hot path costs one pointer test and nothing else. The serving
+// stack never imports this package's faults as policy — faults surface
+// through the stack's own error vocabulary (a transport fault becomes
+// router.ErrReplicaUnreachable, a KV veto becomes a held admission) so
+// the resilience code cannot special-case "injected" failures.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Fault identifies one kind of injected failure.
+type Fault uint8
+
+const (
+	// FaultNone is the zero decision: proceed normally.
+	FaultNone Fault = iota
+	// FaultTransport fails a submission before it reaches the replica,
+	// as if the connection were refused.
+	FaultTransport
+	// FaultStall delays a submission by Decision.Delay before letting it
+	// proceed — long stalls exercise the router's per-attempt timeout,
+	// short ones its tail latency.
+	FaultStall
+	// FaultCrash kills the target replica (the backend hook stops the
+	// server); subsequent submissions fail with the stack's own
+	// stopped/unreachable errors and the prober marks it down.
+	FaultCrash
+	// FaultKVExhaust vetoes one KV admission check, as if the page pool
+	// were momentarily dry; the scheduler holds the request and retries.
+	FaultKVExhaust
+	// FaultPanic panics one scheduler step, exercising per-request panic
+	// isolation.
+	FaultPanic
+
+	numFaults
+)
+
+// String names the fault for logs and bench rows.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultTransport:
+		return "transport"
+	case FaultStall:
+		return "stall"
+	case FaultCrash:
+		return "crash"
+	case FaultKVExhaust:
+		return "kv-exhaust"
+	case FaultPanic:
+		return "panic"
+	}
+	return fmt.Sprintf("fault(%d)", uint8(f))
+}
+
+// ErrInjected marks an injected transport failure. Callers wrap it in
+// their own error vocabulary (the router wraps it in
+// ErrReplicaUnreachable) so resilience code observes an ordinary
+// failure, not a chaos-specific one.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Config sets the fault mix. Rates are per-operation probabilities in
+// [0,1]; a zero rate disables that fault. Crashes are permanent and
+// destructive, so they additionally require an explicit MaxCrashes
+// budget — CrashRate alone injects nothing.
+type Config struct {
+	// Seed drives every decision. Two injectors with the same Config
+	// fault the same operation sequence numbers.
+	Seed uint64
+
+	// TransportRate is the probability a submission fails before
+	// reaching the replica.
+	TransportRate float64
+	// StallRate is the probability a submission is delayed by StallFor.
+	StallRate float64
+	// StallFor is the stall duration (default 10ms).
+	StallFor time.Duration
+	// MaxStalls caps injected stalls (0 = unlimited). Stalls are the one
+	// fault that costs real wall time — a stall longer than the router's
+	// attempt timeout burns a full attempt — so soaks cap them to bound
+	// their own duration.
+	MaxStalls int
+	// CrashRate is the probability a submission kills its replica.
+	// Ignored unless MaxCrashes > 0.
+	CrashRate float64
+	// MaxCrashes caps replica kills; 0 disables crashes entirely.
+	MaxCrashes int
+	// KVExhaustRate is the probability a scheduler KV admission check is
+	// vetoed as if the pool were dry.
+	KVExhaustRate float64
+	// MaxKVExhaust caps KV vetoes (0 = unlimited). A cap guarantees the
+	// scheduler's held requests eventually admit even at rate 1.
+	MaxKVExhaust int
+	// PanicRate is the probability a scheduler step panics.
+	PanicRate float64
+	// MaxPanics caps injected panics (0 = unlimited).
+	MaxPanics int
+}
+
+// Decision is the outcome of one injector draw.
+type Decision struct {
+	Fault Fault
+	// Delay is the stall duration when Fault == FaultStall.
+	Delay time.Duration
+}
+
+// Stats counts injected faults by kind.
+type Stats struct {
+	Transport  int64 `json:"transport"`
+	Stalls     int64 `json:"stalls"`
+	Crashes    int64 `json:"crashes"`
+	KVExhausts int64 `json:"kv_exhausts"`
+	Panics     int64 `json:"panics"`
+}
+
+// Total is the number of injected faults of any kind.
+func (s Stats) Total() int64 {
+	return s.Transport + s.Stalls + s.Crashes + s.KVExhausts + s.Panics
+}
+
+// Operation sites get independent sequence counters and hash tags so
+// the fault pattern at one hook does not shift when another hook is
+// called more or less often.
+const (
+	opSubmit uint64 = 0x5b71c9a3d42e8f17
+	opKV     uint64 = 0x9e6d3b82f1a45c0b
+	opStep   uint64 = 0xc4a19f5e7d2b8361
+)
+
+// Injector draws deterministic fault decisions. Safe for concurrent
+// use; a nil *Injector injects nothing and costs one pointer test per
+// hook.
+type Injector struct {
+	cfg Config
+
+	submitSeq atomic.Uint64
+	kvSeq     atomic.Uint64
+	stepSeq   atomic.Uint64
+
+	counts [numFaults]atomic.Int64
+}
+
+// New returns an injector for cfg. A zero Config injects nothing but
+// still draws (useful as an explicit no-op); pass a nil *Injector to
+// compile the hooks out entirely.
+func New(cfg Config) *Injector {
+	if cfg.StallFor <= 0 {
+		cfg.StallFor = 10 * time.Millisecond
+	}
+	return &Injector{cfg: cfg}
+}
+
+// splitmix64 is the finalizer from Vigna's splitmix64: a cheap
+// avalanche hash whose low bias makes hash(seed^op^n) usable as one
+// uniform draw per (op, n).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// draw maps the n-th operation at site op to a uniform float in [0,1).
+func (inj *Injector) draw(op, n uint64) float64 {
+	return float64(splitmix64(inj.cfg.Seed^op^n)>>11) / (1 << 53)
+}
+
+// take consumes one unit of a capped fault budget; it returns false
+// when the cap is exhausted (max > 0) so the decision falls through to
+// FaultNone.
+func (inj *Injector) take(f Fault, max int) bool {
+	n := inj.counts[f].Add(1)
+	if max > 0 && n > int64(max) {
+		inj.counts[f].Add(-1)
+		return false
+	}
+	return true
+}
+
+// Submit draws the fault decision for one backend submission. The
+// target name is informational (all replicas share one site sequence so
+// the faulted set is independent of routing).
+func (inj *Injector) Submit(target string) Decision {
+	if inj == nil {
+		return Decision{}
+	}
+	_ = target
+	u := inj.draw(opSubmit, inj.submitSeq.Add(1))
+	c := inj.cfg
+	// Carve [0,1) into adjacent bands, destructive faults first so a
+	// crash budget is spent before milder faults dilute it.
+	crash := c.CrashRate
+	if c.MaxCrashes <= 0 {
+		crash = 0
+	}
+	switch {
+	case u < crash:
+		if inj.take(FaultCrash, c.MaxCrashes) {
+			return Decision{Fault: FaultCrash}
+		}
+	case u < crash+c.TransportRate:
+		if inj.take(FaultTransport, 0) {
+			return Decision{Fault: FaultTransport}
+		}
+	case u < crash+c.TransportRate+c.StallRate:
+		if inj.take(FaultStall, c.MaxStalls) {
+			return Decision{Fault: FaultStall, Delay: c.StallFor}
+		}
+	}
+	return Decision{}
+}
+
+// KVExhausted reports whether one KV admission check should be vetoed
+// as if the page pool were dry.
+func (inj *Injector) KVExhausted() bool {
+	if inj == nil {
+		return false
+	}
+	if inj.cfg.KVExhaustRate <= 0 {
+		return false
+	}
+	if inj.draw(opKV, inj.kvSeq.Add(1)) >= inj.cfg.KVExhaustRate {
+		return false
+	}
+	return inj.take(FaultKVExhaust, inj.cfg.MaxKVExhaust)
+}
+
+// StepPanic reports whether one scheduler step should panic.
+func (inj *Injector) StepPanic() bool {
+	if inj == nil {
+		return false
+	}
+	if inj.cfg.PanicRate <= 0 {
+		return false
+	}
+	if inj.draw(opStep, inj.stepSeq.Add(1)) >= inj.cfg.PanicRate {
+		return false
+	}
+	return inj.take(FaultPanic, inj.cfg.MaxPanics)
+}
+
+// Stats returns the injected-fault counts so far.
+func (inj *Injector) Stats() Stats {
+	if inj == nil {
+		return Stats{}
+	}
+	return Stats{
+		Transport:  inj.counts[FaultTransport].Load(),
+		Stalls:     inj.counts[FaultStall].Load(),
+		Crashes:    inj.counts[FaultCrash].Load(),
+		KVExhausts: inj.counts[FaultKVExhaust].Load(),
+		Panics:     inj.counts[FaultPanic].Load(),
+	}
+}

@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorInjectsNothing pins the off switch: every hook on a
+// nil receiver returns the zero decision.
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var inj *Injector
+	for i := 0; i < 100; i++ {
+		if d := inj.Submit("r0"); d.Fault != FaultNone {
+			t.Fatalf("nil injector submitted fault %v", d.Fault)
+		}
+		if inj.KVExhausted() {
+			t.Fatal("nil injector vetoed KV")
+		}
+		if inj.StepPanic() {
+			t.Fatal("nil injector panicked a step")
+		}
+	}
+	if s := inj.Stats(); s.Total() != 0 {
+		t.Fatalf("nil injector counted faults: %+v", s)
+	}
+}
+
+// TestDeterministicSequence pins that two injectors with the same seed
+// fault the same operation sequence numbers, independent of targets.
+func TestDeterministicSequence(t *testing.T) {
+	cfg := Config{
+		Seed: 42, TransportRate: 0.2, StallRate: 0.2,
+		CrashRate: 0.05, MaxCrashes: 3, StallFor: time.Millisecond,
+	}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 500; i++ {
+		da, db := a.Submit("left"), b.Submit("right")
+		if da != db {
+			t.Fatalf("draw %d: %+v vs %+v", i, da, db)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverge: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().Total() == 0 {
+		t.Fatal("rates 0.45 over 500 draws injected nothing")
+	}
+}
+
+// TestRatesRoughlyHold sanity-checks the band carving: at rate r over n
+// draws the injected count lands near r*n.
+func TestRatesRoughlyHold(t *testing.T) {
+	const n = 20000
+	inj := New(Config{Seed: 7, TransportRate: 0.1, StallRate: 0.05})
+	for i := 0; i < n; i++ {
+		inj.Submit("r")
+	}
+	s := inj.Stats()
+	if s.Transport < n/20 || s.Transport > n/5 {
+		t.Fatalf("transport count %d far from %d", s.Transport, n/10)
+	}
+	if s.Stalls < n/40 || s.Stalls > n/10 {
+		t.Fatalf("stall count %d far from %d", s.Stalls, n/20)
+	}
+	if s.Crashes != 0 {
+		t.Fatalf("crashes injected with MaxCrashes=0: %d", s.Crashes)
+	}
+}
+
+// TestCrashBudget pins that MaxCrashes caps kills and that CrashRate
+// alone (no budget) injects none.
+func TestCrashBudget(t *testing.T) {
+	inj := New(Config{Seed: 1, CrashRate: 1, MaxCrashes: 2})
+	var crashes int
+	for i := 0; i < 100; i++ {
+		if inj.Submit("r").Fault == FaultCrash {
+			crashes++
+		}
+	}
+	if crashes != 2 {
+		t.Fatalf("crashes = %d, want 2", crashes)
+	}
+	if got := inj.Stats().Crashes; got != 2 {
+		t.Fatalf("Stats().Crashes = %d, want 2", got)
+	}
+}
+
+// TestKVAndPanicCaps pins the capped hook budgets.
+func TestKVAndPanicCaps(t *testing.T) {
+	inj := New(Config{Seed: 3, KVExhaustRate: 1, MaxKVExhaust: 4, PanicRate: 1, MaxPanics: 1})
+	var kv, panics int
+	for i := 0; i < 50; i++ {
+		if inj.KVExhausted() {
+			kv++
+		}
+		if inj.StepPanic() {
+			panics++
+		}
+	}
+	if kv != 4 || panics != 1 {
+		t.Fatalf("kv=%d panics=%d, want 4 and 1", kv, panics)
+	}
+}
+
+// TestConcurrentDraws races the hooks under -race and pins that the
+// total faulted count is the same as a serial run with the same seed —
+// the per-site sequence numbering makes the faulted set independent of
+// interleaving.
+func TestConcurrentDraws(t *testing.T) {
+	cfg := Config{Seed: 99, TransportRate: 0.3, StallRate: 0.1, KVExhaustRate: 0.2, PanicRate: 0.2}
+	const n = 2000
+	serial := New(cfg)
+	for i := 0; i < n; i++ {
+		serial.Submit("r")
+		serial.KVExhausted()
+		serial.StepPanic()
+	}
+
+	conc := New(cfg)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/8; i++ {
+				conc.Submit("r")
+				conc.KVExhausted()
+				conc.StepPanic()
+			}
+		}()
+	}
+	wg.Wait()
+	if serial.Stats() != conc.Stats() {
+		t.Fatalf("concurrent stats %+v != serial %+v", conc.Stats(), serial.Stats())
+	}
+}

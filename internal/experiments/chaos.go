@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"tender/internal/chaos"
+	"tender/internal/engine"
+	"tender/internal/model"
+	"tender/internal/router"
+	"tender/internal/serve"
+	"tender/internal/workload"
+)
+
+// chaosBenchResult is the JSON summary of the chaos soak.
+type chaosBenchResult struct {
+	Scheme       string  `json:"scheme"`
+	Batch        int     `json:"batch"` // replica count
+	TokensPerSec float64 `json:"decode_tokens_per_sec"`
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	TTFTP50Ms    float64 `json:"ttft_p50_ms"`
+	// Completed is the fraction of requests that finished (the soak's
+	// acceptance bar is 1.0) and BitIdentical whether every output
+	// matched the fault-free unbatched reference exactly.
+	Completed    float64 `json:"completed_fraction"`
+	BitIdentical bool    `json:"bit_identical"`
+	// Resilience accounting: injected faults by kind, router failovers,
+	// and circuit-breaker open transitions absorbed during the soak.
+	FaultsInjected int64 `json:"faults_injected"`
+	Transport      int64 `json:"faults_transport"`
+	Stalls         int64 `json:"faults_stall"`
+	Crashes        int64 `json:"faults_crash"`
+	KVExhausts     int64 `json:"faults_kv_exhaust"`
+	Failovers      int64 `json:"failovers"`
+	BreakerTrips   int64 `json:"breaker_trips"`
+}
+
+// ChaosBench is the chaos soak: a Poisson arrival stream over three
+// sharded serving replicas while a seeded fault injector drops
+// submissions with transport errors, stalls them past the router's
+// attempt timeout, kills one replica outright, and vetoes KV admission
+// checks as if the page pool ran dry. The resilience layer — attempt
+// timeouts, bounded retries with deterministic backoff, per-replica
+// circuit breakers, the health prober — must absorb all of it:
+//
+//   - every request completes (completed_fraction == 1.0),
+//   - every output is bit-identical to the fault-free unbatched
+//     reference (failover and retry never change tokens), and
+//   - no replica leaks a KV page (pool in-use 0, allocs == frees).
+//
+// One row lands in BENCH_serve.json as chaos-soak/fp32. The injector is
+// seeded, so the faulted operation sequence is reproducible run to run.
+func ChaosBench(o Options) Table {
+	const (
+		modelName = "opt-6.7b"
+		scheme    = "fp32"
+		replicas  = 3
+		pageRows  = 16
+	)
+	groups, perGroup, prefixTok, tailTok, newTok := 6, 8, 64, 8, 12
+	poissonMean := 1 * time.Millisecond
+	// AttemptTimeout must sit above genuine request latency (queue wait
+	// included — seconds at full size on a loaded box) or the router
+	// cancels legitimate in-flight work and retries become a storm; the
+	// stall is tuned just past it so every injected stall burns exactly
+	// one attempt.
+	attemptTimeout := 10 * time.Second
+	if o.Quick {
+		groups, perGroup, prefixTok, newTok = 4, 4, 32, 6
+		poissonMean = 2 * time.Millisecond
+		attemptTimeout = 2 * time.Second
+	}
+	attemptTimeout *= raceScale
+	stallFor := attemptTimeout + time.Second
+	m := model.New(model.Registry(modelName))
+	engines, err := engine.BuildEngines(m, []string{scheme}, engine.BuildOptions{
+		Bits: 8, Streams: 2, StreamLen: 64, Serving: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	trace := workload.PrefixGroupedTrace(workload.PrefixGroupConfig{
+		Groups: groups, RequestsPerGroup: perGroup,
+		PrefixTokens: prefixTok, TailTokens: tailTok,
+		NewTokens: newTok, Vocab: m.Cfg.Vocab,
+	}, 4+o.Seed)
+
+	// The fault-free reference every output must reproduce exactly.
+	ref := serve.DecodeUnbatched(m, engines[scheme], trace, 0, 7+o.Seed)
+
+	// One injector drives both the backend submit hooks (transport,
+	// stall, crash) and each scheduler's KV admission hook. Stalls
+	// outlast the attempt timeout so they surface as ErrAttemptTimeout;
+	// the crash budget kills exactly one replica mid-soak.
+	inj := chaos.New(chaos.Config{
+		Seed:          0xC405 + o.Seed,
+		TransportRate: 0.10,
+		StallRate:     0.05,
+		StallFor:      stallFor,
+		MaxStalls:     2,
+		CrashRate:     0.08,
+		MaxCrashes:    1,
+		KVExhaustRate: 0.25,
+		MaxKVExhaust:  16,
+	})
+
+	var servers []*serve.Server
+	var members []router.Replica
+	for i := 0; i < replicas; i++ {
+		srv, err := serve.New(serve.Config{
+			Model: m, Engines: engines, DefaultScheme: scheme,
+			MaxBatch: 8, QueueDepth: len(trace), PrefillChunk: 16,
+			KVPageRows: pageRows, PrefixCache: true,
+			Chaos: inj,
+		})
+		if err != nil {
+			panic(err)
+		}
+		srv.Start()
+		servers = append(servers, srv)
+		id := fmt.Sprintf("r%d", i)
+		members = append(members, router.Replica{
+			ID:      id,
+			Backend: router.InProc{Srv: srv, Chaos: inj, ID: id},
+		})
+	}
+	rt, err := router.New(router.Config{
+		Replicas: members, Policy: router.PolicyAffinity, PageRows: pageRows,
+		ProbePeriod: 10 * time.Millisecond, ProbeFailures: 2,
+		AttemptTimeout:   attemptTimeout,
+		MaxAttempts:      12,
+		RetryBackoff:     2 * time.Millisecond,
+		JitterSeed:       11 + o.Seed,
+		BreakerThreshold: 2, BreakerCooldown: 40 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rt.Start()
+	rep := serve.RunLoad(rt, serve.LoadConfig{
+		Trace: trace, Scheme: scheme, SeedBase: 7 + o.Seed,
+		PoissonMean: poissonMean, ArrivalSeed: 5 + o.Seed,
+	})
+	snap := rt.Snapshot()
+	rt.Stop()
+
+	if rep.Failed > 0 {
+		panic(fmt.Sprintf("chaos soak: %d of %d requests failed under injected faults", rep.Failed, rep.Requests))
+	}
+	identical := true
+	for i := range trace {
+		if len(rep.Outputs[i]) != len(ref[i]) {
+			identical = false
+			break
+		}
+		for j := range ref[i] {
+			if rep.Outputs[i][j] != ref[i][j] {
+				identical = false
+				break
+			}
+		}
+	}
+	if !identical {
+		panic("chaos soak: outputs diverged from the fault-free reference")
+	}
+	// Every replica — the crashed one included — must return all KV pages.
+	for i, srv := range servers {
+		srv.Stop()
+		ss := srv.Metrics().Snapshot()
+		if ss.KVPagesInUse != 0 || ss.KVPageAllocs != ss.KVPageFrees {
+			panic(fmt.Sprintf("chaos soak: replica r%d leaked KV pages: in-use %d, allocs %d, frees %d",
+				i, ss.KVPagesInUse, ss.KVPageAllocs, ss.KVPageFrees))
+		}
+	}
+	st := inj.Stats()
+	if st.Total() == 0 {
+		panic("chaos soak: no faults were injected — the soak exercised nothing")
+	}
+	var trips int64
+	for _, rs := range snap.Replicas {
+		trips += rs.BreakerTrips
+	}
+
+	res := chaosBenchResult{
+		Scheme:       "chaos-soak/" + scheme,
+		Batch:        replicas,
+		TokensPerSec: rep.TokensPerSec,
+		LatencyP50Ms: rep.LatencyP50Ms, TTFTP50Ms: rep.TTFTP50Ms,
+		Completed:      float64(rep.Requests-rep.Failed) / float64(rep.Requests),
+		BitIdentical:   identical,
+		FaultsInjected: st.Total(),
+		Transport:      st.Transport,
+		Stalls:         st.Stalls,
+		Crashes:        st.Crashes,
+		KVExhausts:     st.KVExhausts,
+		Failovers:      snap.Failovers,
+		BreakerTrips:   trips,
+	}
+
+	t := Table{
+		ID:    "chaos",
+		Title: "Chaos soak: Poisson load over 3 replicas under injected faults",
+		Note: fmt.Sprintf("%s/%s, %d tenants × %d requests, Poisson mean %v, GOMAXPROCS=%d; faults: transport %.0f%%, ≤2 stalls of %v (> %v attempt timeout), 1 crash, KV vetoes ≤%d; retries ≤%d with backoff, breaker threshold %d",
+			modelName, scheme, groups, perGroup, poissonMean, runtime.GOMAXPROCS(0),
+			100*0.10, stallFor, attemptTimeout, 16, 12, 2),
+		Columns: []string{"Scheme", "Replicas", "tok/s", "p50 ms", "TTFT p50", "Faults", "Failovers", "Trips", "Complete", "BitIdent"},
+	}
+	t.Rows = append(t.Rows, []string{
+		res.Scheme, fmt.Sprintf("%d", res.Batch),
+		fmt.Sprintf("%.1f", res.TokensPerSec),
+		fmt.Sprintf("%.1f", res.LatencyP50Ms),
+		fmt.Sprintf("%.1f", res.TTFTP50Ms),
+		fmt.Sprintf("%d", res.FaultsInjected),
+		fmt.Sprintf("%d", res.Failovers),
+		fmt.Sprintf("%d", res.BreakerTrips),
+		fmt.Sprintf("%.0f%%", 100*res.Completed),
+		fmt.Sprintf("%v", res.BitIdentical),
+	})
+
+	if blob, err := json.Marshal(res); err == nil {
+		var row map[string]any
+		if json.Unmarshal(blob, &row) == nil {
+			if err := RewriteServeBench(ServeBenchFile,
+				func(s string) bool { return s == "chaos-soak/"+scheme },
+				[]map[string]any{row}); err != nil {
+				fmt.Fprintf(os.Stderr, "chaos soak: %v\n", err)
+			}
+		}
+	}
+	return t
+}

@@ -138,7 +138,7 @@ func AllFuncs() []func(Options) Table {
 		TableVI, TableVII, Figure13, Figure23Stats,
 		AblationAlpha, AblationRowChunk, AblationBias,
 		AblationClustering, AblationBits, AblationDataflow,
-		ServeBench, RouterBench,
+		ServeBench, RouterBench, ChaosBench,
 	}
 }
 
@@ -152,7 +152,7 @@ func All(o Options) []Table {
 }
 
 // ByID returns the experiment function for an id ("table1".."table7",
-// "figure9".."figure13", "figure23", "serve", "router").
+// "figure9".."figure13", "figure23", "serve", "router", "chaos").
 func ByID(id string, o Options) (Table, bool) {
 	fns := map[string]func(Options) Table{
 		"table1":   TableI,
@@ -170,6 +170,7 @@ func ByID(id string, o Options) (Table, bool) {
 		"figure23": Figure23Stats,
 		"serve":    ServeBench,
 		"router":   RouterBench,
+		"chaos":    ChaosBench,
 	}
 	if f, ok := fns[id]; ok {
 		return f(o), true

@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceScale is 1 without the race detector; see race_on.go.
+const raceScale = 1

@@ -105,6 +105,12 @@ const (
 	ReasonQueueFull
 	// ReasonDraining: the server was draining and refused the new request.
 	ReasonDraining
+	// ReasonOverload: admission shed the request under brownout — queue
+	// wait or KV occupancy crossed the configured threshold.
+	ReasonOverload
+	// ReasonInternal: a scheduler step panicked; the request failed with
+	// ErrInternal while the rest of the batch kept running.
+	ReasonInternal
 )
 
 var reasonNames = [...]string{
@@ -115,6 +121,8 @@ var reasonNames = [...]string{
 	ReasonStopped:    "stopped",
 	ReasonQueueFull:  "queue_full",
 	ReasonDraining:   "draining",
+	ReasonOverload:   "overload",
+	ReasonInternal:   "internal",
 }
 
 // ReasonString names a reason code ("" for ReasonNone or out of range).

@@ -7,9 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"time"
 
+	"tender/internal/chaos"
 	"tender/internal/serve"
 )
 
@@ -37,11 +39,54 @@ type Backend interface {
 // shards.
 type InProc struct {
 	Srv *serve.Server
+	// Chaos, when non-nil, injects seeded faults into every submission:
+	// a transport error before the server sees the request, a stall, or
+	// a crash (the server is stopped, so this and subsequent submissions
+	// fail with ErrStopped and the router marks the replica Down). Nil
+	// costs one pointer test.
+	Chaos *chaos.Injector
+	// ID names this backend in chaos decisions (informational).
+	ID string
 }
 
-// Generate submits to the wrapped server.
+// Generate submits to the wrapped server, applying any injected fault
+// first.
 func (b InProc) Generate(ctx context.Context, req serve.Request) (serve.Result, error) {
+	if err := chaosSubmit(ctx, b.Chaos, b.ID, b.Srv.Stop); err != nil {
+		return serve.Result{}, err
+	}
 	return b.Srv.Generate(ctx, req)
+}
+
+// chaosSubmit applies one injector decision to a submission: a transport
+// fault fails it as unreachable (the stack's own vocabulary, so the
+// resilience code cannot tell injected faults from real ones), a stall
+// delays it — past the caller's deadline it fails with the context error,
+// exactly like a genuine hang — and a crash invokes kill (nil when the
+// target cannot be killed from here; the fault then degrades to a
+// transport error).
+func chaosSubmit(ctx context.Context, inj *chaos.Injector, id string, kill func()) error {
+	d := inj.Submit(id)
+	switch d.Fault {
+	case chaos.FaultTransport:
+		return fmt.Errorf("%w: %v", ErrReplicaUnreachable, chaos.ErrInjected)
+	case chaos.FaultStall:
+		t := time.NewTimer(d.Delay)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			return nil
+		}
+	case chaos.FaultCrash:
+		if kill == nil {
+			return fmt.Errorf("%w: %v", ErrReplicaUnreachable, chaos.ErrInjected)
+		}
+		kill()
+		return nil // the killed server answers ErrStopped below
+	}
+	return nil
 }
 
 // Snapshot reads the server's live metrics.
@@ -49,13 +94,36 @@ func (b InProc) Snapshot() (serve.Snapshot, bool) {
 	return b.Srv.Metrics().Snapshot(), true
 }
 
-// Healthy reports readiness: an in-process replica is ready unless it is
-// draining (a stopped server fails Generate with ErrStopped, which the
-// router treats as a hard failure on first contact).
-func (b InProc) Healthy() bool { return !b.Srv.Draining() }
+// Healthy reports readiness: an in-process replica is ready unless it
+// is draining or stopped. Neither state is recoverable for a
+// serve.Server, so the prober keeps the replica Down until an operator
+// Restores it with a fresh backend.
+func (b InProc) Healthy() bool { return !b.Srv.Draining() && !b.Srv.Stopped() }
 
 // Drain delegates to the server's bounded drain.
 func (b InProc) Drain(ctx context.Context) error { return b.Srv.Drain(ctx) }
+
+// Default HTTP clients, shared by every HTTPBackend that does not bring
+// its own. Explicit timeouts and per-host connection-pool limits mean a
+// stalled replica can never hang a submission (or a probe) indefinitely,
+// and a flapping one cannot leak connections. Generation legitimately
+// takes a while, so the submission client's overall timeout is generous
+// — the router's AttemptTimeout is the tight bound; this is the
+// backstop. Probes and snapshots must answer fast or the replica is not
+// healthy, so they get a short deadline.
+var (
+	defaultTransport = &http.Transport{
+		DialContext:           (&net.Dialer{Timeout: 2 * time.Second, KeepAlive: 30 * time.Second}).DialContext,
+		MaxIdleConns:          64,
+		MaxIdleConnsPerHost:   8,
+		MaxConnsPerHost:       16,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   2 * time.Second,
+		ExpectContinueTimeout: time.Second,
+	}
+	defaultSubmitClient = &http.Client{Transport: defaultTransport, Timeout: 2 * time.Minute}
+	defaultProbeClient  = &http.Client{Transport: defaultTransport, Timeout: 2 * time.Second}
+)
 
 // HTTPBackend speaks the cmd/tenderserve JSON API, making the router a
 // multi-process front end: Generate posts /v1/generate, Snapshot reads
@@ -64,15 +132,31 @@ func (b InProc) Drain(ctx context.Context) error { return b.Srv.Drain(ctx) }
 type HTTPBackend struct {
 	// BaseURL is the replica's root, e.g. "http://127.0.0.1:8081".
 	BaseURL string
-	// Client defaults to http.DefaultClient.
+	// Client overrides the shared default submission client (bounded
+	// dial/TLS timeouts, per-host connection caps, 2-minute overall
+	// backstop). Probes and snapshots use it too when set; otherwise they
+	// go through a short-deadline probe client.
 	Client *http.Client
+	// Chaos, when non-nil, injects seeded faults into every submission;
+	// a crash decision degrades to a transport error (a remote process
+	// cannot be killed from here).
+	Chaos *chaos.Injector
+	// ID names this backend in chaos decisions (informational).
+	ID string
 }
 
 func (b *HTTPBackend) client() *http.Client {
 	if b.Client != nil {
 		return b.Client
 	}
-	return http.DefaultClient
+	return defaultSubmitClient
+}
+
+func (b *HTTPBackend) probeClient() *http.Client {
+	if b.Client != nil {
+		return b.Client
+	}
+	return defaultProbeClient
 }
 
 type httpGenerateRequest struct {
@@ -96,6 +180,9 @@ type httpGenerateResponse struct {
 // the serve error vocabulary, so the router's retry policy is identical
 // in-process and over the wire.
 func (b *HTTPBackend) Generate(ctx context.Context, req serve.Request) (serve.Result, error) {
+	if err := chaosSubmit(ctx, b.Chaos, b.ID, nil); err != nil {
+		return serve.Result{}, err
+	}
 	body, err := json.Marshal(httpGenerateRequest{
 		Prompt:       req.Prompt,
 		MaxNewTokens: req.MaxNewTokens,
@@ -136,9 +223,10 @@ func (b *HTTPBackend) Generate(ctx context.Context, req serve.Request) (serve.Re
 	}, nil
 }
 
-// Snapshot reads /v1/metrics; ok=false when the replica is unreachable.
+// Snapshot reads /v1/metrics; ok=false when the replica is unreachable
+// or does not answer within the probe deadline.
 func (b *HTTPBackend) Snapshot() (serve.Snapshot, bool) {
-	resp, err := b.client().Get(b.BaseURL + "/v1/metrics")
+	resp, err := b.probeClient().Get(b.BaseURL + "/v1/metrics")
 	if err != nil {
 		return serve.Snapshot{}, false
 	}
@@ -153,10 +241,10 @@ func (b *HTTPBackend) Snapshot() (serve.Snapshot, bool) {
 	return snap, true
 }
 
-// Healthy probes /readyz: 200 = ready; 503 (draining), other statuses
-// and connection errors are all unready.
+// Healthy probes /readyz: 200 = ready; 503 (draining), other statuses,
+// connection errors and probe-deadline stalls are all unready.
 func (b *HTTPBackend) Healthy() bool {
-	resp, err := b.client().Get(b.BaseURL + "/readyz")
+	resp, err := b.probeClient().Get(b.BaseURL + "/readyz")
 	if err != nil {
 		return false
 	}
@@ -181,6 +269,8 @@ var ErrReplicaUnreachable = errors.New("router: replica unreachable")
 // vocabulary (the inverse of cmd/tenderserve's statusFor).
 func errorForStatus(code int) error {
 	switch code {
+	case http.StatusBadRequest:
+		return serve.ErrInvalidRequest
 	case http.StatusTooManyRequests:
 		return serve.ErrQueueFull
 	case http.StatusServiceUnavailable:

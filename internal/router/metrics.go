@@ -3,6 +3,7 @@ package router
 import (
 	"io"
 	"sort"
+	"time"
 
 	"tender/internal/obs"
 	"tender/internal/serve"
@@ -24,6 +25,11 @@ type ReplicaStatus struct {
 	RoutedFailover int64 `json:"routed_failover"`
 	Completed      int64 `json:"completed"`
 	Errored        int64 `json:"errored"`
+	// Breaker is the circuit-breaker position ("closed", "open",
+	// "half-open"; always "closed" with the breaker disabled), and
+	// BreakerTrips counts how often it opened.
+	Breaker      string `json:"breaker"`
+	BreakerTrips int64  `json:"breaker_trips"`
 	// Serve carries the replica's own metrics snapshot when reachable.
 	Serve *serve.Snapshot `json:"serve,omitempty"`
 }
@@ -68,6 +74,8 @@ func (r *Router) Snapshot() Snapshot {
 			RoutedFailover: rep.routedFailover.Load(),
 			Completed:      rep.completed.Load(),
 			Errored:        rep.errored.Load(),
+			Breaker:        rep.breakerState(time.Now()),
+			BreakerTrips:   rep.brkTrips.Load(),
 		}
 		if snap, ok := r.freshSnapshot(rep); ok {
 			s := snap
@@ -126,6 +134,12 @@ func (r *Router) WritePrometheus(w io.Writer) error {
 			float64(rep.RoutedFailover), lbl, obs.Label{Name: "reason", Value: "failover"})
 		p.Counter("tender_router_replica_completed_total", "Requests the replica completed for the router.", float64(rep.Completed), lbl)
 		p.Counter("tender_router_replica_errored_total", "Requests the replica failed terminally.", float64(rep.Errored), lbl)
+		open := 0.0
+		if rep.Breaker == "open" {
+			open = 1
+		}
+		p.Gauge("tender_router_breaker_open", "Circuit breaker is open (1 = rejecting).", open, lbl)
+		p.Counter("tender_router_breaker_trips_total", "Circuit breaker open transitions.", float64(rep.BreakerTrips), lbl)
 	}
 	return p.Flush()
 }

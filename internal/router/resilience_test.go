@@ -1,0 +1,419 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tender/internal/serve"
+)
+
+// TestRetryDelayDeterministicAndBounded: the backoff schedule is a pure
+// function of (config, key, attempt) — reproducible run to run — with
+// exponential growth, the configured cap, and jitter confined to
+// [0.5,1) of the nominal delay.
+func TestRetryDelayDeterministicAndBounded(t *testing.T) {
+	mk := func() *Router {
+		r, err := New(Config{
+			Replicas:        []Replica{{ID: "x", Backend: &fakeBackend{healthy: &atomic2{v: 1}}}},
+			RetryBackoff:    time.Millisecond,
+			RetryBackoffMax: 8 * time.Millisecond,
+			JitterSeed:      42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := mk(), mk()
+	for attempt := 1; attempt <= 12; attempt++ {
+		for _, key := range []uint64{0, 1, 0xdeadbeef} {
+			da, db := a.retryDelay(key, attempt), b.retryDelay(key, attempt)
+			if da != db {
+				t.Fatalf("attempt %d key %#x: %v != %v across identical routers", attempt, key, da, db)
+			}
+			nominal := time.Millisecond << uint(attempt-1)
+			if nominal > 8*time.Millisecond || nominal <= 0 {
+				nominal = 8 * time.Millisecond
+			}
+			if da < nominal/2 || da >= nominal {
+				t.Fatalf("attempt %d key %#x: delay %v outside [%v,%v)", attempt, key, da, nominal/2, nominal)
+			}
+		}
+	}
+	// Different seeds must actually move the jitter for some input.
+	c, err := New(Config{
+		Replicas:        []Replica{{ID: "x", Backend: &fakeBackend{healthy: &atomic2{v: 1}}}},
+		RetryBackoff:    time.Millisecond,
+		RetryBackoffMax: 8 * time.Millisecond,
+		JitterSeed:      43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for attempt := 1; attempt <= 12 && !moved; attempt++ {
+		moved = a.retryDelay(7, attempt) != c.retryDelay(7, attempt)
+	}
+	if !moved {
+		t.Fatal("jitter ignored the seed")
+	}
+	// No backoff configured → zero delay.
+	d, err := New(Config{Replicas: []Replica{{ID: "x", Backend: &fakeBackend{healthy: &atomic2{v: 1}}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.retryDelay(1, 3); got != 0 {
+		t.Fatalf("delay %v with RetryBackoff unset", got)
+	}
+}
+
+// stallingBackend blocks until the submission context expires for the
+// first stalls calls, then serves instantly — the shape of a replica
+// that hangs and recovers.
+type stallingBackend struct {
+	mu     sync.Mutex
+	stalls int
+	calls  int
+}
+
+func (s *stallingBackend) Generate(ctx context.Context, req serve.Request) (serve.Result, error) {
+	s.mu.Lock()
+	s.calls++
+	stall := s.calls <= s.stalls
+	s.mu.Unlock()
+	if stall {
+		<-ctx.Done()
+		return serve.Result{}, ctx.Err()
+	}
+	return serve.Result{Tokens: []int{1}}, nil
+}
+func (s *stallingBackend) Snapshot() (serve.Snapshot, bool) { return serve.Snapshot{}, true }
+func (s *stallingBackend) Healthy() bool                    { return true }
+func (s *stallingBackend) Drain(ctx context.Context) error  { return nil }
+
+// TestAttemptTimeoutRetriesStalledReplica: a stalled submission fails
+// the attempt after AttemptTimeout, the retry budget re-tries the same
+// replica after backoff, and the request completes — without the
+// replica ever being marked Down (one slow response is not a crash).
+func TestAttemptTimeoutRetriesStalledReplica(t *testing.T) {
+	sb := &stallingBackend{stalls: 1}
+	r := startRouter(t, Config{
+		Replicas:       []Replica{{ID: "x", Backend: sb}},
+		AttemptTimeout: 5 * time.Millisecond,
+		MaxAttempts:    4,
+		RetryBackoff:   time.Millisecond,
+	})
+	res, err := r.Generate(context.Background(), serve.Request{Prompt: []int{1, 2}, MaxNewTokens: 1})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if len(res.Tokens) != 1 {
+		t.Fatalf("got %d tokens", len(res.Tokens))
+	}
+	if got := r.Snapshot().Failovers; got != 1 {
+		t.Fatalf("failovers = %d, want 1 (the stalled attempt)", got)
+	}
+	if st := r.States()["x"]; st != StateUp {
+		t.Fatalf("replica state %v after a stall, want up — a timeout is not a hard failure", st)
+	}
+
+	// An unrecoverable stall exhausts MaxAttempts and rejects.
+	sb2 := &stallingBackend{stalls: 1 << 30}
+	r2 := startRouter(t, Config{
+		Replicas:       []Replica{{ID: "x", Backend: sb2}},
+		AttemptTimeout: 2 * time.Millisecond,
+		MaxAttempts:    3,
+	})
+	_, err = r2.Generate(context.Background(), serve.Request{Prompt: []int{1}, MaxNewTokens: 1})
+	if !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("error = %v, want ErrNoReplicas after exhausting attempts", err)
+	}
+	if st := r2.States()["x"]; st != StateUp {
+		t.Fatalf("replica state %v, want up", st)
+	}
+	// The caller's own context still preempts everything.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	r3 := startRouter(t, Config{
+		Replicas:       []Replica{{ID: "x", Backend: &stallingBackend{stalls: 1 << 30}}},
+		AttemptTimeout: time.Minute,
+	})
+	_, err = r3.Generate(ctx, serve.Request{Prompt: []int{1}, MaxNewTokens: 1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want the caller's DeadlineExceeded", err)
+	}
+}
+
+// TestBreakerStateMachine unit-tests the per-replica breaker: closed →
+// (threshold consecutive failures) → open → (cooldown) → half-open →
+// failed probe re-opens / successful probe closes.
+func TestBreakerStateMachine(t *testing.T) {
+	rep := &replica{id: "x"}
+	const threshold = 2
+	cooldown := 10 * time.Millisecond
+	now := time.Now()
+
+	if got := rep.breakerState(now); got != "closed" {
+		t.Fatalf("initial state %q", got)
+	}
+	rep.breakerFailure(now, threshold, cooldown)
+	if got := rep.breakerState(now); got != "closed" {
+		t.Fatalf("state %q after 1/%d failures", got, threshold)
+	}
+	if !rep.breakerAllow(now, threshold) {
+		t.Fatal("closed breaker refused traffic")
+	}
+	rep.breakerFailure(now, threshold, cooldown)
+	if got := rep.breakerState(now); got != "open" {
+		t.Fatalf("state %q after %d failures, want open", got, threshold)
+	}
+	if rep.breakerAllow(now, threshold) {
+		t.Fatal("open breaker allowed traffic")
+	}
+	if got := rep.brkTrips.Load(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+	// A straggler failure while open must not extend the cooldown.
+	before := rep.brkOpenUntil
+	rep.breakerFailure(now.Add(cooldown/2), threshold, cooldown)
+	if !rep.brkOpenUntil.Equal(before) {
+		t.Fatal("failure during open extended the cooldown")
+	}
+
+	after := now.Add(cooldown + time.Millisecond)
+	if got := rep.breakerState(after); got != "half-open" {
+		t.Fatalf("state %q after cooldown, want half-open", got)
+	}
+	if !rep.breakerAllow(after, threshold) {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	// Failed probe re-opens for another cooldown.
+	rep.breakerFailure(after, threshold, cooldown)
+	if got := rep.breakerState(after); got != "open" {
+		t.Fatalf("state %q after failed probe, want open", got)
+	}
+	if got := rep.brkTrips.Load(); got != 2 {
+		t.Fatalf("trips = %d, want 2", got)
+	}
+	// Successful probe closes it and resets the failure count.
+	later := after.Add(cooldown + time.Millisecond)
+	rep.breakerSuccess()
+	if got := rep.breakerState(later); got != "closed" {
+		t.Fatalf("state %q after successful probe, want closed", got)
+	}
+	rep.breakerFailure(later, threshold, cooldown)
+	if got := rep.breakerState(later); got != "closed" {
+		t.Fatalf("state %q — failure count survived the close", got)
+	}
+	// threshold 0 = breaker disabled: nothing ever opens.
+	off := &replica{id: "y"}
+	for i := 0; i < 10; i++ {
+		off.breakerFailure(now, 0, cooldown)
+	}
+	if !off.breakerAllow(now, 0) {
+		t.Fatal("disabled breaker tripped")
+	}
+}
+
+// flakyBackend fails with a retriable error while failing is set and
+// serves instantly otherwise, counting Generate calls.
+type flakyBackend struct {
+	failing atomic.Bool
+	calls   atomic.Int64
+}
+
+func (f *flakyBackend) Generate(ctx context.Context, req serve.Request) (serve.Result, error) {
+	f.calls.Add(1)
+	if f.failing.Load() {
+		return serve.Result{}, serve.ErrQueueFull
+	}
+	return serve.Result{Tokens: []int{1}}, nil
+}
+func (f *flakyBackend) Snapshot() (serve.Snapshot, bool) { return serve.Snapshot{}, true }
+func (f *flakyBackend) Healthy() bool                    { return true }
+func (f *flakyBackend) Drain(ctx context.Context) error  { return nil }
+
+// distinctPrompts returns n prompts hashing to well-spread ring keys.
+func distinctPrompts(n int) [][]int {
+	out := make([][]int, n)
+	for i := range out {
+		out[i] = []int{i + 1, 2*i + 3, 5, 7}
+	}
+	return out
+}
+
+// TestBreakerTripsAndRecovers walks the integrated breaker path with
+// two replicas, one persistently failing: the breaker opens after the
+// threshold, the failing replica's keyspace reroutes to the survivor
+// while open (zero submissions reach it), and after cooldown the
+// half-open probe closes the breaker and the replica regains traffic.
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	good, bad := &flakyBackend{}, &flakyBackend{}
+	bad.failing.Store(true)
+	const cooldown = 300 * time.Millisecond
+	r := startRouter(t, Config{
+		Replicas: []Replica{
+			{ID: "good", Backend: good},
+			{ID: "bad", Backend: bad},
+		},
+		BreakerThreshold: 2,
+		BreakerCooldown:  cooldown,
+	})
+	prompts := distinctPrompts(40)
+
+	// Phase 1: drive traffic until the breaker trips. Every request still
+	// completes — failures fail over to the survivor.
+	for _, p := range prompts {
+		if _, err := r.Generate(context.Background(), serve.Request{Prompt: p, MaxNewTokens: 1}); err != nil {
+			t.Fatalf("generate during trip phase: %v", err)
+		}
+	}
+	snap := r.Snapshot()
+	var badStatus, goodStatus ReplicaStatus
+	for _, rs := range snap.Replicas {
+		if rs.ID == "bad" {
+			badStatus = rs
+		} else {
+			goodStatus = rs
+		}
+	}
+	if badStatus.BreakerTrips == 0 || badStatus.Breaker != "open" {
+		t.Fatalf("bad breaker = %q trips=%d, want open with ≥1 trip", badStatus.Breaker, badStatus.BreakerTrips)
+	}
+	if goodStatus.Completed != int64(len(prompts)) {
+		t.Fatalf("survivor completed %d of %d", goodStatus.Completed, len(prompts))
+	}
+	if st := r.States()["bad"]; st != StateUp {
+		t.Fatalf("bad state %v — a queue-full replica is not Down, the breaker handles it", st)
+	}
+
+	// Phase 2: while open, the failing replica's keyspace belongs to the
+	// survivor — no submission reaches it.
+	before := bad.calls.Load()
+	for _, p := range prompts {
+		if _, err := r.Generate(context.Background(), serve.Request{Prompt: p, MaxNewTokens: 1}); err != nil {
+			t.Fatalf("generate during open phase: %v", err)
+		}
+	}
+	if got := bad.calls.Load(); got != before {
+		t.Fatalf("open breaker let %d submissions through", got-before)
+	}
+
+	// Phase 3: the replica heals; after cooldown the next owned request is
+	// the half-open probe, it succeeds, and the breaker closes.
+	bad.failing.Store(false)
+	time.Sleep(cooldown + 20*time.Millisecond)
+	for _, p := range prompts {
+		if _, err := r.Generate(context.Background(), serve.Request{Prompt: p, MaxNewTokens: 1}); err != nil {
+			t.Fatalf("generate during recovery phase: %v", err)
+		}
+	}
+	snap = r.Snapshot()
+	for _, rs := range snap.Replicas {
+		if rs.ID != "bad" {
+			continue
+		}
+		if rs.Breaker != "closed" {
+			t.Fatalf("bad breaker %q after recovery, want closed", rs.Breaker)
+		}
+		if rs.Completed == 0 {
+			t.Fatal("recovered replica completed nothing — it never regained its keyspace")
+		}
+	}
+}
+
+// countingBackend is a healthy/unhealthy toggle that counts Generates,
+// for prober keyspace tests.
+type countingBackend struct {
+	healthy atomic.Bool
+	calls   atomic.Int64
+}
+
+func (c *countingBackend) Generate(ctx context.Context, req serve.Request) (serve.Result, error) {
+	c.calls.Add(1)
+	if !c.healthy.Load() {
+		return serve.Result{}, ErrReplicaUnreachable
+	}
+	return serve.Result{Tokens: []int{1}}, nil
+}
+func (c *countingBackend) Snapshot() (serve.Snapshot, bool) {
+	return serve.Snapshot{}, c.healthy.Load()
+}
+func (c *countingBackend) Healthy() bool                   { return c.healthy.Load() }
+func (c *countingBackend) Drain(ctx context.Context) error { return nil }
+
+// TestProberFlapRegainsKeyspace: a replica that flaps down loses its
+// keyspace to the survivor and, once the prober restores it, owns
+// exactly the keys it owned before the flap — consistent hashing makes
+// the recovery a true re-entry, not a reshuffle.
+func TestProberFlapRegainsKeyspace(t *testing.T) {
+	x, y := &countingBackend{}, &countingBackend{}
+	x.healthy.Store(true)
+	y.healthy.Store(true)
+	r := startRouter(t, Config{
+		Replicas: []Replica{
+			{ID: "x", Backend: x},
+			{ID: "y", Backend: y},
+		},
+		ProbePeriod:   2 * time.Millisecond,
+		ProbeFailures: 2,
+	})
+	prompts := distinctPrompts(64)
+
+	send := func(phase string) map[int]string {
+		owners := make(map[int]string, len(prompts))
+		for i, p := range prompts {
+			bx, by := x.calls.Load(), y.calls.Load()
+			if _, err := r.Generate(context.Background(), serve.Request{Prompt: p, MaxNewTokens: 1}); err != nil {
+				t.Fatalf("%s: generate: %v", phase, err)
+			}
+			switch {
+			case x.calls.Load() > bx && y.calls.Load() == by:
+				owners[i] = "x"
+			case y.calls.Load() > by && x.calls.Load() == bx:
+				owners[i] = "y"
+			default:
+				owners[i] = "?"
+			}
+		}
+		return owners
+	}
+
+	healthyOwners := send("both up")
+	var sawX, sawY bool
+	for _, o := range healthyOwners {
+		sawX = sawX || o == "x"
+		sawY = sawY || o == "y"
+	}
+	if !sawX || !sawY {
+		t.Fatalf("keyspace not split: sawX=%v sawY=%v", sawX, sawY)
+	}
+
+	// Flap down: the prober takes x out; its keyspace moves to y.
+	x.healthy.Store(false)
+	waitFor(t, func() bool { return r.States()["x"] == StateDown }, "prober never marked x down")
+	before := x.calls.Load()
+	downOwners := send("x down")
+	for i, o := range downOwners {
+		if o != "y" {
+			t.Fatalf("prompt %d routed to %q while x was down", i, o)
+		}
+	}
+	if x.calls.Load() != before {
+		t.Fatal("a down replica received submissions")
+	}
+
+	// Flap up: the prober restores x, and it owns exactly its old keys.
+	x.healthy.Store(true)
+	waitFor(t, func() bool { return r.States()["x"] == StateUp }, "prober never restored x")
+	restoredOwners := send("x restored")
+	for i, want := range healthyOwners {
+		if restoredOwners[i] != want {
+			t.Fatalf("prompt %d owned by %q after flap, was %q before — ring not stable", i, restoredOwners[i], want)
+		}
+	}
+}

@@ -63,6 +63,14 @@ var (
 	// ErrNoReplicas means no healthy replica is in rotation (all down or
 	// draining, or every candidate was tried and failed).
 	ErrNoReplicas = errors.New("router: no healthy replicas")
+	// ErrAttemptTimeout means one submission attempt exceeded
+	// Config.AttemptTimeout while the caller's own context was still
+	// live: the replica stalled. Retriable — the request is resubmitted
+	// elsewhere — and it feeds the circuit breaker, but unlike
+	// ErrReplicaUnreachable it does not mark the replica Down on first
+	// contact: one slow response is not proof the process is gone (the
+	// prober decides that).
+	ErrAttemptTimeout = errors.New("router: attempt timed out")
 )
 
 // Replica names one backend for Config.
@@ -115,6 +123,40 @@ type Config struct {
 	// ProbeFailures is how many consecutive probe failures mark a replica
 	// Down (default 2).
 	ProbeFailures int
+	// AttemptTimeout, when > 0, bounds each submission attempt: a replica
+	// that stalls past it fails the attempt with ErrAttemptTimeout and
+	// the request is retried elsewhere. 0 leaves attempts bounded only by
+	// the caller's context.
+	AttemptTimeout time.Duration
+	// MaxAttempts, when > 0, bounds total submission attempts per request
+	// and unlocks re-tries: once every Up candidate has been tried, the
+	// tried set resets after backoff so transient faults (a stall, an
+	// open breaker) can be retried on the same replicas. 0 keeps the
+	// strict legacy behaviour — each Up replica is tried at most once.
+	MaxAttempts int
+	// RetryBackoff is the base delay before retry attempt n: the delay
+	// doubles each attempt, is capped at RetryBackoffMax, and is scaled
+	// by a deterministic jitter in [0.5,1) derived from (JitterSeed,
+	// routing key, attempt) — reproducible, yet spread so synchronized
+	// retries cannot stampede a recovering replica. 0 retries
+	// immediately.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential backoff (default
+	// 32×RetryBackoff).
+	RetryBackoffMax time.Duration
+	// JitterSeed seeds the deterministic retry jitter.
+	JitterSeed uint64
+	// BreakerThreshold, when > 0, arms a per-replica circuit breaker: the
+	// breaker opens after this many consecutive retriable failures, the
+	// replica is skipped by routing (losing its ring keyspace to the
+	// survivors) for BreakerCooldown, then half-opens — the next request
+	// through is the probe; success closes the breaker and the replica
+	// re-enters the ring with its keyspace, failure re-opens it for
+	// another cooldown. 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects before
+	// half-opening (default 250ms).
+	BreakerCooldown time.Duration
 }
 
 // State is a replica's position in the health/drain state machine.
@@ -164,6 +206,15 @@ type replica struct {
 	// probeFails counts consecutive failed probes (incremented by the
 	// prober, reset by Restore).
 	probeFails atomic.Int32
+
+	// Circuit breaker (guarded by brkMu; disabled unless
+	// Config.BreakerThreshold > 0): consecutive retriable failures and,
+	// once tripped, the instant the breaker half-opens. brkTrips counts
+	// open transitions for metrics.
+	brkMu        sync.Mutex
+	brkFails     int
+	brkOpenUntil time.Time
+	brkTrips     atomic.Int64
 
 	// Routing counters, by decision reason.
 	routedAffinity atomic.Int64
@@ -223,6 +274,15 @@ func New(cfg Config) (*Router, error) {
 	}
 	if cfg.SnapshotMaxAge <= 0 {
 		cfg.SnapshotMaxAge = 100 * time.Millisecond
+	}
+	if cfg.MaxAttempts < 0 {
+		cfg.MaxAttempts = 0
+	}
+	if cfg.RetryBackoff > 0 && cfg.RetryBackoffMax <= 0 {
+		cfg.RetryBackoffMax = 32 * cfg.RetryBackoff
+	}
+	if cfg.BreakerThreshold > 0 && cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 250 * time.Millisecond
 	}
 	r := &Router{
 		cfg:  cfg,
@@ -300,15 +360,18 @@ func (r *Router) States() map[string]State {
 }
 
 // retriable reports whether a failed submission may succeed on another
-// replica: the replica refused it (draining, stopped, queue full) or
-// never durably received it (connection failure). Semantic errors —
-// unknown scheme, KV footprint over budget, deadline expiry, caller
+// replica: the replica refused it (draining, stopped, queue full,
+// brownout), never durably received it (connection failure), or stalled
+// past the attempt timeout. Semantic errors — invalid request, unknown
+// scheme, KV footprint over budget, deadline expiry, caller
 // cancellation — fail the same way everywhere and are returned as is.
 func retriable(err error) bool {
 	return errors.Is(err, serve.ErrDraining) ||
 		errors.Is(err, serve.ErrStopped) ||
 		errors.Is(err, serve.ErrQueueFull) ||
-		errors.Is(err, ErrReplicaUnreachable)
+		errors.Is(err, serve.ErrOverloaded) ||
+		errors.Is(err, ErrReplicaUnreachable) ||
+		errors.Is(err, ErrAttemptTimeout)
 }
 
 // hardFailure reports whether the error proves the replica itself is
@@ -318,12 +381,13 @@ func hardFailure(err error) bool {
 	return errors.Is(err, serve.ErrStopped) || errors.Is(err, ErrReplicaUnreachable)
 }
 
-// Generate routes one request: pick a replica by policy, submit, and on
-// a retriable failure fail over to the next-best candidate until one
-// succeeds or every healthy replica has been tried. Per-request outputs
-// are deterministic on every replica (greedy decode, or sampling seeded
-// by the request), so which replica serves a request — and any mid-run
-// failover — never changes its tokens.
+// Generate routes one request: pick a replica by policy, submit (bounded
+// by the per-attempt timeout), and on a retriable failure back off and
+// fail over to the next-best candidate until one succeeds, MaxAttempts
+// is exhausted, or every healthy replica has been tried. Per-request
+// outputs are deterministic on every replica (greedy decode, or sampling
+// seeded by the request), so which replica serves a request — and any
+// mid-run failover or retry — never changes its tokens.
 func (r *Router) Generate(ctx context.Context, req serve.Request) (serve.Result, error) {
 	r.requests.Add(1)
 	var key uint64
@@ -337,12 +401,25 @@ func (r *Router) Generate(ctx context.Context, req serve.Request) (serve.Result,
 	}
 	tried := make(map[string]bool)
 	var lastErr error
-	for attempt := 0; ; attempt++ {
+	for attempt := 1; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return serve.Result{}, err
 		}
-		rep, reason := r.pick(key, tried, attempt > 0)
+		rep, reason := r.pick(key, tried, len(tried) > 0)
 		if rep == nil {
+			// No untried candidate. With retry budget left and any chance
+			// of one appearing — a replica still Up (stalled or breaker-open
+			// just now), or a prober that can restore a Down one — reset the
+			// tried set and go around after backoff. Without MaxAttempts this
+			// keeps the strict one-try-per-replica contract.
+			if r.cfg.MaxAttempts > 0 && attempt <= r.cfg.MaxAttempts &&
+				(r.Ready() || r.cfg.ProbePeriod > 0) {
+				clear(tried)
+				if err := r.backoff(ctx, key, attempt); err != nil {
+					return serve.Result{}, err
+				}
+				continue
+			}
 			r.rejected.Add(1)
 			if lastErr != nil {
 				return serve.Result{}, fmt.Errorf("%w (last: %v)", ErrNoReplicas, lastErr)
@@ -350,10 +427,11 @@ func (r *Router) Generate(ctx context.Context, req serve.Request) (serve.Result,
 			return serve.Result{}, ErrNoReplicas
 		}
 		rep.countRouted(reason)
-		rep.inflight.Add(1)
-		res, err := rep.be.Generate(ctx, req)
-		rep.inflight.Add(-1)
+		res, err := r.submit(ctx, rep, req)
 		if err == nil {
+			if r.cfg.BreakerThreshold > 0 {
+				rep.breakerSuccess()
+			}
 			rep.completed.Add(1)
 			return res, nil
 		}
@@ -365,9 +443,149 @@ func (r *Router) Generate(ctx context.Context, req serve.Request) (serve.Result,
 		tried[rep.id] = true
 		lastErr = err
 		r.failovers.Add(1)
+		rep.breakerFailure(time.Now(), r.cfg.BreakerThreshold, r.cfg.BreakerCooldown)
 		if hardFailure(err) {
 			r.markDown(rep.id)
 		}
+		if r.cfg.MaxAttempts > 0 && attempt >= r.cfg.MaxAttempts {
+			r.rejected.Add(1)
+			return serve.Result{}, fmt.Errorf("%w after %d attempts (last: %v)", ErrNoReplicas, attempt, lastErr)
+		}
+		if err := r.backoff(ctx, key, attempt); err != nil {
+			return serve.Result{}, err
+		}
+	}
+}
+
+// submit runs one attempt against rep, bounding it with AttemptTimeout.
+// An attempt whose own deadline fired while the caller's context was
+// still live means the replica stalled: it surfaces as ErrAttemptTimeout
+// — retriable and breaker-feeding, like a connection failure, but not
+// grounds to mark the replica Down.
+func (r *Router) submit(ctx context.Context, rep *replica, req serve.Request) (serve.Result, error) {
+	actx := ctx
+	if r.cfg.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, r.cfg.AttemptTimeout)
+		defer cancel()
+	}
+	rep.inflight.Add(1)
+	res, err := rep.be.Generate(actx, req)
+	rep.inflight.Add(-1)
+	if err != nil && ctx.Err() == nil && actx.Err() != nil {
+		err = fmt.Errorf("%w after %v on %q: %v", ErrAttemptTimeout, r.cfg.AttemptTimeout, rep.id, err)
+	}
+	return res, err
+}
+
+// mix64 is a splitmix64 finalizer, the jitter hash.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// retryDelay computes the backoff before attempt+1: RetryBackoff
+// doubled per attempt, capped at RetryBackoffMax, scaled by a
+// deterministic jitter in [0.5,1) derived from (JitterSeed, key,
+// attempt). Pure — same inputs, same delay — so retry schedules are
+// reproducible run to run. 0 when RetryBackoff is unset.
+func (r *Router) retryDelay(key uint64, attempt int) time.Duration {
+	base := r.cfg.RetryBackoff
+	if base <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 20 {
+		shift = 20
+	}
+	d := base << uint(shift)
+	if d > r.cfg.RetryBackoffMax || d <= 0 {
+		d = r.cfg.RetryBackoffMax
+	}
+	frac := 0.5 + 0.5*float64(mix64(r.cfg.JitterSeed^key^uint64(attempt))>>11)/(1<<53)
+	return time.Duration(float64(d) * frac)
+}
+
+// backoff sleeps the retry delay before attempt+1, returning early with
+// the context's error if it expires mid-sleep. No-op when RetryBackoff
+// is 0.
+func (r *Router) backoff(ctx context.Context, key uint64, attempt int) error {
+	d := r.retryDelay(key, attempt)
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// breakerAllow reports whether routing may send to this replica: true
+// while the breaker is closed, or once an open breaker's cooldown has
+// elapsed (the half-open probe).
+func (rep *replica) breakerAllow(now time.Time, threshold int) bool {
+	if threshold <= 0 {
+		return true
+	}
+	rep.brkMu.Lock()
+	defer rep.brkMu.Unlock()
+	return rep.brkOpenUntil.IsZero() || !now.Before(rep.brkOpenUntil)
+}
+
+// breakerFailure records one retriable failure: threshold consecutive
+// failures open the breaker for cooldown, and a failed half-open probe
+// re-opens it for another cooldown. Failures racing in while the breaker
+// is already open do not re-trip it.
+func (rep *replica) breakerFailure(now time.Time, threshold int, cooldown time.Duration) {
+	if threshold <= 0 {
+		return
+	}
+	rep.brkMu.Lock()
+	defer rep.brkMu.Unlock()
+	if !rep.brkOpenUntil.IsZero() {
+		if now.Before(rep.brkOpenUntil) {
+			return
+		}
+		rep.brkOpenUntil = now.Add(cooldown)
+		rep.brkTrips.Add(1)
+		return
+	}
+	rep.brkFails++
+	if rep.brkFails >= threshold {
+		rep.brkFails = 0
+		rep.brkOpenUntil = now.Add(cooldown)
+		rep.brkTrips.Add(1)
+	}
+}
+
+// breakerSuccess closes the breaker: a completed request (the half-open
+// probe included) proves the replica serves again, and it re-enters the
+// ring with its keyspace.
+func (rep *replica) breakerSuccess() {
+	rep.brkMu.Lock()
+	rep.brkFails = 0
+	rep.brkOpenUntil = time.Time{}
+	rep.brkMu.Unlock()
+}
+
+// breakerState names the breaker position for metrics: "closed", "open",
+// or "half-open" (cooldown elapsed, probe pending).
+func (rep *replica) breakerState(now time.Time) string {
+	rep.brkMu.Lock()
+	defer rep.brkMu.Unlock()
+	switch {
+	case rep.brkOpenUntil.IsZero():
+		return "closed"
+	case now.Before(rep.brkOpenUntil):
+		return "open"
+	default:
+		return "half-open"
 	}
 }
 
@@ -398,11 +616,15 @@ func (rep *replica) countRouted(reason routeReason) {
 // least-loaded candidate on failover or spill, the next cursor under
 // round-robin. Returns nil when no Up, untried replica remains.
 func (r *Router) pick(key uint64, tried map[string]bool, failover bool) (*replica, routeReason) {
+	now := time.Now()
 	r.mu.Lock()
 	ring := r.ring
 	var candidates []*replica
 	for _, rep := range r.replicas {
-		if rep.state == StateUp && !tried[rep.id] {
+		// An open breaker removes the replica from the candidate set —
+		// ownerAmong then reassigns its keyspace to the survivors until the
+		// breaker half-opens.
+		if rep.state == StateUp && !tried[rep.id] && rep.breakerAllow(now, r.cfg.BreakerThreshold) {
 			candidates = append(candidates, rep)
 		}
 	}

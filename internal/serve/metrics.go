@@ -81,28 +81,31 @@ type Metrics struct {
 	// tests inject a fake one to make windowed rates deterministic.
 	now func() time.Time
 
-	mu             sync.Mutex
-	completed      int64
-	rejected       int64
-	drainRejected  int64
-	expired        int64
-	preemptions    int64
-	prefillTokens  int64
-	decodeTokens   int64
-	fusedTokens    int64
-	perScheme      map[string]int64
-	iterations     int64
-	batchOccupancy int64
-	activeSessions int64
-	peakActive     int64
-	kvOccRows      int64
-	kvPeakOccRows  int64
-	prefixHits     int64
-	prefixMisses   int64
-	prefixSkipped  int64
-	latencies      *ring
-	ttfts          *ring
-	rate           [rateWindowSecs + 1]rateBucket
+	mu              sync.Mutex
+	completed       int64
+	rejected        int64
+	drainRejected   int64
+	brownoutShed    int64
+	invalidRejected int64
+	internalErrors  int64
+	expired         int64
+	preemptions     int64
+	prefillTokens   int64
+	decodeTokens    int64
+	fusedTokens     int64
+	perScheme       map[string]int64
+	iterations      int64
+	batchOccupancy  int64
+	activeSessions  int64
+	peakActive      int64
+	kvOccRows       int64
+	kvPeakOccRows   int64
+	prefixHits      int64
+	prefixMisses    int64
+	prefixSkipped   int64
+	latencies       *ring
+	ttfts           *ring
+	rate            [rateWindowSecs + 1]rateBucket
 	// Per-stage timing: full-history log-bucket histograms over the
 	// request lifecycle, fed from transition timestamps at completion
 	// (never per-token clock reads). Hold and preempted time are observed
@@ -160,6 +163,27 @@ func (m *Metrics) reject() {
 func (m *Metrics) drainReject() {
 	m.mu.Lock()
 	m.drainRejected++
+	m.mu.Unlock()
+}
+
+// brownoutReject records one request shed by overload brownout.
+func (m *Metrics) brownoutReject() {
+	m.mu.Lock()
+	m.brownoutShed++
+	m.mu.Unlock()
+}
+
+// invalidReject records one request refused by submission validation.
+func (m *Metrics) invalidReject() {
+	m.mu.Lock()
+	m.invalidRejected++
+	m.mu.Unlock()
+}
+
+// internalError records one request failed by an isolated step panic.
+func (m *Metrics) internalError() {
+	m.mu.Lock()
+	m.internalErrors++
 	m.mu.Unlock()
 }
 
@@ -288,8 +312,17 @@ type Snapshot struct {
 	// BeginDrain — what a router sees while it takes a replica out of
 	// rotation.
 	DrainRejected int64 `json:"requests_drain_rejected"`
-	Expired       int64 `json:"requests_expired"`
-	QueueDepth    int   `json:"queue_depth"`
+	// BrownoutShed counts requests shed with ErrOverloaded by admission
+	// brownout (queue-wait or KV-occupancy threshold crossed).
+	BrownoutShed int64 `json:"requests_brownout_shed"`
+	// InvalidRejected counts requests refused by submission validation
+	// (empty/oversize prompt, out-of-vocab token).
+	InvalidRejected int64 `json:"requests_invalid_rejected"`
+	// InternalErrors counts requests failed with ErrInternal by an
+	// isolated scheduler-step panic.
+	InternalErrors int64 `json:"internal_errors"`
+	Expired        int64 `json:"requests_expired"`
+	QueueDepth     int   `json:"queue_depth"`
 	// ActiveSessions is the batch size of the last scheduler iteration;
 	// PeakActiveSessions the largest batch ever run — with a paged KV
 	// cache this is what the memory budget actually bought.
@@ -369,6 +402,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		Completed:           m.completed,
 		Rejected:            m.rejected,
 		DrainRejected:       m.drainRejected,
+		BrownoutShed:        m.brownoutShed,
+		InvalidRejected:     m.invalidRejected,
+		InternalErrors:      m.internalErrors,
 		Expired:             m.expired,
 		ActiveSessions:      m.activeSessions,
 		PeakActiveSessions:  m.peakActive,
@@ -445,6 +481,9 @@ func writeSnapshotProm(p *obs.PromWriter, s Snapshot) {
 	p.Counter("tender_requests_completed_total", "Requests finished successfully.", float64(s.Completed))
 	p.Counter("tender_requests_rejected_total", "Requests refused by the bounded admission queue.", float64(s.Rejected))
 	p.Counter("tender_requests_drain_rejected_total", "Requests refused while the server drained.", float64(s.DrainRejected))
+	p.Counter("tender_requests_brownout_shed_total", "Requests shed by overload brownout.", float64(s.BrownoutShed))
+	p.Counter("tender_requests_invalid_rejected_total", "Requests refused by submission validation.", float64(s.InvalidRejected))
+	p.Counter("tender_internal_errors_total", "Requests failed by an isolated step panic.", float64(s.InternalErrors))
 	p.Counter("tender_requests_expired_total", "Requests failed by deadline.", float64(s.Expired))
 	p.Gauge("tender_queue_depth", "Requests queued, held, or preempted.", float64(s.QueueDepth))
 	p.Gauge("tender_active_sessions", "Batch size of the last scheduler iteration.", float64(s.ActiveSessions))

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"tender/internal/model"
@@ -181,6 +182,11 @@ func (s *Server) loop() {
 	for {
 		if len(batch) == 0 {
 			s.metrics.idle()
+			// Nothing active holds KV and the last admission wait is stale:
+			// reset the brownout gauges so shedding never outlives the load
+			// that triggered it.
+			s.recentQueueWait.Store(0)
+			s.liveKVRows.Store(0)
 		}
 		batch = s.admit(batch)
 		s.updateWait()
@@ -234,10 +240,11 @@ func (s *Server) admit(batch []*activeReq) []*activeReq {
 				// cannot invalidate the sizing underneath it.
 				e := s.acquirePrefix(a.scheme, a.p.req.Prompt)
 				need := s.admissionNeed(len(a.seq)) - s.prefixBase(e)
-				if !s.kvFits(need) {
+				denied := s.cfg.Chaos.KVExhausted()
+				if denied || !s.kvFits(need) {
 					s.reclaimKV(need)
 				}
-				if !s.kvFits(need) {
+				if denied || !s.kvFits(need) {
 					s.releasePrefix(a.scheme, e)
 					return batch // wait for pages to free before anything newer
 				}
@@ -274,10 +281,14 @@ func (s *Server) admit(batch []*activeReq) []*activeReq {
 		// room — live requests outrank cache retention.
 		e := s.acquirePrefix(p.req.Scheme, p.req.Prompt)
 		need := s.admissionNeed(len(p.req.Prompt)) - s.prefixBase(e)
-		if !s.kvFits(need) {
+		// An injected KV-exhaustion fault holds the request exactly as a dry
+		// pool would; the next admission pass redraws, so the hold is
+		// transient by construction.
+		denied := s.cfg.Chaos.KVExhausted()
+		if denied || !s.kvFits(need) {
 			s.reclaimKV(need)
 		}
-		if !s.kvFits(need) {
+		if denied || !s.kvFits(need) {
 			s.releasePrefix(p.req.Scheme, e)
 			if p.ctx.Err() != nil || (!p.req.Deadline.IsZero() && time.Now().After(p.req.Deadline)) {
 				s.activate(p, nil) // finishes the dead request, returns nil
@@ -329,6 +340,10 @@ func (s *Server) activate(p *pending, e *model.PrefixEntry) *activeReq {
 	if !p.heldAt.IsZero() {
 		a.heldFor = now.Sub(p.heldAt)
 	}
+	// The brownout gauge tracks the freshest admission wait (hold included):
+	// a cheap, self-correcting overload signal — it rises as admissions slow
+	// and falls with the first quick one once pressure clears.
+	s.recentQueueWait.Store(int64(now.Sub(p.enq)))
 	s.mount(a, e, len(p.req.Prompt)+maxNew)
 	s.tracer.Record(obs.KindAdmit, p.id, s.iter, int64(a.kvHeld), int64(a.kvSkipped()))
 	return a
@@ -543,7 +558,10 @@ func (s *Server) runIteration(batch []*activeReq) {
 	// these pages instead of recomputing them.
 	if s.prefixCaches != nil {
 		for _, a := range batch {
-			if a.lastStepPrefill > 0 && a.consumed == len(a.seq) {
+			// A failed request never donates: a step that panicked may have
+			// left partially appended KV, and poisoning the cache would
+			// break bit-identity for every later hit.
+			if a.failed == nil && a.lastStepPrefill > 0 && a.consumed == len(a.seq) {
 				s.insertPrefix(a)
 			}
 		}
@@ -588,6 +606,11 @@ func (s *Server) runIteration(batch []*activeReq) {
 	if traced {
 		s.tracer.Record(obs.KindIteration, 0, s.iter, int64(len(batch)), int64(time.Since(iterStart)))
 	}
+	var liveRows int64
+	for _, a := range batch {
+		liveRows += int64(a.kvHeld)
+	}
+	s.liveKVRows.Store(liveRows)
 	var kvOcc int64
 	if s.kvPool != nil {
 		// Pages are per-layer per-K/V; convert to positions so occupancy
@@ -686,7 +709,11 @@ func (s *Server) stepper(scheme string, eng model.Engine) *model.BatchStepper {
 }
 
 // stepFused advances every request of a decode group by one token with a
-// single fused forward pass.
+// single fused forward pass. A panic inside the pass fails the whole
+// group with ErrInternal: the fused step interleaves every member's KV
+// writes, so after a mid-pass panic no member's session state can be
+// trusted — unlike the per-request path, the blast radius is the group,
+// never the server.
 func (s *Server) stepFused(g *decodeGroup) {
 	sessions := s.fusedSessions[:0]
 	tokens := s.fusedTokens[:0]
@@ -697,19 +724,53 @@ func (s *Server) stepFused(g *decodeGroup) {
 		sessions = append(sessions, a.sess)
 		tokens = append(tokens, a.out[len(a.out)-1])
 	}
-	logits := g.bs.Step(sessions, tokens)
-	for i, a := range g.reqs {
-		a.emit(logits.Row(i))
-		a.lastStepFused = true
+	logits, err := fusedStepChecked(g.bs, sessions, tokens)
+	if err != nil {
+		for _, a := range g.reqs {
+			a.failed = err
+		}
+	} else {
+		for i, a := range g.reqs {
+			a.emit(logits.Row(i))
+			a.lastStepFused = true
+		}
 	}
 	s.fusedSessions = sessions
 	s.fusedTokens = tokens
 }
 
-// stepOne advances one request by one iteration: either the next prefill
+// fusedStepChecked runs one fused forward pass with panic isolation.
+func fusedStepChecked(bs *model.BatchStepper, sessions []*model.Session, tokens []int) (logits *tensor.Matrix, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: fused step panicked: %v", ErrInternal, r)
+		}
+	}()
+	return bs.Step(sessions, tokens), nil
+}
+
+// stepOne advances one request by one iteration with panic isolation: a
+// panic in the model step (or an injected chaos panic) is recovered into
+// a.failed and retires only this request with ErrInternal — its KV pages
+// and prefix pin are released in retire, and the rest of the batch is
+// untouched. Runs on worker goroutines; only this request's state is
+// written, and the scheduler reads a.failed after the pool joins.
+func (s *Server) stepOne(a *activeReq) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.failed = fmt.Errorf("%w: step panicked: %v", ErrInternal, r)
+		}
+	}()
+	if s.cfg.Chaos.StepPanic() {
+		panic("chaos: injected step panic")
+	}
+	s.stepReq(a)
+}
+
+// stepReq advances one request by one iteration: either the next prefill
 // chunk of its pending sequence (the prompt, or — after a preemption —
 // prompt + regenerated tokens, emitting nothing) or one decode token.
-func (s *Server) stepOne(a *activeReq) {
+func (s *Server) stepReq(a *activeReq) {
 	a.lastStepPrefill = 0
 	a.lastStepDecoded = false
 	a.lastStepFused = false
@@ -758,6 +819,15 @@ func (s *Server) retire(batch []*activeReq) []*activeReq {
 	now := time.Now()
 	kept := batch[:0]
 	for _, a := range batch {
+		if a.failed != nil {
+			// Panic isolation lands here: the offending request leaves with
+			// ErrInternal, its pages and prefix pin go back to the pool, and
+			// the rest of the batch never notices.
+			s.metrics.internalError()
+			s.releaseKV(a)
+			s.finish(a.p, a, now, a.failed)
+			continue
+		}
 		if len(a.out) >= a.maxNew {
 			if s.prefixCaches != nil && a.consumed == len(a.seq) {
 				s.kvFree += a.kvHeld
@@ -842,6 +912,8 @@ func (s *Server) finish(p *pending, a *activeReq, now time.Time, err error) {
 		s.tracer.Record(obs.KindExpire, p.id, s.iter, obs.ReasonDeadline, int64(len(out)))
 	case errors.Is(err, ErrStopped):
 		s.tracer.Record(obs.KindCancel, p.id, s.iter, obs.ReasonStopped, int64(len(out)))
+	case errors.Is(err, ErrInternal):
+		s.tracer.Record(obs.KindCancel, p.id, s.iter, obs.ReasonInternal, int64(len(out)))
 	default:
 		s.tracer.Record(obs.KindCancel, p.id, s.iter, obs.ReasonCanceled, int64(len(out)))
 	}

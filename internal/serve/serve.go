@@ -51,6 +51,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tender/internal/chaos"
 	"tender/internal/model"
 	"tender/internal/obs"
 	"tender/internal/tensor"
@@ -75,6 +76,20 @@ var (
 	// ErrUnknownScheme means the request named an engine the server does
 	// not host.
 	ErrUnknownScheme = errors.New("serve: unknown scheme")
+	// ErrInvalidRequest means the request failed submission validation —
+	// empty or oversize prompt, out-of-vocab token — and was refused
+	// before touching the scheduler. HTTP surfaces map it to 400.
+	ErrInvalidRequest = errors.New("serve: invalid request")
+	// ErrOverloaded means admission shed the request under brownout:
+	// recent queue wait or KV occupancy crossed the configured threshold.
+	// Retriable on another replica; HTTP surfaces map it to 503 +
+	// Retry-After.
+	ErrOverloaded = errors.New("serve: overloaded")
+	// ErrInternal means a scheduler step panicked while running this
+	// request. The panic is isolated: only the offending request fails,
+	// its KV pages and prefix pins are released, and the rest of the
+	// batch keeps running.
+	ErrInternal = errors.New("serve: internal error")
 )
 
 // Request is one generation job.
@@ -174,6 +189,21 @@ type Config struct {
 	// tracer costs one nil check per event — the decode hot path stays
 	// allocation-free either way.
 	Tracer *obs.Tracer
+	// BrownoutQueueWait, when > 0, sheds new submissions with
+	// ErrOverloaded while the queue is non-empty and the most recent
+	// admission waited longer than this — graceful degradation before
+	// the bounded queue hard-rejects. 0 disables queue-wait brownout.
+	BrownoutQueueWait time.Duration
+	// BrownoutKVFrac, when in (0,1], sheds new submissions with
+	// ErrOverloaded while live sessions hold at least this fraction of
+	// KVBudgetRows (cached prefixes do not count — they yield to live
+	// requests). 0 disables KV brownout; requires a KV budget.
+	BrownoutKVFrac float64
+	// Chaos, when non-nil, injects seeded faults into the scheduler —
+	// KV-pool exhaustion at admission, step panics — for resilience
+	// testing. Nil (the default) compiles down to one pointer test per
+	// hook; the decode hot path stays allocation-free either way.
+	Chaos *chaos.Injector
 }
 
 func (c *Config) fill() error {
@@ -222,6 +252,15 @@ func (c *Config) fill() error {
 				c.KVBudgetRows, c.Model.Cfg.MaxSeq)
 		}
 	}
+	if c.BrownoutQueueWait < 0 {
+		return fmt.Errorf("serve: negative BrownoutQueueWait %v", c.BrownoutQueueWait)
+	}
+	if c.BrownoutKVFrac < 0 || c.BrownoutKVFrac > 1 {
+		return fmt.Errorf("serve: BrownoutKVFrac %v outside [0,1]", c.BrownoutKVFrac)
+	}
+	if c.BrownoutKVFrac > 0 && c.KVBudgetRows == 0 {
+		return errors.New("serve: BrownoutKVFrac requires KVBudgetRows")
+	}
 	if c.PrefixCache {
 		if c.ContiguousKV {
 			return errors.New("serve: PrefixCache requires the paged KV layout (ContiguousKV must be off)")
@@ -259,6 +298,12 @@ type Server struct {
 	// draining flips once when drain begins: Generate then fails fast with
 	// ErrDraining while requests already submitted run to completion.
 	draining atomic.Bool
+	// Brownout gauges, written by the scheduler goroutine and read by
+	// Generate: the queue wait of the most recent admission, and the KV
+	// rows live sessions currently charge against the budget (cache
+	// charges excluded — they yield to live requests).
+	recentQueueWait atomic.Int64
+	liveKVRows      atomic.Int64
 	// inflight counts requests Generate has accepted and not yet returned
 	// to their callers — what a bounded drain waits on.
 	inflight atomic.Int64
@@ -348,6 +393,9 @@ type activeReq struct {
 	lastStepPrefill int
 	lastStepDecoded bool
 	lastStepFused   bool
+	// failed records a recovered step panic (wrapped in ErrInternal); the
+	// scheduler retires the request with it after the worker pool joins.
+	failed error
 }
 
 // New builds a Server; call Start to run it.
@@ -450,6 +498,18 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 // Draining reports whether the server is refusing new submissions.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
+// Stopped reports whether Stop has been called: a stopped server fails
+// every submission with ErrStopped and can never serve again, so health
+// probes must read it as down.
+func (s *Server) Stopped() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
+}
+
 // InFlight returns how many accepted requests have not yet been delivered
 // back to their callers.
 func (s *Server) InFlight() int { return int(s.inflight.Load()) }
@@ -476,6 +536,49 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
+// brownout decides whether admission should shed a new submission under
+// overload: the queue has backlog and its most recent admission waited
+// past BrownoutQueueWait, or live sessions hold BrownoutKVFrac of the KV
+// budget. Shedding with a retriable 503 before the queue hard-rejects
+// gives callers (and the router) an early signal to go elsewhere.
+func (s *Server) brownout() error {
+	if w := s.cfg.BrownoutQueueWait; w > 0 && len(s.queue) > 0 &&
+		time.Duration(s.recentQueueWait.Load()) > w {
+		return fmt.Errorf("%w: recent queue wait %v over %v",
+			ErrOverloaded, time.Duration(s.recentQueueWait.Load()), w)
+	}
+	if f := s.cfg.BrownoutKVFrac; f > 0 {
+		if live := s.liveKVRows.Load(); float64(live) >= f*float64(s.cfg.KVBudgetRows) {
+			return fmt.Errorf("%w: live KV %d rows at %.0f%% of budget %d",
+				ErrOverloaded, live, 100*f, s.cfg.KVBudgetRows)
+		}
+	}
+	return nil
+}
+
+// ValidateRequest checks the server-independent shape of a request
+// against the model limits: non-empty prompt, length under the context
+// window, every token within the vocabulary. Serving fronts call it at
+// the HTTP boundary so a malformed request is a 400 even when no
+// replica is reachable; Server.Generate applies the same checks (plus
+// scheme resolution and KV-budget feasibility) at submission.
+func ValidateRequest(cfg model.Config, req Request) error {
+	if len(req.Prompt) == 0 {
+		return fmt.Errorf("%w: empty prompt", ErrInvalidRequest)
+	}
+	if len(req.Prompt) >= cfg.MaxSeq {
+		return fmt.Errorf("%w: prompt length %d exceeds context %d",
+			ErrInvalidRequest, len(req.Prompt), cfg.MaxSeq)
+	}
+	for i, t := range req.Prompt {
+		if t < 0 || t >= cfg.Vocab {
+			return fmt.Errorf("%w: prompt token %d at position %d outside vocab [0,%d)",
+				ErrInvalidRequest, t, i, cfg.Vocab)
+		}
+	}
+	return nil
+}
+
 // Generate submits a request and blocks until it completes, the context is
 // cancelled, or the server rejects/stops it. Rejection (full queue) is
 // immediate, never blocking — the bounded-queue contract.
@@ -490,12 +593,12 @@ func (s *Server) Generate(ctx context.Context, req Request) (Result, error) {
 	if _, ok := s.cfg.Engines[req.Scheme]; !ok {
 		return Result{}, fmt.Errorf("%w: %q", ErrUnknownScheme, req.Scheme)
 	}
-	if len(req.Prompt) == 0 {
-		return Result{}, errors.New("serve: empty prompt")
-	}
-	if len(req.Prompt) >= s.cfg.Model.Cfg.MaxSeq {
-		return Result{}, fmt.Errorf("serve: prompt length %d exceeds context %d",
-			len(req.Prompt), s.cfg.Model.Cfg.MaxSeq)
+	// Validation precedes admission: a malformed prompt is refused with a
+	// typed client error here instead of panicking model.Session.Append on
+	// a scheduler goroutine later.
+	if err := ValidateRequest(s.cfg.Model.Cfg, req); err != nil {
+		s.metrics.invalidReject()
+		return Result{}, err
 	}
 	if s.cfg.KVBudgetRows > 0 && !s.cfg.ContiguousKV {
 		// A request whose worst-case footprint exceeds the whole budget
@@ -518,6 +621,11 @@ func (s *Server) Generate(ctx context.Context, req Request) (Result, error) {
 		s.metrics.drainReject()
 		s.tracer.Record(obs.KindReject, 0, 0, obs.ReasonDraining, 0)
 		return Result{}, ErrDraining
+	}
+	if err := s.brownout(); err != nil {
+		s.metrics.brownoutReject()
+		s.tracer.Record(obs.KindReject, 0, 0, obs.ReasonOverload, 0)
+		return Result{}, err
 	}
 	s.idMu.Lock()
 	s.nextID++
