@@ -792,3 +792,167 @@ func BenchmarkRouterThroughput(b *testing.B) {
 // bit-identical to the fault-free reference, and no replica leaks a KV
 // page. See `tenderbench -exp chaos` for the full-size soak.
 func BenchmarkChaosSoak(b *testing.B) { benchTable(b, experiments.ChaosBench) }
+
+// Kernel-backend benchmarks: the naive reference GEMM against the
+// register-tiled, cache-blocked backend (AVX2+FMA micro-kernel on amd64,
+// pure-Go tiling elsewhere). The naive float path keeps its zero-skip
+// fast-path for sparse operands (see tensor.MatMul); the blocked backend
+// deliberately drops it — dense decode activations are never zero-rich
+// enough to pay back the branch, which is exactly what this benchmark
+// documents when comparing the two on dense fixtures.
+
+var benchSink float64
+
+func BenchmarkBlockedGEMM(b *testing.B) {
+	x, w := gemmFixtures() // 256×512 float64 activations × 512×256 weights
+	out := tensor.New(x.Rows, w.Cols)
+	b.Run("float/naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tensor.GEMMInto(nil, x, w, out)
+		}
+	})
+	b.Run("float/blocked", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tensor.GEMMInto(tensor.KernelBlocked, x, w, out)
+		}
+	})
+
+	const m0, k0, n0 = 256, 512, 256
+	rng := tensor.NewRNG(5)
+	a8 := make([]int8, m0*k0)
+	w8 := make([]int8, k0*n0)
+	for i := range a8 {
+		a8[i] = int8(rng.Intn(255) - 127)
+	}
+	for i := range w8 {
+		w8[i] = int8(rng.Intn(255) - 127)
+	}
+	acc := make([]int32, m0*n0)
+	ref := make([]int32, m0*n0)
+	tensor.MatMulIntInto(m0, k0, a8, n0, w8, ref)
+	tensor.KernelBlocked.MatMulInt(m0, k0, a8, n0, w8, acc)
+	for i := range ref {
+		if acc[i] != ref[i] {
+			b.Fatalf("blocked int8 GEMM diverges from reference at %d: %d vs %d", i, acc[i], ref[i])
+		}
+	}
+	b.Run("int8/naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMulIntInto(m0, k0, a8, n0, w8, acc)
+		}
+	})
+	b.Run("int8/blocked", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tensor.KernelBlocked.MatMulInt(m0, k0, a8, n0, w8, acc)
+		}
+	})
+}
+
+// BenchmarkKVDtype measures the append+read cost of each KV page dtype:
+// f64 pages alias raw storage, f16/int8 pages pay an encode on append and
+// a per-page decode (amortized by the one-page decode cache) on read.
+// The trade the serving layer makes — 4×/~6.4× more positions per byte for
+// a bounded decode tax — is what the sub-benchmark deltas quantify.
+func BenchmarkKVDtype(b *testing.B) {
+	const cols = 128
+	const rows = 256
+	src := tensor.RandNormal(tensor.NewRNG(7), rows, cols, 0.5)
+	for _, name := range []string{"f64", "f16", "int8"} {
+		dtype, err := tensor.ParseKVDtype(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			pool := tensor.NewBlockPoolDtype(cols, tensor.DefaultPageRows, 0, dtype)
+			b.Logf("%s: %d bytes/row, %d-byte pages", name, dtype.BytesPerRow(cols), pool.PageBytes())
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				pr := tensor.NewPagedRows(pool, rows)
+				for r := 0; r < rows; r++ {
+					pr.AppendRow(src.Row(r))
+				}
+				for r := 0; r < rows; r++ {
+					sink += pr.Row(r)[0]
+				}
+				pr.Release()
+			}
+			benchSink = sink
+		})
+	}
+}
+
+// BenchmarkIntDecodeAllocs gates the allocation diet of the integer decode
+// GEMMs. The shared int8 entry point (tensor.MatMulIntInto and the blocked
+// backend) must not allocate at all — tender and llmint8 route their
+// integer matmuls through it with pooled accumulators — and a steady-state
+// tender implicit matmul on either backend may allocate only its output
+// matrix: scratch (quantized activations, gathered slabs, partials,
+// accumulators) has to come from the pool.
+func BenchmarkIntDecodeAllocs(b *testing.B) {
+	const batch = 8
+	x := workload.OPT67BAttentionInput(64, 512, 1)
+	xdec := x.RowView(0, batch) // one fused decode step: batch rows
+	rng := tensor.NewRNG(2)
+	w := tensor.RandNormal(rng, 512, 256, 0.05)
+	cfg := tender.DefaultConfig(8)
+	cfg.RowChunk = 0 // serving build: single metadata chunk, blocked path applies
+	cal := tender.Calibrate([]*tensor.Matrix{x}, cfg)
+	qw := tender.QuantizeWeights(w, cfg.Bits)
+	wf := qw.Dequantize()
+	pack := cal.PrepareImplicit(qw, wf)
+	if pack == nil {
+		b.Fatal("PrepareImplicit refused a serving-shape site")
+	}
+
+	const m0, k0, n0 = batch, 512, 256
+	a8 := make([]int8, m0*k0)
+	w8 := make([]int8, k0*n0)
+	for i := range a8 {
+		a8[i] = int8(rng.Intn(255) - 127)
+	}
+	for i := range w8 {
+		w8[i] = int8(rng.Intn(255) - 127)
+	}
+	acc := make([]int32, m0*n0)
+	if n := testing.AllocsPerRun(50, func() {
+		tensor.MatMulIntInto(m0, k0, a8, n0, w8, acc)
+	}); n != 0 {
+		b.Fatalf("MatMulIntInto allocates %.1f times per call; want 0", n)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		tensor.KernelBlocked.MatMulInt(m0, k0, a8, n0, w8, acc)
+	}); n != 0 {
+		b.Fatalf("blocked MatMulInt allocates %.1f times per call; want 0", n)
+	}
+
+	for _, bk := range []struct {
+		name string
+		kern tensor.Kernel
+	}{{"naive", nil}, {"blocked", tensor.KernelBlocked}} {
+		for i := 0; i < 3; i++ { // warm the scratch pool
+			cal.MatMulImplicitBlocked(xdec, pack, bk.kern)
+		}
+		perCall := testing.AllocsPerRun(50, func() {
+			cal.MatMulImplicitBlocked(xdec, pack, bk.kern)
+		})
+		perToken := perCall / batch
+		b.Logf("implicit %s: %.2f allocs/call = %.3f allocs/token (batch %d)",
+			bk.name, perCall, perToken, batch)
+		if perToken > 0.5 {
+			b.Fatalf("implicit %s decode allocates %.2f times per token; want ~0 (output only)",
+				bk.name, perToken)
+		}
+		b.Run("implicit-"+bk.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cal.MatMulImplicitBlocked(xdec, pack, bk.kern)
+			}
+		})
+	}
+}

@@ -4,8 +4,10 @@
 //
 //	tenderbench                  # run everything (slow, full fidelity)
 //	tenderbench -quick           # reduced sizes, same shapes
-//	tenderbench -exp table2      # one experiment (table1..7, figure9..13, figure23, serve)
+//	tenderbench -exp table2      # one experiment (table1..7, figure9..13, figure23,
+//	                             # serve, router, chaos, gemm)
 //	tenderbench -exp serve       # serving benchmark; emits BENCH_serve.json
+//	tenderbench -exp gemm        # blocked-GEMM kernel + KV dtype rows → BENCH_serve.json
 //	tenderbench -headline        # paper-vs-measured headline report
 //	tenderbench -list            # list experiment ids
 package main

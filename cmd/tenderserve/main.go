@@ -92,6 +92,7 @@ func main() {
 		schemesFlag   = flag.String("schemes", "tender", "engine specs to host, separated by ';' or spaces (e.g. \"tender:bits=4,int;fp16\"; see -list-schemes)")
 		defaultScheme = flag.String("default-scheme", "", "scheme used when a request names none")
 		bits          = flag.Int("bits", 8, "quantization bit width")
+		kernelFlag    = flag.String("kernel", "", "default GEMM backend for hosted engines: naive (bit-exact reference) or blocked (register-tiled, cache-blocked; integer paths stay bit-identical, float paths are tolerance-gated); per-spec kernel= options override it")
 		qaa           = flag.Bool("qaa", false, "quantize activation-activation matmuls")
 		batch         = flag.Int("batch", 8, "max active requests per scheduler iteration")
 		queue         = flag.Int("queue", 0, "admission queue depth (0 = 4×batch)")
@@ -100,6 +101,7 @@ func main() {
 		batchFused    = flag.Bool("batch-fused", true, "fuse same-engine decode steps into one forward pass per iteration (bit-identical; disable to step every request separately)")
 		kvPages       = flag.Int("kv-pages", 0, "total KV budget in pages across all active sessions (0 = unlimited); admission and preemption keep KV memory under pages×kv-page-rows positions")
 		kvPageRows    = flag.Int("kv-page-rows", 0, "rows per KV page (0 = default 16)")
+		kvDtype       = flag.String("kv-dtype", "", "KV page storage format: f64 (reference), f16 (4x denser) or int8 (~7.5x); the KV budget is denominated in f64-equivalent rows, so compressed dtypes admit proportionally more concurrent sessions (requires the paged layout)")
 		kvContiguous  = flag.Bool("kv-contiguous", false, "use contiguous per-session KV buffers (worst-case MaxSeq reservation under a budget) instead of the shared paged pool")
 		prefixCache   = flag.Bool("prefix-cache", false, "share KV pages of common prompt prefixes across requests: completed prefills are indexed and later prompts mount the matched prefix instead of recomputing it (bit-identical; requires the paged KV layout)")
 		prefixRows    = flag.Int("prefix-cache-rows", 0, "cap on KV positions retained by cached prefixes (0 = the KV budget when set, else unbounded); rounded up to kv-page-rows")
@@ -184,7 +186,7 @@ func main() {
 		// remote replicas calibrated theirs.
 		fmt.Fprintf(os.Stderr, "calibrating %v on %s (bits=%d)...\n", names, *modelName, *bits)
 		if engines, err = engine.BuildEngines(m, names, engine.BuildOptions{
-			Bits: *bits, QuantActAct: *qaa, Serving: true,
+			Bits: *bits, QuantActAct: *qaa, Serving: true, Kernel: *kernelFlag,
 		}); err != nil {
 			fatalf("%v", err)
 		}
@@ -251,6 +253,7 @@ func main() {
 			DisableFusedDecode: !*batchFused,
 			KVBudgetRows:       *kvPages * pageRows,
 			KVPageRows:         pageRows,
+			KVDtype:            *kvDtype,
 			ContiguousKV:       *kvContiguous,
 			PrefixCache:        *prefixCache,
 			PrefixCacheRows:    *prefixRows,

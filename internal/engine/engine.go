@@ -14,6 +14,7 @@ import (
 	"tender/internal/schemes/mx"
 	"tender/internal/schemes/olive"
 	"tender/internal/schemes/smoothquant"
+	"tender/internal/tensor"
 	"tender/internal/workload"
 )
 
@@ -39,6 +40,10 @@ type BuildOptions struct {
 	// Streams/StreamLen size BuildEngines' shared calibration pass
 	// (defaults 3×128).
 	Streams, StreamLen int
+	// Kernel is the default GEMM backend when the spec has no kernel=
+	// option ("" or "naive" = the bit-exact reference; "blocked" = the
+	// register-tiled cache-blocked implementation).
+	Kernel string
 }
 
 func (o *BuildOptions) fill() {
@@ -294,6 +299,8 @@ type Resolved struct {
 	Scheme schemes.Scheme
 	// QuantActAct mirrors the build option.
 	QuantActAct bool
+	// Kernel is the effective GEMM backend name ("naive" or "blocked").
+	Kernel string
 }
 
 // parseWithAliases parses a spec and expands legacy alias names.
@@ -353,7 +360,17 @@ func Resolve(spec string, opt BuildOptions) (*Resolved, error) {
 		return nil, fmt.Errorf("engine: bits=%d out of range [2,8] in spec %q", bits, spec)
 	}
 	opt.Bits = bits
-	r := &Resolved{Spec: s, Bits: bits, Exact: e.Exact, QuantActAct: opt.QuantActAct}
+	kernel, ok := o.raw("kernel")
+	if !ok {
+		kernel = opt.Kernel
+	}
+	if _, err := tensor.KernelByName(kernel); err != nil {
+		return nil, fmt.Errorf("engine: spec %q: %v", spec, err)
+	}
+	if kernel == "" {
+		kernel = "naive"
+	}
+	r := &Resolved{Spec: s, Bits: bits, Exact: e.Exact, QuantActAct: opt.QuantActAct, Kernel: kernel}
 	if e.Exact {
 		r.Name = "FP32"
 	} else {
@@ -371,10 +388,41 @@ func Resolve(spec string, opt BuildOptions) (*Resolved, error) {
 // Engine builds the engine from an existing calibration recording. Exact
 // engines ignore rec (which may be nil).
 func (r *Resolved) Engine(rec *model.Recorder) model.Engine {
+	kern := r.kernel()
 	if r.Exact {
-		return model.Exact{}
+		return model.Exact{Kernel: kern}
 	}
-	return model.Calibrate(r.Scheme, r.Bits, r.QuantActAct, rec)
+	e := model.Calibrate(r.Scheme, r.Bits, r.QuantActAct, rec)
+	e.SetGEMMKernel(kern)
+	return e
+}
+
+// KernelAudit reports, for a calibrated engine built from this spec, how
+// many weight-matmul sites accepted the blocked backend versus exist
+// (mirroring the RowIndependent fused-decode audit). For the naive kernel
+// or an exact engine it reports full acceptance of zero routed sites.
+func (r *Resolved) KernelAudit(eng model.Engine) (set, total int) {
+	kern := r.kernel()
+	if kern == nil {
+		return 0, 0
+	}
+	if se, ok := eng.(*model.SchemeEngine); ok {
+		return se.SetGEMMKernel(kern)
+	}
+	return 0, 0
+}
+
+// kernel resolves the validated backend name, nil for the reference (so
+// unroutable paths skip the indirection entirely).
+func (r *Resolved) kernel() tensor.Kernel {
+	if r.Kernel == "" || r.Kernel == "naive" {
+		return nil
+	}
+	kern, err := tensor.KernelByName(r.Kernel)
+	if err != nil {
+		panic("engine: unvalidated kernel name " + r.Kernel)
+	}
+	return kern
 }
 
 // BuildEngines calibrates one engine per requested spec over a single

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"math"
+
 	"testing"
 
 	"tender/internal/model"
@@ -62,7 +64,7 @@ func TestRegistryGuard(t *testing.T) {
 		if (len(e.optionKeys) == 0) != (e.Options == "") {
 			t.Fatalf("entry %q: optionKeys and Options documentation disagree", e.Name)
 		}
-		for _, key := range append([]string{"bits"}, e.optionKeys...) {
+		for _, key := range append([]string{"bits", "kernel"}, e.optionKeys...) {
 			if isSchemeName(key) {
 				t.Fatalf("option key %q of %q collides with a scheme name or alias", key, e.Name)
 			}
@@ -125,5 +127,78 @@ func TestBuildEnginesUnknownScheme(t *testing.T) {
 	m := model.New(model.TinyConfig())
 	if _, err := BuildEngines(m, []string{"tender", "nope"}, BuildOptions{}); err == nil {
 		t.Fatal("unknown scheme must fail")
+	}
+}
+
+// TestKernelOption: kernel= is a universal spec option like bits=. It must
+// resolve on every scheme, default from BuildOptions, reject unknown
+// backends, and produce engines whose integer paths stay bit-identical to
+// the naive reference while float paths stay within tolerance.
+func TestKernelOption(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	for _, spec := range []string{"fp32:kernel=blocked", "fp16:kernel=blocked", "tender:int,kernel=blocked"} {
+		r, err := Resolve(spec, BuildOptions{})
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", spec, err)
+		}
+		if r.Kernel != "blocked" {
+			t.Fatalf("Resolve(%q).Kernel = %q", spec, r.Kernel)
+		}
+	}
+	if r, err := Resolve("fp32", BuildOptions{}); err != nil || r.Kernel != "naive" {
+		t.Fatalf("default kernel: %+v, %v", r, err)
+	}
+	if r, err := Resolve("fp32", BuildOptions{Kernel: "blocked"}); err != nil || r.Kernel != "blocked" {
+		t.Fatalf("BuildOptions.Kernel default: %+v, %v", r, err)
+	}
+	// Spec option overrides the build default.
+	if r, err := Resolve("fp32:kernel=naive", BuildOptions{Kernel: "blocked"}); err != nil || r.Kernel != "naive" {
+		t.Fatalf("spec override: %+v, %v", r, err)
+	}
+	if _, err := Resolve("fp32:kernel=fast", BuildOptions{}); err == nil {
+		t.Fatal("unknown kernel must be rejected")
+	}
+	if _, err := Resolve("fp32", BuildOptions{Kernel: "fast"}); err == nil {
+		t.Fatal("unknown BuildOptions.Kernel must be rejected")
+	}
+
+	toks := workload.TokenStream(workload.Wiki, 5, 12, m.Cfg.Vocab)
+	// tender:int is integer end to end at weight sites: blocked must be
+	// bit-identical.
+	engines, err := BuildEngines(m, []string{"tender:int", "tender:int,kernel=blocked"}, BuildOptions{Streams: 1, StreamLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Forward(toks, engines["tender:int"])
+	b := m.Forward(toks, engines["tender:int,kernel=blocked"])
+	for i := range a.Data {
+		if math.Float64bits(a.Data[i]) != math.Float64bits(b.Data[i]) {
+			t.Fatalf("tender:int logits diverge under blocked kernel at %d: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+	// Float schemes: tolerance-gated.
+	engines, err = BuildEngines(m, []string{"fp16", "fp16:kernel=blocked", "fp32", "fp32:kernel=blocked"}, BuildOptions{Streams: 1, StreamLen: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]string{{"fp16", "fp16:kernel=blocked"}, {"fp32", "fp32:kernel=blocked"}} {
+		a := m.Forward(toks, engines[pair[0]])
+		b := m.Forward(toks, engines[pair[1]])
+		for i := range a.Data {
+			tol := 1e-9 * (1 + math.Abs(a.Data[i]))
+			if math.Abs(a.Data[i]-b.Data[i]) > tol {
+				t.Fatalf("%s vs %s diverge beyond tolerance at %d: %v vs %v", pair[0], pair[1], i, a.Data[i], b.Data[i])
+			}
+		}
+	}
+	// The audit mirrors RowIndependent: every weight site of a calibrated
+	// scheme engine should accept the blocked backend for fp16.
+	r, err := Resolve("fp16:kernel=blocked", BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, total := r.KernelAudit(engines["fp16:kernel=blocked"])
+	if total == 0 || set != total {
+		t.Fatalf("fp16 kernel audit: %d/%d sites accepted", set, total)
 	}
 }

@@ -138,7 +138,7 @@ func AllFuncs() []func(Options) Table {
 		TableVI, TableVII, Figure13, Figure23Stats,
 		AblationAlpha, AblationRowChunk, AblationBias,
 		AblationClustering, AblationBits, AblationDataflow,
-		ServeBench, RouterBench, ChaosBench,
+		ServeBench, RouterBench, ChaosBench, GEMMBench,
 	}
 }
 
@@ -171,6 +171,7 @@ func ByID(id string, o Options) (Table, bool) {
 		"serve":    ServeBench,
 		"router":   RouterBench,
 		"chaos":    ChaosBench,
+		"gemm":     GEMMBench,
 	}
 	if f, ok := fns[id]; ok {
 		return f(o), true

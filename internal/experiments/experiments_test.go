@@ -417,3 +417,69 @@ func TestRouterBenchQuick(t *testing.T) {
 		t.Fatalf("failover row recorded no failovers: %v", fov)
 	}
 }
+
+func TestGEMMBenchQuick(t *testing.T) {
+	t.Chdir(t.TempDir()) // BENCH_serve.json lands here, not in the repo
+	tab := GEMMBench(q)
+	if tab.ID != "gemm" {
+		t.Fatalf("id %q", tab.ID)
+	}
+	// Quick mode: two schemes × {naive, blocked} at batch 8, plus the three
+	// KV-dtype memory-pressure rows.
+	if len(tab.Rows) != 7 {
+		t.Fatalf("expected 7 rows, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if cellFloat(t, row[2]) <= 0 {
+			t.Fatalf("non-positive throughput in row %v", row)
+		}
+	}
+	blob, err := os.ReadFile(ServeBenchFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []map[string]any
+	if err := json.Unmarshal(blob, &results); err != nil {
+		t.Fatalf("BENCH_serve.json not valid JSON: %v", err)
+	}
+	if len(results) != 7 {
+		t.Fatalf("expected 7 JSON results, got %d", len(results))
+	}
+	var f64Sessions, f16Sessions float64
+	naive := map[string]float64{}
+	blocked := map[string]float64{}
+	for _, r := range results {
+		scheme := r["scheme"].(string)
+		switch {
+		case scheme == "kv-f64/fp32":
+			f64Sessions = r["peak_active_sessions"].(float64)
+		case scheme == "kv-f16/fp32":
+			f16Sessions = r["peak_active_sessions"].(float64)
+		case strings.HasPrefix(scheme, "gemm-naive/"):
+			naive[strings.TrimPrefix(scheme, "gemm-naive/")] = r["decode_tokens_per_sec"].(float64)
+		case strings.HasPrefix(scheme, "gemm-blocked/"):
+			blocked[strings.TrimPrefix(scheme, "gemm-blocked/")] = r["decode_tokens_per_sec"].(float64)
+			if r["speedup_vs_naive"].(float64) <= 0 {
+				t.Fatalf("blocked row without speedup: %v", r)
+			}
+		}
+	}
+	for _, scheme := range []string{"fp16", "tender:int"} {
+		if naive[scheme] <= 0 || blocked[scheme] <= 0 {
+			t.Fatalf("missing gemm rows for %s: naive %v, blocked %v", scheme, naive[scheme], blocked[scheme])
+		}
+	}
+	// The KV-dtype acceptance bar: under the same byte budget, f16 pages
+	// must at least double peak concurrency over f64.
+	if f64Sessions <= 0 || f16Sessions < 2*f64Sessions {
+		t.Fatalf("f16 KV peaked at %v sessions vs f64 %v; want ≥ 2× under the same byte budget",
+			f16Sessions, f64Sessions)
+	}
+}
+
+func TestGEMMByID(t *testing.T) {
+	t.Chdir(t.TempDir()) // ByID runs GEMMBench; BENCH_serve.json lands here
+	if _, ok := ByID("gemm", q); !ok {
+		t.Fatal("gemm must resolve")
+	}
+}

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"tender/internal/engine"
+	"tender/internal/model"
+	"tender/internal/serve"
+	"tender/internal/workload"
+)
+
+// gemmBenchResult is the JSON summary of one kernel-backend serving row:
+// fused batched decode under the naive reference GEMM versus the blocked
+// (register-tiled, cache-blocked) backend, same trace, same scheme.
+type gemmBenchResult struct {
+	Scheme       string  `json:"scheme"`
+	Batch        int     `json:"batch"`
+	Kernel       string  `json:"kernel"`
+	TokensPerSec float64 `json:"decode_tokens_per_sec"`
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	TTFTP50Ms    float64 `json:"ttft_p50_ms"`
+	// SpeedupVsNaive is this row's decode throughput over the naive-kernel
+	// row of the same scheme and batch (1.0 on the naive row itself).
+	SpeedupVsNaive float64 `json:"speedup_vs_naive"`
+}
+
+// kvDtypeBenchResult is the JSON summary of one KV-dtype memory-pressure
+// row: the same Poisson trace and byte budget served with f64, f16 or int8
+// KV pages.
+type kvDtypeBenchResult struct {
+	Scheme        string  `json:"scheme"`
+	Batch         int     `json:"batch"`
+	KVDtype       string  `json:"kv_dtype"`
+	KVBudgetRows  int     `json:"kv_budget_rows"` // effective rows the byte budget buys
+	KVBytesPerRow int     `json:"kv_bytes_per_row"`
+	TokensPerSec  float64 `json:"decode_tokens_per_sec"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms"`
+	TTFTP50Ms     float64 `json:"ttft_p50_ms"`
+	PeakActive    int64   `json:"peak_active_sessions"`
+	Preemptions   int64   `json:"preemptions"`
+	// SessionsVsF64 is the row's peak concurrency over the f64 row under
+	// the identical byte budget (1.0 on the f64 row itself).
+	SessionsVsF64 float64 `json:"sessions_vs_f64"`
+}
+
+// GEMMBench benchmarks the pluggable GEMM kernel and the KV page dtypes:
+//
+//   - gemm-naive/* / gemm-blocked/* rows run the same fused batched decode
+//     load with the engine's weight GEMMs on the reference versus the
+//     blocked backend. fp16 exercises the float micro-kernel
+//     (tolerance-gated results); tender:int the blocked implicit integer
+//     path (bit-identical results — speedup with zero output drift).
+//   - kv-f64/kv-f16/kv-int8 rows re-run the memory-pressure scenario with
+//     the same byte budget under each page dtype: compressed pages stretch
+//     the budget into proportionally more positions, so the same memory
+//     admits more concurrent sessions.
+//
+// Every row lands in BENCH_serve.json alongside ServeBench's rows.
+func GEMMBench(o Options) Table {
+	modelName := "opt-6.7b"
+	kernelSchemes := []string{"fp16", "tender:int"}
+	// A scheme with a variant ("tender:int") takes further options comma-
+	// separated; a bare scheme starts its option list with ":".
+	blockedSpec := func(s string) string {
+		if strings.Contains(s, ":") {
+			return s + ",kernel=blocked"
+		}
+		return s + ":kernel=blocked"
+	}
+	specs := []string{"fp32"}
+	for _, s := range kernelSchemes {
+		specs = append(specs, s, blockedSpec(s))
+	}
+	m := model.New(model.Registry(modelName))
+	engines, err := engine.BuildEngines(m, specs, engine.BuildOptions{
+		Bits: 8, Streams: 2, StreamLen: 64, Serving: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Decode-heavy closed-loop trace: weight-site GEMM throughput is what
+	// the kernel changes, and steady-state fused decode is where it shows.
+	requests, minP, maxP, newTok := 32, 16, 32, 48
+	batches := []int{8, 32}
+	if o.Quick {
+		requests, minP, maxP, newTok = 12, 8, 16, 12
+		batches = []int{8}
+	}
+	trace := workload.RequestTrace(workload.TraceConfig{
+		Requests: requests, Vocab: m.Cfg.Vocab,
+		MinPrompt: minP, MaxPrompt: maxP, MinNew: newTok, MaxNew: newTok,
+	}, 5+o.Seed)
+
+	t := Table{
+		ID:    "gemm",
+		Title: "Blocked GEMM kernel and KV dtype serving impact",
+		Note: fmt.Sprintf("%s, %d requests, prompts %d-%d, %d decode tokens, GOMAXPROCS=%d; gemm-* rows pit kernel=blocked against the naive reference on the same fused-decode load",
+			modelName, requests, minP, maxP, newTok, runtime.GOMAXPROCS(0)),
+		Columns: []string{"Scheme", "Batch", "tok/s", "p50 ms", "TTFT p50", "Detail", "Speedup"},
+	}
+
+	var emit []gemmBenchResult
+	for _, scheme := range kernelSchemes {
+		for _, batch := range batches {
+			var base float64
+			for _, kernel := range []string{"naive", "blocked"} {
+				spec := scheme
+				if kernel == "blocked" {
+					spec = blockedSpec(scheme)
+				}
+				tracer := o.scenarioTracer()
+				srv, err := serve.New(serve.Config{
+					Model: m, Engines: engines, DefaultScheme: spec,
+					MaxBatch: batch, QueueDepth: requests, PrefillChunk: 16,
+					Tracer: tracer,
+				})
+				if err != nil {
+					panic(err)
+				}
+				srv.Start()
+				rep := serve.RunLoad(srv, serve.LoadConfig{Trace: trace, Clients: batch, Scheme: spec})
+				srv.Stop()
+				if rep.Failed > 0 {
+					panic(fmt.Sprintf("gemm bench: %d requests failed", rep.Failed))
+				}
+				if kernel == "naive" {
+					base = rep.TokensPerSec
+				}
+				speedup := 1.0
+				if base > 0 {
+					speedup = rep.TokensPerSec / base
+				}
+				rowName := fmt.Sprintf("gemm-%s/%s", kernel, scheme)
+				writeServeArtifacts(o.ArtifactDir, fmt.Sprintf("%s-b%d", rowName, batch), tracer, srv)
+				emit = append(emit, gemmBenchResult{
+					Scheme: rowName, Batch: batch, Kernel: kernel,
+					TokensPerSec: rep.TokensPerSec,
+					LatencyP50Ms: rep.LatencyP50Ms, TTFTP50Ms: rep.TTFTP50Ms,
+					SpeedupVsNaive: speedup,
+				})
+				t.Rows = append(t.Rows, []string{
+					rowName, fmt.Sprintf("%d", batch),
+					fmt.Sprintf("%.1f", rep.TokensPerSec),
+					fmt.Sprintf("%.1f", rep.LatencyP50Ms),
+					fmt.Sprintf("%.1f", rep.TTFTP50Ms),
+					"kernel=" + kernel,
+					FormatX(speedup),
+				})
+			}
+		}
+	}
+
+	// KV-dtype memory pressure: a byte budget tight enough that f64 pages
+	// throttle concurrency, re-served with compressed pages. KVBudgetRows
+	// is denominated in f64-equivalent rows, so each dtype stretches the
+	// identical provisioned memory into BytesPerRow-ratio more positions.
+	kvScheme := "fp32"
+	kvBudget := m.Cfg.MaxSeq / 2
+	mpRequests, mpBatch := 24, 24
+	poissonMean := 2 * time.Millisecond
+	if o.Quick {
+		// Fewer requests cap the peak, so tighten the budget in proportion:
+		// the f64 row must still be the one concurrency throttles.
+		mpRequests = 12
+		kvBudget = m.Cfg.MaxSeq / 4
+	}
+	mpTrace := workload.RequestTrace(workload.TraceConfig{
+		Requests: mpRequests, Vocab: m.Cfg.Vocab,
+		MinPrompt: 24, MaxPrompt: 40, MinNew: 24, MaxNew: 24,
+	}, 7+o.Seed)
+	var kvEmit []kvDtypeBenchResult
+	for _, dtype := range []string{"f64", "f16", "int8"} {
+		tracer := o.scenarioTracer()
+		srv, err := serve.New(serve.Config{
+			Model: m, Engines: engines, DefaultScheme: kvScheme,
+			MaxBatch: mpBatch, QueueDepth: mpRequests, PrefillChunk: 16,
+			KVBudgetRows: kvBudget, KVDtype: dtype,
+			Tracer: tracer,
+		})
+		if err != nil {
+			panic(err)
+		}
+		srv.Start()
+		rep := serve.RunLoad(srv, serve.LoadConfig{
+			Trace: mpTrace, Scheme: kvScheme,
+			PoissonMean: poissonMean, ArrivalSeed: 9 + o.Seed,
+		})
+		snap := srv.Metrics().Snapshot()
+		srv.Stop()
+		if rep.Failed > 0 {
+			panic(fmt.Sprintf("gemm bench: %d kv-%s requests failed", rep.Failed, dtype))
+		}
+		rowName := fmt.Sprintf("kv-%s/%s", dtype, kvScheme)
+		writeServeArtifacts(o.ArtifactDir, rowName, tracer, srv)
+		kvEmit = append(kvEmit, kvDtypeBenchResult{
+			Scheme: rowName, Batch: mpBatch, KVDtype: dtype,
+			KVBudgetRows: snap.KVBudgetRows, KVBytesPerRow: snap.KVBytesPerRow,
+			TokensPerSec: rep.TokensPerSec,
+			LatencyP50Ms: rep.LatencyP50Ms, TTFTP50Ms: rep.TTFTP50Ms,
+			PeakActive:  snap.PeakActiveSessions,
+			Preemptions: snap.Preemptions,
+		})
+	}
+	for i := range kvEmit {
+		kvEmit[i].SessionsVsF64 = 1
+		if base := kvEmit[0].PeakActive; base > 0 {
+			kvEmit[i].SessionsVsF64 = float64(kvEmit[i].PeakActive) / float64(base)
+		}
+	}
+	if kvEmit[1].SessionsVsF64 < 2 {
+		fmt.Fprintf(os.Stderr, "gemm bench: f16 concurrency gain below 2x (%.2fx)\n", kvEmit[1].SessionsVsF64)
+	}
+	for _, e := range kvEmit {
+		t.Rows = append(t.Rows, []string{
+			e.Scheme, fmt.Sprintf("%d", e.Batch),
+			fmt.Sprintf("%.1f", e.TokensPerSec),
+			fmt.Sprintf("%.1f", e.LatencyP50Ms),
+			fmt.Sprintf("%.1f", e.TTFTP50Ms),
+			fmt.Sprintf("peak %d sess, %d preempt", e.PeakActive, e.Preemptions),
+			FormatX(e.SessionsVsF64),
+		})
+	}
+	t.Note += fmt.Sprintf("; kv-* rows: the same %d-row (f64-equivalent) KV byte budget served under each page dtype (Poisson arrivals, mean %v) — speedup = peak concurrent sessions vs the f64 row", kvBudget, poissonMean)
+
+	rows := make([]map[string]any, 0, len(emit)+len(kvEmit))
+	for _, e := range emit {
+		if blob, err := json.Marshal(e); err == nil {
+			var row map[string]any
+			if json.Unmarshal(blob, &row) == nil {
+				rows = append(rows, row)
+			}
+		}
+	}
+	for _, e := range kvEmit {
+		if blob, err := json.Marshal(e); err == nil {
+			var row map[string]any
+			if json.Unmarshal(blob, &row) == nil {
+				rows = append(rows, row)
+			}
+		}
+	}
+	owned := make(map[string]bool, 2*len(kernelSchemes)+3)
+	for _, s := range kernelSchemes {
+		owned["gemm-naive/"+s] = true
+		owned["gemm-blocked/"+s] = true
+	}
+	for _, dtype := range []string{"f64", "f16", "int8"} {
+		owned["kv-"+dtype+"/"+kvScheme] = true
+	}
+	if err := RewriteServeBench(ServeBenchFile, func(scheme string) bool {
+		return owned[scheme]
+	}, rows); err != nil {
+		fmt.Fprintf(os.Stderr, "gemm bench: %v\n", err)
+	}
+	return t
+}

@@ -158,6 +158,27 @@ func (e *SchemeEngine) RowIndependentMatMul(site Site) bool {
 // (they do unless the engine quantizes activation-activation sites).
 func (e *SchemeEngine) ExactActAct() bool { return !e.QuantActAct }
 
+// SetGEMMKernel routes the engine's weight-matmul sites through the GEMM
+// backend kern (schemes.GEMMKernelSetter), returning how many sites accepted
+// it and how many weight sites exist — the audit surface: site kernels
+// without the capability keep the bit-exact reference GEMM, exactly as
+// row-dependent kernels opt out of fused decode. Activation-activation and
+// value sites are never routed: their per-call quantize-and-multiply paths
+// define the bit-identity contract between fused and per-request serving.
+// Call once after Calibrate, before any MatMul.
+func (e *SchemeEngine) SetGEMMKernel(kern tensor.Kernel) (set, total int) {
+	for site, cs := range e.sites {
+		if site.Kind.IsActAct() {
+			continue
+		}
+		total++
+		if schemes.SetGEMMKernel(cs.kernel, kern) {
+			set++
+		}
+	}
+	return set, total
+}
+
 // valueMatMul is the generic act-act path for the XS × XV site.
 func (e *SchemeEngine) valueMatMul(site Site, x, w *tensor.Matrix) *tensor.Matrix {
 	s, ok := e.valueScales[site]

@@ -272,14 +272,31 @@ type exactActAct interface {
 	ExactActAct() bool
 }
 
-// Exact is the engine with no quantization.
-type Exact struct{}
+// Exact is the engine with no quantization. Kernel optionally routes
+// weight-matmul GEMMs through a pluggable backend (tensor.KernelBlocked);
+// activation-activation sites always run the reference GEMM so the fused
+// decode's direct attention loops stay bit-identical to per-request
+// execution, and a nil Kernel is the bit-exact reference everywhere.
+type Exact struct {
+	Kernel tensor.Kernel
+}
 
 // MatMul implements Engine.
-func (Exact) MatMul(_ Site, x, w *tensor.Matrix) *tensor.Matrix { return tensor.MatMul(x, w) }
+func (e Exact) MatMul(site Site, x, w *tensor.Matrix) *tensor.Matrix {
+	if e.Kernel == nil || site.Kind.IsActAct() {
+		return tensor.MatMul(x, w)
+	}
+	return tensor.GEMM(e.Kernel, x, w)
+}
 
 // MatMulInto implements EngineInto.
-func (Exact) MatMulInto(_ Site, x, w, out *tensor.Matrix) { tensor.MatMulInto(x, w, out) }
+func (e Exact) MatMulInto(site Site, x, w, out *tensor.Matrix) {
+	if e.Kernel == nil || site.Kind.IsActAct() {
+		tensor.MatMulInto(x, w, out)
+		return
+	}
+	tensor.GEMMInto(e.Kernel, x, w, out)
+}
 
 // RowIndependentMatMul implements RowIndependentEngine: the exact GEMM
 // accumulates each output row from its own input row only.

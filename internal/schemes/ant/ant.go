@@ -148,6 +148,7 @@ type site struct {
 	wType Datatype
 	// Static activation scale from calibration.
 	xScale float64
+	gemm   tensor.Kernel
 }
 
 // NewSite implements schemes.Scheme: datatypes are selected per tensor from
@@ -198,9 +199,13 @@ func (st *site) PrepareWeights(w *tensor.Matrix) schemes.PackedWeights {
 // Apply implements schemes.SiteKernel.
 func (st *site) Apply(x *tensor.Matrix, packed schemes.PackedWeights) *tensor.Matrix {
 	xq := encodeWithScale(x, st.xType, st.bits, st.xScale)
-	return tensor.MatMul(xq, packed.(*tensor.Matrix))
+	return tensor.GEMM(st.gemm, xq, packed.(*tensor.Matrix))
 }
 
 // ApplyRowIndependent implements schemes.RowIndependent: the datatype and
 // scale are calibrated statics and encoding is elementwise.
 func (st *site) ApplyRowIndependent() bool { return true }
+
+// SetGEMMKernel implements schemes.GEMMKernelSetter: the site's dense
+// float GEMM may run on a blocked backend (tolerance-gated).
+func (st *site) SetGEMMKernel(k tensor.Kernel) { st.gemm = k }

@@ -126,24 +126,31 @@ func (s Scheme) Name() string { return s.Variant }
 // are derived per block at encode time, so the only compile-once state is
 // the block-encoded weight matrix itself.
 func (s Scheme) NewSite(_, _ []*tensor.Matrix, _ int) schemes.SiteKernel {
-	return site{cfg: s.Cfg}
+	return &site{cfg: s.Cfg}
 }
 
-type site struct{ cfg Config }
+type site struct {
+	cfg  Config
+	gemm tensor.Kernel
+}
 
 // PrepareWeights implements schemes.SiteKernel: the shared block exponents
 // of the weights are derived once.
-func (s site) PrepareWeights(w *tensor.Matrix) schemes.PackedWeights {
+func (s *site) PrepareWeights(w *tensor.Matrix) schemes.PackedWeights {
 	return Encode(w, s.cfg)
 }
 
 // Apply implements schemes.SiteKernel.
-func (s site) Apply(x *tensor.Matrix, packed schemes.PackedWeights) *tensor.Matrix {
-	return tensor.MatMul(Encode(x, s.cfg), packed.(*tensor.Matrix))
+func (s *site) Apply(x *tensor.Matrix, packed schemes.PackedWeights) *tensor.Matrix {
+	return tensor.GEMM(s.gemm, Encode(x, s.cfg), packed.(*tensor.Matrix))
 }
+
+// SetGEMMKernel implements schemes.GEMMKernelSetter: the site's dense
+// float GEMM may run on a blocked backend (tolerance-gated).
+func (s *site) SetGEMMKernel(k tensor.Kernel) { s.gemm = k }
 
 // ApplyRowIndependent implements schemes.RowIndependent: MSFP12's shared
 // exponents span row-contiguous blocks, so each row encodes alone; the OL
 // variant shares exponents down columns — across rows — and is
 // row-coupled.
-func (s site) ApplyRowIndependent() bool { return s.cfg.Layout == RowBlocks }
+func (s *site) ApplyRowIndependent() bool { return s.cfg.Layout == RowBlocks }

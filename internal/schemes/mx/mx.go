@@ -147,25 +147,30 @@ func (s Scheme) NewSite(_, _ []*tensor.Matrix, _ int) schemes.SiteKernel {
 	if s.Variant == "MXFP4" {
 		enc = EncodeMXFP4
 	}
-	return site{enc: enc}
+	return &site{enc: enc}
 }
 
 type site struct {
-	enc func(*tensor.Matrix) *tensor.Matrix
+	enc  func(*tensor.Matrix) *tensor.Matrix
+	gemm tensor.Kernel
 }
 
 // PrepareWeights implements schemes.SiteKernel: the weight blocks are
 // encoded once.
-func (s site) PrepareWeights(w *tensor.Matrix) schemes.PackedWeights {
+func (s *site) PrepareWeights(w *tensor.Matrix) schemes.PackedWeights {
 	return s.enc(w)
 }
 
 // Apply implements schemes.SiteKernel.
-func (s site) Apply(x *tensor.Matrix, packed schemes.PackedWeights) *tensor.Matrix {
-	return tensor.MatMul(s.enc(x), packed.(*tensor.Matrix))
+func (s *site) Apply(x *tensor.Matrix, packed schemes.PackedWeights) *tensor.Matrix {
+	return tensor.GEMM(s.gemm, s.enc(x), packed.(*tensor.Matrix))
 }
+
+// SetGEMMKernel implements schemes.GEMMKernelSetter: the site's dense
+// float GEMM may run on a blocked backend (tolerance-gated).
+func (s *site) SetGEMMKernel(k tensor.Kernel) { s.gemm = k }
 
 // ApplyRowIndependent implements schemes.RowIndependent: both MX formats
 // derive shared scales over row-contiguous blocks only, so each row
 // encodes alone.
-func (s site) ApplyRowIndependent() bool { return true }
+func (s *site) ApplyRowIndependent() bool { return true }

@@ -245,6 +245,7 @@ type site struct {
 	bits    int
 	xThr    float64
 	wRelThr float64
+	gemm    tensor.Kernel
 }
 
 // NewSite implements schemes.Scheme: outlier thresholds are calibrated per
@@ -266,7 +267,7 @@ func (st *site) PrepareWeights(w *tensor.Matrix) schemes.PackedWeights {
 // Apply implements schemes.SiteKernel.
 func (st *site) Apply(x *tensor.Matrix, packed schemes.PackedWeights) *tensor.Matrix {
 	xq := EncodePairs(x, st.xThr, st.bits)
-	return tensor.MatMul(xq, packed.(*tensor.Matrix))
+	return tensor.GEMM(st.gemm, xq, packed.(*tensor.Matrix))
 }
 
 // ApplyRowIndependent implements schemes.RowIndependent: false — OliVe's
@@ -276,3 +277,8 @@ func (st *site) Apply(x *tensor.Matrix, packed schemes.PackedWeights) *tensor.Ma
 // different sessions would change each session's encoding. OliVe serves
 // through the per-request path.
 func (st *site) ApplyRowIndependent() bool { return false }
+
+// SetGEMMKernel implements schemes.GEMMKernelSetter: the site's dense
+// float GEMM may run on a blocked backend (tolerance-gated); OliVe stays
+// row-dependent, so this only affects the per-request path.
+func (st *site) SetGEMMKernel(k tensor.Kernel) { st.gemm = k }

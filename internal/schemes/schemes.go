@@ -80,6 +80,37 @@ func IsRowIndependent(k SiteKernel) bool {
 	return ok && ri.ApplyRowIndependent()
 }
 
+// GEMMKernelSetter is an optional SiteKernel capability: kernels that can
+// route their dense GEMM through a pluggable tensor.Kernel backend
+// (tensor.KernelBlocked) implement it. SetGEMMKernel is called once after
+// calibration, before any Apply, with nil meaning the bit-exact reference
+// path; kernels without the interface always run the reference GEMM — that
+// refusal is the audit surface, mirroring how RowIndependent lets a kernel
+// opt out of fused decode.
+//
+// Contract for implementers: with a nil kernel Apply must be bit-identical
+// to the pre-kernel behaviour; with tensor.KernelBlocked, integer GEMMs
+// must stay bit-identical (integer accumulation is associative) while
+// float GEMMs may reorder accumulation and are gated by tolerance + the
+// quality harness.
+type GEMMKernelSetter interface {
+	SetGEMMKernel(k tensor.Kernel)
+}
+
+// SetGEMMKernel routes k's GEMM through kern when the kernel supports it,
+// reporting whether it was applied. A nil kern always "succeeds" (the
+// reference path needs no support).
+func SetGEMMKernel(k SiteKernel, kern tensor.Kernel) bool {
+	if kern == nil {
+		return true
+	}
+	s, ok := k.(GEMMKernelSetter)
+	if ok {
+		s.SetGEMMKernel(kern)
+	}
+	return ok
+}
+
 // Scheme builds calibrated SiteKernels.
 type Scheme interface {
 	// Name identifies the scheme in experiment tables.
@@ -137,30 +168,35 @@ type FP16 struct{}
 func (FP16) Name() string { return "FP16" }
 
 // NewSite implements Scheme.
-func (FP16) NewSite(_, _ []*tensor.Matrix, _ int) SiteKernel { return fp16Site{} }
+func (FP16) NewSite(_, _ []*tensor.Matrix, _ int) SiteKernel { return &fp16Site{} }
 
-type fp16Site struct{}
+type fp16Site struct {
+	gemm tensor.Kernel
+}
 
 // PrepareWeights implements SiteKernel: the weight matrix is rounded to
 // half precision once.
-func (fp16Site) PrepareWeights(w *tensor.Matrix) PackedWeights {
+func (*fp16Site) PrepareWeights(w *tensor.Matrix) PackedWeights {
 	wr := w.Clone()
 	tensor.F16RoundInPlace(wr)
 	return wr
 }
 
 // Apply implements SiteKernel.
-func (fp16Site) Apply(x *tensor.Matrix, packed PackedWeights) *tensor.Matrix {
+func (s *fp16Site) Apply(x *tensor.Matrix, packed PackedWeights) *tensor.Matrix {
 	xr := x.Clone()
 	tensor.F16RoundInPlace(xr)
-	out := tensor.MatMul(xr, packed.(*tensor.Matrix))
+	out := tensor.GEMM(s.gemm, xr, packed.(*tensor.Matrix))
 	tensor.F16RoundInPlace(out)
 	return out
 }
 
+// SetGEMMKernel implements GEMMKernelSetter.
+func (s *fp16Site) SetGEMMKernel(k tensor.Kernel) { s.gemm = k }
+
 // ApplyRowIndependent implements RowIndependent: half-precision rounding is
 // elementwise.
-func (fp16Site) ApplyRowIndependent() bool { return true }
+func (*fp16Site) ApplyRowIndependent() bool { return true }
 
 // Uniform is plain static uniform symmetric quantization at a fixed
 // granularity for activations (weights are always per-column), the
@@ -179,6 +215,7 @@ type uniformSite struct {
 	bits   int
 	gran   quant.Granularity
 	scales []float64 // calibrated activation scales (nil if dynamic)
+	gemm   tensor.Kernel
 }
 
 // NewSite implements Scheme. Static scales come from the union of
@@ -240,8 +277,11 @@ func (s *uniformSite) Apply(x *tensor.Matrix, packed PackedWeights) *tensor.Matr
 	default:
 		xq = fakeQuantWithScales(x, s.scales, s.bits, quant.PerColumn)
 	}
-	return tensor.MatMul(xq, packed.(*tensor.Matrix))
+	return tensor.GEMM(s.gemm, xq, packed.(*tensor.Matrix))
 }
+
+// SetGEMMKernel implements GEMMKernelSetter.
+func (s *uniformSite) SetGEMMKernel(k tensor.Kernel) { s.gemm = k }
 
 // ApplyRowIndependent implements RowIndependent: calibrated static scales
 // and dynamic per-row scales both quantize a row from that row alone; a

@@ -35,6 +35,7 @@ type site struct {
 	invSmooth []float64
 	// static per-tensor activation scale (calibrated post-smoothing).
 	actScale float64
+	gemm     tensor.Kernel
 }
 
 // NewSite implements schemes.Scheme. The smoothing factors are derived from
@@ -106,8 +107,12 @@ func (st *site) Apply(x *tensor.Matrix, packed schemes.PackedWeights) *tensor.Ma
 	for i, v := range xs.Data {
 		xq.Data[i] = float64(quant.QuantizeValue(v, st.actScale, st.bits)) * st.actScale
 	}
-	return tensor.MatMul(xq, packed.(*tensor.Matrix))
+	return tensor.GEMM(st.gemm, xq, packed.(*tensor.Matrix))
 }
+
+// SetGEMMKernel implements schemes.GEMMKernelSetter: the site's dense
+// float GEMM may run on a blocked backend (tolerance-gated).
+func (st *site) SetGEMMKernel(k tensor.Kernel) { st.gemm = k }
 
 // ApplyRowIndependent implements schemes.RowIndependent: smoothing factors
 // and the activation scale are calibrated statics applied elementwise.

@@ -52,6 +52,7 @@ type tenderSite struct {
 	cal     *tender.Calibration
 	bits    int
 	integer bool
+	gemm    tensor.Kernel
 }
 
 // tenderPacked is the compiled weight state: the per-column quantized
@@ -62,6 +63,9 @@ type tenderSite struct {
 type tenderPacked struct {
 	wq *quant.Quantized
 	wf *tensor.Matrix
+	// ip is the blocked-GEMM pack of the implicit path, nil when the
+	// calibration cannot be served blocked (row chunking, clustering).
+	ip *tender.ImplicitPack
 }
 
 // NewSite implements Scheme. Activation metadata is calibrated statically
@@ -79,17 +83,32 @@ func (t Tender) NewSite(xs, _ []*tensor.Matrix, bits int) SiteKernel {
 // runs once per site.
 func (s *tenderSite) PrepareWeights(w *tensor.Matrix) PackedWeights {
 	wq := tender.QuantizeWeights(w, s.bits)
-	return &tenderPacked{wq: wq, wf: wq.Dequantize()}
+	p := &tenderPacked{wq: wq, wf: wq.Dequantize()}
+	if s.integer {
+		p.ip = s.cal.PrepareImplicit(wq, p.wf)
+	}
+	return p
 }
 
 // Apply implements SiteKernel: only the activation is quantized per call.
 func (s *tenderSite) Apply(x *tensor.Matrix, packed PackedWeights) *tensor.Matrix {
 	p := packed.(*tenderPacked)
 	if s.integer {
+		if s.gemm != nil && p.ip != nil {
+			// Blocked integer path: bit-identical to MatMulImplicit
+			// (asserted in internal/tender), pooled scratch, per-group
+			// dense int8 GEMMs on the selected backend.
+			return s.cal.MatMulImplicitBlocked(x, p.ip, s.gemm)
+		}
 		return s.cal.MatMulImplicit(x, p.wq, p.wf)
 	}
-	return tensor.MatMul(s.cal.FakeQuantActivation(x), p.wf)
+	return tensor.GEMM(s.gemm, s.cal.FakeQuantActivation(x), p.wf)
 }
+
+// SetGEMMKernel implements GEMMKernelSetter: the integer path switches to
+// the blocked implicit execution (bit-identical); the fake-quant float path
+// runs its dense GEMM on the backend (tolerance-gated).
+func (s *tenderSite) SetGEMMKernel(k tensor.Kernel) { s.gemm = k }
 
 // ApplyRowIndependent implements RowIndependent: with row chunking disabled
 // (RowChunk = 0, the serving build) every row is quantized against the

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"testing"
+
+	"tender/internal/engine"
+	"tender/internal/model"
+	"tender/internal/tensor"
+)
+
+// TestKVDtypeFusedMatchesPerRequest: under a compressed KV dtype the stored
+// keys/values carry quantization error, so tokens may differ from the f64
+// store — but fused batched decode must still be bit-identical to the
+// per-request path under the same dtype (decode is a pure function of the
+// stored codes, and both paths read the same codes in the same order).
+func TestKVDtypeFusedMatchesPerRequest(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	engines, err := buildEngines(m, []string{"fp32", "tender:int"}, engine.BuildOptions{Bits: 8, Streams: 2, StreamLen: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := tinyTrace(m, 6, 23)
+	for _, dtype := range []string{"f16", "int8"} {
+		for _, scheme := range []string{"fp32", "tender:int"} {
+			t.Run(dtype+"/"+scheme, func(t *testing.T) {
+				run := func(disable bool) ([][]int, Snapshot) {
+					srv := startServer(t, Config{
+						Model: m, Engines: engines, DefaultScheme: scheme,
+						MaxBatch: 4, Workers: 2, PrefillChunk: 4,
+						KVDtype: dtype, DisableFusedDecode: disable,
+					})
+					rep := RunLoad(srv, LoadConfig{Trace: trace, Clients: 4, Scheme: scheme})
+					if rep.Failed != 0 {
+						t.Fatalf("%d requests failed", rep.Failed)
+					}
+					return rep.Outputs, srv.Metrics().Snapshot()
+				}
+				fused, snap := run(false)
+				plain, _ := run(true)
+				for i := range trace {
+					if len(fused[i]) != len(plain[i]) {
+						t.Fatalf("request %d: %d vs %d tokens", i, len(fused[i]), len(plain[i]))
+					}
+					for j := range plain[i] {
+						if fused[i][j] != plain[i][j] {
+							t.Fatalf("request %d token %d: fused %d != per-request %d under %s",
+								i, j, fused[i][j], plain[i][j], dtype)
+						}
+					}
+				}
+				if snap.FusedDecodeTokens == 0 {
+					t.Fatal("fused path never engaged")
+				}
+				if snap.KVDtype != dtype {
+					t.Fatalf("metrics report dtype %q, want %q", snap.KVDtype, dtype)
+				}
+			})
+		}
+	}
+}
+
+// TestKVDtypeStretchesBudget: KVBudgetRows is denominated in f64-equivalent
+// rows (provisioned bytes), so a compressed dtype must multiply the
+// effective position capacity by the per-row byte ratio — 4× for f16 at any
+// d_model, and the metrics must expose the effective rows and dtype.
+func TestKVDtypeStretchesBudget(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	engines := map[string]model.Engine{"fp32": model.Exact{}}
+	base := Config{Model: m, Engines: engines, KVBudgetRows: 64, KVPageRows: 16}
+
+	cfg := base
+	srvF64, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg = base
+	cfg.KVDtype = "f16"
+	srvF16, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f64Rows := srvF64.Metrics().Snapshot().KVBudgetRows
+	f16Rows := srvF16.Metrics().Snapshot().KVBudgetRows
+	if f16Rows != 4*f64Rows {
+		t.Fatalf("f16 effective budget %d, want 4× %d", f16Rows, f64Rows)
+	}
+	d := m.Cfg.DModel
+	if bpr := srvF16.Metrics().Snapshot().KVBytesPerRow; bpr != tensor.KVF16.BytesPerRow(d) {
+		t.Fatalf("f16 bytes per row %d", bpr)
+	}
+
+	cfg = base
+	cfg.KVDtype = "int8"
+	srvInt8, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	int8Rows := srvInt8.Metrics().Snapshot().KVBudgetRows
+	want := pageRoundUp(64*tensor.KVF64.BytesPerRow(d)/tensor.KVInt8.BytesPerRow(d), 16)
+	if int8Rows != want {
+		t.Fatalf("int8 effective budget %d, want %d", int8Rows, want)
+	}
+
+	cfg = base
+	cfg.KVDtype = "f16"
+	cfg.ContiguousKV = true
+	if _, err := New(cfg); err == nil {
+		t.Fatal("compressed dtype must reject the contiguous layout")
+	}
+	cfg = base
+	cfg.KVDtype = "f32"
+	if _, err := New(cfg); err == nil {
+		t.Fatal("unknown dtype must be rejected")
+	}
+}
+
+// TestKernelBlockedServingBitIdentical: serving tender:int under
+// kernel=blocked — the blocked per-group integer GEMM path — must produce
+// exactly the tokens of the naive-kernel engine, batched or not, because
+// the integer path is bit-exact under any backend.
+func TestKernelBlockedServingBitIdentical(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	engines, err := buildEngines(m, []string{"tender:int", "tender:int,kernel=blocked"},
+		engine.BuildOptions{Bits: 8, Streams: 2, StreamLen: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := tinyTrace(m, 6, 31)
+	ref := DecodeUnbatched(m, engines["tender:int"], trace, 0, 5)
+	srv := startServer(t, Config{
+		Model: m, Engines: engines, DefaultScheme: "tender:int,kernel=blocked",
+		MaxBatch: 4, Workers: 2, PrefillChunk: 4,
+	})
+	rep := RunLoad(srv, LoadConfig{Trace: trace, Clients: 4, Scheme: "tender:int,kernel=blocked", SeedBase: 5})
+	if rep.Failed != 0 {
+		t.Fatalf("%d requests failed", rep.Failed)
+	}
+	for i := range trace {
+		if len(rep.Outputs[i]) != len(ref[i]) {
+			t.Fatalf("request %d: %d vs %d tokens", i, len(rep.Outputs[i]), len(ref[i]))
+		}
+		for j := range ref[i] {
+			if rep.Outputs[i][j] != ref[i][j] {
+				t.Fatalf("request %d token %d: blocked %d != naive reference %d", i, j, rep.Outputs[i][j], ref[i][j])
+			}
+		}
+	}
+	if srv.Metrics().Snapshot().FusedDecodeTokens == 0 {
+		t.Fatal("fused path never engaged for tender:int,kernel=blocked")
+	}
+}

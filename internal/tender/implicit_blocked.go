@@ -1,0 +1,196 @@
+package tender
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"tender/internal/quant"
+	"tender/internal/tensor"
+)
+
+// This file is the blocked-GEMM execution of the implicit path: the same
+// Eq. 2 arithmetic as MatMulImplicit, but with each channel group's partial
+// product computed as one dense int8 GEMM over pre-gathered weight slabs
+// instead of indirect per-channel gather loops. The per-group partials are
+// exact in int32 (|P_g| ≤ K·127² ≪ 2³¹) and the inter-group Horner combine
+// acc·α + P_g runs in int64 exactly as the reference does, so the result is
+// bit-identical to MatMulImplicit for every input — integer arithmetic has
+// no accumulation-order rounding.
+
+// ImplicitPack is the compiled weight-side state of the blocked implicit
+// path for one site: the per-group weight slabs (group channels gathered
+// into contiguous rows, the software analogue of the Index Buffer having
+// already been applied to the stationary operand) plus the precomputed
+// bias×W correction row. Immutable after PrepareImplicit.
+type ImplicitPack struct {
+	wCols   int
+	slabs   [][]int8  // slabs[g]: GroupCounts[g]×wCols int8 codes
+	counts  []int     // channels per group
+	chans   [][]int   // chans[g]: activation column indices of group g
+	biasRow []float64 // 1×wCols bias×W correction (zeros when bias disabled)
+	scales  []float64 // w.Scales (per output column)
+	sg      float64   // smallest group scale (final dequant factor)
+	alpha   int64
+}
+
+// PrepareImplicit builds the blocked pack, or returns nil when the blocked
+// path does not apply: row chunking (metadata varies by row position, so one
+// gathered slab per site no longer exists), clustering (no power-of-α
+// requantization), or an inner dimension large enough that a group partial
+// could exceed int32 (then the reference int64 gather path is the only
+// exact one).
+func (cal *Calibration) PrepareImplicit(w *quant.Quantized, wf *tensor.Matrix) *ImplicitPack {
+	if len(cal.Chunks) != 1 || cal.Cfg.UseClustering {
+		return nil
+	}
+	if w.Gran != quant.PerColumn || w.Rows != cal.Cols {
+		return nil
+	}
+	qmax := int64(quant.QMax(cal.Cfg.Bits))
+	if int64(cal.Cols)*qmax*qmax > math.MaxInt32 {
+		return nil
+	}
+	meta := &cal.Chunks[0]
+	g := cal.Cfg.Groups
+	p := &ImplicitPack{
+		wCols:  w.Cols,
+		slabs:  make([][]int8, g),
+		counts: make([]int, g),
+		chans:  make([][]int, g),
+		scales: w.Scales,
+		sg:     meta.Scales[g-1],
+		alpha:  int64(cal.Cfg.Alpha),
+	}
+	for grp := 0; grp < g; grp++ {
+		chans := meta.channelsOf(grp)
+		p.counts[grp] = len(chans)
+		p.chans[grp] = chans
+		slab := make([]int8, len(chans)*w.Cols)
+		for i, c := range chans {
+			copy(slab[i*w.Cols:(i+1)*w.Cols], w.Data[c*w.Cols:(c+1)*w.Cols])
+		}
+		p.slabs[grp] = slab
+	}
+	// Computed even with bias disabled (all-zero biases): the reference adds
+	// the zero product too, and x + 0.0 normalizes -0.0 — skipping the add
+	// would not be bit-identical.
+	bias := tensor.Matrix{Rows: 1, Cols: cal.Cols, Data: meta.Bias}
+	p.biasRow = tensor.MatMul(&bias, wf).Row(0)
+	return p
+}
+
+// implicitScratch pools the per-call buffers of the blocked path so a
+// steady-state decode step allocates nothing but its output matrix.
+type implicitScratch struct {
+	xq   []int8  // quantized activations, rows×cols
+	gx   []int8  // gathered group activations, rows×maxGroup
+	part []int32 // one group's partial product, rows×wCols
+	acc  []int64 // running Horner accumulator, rows×wCols
+}
+
+var implicitScratchPool = sync.Pool{New: func() any { return new(implicitScratch) }}
+
+func growI8(b []int8, n int) []int8 {
+	if cap(b) < n {
+		return make([]int8, n)
+	}
+	return b[:n]
+}
+
+// QuantizeActivationInto is QuantizeActivation into caller-owned storage
+// (len(out) ≥ x.Rows·x.Cols), producing identical codes without the per-call
+// allocation.
+func (cal *Calibration) QuantizeActivationInto(x *tensor.Matrix, out []int8) {
+	if x.Cols != cal.Cols {
+		panic("tender: activation column count differs from calibration")
+	}
+	if len(out) < x.Rows*x.Cols {
+		panic("tender: QuantizeActivationInto buffer too small")
+	}
+	chunk := cal.rowChunkSize(x.Rows)
+	for r := 0; r < x.Rows; r++ {
+		meta := cal.chunkFor(r / chunk)
+		row := x.Row(r)
+		for c, v := range row {
+			out[r*x.Cols+c] = quant.QuantizeValue(v-meta.Bias[c], meta.ScaleFor(c), cal.Cfg.Bits)
+		}
+	}
+}
+
+// MatMulImplicitBlocked computes x × w through the pack's per-group dense
+// GEMMs on kern (nil kern = the reference tensor.MatMulIntInto backend).
+// Bit-identical to MatMulImplicit(x, w, wf) for the configurations
+// PrepareImplicit accepts; panics on the same accumulator overflows.
+func (cal *Calibration) MatMulImplicitBlocked(x *tensor.Matrix, p *ImplicitPack, kern tensor.Kernel) *tensor.Matrix {
+	if x.Cols != cal.Cols {
+		panic("tender: MatMulImplicitBlocked shape mismatch")
+	}
+	rows, n := x.Rows, p.wCols
+	sc := implicitScratchPool.Get().(*implicitScratch)
+	sc.xq = growI8(sc.xq, rows*x.Cols)
+	maxCnt := 0
+	for _, c := range p.counts {
+		if c > maxCnt {
+			maxCnt = c
+		}
+	}
+	sc.gx = growI8(sc.gx, rows*maxCnt)
+	if cap(sc.part) < rows*n {
+		sc.part = make([]int32, rows*n)
+	}
+	sc.part = sc.part[:rows*n]
+	if cap(sc.acc) < rows*n {
+		sc.acc = make([]int64, rows*n)
+	}
+	sc.acc = sc.acc[:rows*n]
+	for i := range sc.acc {
+		sc.acc[i] = 0
+	}
+
+	cal.QuantizeActivationInto(x, sc.xq)
+	for grp := range p.slabs {
+		if grp > 0 {
+			for i := range sc.acc {
+				sc.acc[i] *= p.alpha
+			}
+		}
+		cnt := p.counts[grp]
+		if cnt == 0 {
+			continue
+		}
+		chans := p.chans[grp]
+		for r := 0; r < rows; r++ {
+			xrow := sc.xq[r*x.Cols : (r+1)*x.Cols]
+			grow := sc.gx[r*cnt : (r+1)*cnt]
+			for i, c := range chans {
+				grow[i] = xrow[c]
+			}
+		}
+		if kern == nil {
+			tensor.MatMulIntInto(rows, cnt, sc.gx[:rows*cnt], n, p.slabs[grp], sc.part)
+		} else {
+			kern.MatMulInt(rows, cnt, sc.gx[:rows*cnt], n, p.slabs[grp], sc.part)
+		}
+		for i, v := range sc.part {
+			sc.acc[i] += int64(v)
+		}
+	}
+
+	out := tensor.New(rows, n)
+	for r := 0; r < rows; r++ {
+		arow := sc.acc[r*n : (r+1)*n]
+		orow := out.Row(r)
+		for j, v := range arow {
+			if v > math.MaxInt32 || v < math.MinInt32 {
+				panic(fmt.Sprintf("tender: %d-bit accumulator overflow (%d)", AccumulatorBits, v))
+			}
+			orow[j] = float64(v) * p.sg * p.scales[j]
+		}
+		for j := range orow {
+			orow[j] += p.biasRow[j]
+		}
+	}
+	implicitScratchPool.Put(sc)
+	return out
+}

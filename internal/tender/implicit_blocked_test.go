@@ -1,0 +1,95 @@
+package tender
+
+import (
+	"math"
+	"testing"
+
+	"tender/internal/tensor"
+)
+
+// TestMatMulImplicitBlockedBitIdentical: the blocked per-group GEMM path
+// must reproduce MatMulImplicit bit for bit — under the reference integer
+// backend and under tensor.KernelBlocked — across bit widths, group counts,
+// bias on/off, and shapes including batch rows.
+func TestMatMulImplicitBlockedBitIdentical(t *testing.T) {
+	rng := tensor.NewRNG(41)
+	cases := []struct {
+		bits, groups, rows, cols, n int
+		disableBias                 bool
+	}{
+		{8, 8, 8, 64, 48, false},
+		{8, 4, 1, 32, 32, false},
+		{8, 8, 33, 128, 96, false},
+		{4, 8, 16, 64, 64, false},
+		{8, 8, 8, 64, 48, true},
+		{6, 3, 5, 40, 24, false},
+	}
+	for _, tc := range cases {
+		cfg := Config{Bits: tc.bits, Groups: tc.groups, Alpha: 2, RowChunk: 0, DisableBias: tc.disableBias}
+		sample := tensor.RandNormal(rng, 32, tc.cols, 1)
+		// Spread channel magnitudes so several groups are populated.
+		for c := 0; c < tc.cols; c++ {
+			f := math.Pow(2, float64(c%9)-4)
+			for r := 0; r < sample.Rows; r++ {
+				sample.Set(r, c, sample.At(r, c)*f)
+			}
+		}
+		cal := Calibrate([]*tensor.Matrix{sample}, cfg)
+		wf := tensor.RandNormal(rng, tc.cols, tc.n, 0.7)
+		w := QuantizeWeights(wf, tc.bits)
+		wd := w.Dequantize()
+		p := cal.PrepareImplicit(w, wd)
+		if p == nil {
+			t.Fatalf("bits=%d groups=%d: PrepareImplicit unexpectedly refused", tc.bits, tc.groups)
+		}
+		x := tensor.RandNormal(rng, tc.rows, tc.cols, 1.5)
+		want := cal.MatMulImplicit(x, w, wd)
+		for _, kern := range []tensor.Kernel{nil, tensor.KernelBlocked} {
+			got := cal.MatMulImplicitBlocked(x, p, kern)
+			for i := range want.Data {
+				if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+					t.Fatalf("bits=%d groups=%d kern=%v: bit mismatch at %d: %v vs %v",
+						tc.bits, tc.groups, kern, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPrepareImplicitRefusals: configurations the blocked path cannot serve
+// exactly must be refused, not mis-served.
+func TestPrepareImplicitRefusals(t *testing.T) {
+	rng := tensor.NewRNG(43)
+	sample := tensor.RandNormal(rng, 512, 32, 1)
+	wf := tensor.RandNormal(rng, 32, 16, 1)
+	w := QuantizeWeights(wf, 8)
+
+	chunked := Calibrate([]*tensor.Matrix{sample}, Config{Bits: 8, Groups: 8, Alpha: 2, RowChunk: 256})
+	if len(chunked.Chunks) < 2 {
+		t.Fatal("fixture should produce multiple chunks")
+	}
+	if chunked.PrepareImplicit(w, wf) != nil {
+		t.Fatal("row-chunked calibration must refuse the blocked pack")
+	}
+
+	clustered := Calibrate([]*tensor.Matrix{sample}, Config{Bits: 8, Groups: 4, Alpha: 2, UseClustering: true})
+	if clustered.PrepareImplicit(w, wf) != nil {
+		t.Fatal("clustering must refuse the blocked pack")
+	}
+}
+
+// TestQuantizeActivationInto matches the allocating variant code for code.
+func TestQuantizeActivationInto(t *testing.T) {
+	rng := tensor.NewRNG(47)
+	sample := tensor.RandNormal(rng, 16, 24, 1)
+	cal := Calibrate([]*tensor.Matrix{sample}, Config{Bits: 8, Groups: 4, Alpha: 2})
+	x := tensor.RandNormal(rng, 7, 24, 2)
+	want := cal.QuantizeActivation(x)
+	got := make([]int8, len(want))
+	cal.QuantizeActivationInto(x, got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("code mismatch at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}

@@ -49,24 +49,29 @@ func F16Bits(x float64) uint16 {
 	}
 }
 
-// F16FromBits converts an IEEE binary16 bit pattern to float64.
+// F16FromBits converts an IEEE binary16 bit pattern to float64. Every
+// binary16 value is exactly representable in binary64, so the conversion
+// assembles the float64 bit pattern directly — this sits on the KV-cache
+// decode hot path (KVF16 pages), where a math.Pow per element would
+// dominate the attention arithmetic.
 func F16FromBits(h uint16) float64 {
-	sign := 1.0
-	if h&0x8000 != 0 {
-		sign = -1
-	}
-	exp := int(h>>10) & 0x1f
-	man := int(h & 0x3ff)
+	sign := uint64(h&0x8000) << 48
+	exp := uint64(h>>10) & 0x1f
+	man := uint64(h & 0x3ff)
 	switch exp {
 	case 0:
-		return sign * float64(man) * 0x1p-24
+		// Subnormal half: man × 2⁻²⁴, negative zero preserved.
+		v := float64(man) * 0x1p-24
+		return math.Float64frombits(sign | math.Float64bits(v))
 	case 0x1f:
 		if man != 0 {
 			return math.NaN()
 		}
-		return sign * math.Inf(1)
+		return math.Float64frombits(sign | 0x7ff0000000000000) // ±Inf
 	default:
-		return sign * (1 + float64(man)/1024) * math.Pow(2, float64(exp-15))
+		// Normal half: rebias the exponent (15 → 1023) and left-align the
+		// 10-bit mantissa in the 52-bit field.
+		return math.Float64frombits(sign | (exp-15+1023)<<52 | man<<42)
 	}
 }
 

@@ -1,0 +1,116 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// f16Prev/f16Next step a finite half bit pattern one representable value
+// down/up in numeric order (sign-magnitude → monotone integer mapping).
+func f16Ordered(h uint16) int32 {
+	if h&0x8000 != 0 {
+		return -int32(h & 0x7fff)
+	}
+	return int32(h)
+}
+
+func f16FromOrdered(o int32) uint16 {
+	if o < 0 {
+		return uint16(-o) | 0x8000
+	}
+	return uint16(o)
+}
+
+// FuzzF16BitsRoundTrip checks that decoding any binary16 bit pattern and
+// re-encoding it reproduces the pattern: F16Bits∘F16FromBits is the
+// identity on non-NaN halves (including ±0, subnormals and ±Inf), and
+// canonicalizes NaN payloads to a quiet NaN. f16 KV pages rely on this —
+// a round-trip that moved a stored value would break decode determinism.
+func FuzzF16BitsRoundTrip(f *testing.F) {
+	seeds := []uint16{
+		0x0000, 0x8000, // ±0
+		0x0001, 0x03ff, 0x8001, // subnormal edges
+		0x0400, 0x7bff, // smallest normal, largest finite
+		0x7c00, 0xfc00, // ±Inf
+		0x7e00, 0x7c01, 0xfdab, // NaN payloads
+		0x3c00, 0x3555, // 1.0, ~1/3
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, h uint16) {
+		v := F16FromBits(h)
+		back := F16Bits(v)
+		if math.IsNaN(v) {
+			if h&0x7c00 != 0x7c00 || h&0x3ff == 0 {
+				t.Fatalf("%#04x decoded to NaN but is not a NaN pattern", h)
+			}
+			if back&0x7c00 != 0x7c00 || back&0x3ff == 0 {
+				t.Fatalf("NaN %#04x re-encoded to non-NaN %#04x", h, back)
+			}
+			return
+		}
+		if back != h {
+			t.Fatalf("round trip %#04x → %v → %#04x", h, v, back)
+		}
+	})
+}
+
+// FuzzF16FromBitsNearest checks that F16Bits rounds every float64 to the
+// nearest representable half (ties to even): no neighboring half may be
+// strictly closer to x than the chosen one. Overflow must saturate to Inf
+// and the rounding carry must ripple into the exponent correctly — the
+// seeds pin the boundary cases.
+func FuzzF16FromBitsNearest(f *testing.F) {
+	seeds := []float64{
+		0, math.Copysign(0, -1),
+		1, -1, 1.0 / 3,
+		65504, 65519.999, 65520, 70000, // largest half is 65504; halfway point 65520
+		6.09e-5, 6.10352e-5, // around the smallest normal 2^-14
+		5.96e-8, 2.98e-8, 2.9e-8, // around the smallest subnormal 2^-24 and its half
+		2047.9999, 2048.5, // carry out of the mantissa into the exponent
+		0x1.ffcp+10, 0x1.ffep+10, // max mantissa at exponent 10, then the carry
+		math.Inf(1), math.Inf(-1), math.NaN(),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, x float64) {
+		h := F16Bits(x)
+		if math.IsNaN(x) {
+			if h&0x7c00 != 0x7c00 || h&0x3ff == 0 {
+				t.Fatalf("NaN encoded to non-NaN %#04x", h)
+			}
+			return
+		}
+		// F16Bits narrows through float32 first, so "nearest" is defined
+		// against the float32-rounded input (the double rounding is part of
+		// the conversion's contract).
+		xf := float64(float32(x))
+		v := F16FromBits(h)
+		if math.IsInf(v, 0) {
+			// Legitimate only when xf is at or beyond the rounding boundary
+			// to Inf (65520 = midpoint between 65504 and the next step).
+			if math.Abs(xf) < 65520 {
+				t.Fatalf("%v overflowed to %v prematurely", x, v)
+			}
+			return
+		}
+		// No neighboring half may be strictly closer.
+		d := math.Abs(v - xf)
+		for _, nb := range []int32{f16Ordered(h) - 1, f16Ordered(h) + 1} {
+			nh := f16FromOrdered(nb)
+			if nh&0x7c00 == 0x7c00 { // Inf/NaN neighbors don't compete
+				continue
+			}
+			nv := F16FromBits(nh)
+			if math.Abs(nv-xf) < d {
+				t.Fatalf("F16Bits(%v) = %#04x (%v), but neighbor %#04x (%v) is closer", x, h, v, nh, nv)
+			}
+		}
+		// And re-encoding the decoded value must be a fixed point.
+		if back := F16Bits(v); back != h {
+			t.Fatalf("fixed point violated: %v → %#04x → %v → %#04x", x, h, v, back)
+		}
+	})
+}

@@ -1,0 +1,21 @@
+//go:build amd64
+
+package tensor
+
+// useAVX2FMA reports whether the CPU and OS support the AVX2+FMA packed
+// micro-kernel. Fixed at init so kernel selection is stable for the life of
+// the process — blocked-kernel results are reproducible within a machine.
+var useAVX2FMA = cpuHasAVX2FMA()
+
+// cpuHasAVX2FMA checks CPUID for FMA/AVX/AVX2 and XGETBV for OS YMM-state
+// support. Implemented in assembly because the module is dependency-free
+// (no golang.org/x/sys/cpu).
+func cpuHasAVX2FMA() bool
+
+// microAVX2F64 runs the 4×8 float64 micro-tile over kc packed iterations:
+// ap is a k-major MR=4 panel, bp a k-major NR=8 panel, and c the 32-element
+// accumulator tile (overwritten). Eight YMM accumulators, VBROADCASTSD per
+// A row and two VFMADD231PD per row per k.
+//
+//go:noescape
+func microAVX2F64(kc int, ap, bp, c *float64)

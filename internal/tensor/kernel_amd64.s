@@ -1,0 +1,100 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuHasAVX2FMA() bool
+//
+// Leaf 1 ECX: FMA (bit 12), OSXSAVE (bit 27), AVX (bit 28).
+// XGETBV(0): XMM+YMM state enabled by the OS (bits 1 and 2).
+// Leaf 7.0 EBX: AVX2 (bit 5).
+TEXT ·cpuHasAVX2FMA(SB), NOSPLIT, $0-1
+	MOVB $0, ret+0(FP)
+
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7            // need leaf 7
+	JL   no
+
+	MOVL $1, AX
+	MOVL $0, CX
+	CPUID
+	MOVL CX, BX
+	ANDL $0x18001000, BX   // FMA | OSXSAVE | AVX
+	CMPL BX, $0x18001000
+	JNE  no
+
+	MOVL $0, CX
+	XGETBV
+	ANDL $6, AX            // XMM and YMM state saved by OS
+	CMPL AX, $6
+	JNE  no
+
+	MOVL $7, AX
+	MOVL $0, CX
+	CPUID
+	ANDL $0x20, BX         // AVX2
+	JZ   no
+
+	MOVB $1, ret+0(FP)
+no:
+	RET
+
+// func microAVX2F64(kc int, ap, bp, c *float64)
+//
+// 4×8 float64 micro-tile: Y0..Y7 hold the accumulators (two 4-wide lanes
+// per A row), each k iteration loads one 8-wide B row (Y8, Y9), broadcasts
+// the four A values, and issues eight VFMADD231PD.
+TEXT ·microAVX2F64(SB), NOSPLIT, $0-32
+	MOVQ kc+0(FP), CX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), DI
+	MOVQ c+24(FP), DX
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	TESTQ CX, CX
+	JZ    done
+
+loop:
+	VMOVUPD (DI), Y8
+	VMOVUPD 32(DI), Y9
+
+	VBROADCASTSD (SI), Y10
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+
+	VBROADCASTSD 8(SI), Y11
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y9, Y11, Y3
+
+	VBROADCASTSD 16(SI), Y12
+	VFMADD231PD  Y8, Y12, Y4
+	VFMADD231PD  Y9, Y12, Y5
+
+	VBROADCASTSD 24(SI), Y13
+	VFMADD231PD  Y8, Y13, Y6
+	VFMADD231PD  Y9, Y13, Y7
+
+	ADDQ $32, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  loop
+
+done:
+	VMOVUPD Y0, (DX)
+	VMOVUPD Y1, 32(DX)
+	VMOVUPD Y2, 64(DX)
+	VMOVUPD Y3, 96(DX)
+	VMOVUPD Y4, 128(DX)
+	VMOVUPD Y5, 160(DX)
+	VMOVUPD Y6, 192(DX)
+	VMOVUPD Y7, 224(DX)
+	VZEROUPPER
+	RET

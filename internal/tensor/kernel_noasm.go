@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package tensor
+
+// useAVX2FMA is always false off amd64; the portable microGoF64 tile runs.
+const useAVX2FMA = false
+
+// microAVX2F64 is never called when useAVX2FMA is false; this stub keeps
+// the portable build compiling.
+func microAVX2F64(kc int, ap, bp, c *float64) {
+	panic("tensor: microAVX2F64 called without AVX2 support")
+}

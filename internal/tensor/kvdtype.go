@@ -1,0 +1,126 @@
+package tensor
+
+import "fmt"
+
+// KVDtype selects the on-page storage format of a BlockPool's KV rows.
+// The compute path is float64 everywhere — compressed dtypes decode rows
+// on read — so a dtype trades per-read conversion arithmetic for KV
+// capacity: under the same byte budget, f16 holds 4× the rows of f64 and
+// int8 about 7.5× (at 128 columns). Encoding happens once per appended
+// row and is deterministic, so decode output depends only on the row's own
+// values — fused and per-request decode stay bit-identical to each other
+// under any dtype (they read the same decoded rows in the same order).
+type KVDtype int
+
+const (
+	// KVF64 stores rows as float64 — lossless, the default, and the only
+	// dtype whose reads alias page memory directly.
+	KVF64 KVDtype = iota
+	// KVF16 stores rows as IEEE binary16 (F16Bits round-to-nearest-even):
+	// 2 bytes/value, ~3 decimal digits. 4× the rows of f64.
+	KVF16
+	// KVInt8 stores rows as int8 codes with one float64 scale per row
+	// (symmetric absmax quantization): 1 byte/value + 8 bytes/row.
+	KVInt8
+)
+
+// ParseKVDtype parses a -kv-dtype flag value. "" means KVF64.
+func ParseKVDtype(s string) (KVDtype, error) {
+	switch s {
+	case "", "f64", "fp64":
+		return KVF64, nil
+	case "f16", "fp16":
+		return KVF16, nil
+	case "int8":
+		return KVInt8, nil
+	default:
+		return 0, fmt.Errorf("tensor: unknown KV dtype %q (have f64, f16, int8)", s)
+	}
+}
+
+// String names the dtype as ParseKVDtype spells it.
+func (d KVDtype) String() string {
+	switch d {
+	case KVF64:
+		return "f64"
+	case KVF16:
+		return "f16"
+	case KVInt8:
+		return "int8"
+	default:
+		return fmt.Sprintf("KVDtype(%d)", int(d))
+	}
+}
+
+// BytesPerRow returns the page bytes one cols-wide row occupies under d —
+// the unit the serving layer uses to convert a byte budget into an
+// effective row budget and to report occupancy.
+func (d KVDtype) BytesPerRow(cols int) int {
+	switch d {
+	case KVF16:
+		return 2 * cols
+	case KVInt8:
+		return cols + 8 // codes + the per-row scale
+	default:
+		return 8 * cols
+	}
+}
+
+// encodeF16Row stores row as binary16 into dst.
+func encodeF16Row(dst []uint16, row []float64) {
+	for i, v := range row {
+		dst[i] = F16Bits(v)
+	}
+}
+
+// decodeF16Rows expands n binary16 values into dst.
+func decodeF16Rows(dst []float64, src []uint16) {
+	for i, h := range src {
+		dst[i] = F16FromBits(h)
+	}
+}
+
+// encodeInt8Row quantizes row symmetrically to int8 codes, returning the
+// per-row scale (absmax/127; 0 for an all-zero row). Round half away from
+// zero, matching quant.QuantizeValue's rounding.
+func encodeInt8Row(dst []int8, row []float64) float64 {
+	var mx float64
+	for _, v := range row {
+		if v > mx {
+			mx = v
+		} else if -v > mx {
+			mx = -v
+		}
+	}
+	if mx == 0 {
+		for i := range dst[:len(row)] {
+			dst[i] = 0
+		}
+		return 0
+	}
+	scale := mx / 127
+	inv := 127 / mx
+	for i, v := range row {
+		q := v * inv
+		if q >= 0 {
+			q += 0.5
+		} else {
+			q -= 0.5
+		}
+		c := int32(q)
+		if c > 127 {
+			c = 127
+		} else if c < -127 {
+			c = -127
+		}
+		dst[i] = int8(c)
+	}
+	return scale
+}
+
+// decodeInt8Row expands one row of codes with its scale into dst.
+func decodeInt8Row(dst []float64, src []int8, scale float64) {
+	for i, c := range src {
+		dst[i] = float64(c) * scale
+	}
+}

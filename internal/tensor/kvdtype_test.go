@@ -1,0 +1,184 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseKVDtype(t *testing.T) {
+	for s, want := range map[string]KVDtype{
+		"": KVF64, "f64": KVF64, "fp64": KVF64,
+		"f16": KVF16, "fp16": KVF16, "int8": KVInt8,
+	} {
+		got, err := ParseKVDtype(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseKVDtype(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseKVDtype("f32"); err == nil {
+		t.Fatal("ParseKVDtype must reject unknown dtypes")
+	}
+	if KVF16.String() != "f16" || KVInt8.String() != "int8" || KVF64.String() != "f64" {
+		t.Fatal("KVDtype.String mismatch")
+	}
+}
+
+func TestKVDtypeBytesPerRow(t *testing.T) {
+	if KVF64.BytesPerRow(128) != 1024 {
+		t.Fatal("f64 bytes per row")
+	}
+	if KVF16.BytesPerRow(128) != 256 {
+		t.Fatal("f16 bytes per row")
+	}
+	if KVInt8.BytesPerRow(128) != 136 {
+		t.Fatal("int8 bytes per row")
+	}
+}
+
+func kvTestRows(n, cols int, seed uint64) [][]float64 {
+	r := kernelRNG(seed | 1)
+	out := make([][]float64, n)
+	for i := range out {
+		row := make([]float64, cols)
+		for j := range row {
+			row[j] = r.next() * 10
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// TestPagedRowsF16 checks that an f16 store reads back exactly the
+// half-rounded values, through both Row and Span, stably across repeated
+// reads (the decode cache must be invisible).
+func TestPagedRowsF16(t *testing.T) {
+	pool := NewBlockPoolDtype(24, 4, 0, KVF16)
+	st := NewPagedRows(pool, 0)
+	rows := kvTestRows(11, 24, 3)
+	for _, r := range rows {
+		st.AppendRow(r)
+	}
+	for i, want := range rows {
+		got := st.Row(i)
+		for j, v := range want {
+			if math.Float64bits(got[j]) != math.Float64bits(F16Round(v)) {
+				t.Fatalf("row %d col %d: %v, want F16Round %v", i, j, got[j], F16Round(v))
+			}
+		}
+	}
+	// Span walk sees the same decoded values, and interleaved re-reads of
+	// earlier pages return identical bits.
+	for base := 0; base < st.Rows(); {
+		data, run := st.Span(base)
+		for k := 0; k < run; k++ {
+			for j := 0; j < 24; j++ {
+				if math.Float64bits(data[k*24+j]) != math.Float64bits(F16Round(rows[base+k][j])) {
+					t.Fatalf("span at %d row %d differs from Row decode", base, k)
+				}
+			}
+		}
+		if first := st.Row(0); math.Float64bits(first[0]) != math.Float64bits(F16Round(rows[0][0])) {
+			t.Fatal("re-reading page 0 after a later span changed its value")
+		}
+		base += run
+	}
+	st.Release()
+	if pool.InUse() != 0 {
+		t.Fatal("pages leaked")
+	}
+}
+
+// TestPagedRowsInt8 checks the symmetric per-row quantization: decoded
+// values are code×scale with |err| ≤ scale/2, zero rows decode to exact
+// zeros, and decode is deterministic.
+func TestPagedRowsInt8(t *testing.T) {
+	pool := NewBlockPoolDtype(16, 4, 0, KVInt8)
+	st := NewPagedRows(pool, 0)
+	rows := kvTestRows(9, 16, 7)
+	zero := make([]float64, 16)
+	st.AppendRow(zero)
+	for _, r := range rows {
+		st.AppendRow(r)
+	}
+	for j, v := range st.Row(0) {
+		if v != 0 {
+			t.Fatalf("zero row decoded col %d to %v", j, v)
+		}
+	}
+	for i, want := range rows {
+		got := append([]float64(nil), st.Row(i+1)...)
+		var mx float64
+		for _, v := range want {
+			if math.Abs(v) > mx {
+				mx = math.Abs(v)
+			}
+		}
+		scale := mx / 127
+		for j, v := range want {
+			if math.Abs(got[j]-v) > scale/2+1e-15 {
+				t.Fatalf("row %d col %d: %v decodes to %v, err beyond scale/2=%v", i, j, v, got[j], scale/2)
+			}
+		}
+		again := st.Row(i + 1)
+		for j := range got {
+			if math.Float64bits(again[j]) != math.Float64bits(got[j]) {
+				t.Fatal("int8 decode not deterministic across reads")
+			}
+		}
+	}
+	st.Release()
+}
+
+// TestPagedRowsDtypeSharedCOW: prefix sharing and copy-on-write must work
+// identically under compressed dtypes — the raw encoded pages are shared,
+// so both holders decode bit-identical prefixes, and an append into the
+// partial page privatizes without disturbing the original.
+func TestPagedRowsDtypeSharedCOW(t *testing.T) {
+	for _, dtype := range []KVDtype{KVF16, KVInt8} {
+		pool := NewBlockPoolDtype(8, 4, 0, dtype)
+		owner := NewPagedRows(pool, 0)
+		rows := kvTestRows(6, 8, 11)
+		for _, r := range rows {
+			owner.AppendRow(r)
+		}
+		prefix := make([][]float64, 6)
+		for i := range prefix {
+			prefix[i] = append([]float64(nil), owner.Row(i)...)
+		}
+		pages := owner.SharePages(6)
+		mounted := NewPagedRows(pool, 0)
+		mounted.MountShared(pages, 6)
+		for _, pg := range pages {
+			pool.Release(pg)
+		}
+		for i, want := range prefix {
+			got := mounted.Row(i)
+			for j := range want {
+				if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+					t.Fatalf("%v: mounted row %d differs from owner decode", dtype, i)
+				}
+			}
+		}
+		// Append into the partial page (row 6 of a 4-row-page store lands
+		// in page 1, which holds shared rows 4..5): copy-on-write.
+		div := kvTestRows(1, 8, 99)[0]
+		mounted.AppendRow(div)
+		for i, want := range prefix {
+			o, m := owner.Row(i), mounted.Row(i)
+			_ = want
+			for j := range o {
+				if math.Float64bits(o[j]) != math.Float64bits(m[j]) {
+					t.Fatalf("%v: COW disturbed shared row %d", dtype, i)
+				}
+			}
+		}
+		if owner.Rows() != 6 || mounted.Rows() != 7 {
+			t.Fatalf("%v: row counts %d/%d", dtype, owner.Rows(), mounted.Rows())
+		}
+		mounted.Release()
+		owner.Release()
+		if pool.InUse() != 0 {
+			t.Fatalf("%v: pages leaked", dtype)
+		}
+	}
+}

@@ -83,6 +83,12 @@ func matmulRows(a, b, out *Matrix, lo, hi int) {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for k, av := range arow {
+			// The zero-skip is part of the reference bit contract (skipping
+			// k is not the same as adding av*bv when bv is Inf/NaN, and
+			// -0+0 differs from never adding), so it stays in this kernel
+			// even though the branch costs ~5-10% on dense activations —
+			// the dense path is KernelBlocked's job (BenchmarkBlockedGEMM
+			// documents the tradeoff).
 			if av == 0 {
 				continue
 			}
@@ -109,13 +115,37 @@ func MatMulInt(aRows, aCols int, a []int8, bCols int, b []int8) []int32 {
 		panic("tensor: MatMulInt rhs size mismatch")
 	}
 	out := make([]int32, aRows*bCols)
+	matmulIntInto(aRows, aCols, a, bCols, b, out)
+	return out
+}
+
+// MatMulIntInto is MatMulInt into a caller-provided accumulator slice
+// (aRows×bCols, overwritten), bit-identical to MatMulInt — the integer hot
+// paths (tender:int, llmint8:int) reuse pooled scratch through it instead
+// of allocating a fresh []int32 per call.
+func MatMulIntInto(aRows, aCols int, a []int8, bCols int, b []int8, out []int32) {
+	if len(a) != aRows*aCols {
+		panic("tensor: MatMulIntInto lhs size mismatch")
+	}
+	if len(b) != aCols*bCols {
+		panic("tensor: MatMulIntInto rhs size mismatch")
+	}
+	if len(out) != aRows*bCols {
+		panic("tensor: MatMulIntInto result size mismatch")
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	matmulIntInto(aRows, aCols, a, bCols, b, out)
+}
+
+func matmulIntInto(aRows, aCols int, a []int8, bCols int, b []int8, out []int32) {
 	work := aRows * aCols * bCols
 	if work < parallelThreshold || aRows < 2 || runtime.GOMAXPROCS(0) == 1 {
 		matmulIntRows(aCols, a, bCols, b, out, 0, aRows)
-		return out
+		return
 	}
 	parallelRows(aRows, func(lo, hi int) { matmulIntRows(aCols, a, bCols, b, out, lo, hi) })
-	return out
 }
 
 func matmulIntRows(aCols int, a []int8, bCols int, b []int8, out []int32, lo, hi int) {
