@@ -5,9 +5,10 @@
 //	tenderbench                  # run everything (slow, full fidelity)
 //	tenderbench -quick           # reduced sizes, same shapes
 //	tenderbench -exp table2      # one experiment (table1..7, figure9..13, figure23,
-//	                             # serve, router, chaos, gemm)
+//	                             # serve, router, chaos, gemm, spec)
 //	tenderbench -exp serve       # serving benchmark; emits BENCH_serve.json
 //	tenderbench -exp gemm        # blocked-GEMM kernel + KV dtype rows → BENCH_serve.json
+//	tenderbench -exp spec        # speculative-decoding rows → BENCH_serve.json
 //	tenderbench -headline        # paper-vs-measured headline report
 //	tenderbench -list            # list experiment ids
 package main
@@ -37,7 +38,7 @@ func main() {
 		for _, id := range []string{
 			"table1", "table2", "table3", "table4", "table5", "table6", "table7",
 			"figure9", "figure10", "figure11", "figure12", "figure13", "figure23",
-			"serve",
+			"serve", "router", "chaos", "gemm", "spec",
 		} {
 			fmt.Println(id)
 		}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"tender/internal/engine"
+	"tender/internal/model"
+	"tender/internal/obs"
+	"tender/internal/serve"
+	"tender/internal/workload"
+)
+
+// specBenchResult is the JSON summary of one speculative-decoding pair:
+// batch-1 decode with a drafter engine proposing k tokens per pass and
+// the target confirming them in one stacked verify Append, against the
+// same server decoding plainly.
+type specBenchResult struct {
+	Scheme       string  `json:"scheme"`
+	Batch        int     `json:"batch"`
+	Target       string  `json:"target"`
+	Draft        string  `json:"draft"`
+	DraftK       int     `json:"draft_k"`
+	TokensPerSec float64 `json:"decode_tokens_per_sec"`
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	TTFTP50Ms    float64 `json:"ttft_p50_ms"`
+	SpecPasses   int64   `json:"spec_passes"`
+	// AcceptanceRate is confirmed/proposed drafted tokens;
+	// AcceptedPerPass the confirmed candidates per verify pass (each pass
+	// additionally emits one non-drafted token — the bonus or the
+	// correction — so tokens per pass is this plus one).
+	AcceptanceRate  float64 `json:"draft_acceptance_rate"`
+	AcceptedPerPass float64 `json:"accepted_tokens_per_pass"`
+	// BaselineTokPerSec is the same server, trace and target engine
+	// decoding plainly (fused batch-1 baseline); SpeedupVsFusedB1 this
+	// row's throughput over it.
+	BaselineTokPerSec float64 `json:"baseline_tokens_per_sec"`
+	SpeedupVsFusedB1  float64 `json:"speedup_vs_fused_batch1"`
+	// BitIdentical reports whether every request's token stream matched
+	// the plain-decode baseline exactly — the acceptance rule makes this
+	// true by construction, so false means a decoder bug.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// SpecBench benchmarks speculative decoding through the serving stack:
+// for each (target, drafter, k) pair it runs the same decode-heavy
+// closed-loop trace twice on a MaxBatch-1 server — plain decode, then
+// with SpecDraftSpec routing low-occupancy decode through draft-k-verify
+// — and records acceptance, tokens per pass, throughput against the
+// plain baseline, and whether the outputs stayed bit-identical (the
+// acceptance rule guarantees they do; the bench verifies it).
+//
+// The pairs probe both speculation regimes:
+//
+//   - A blocked-kernel target drafted by its naive-kernel twin. The
+//     blocked GEMM pays a large fixed tile-setup cost per invocation and
+//     a small marginal per-row cost, so the k+1-row verify pass amortizes
+//     what single-token decode cannot — the CPU analogue of a
+//     memory-bound GPU target whose weight fetch dominates. Same
+//     quantization on both sides, so drafter and target agree everywhere
+//     the floats do and acceptance sits at (or within noise of) 1.0.
+//   - A low-bit drafter proposing for the full-precision reference
+//     (tender 4-bit for fp32). On equal-size models with equal-cost
+//     steps this cannot win wall-clock — the row documents the
+//     acceptance rate and the honest sub-1.0 speedup.
+//
+// Rows land in BENCH_serve.json as "spec-decode/<target>+<draft>".
+func SpecBench(o Options) Table {
+	modelName := "opt-6.7b"
+	pairs := []struct {
+		target, draft string
+		k             int
+	}{
+		{"fp32:kernel=blocked", "fp32", 12},
+		{"tender:kernel=blocked", "tender", 12},
+		{"fp32", "tender:bits=4,int", 4},
+	}
+	canon := func(spec string) string {
+		c, err := engine.Canonical(spec)
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+	var specs []string
+	for _, p := range pairs {
+		specs = append(specs, p.target, p.draft)
+	}
+	m := model.New(model.Registry(modelName))
+	engines, err := engine.BuildEngines(m, specs, engine.BuildOptions{
+		Bits: 8, Streams: 2, StreamLen: 64, Serving: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Decode-heavy batch-1 trace: speculation targets the low-occupancy
+	// regime, and long generations give the drafter passes to amortize.
+	requests, minP, maxP, newTok := 12, 16, 32, 64
+	if o.Quick {
+		requests, minP, maxP, newTok = 4, 8, 16, 16
+	}
+	trace := workload.RequestTrace(workload.TraceConfig{
+		Requests: requests, Vocab: m.Cfg.Vocab,
+		MinPrompt: minP, MaxPrompt: maxP, MinNew: newTok, MaxNew: newTok,
+	}, 9+o.Seed)
+
+	t := Table{
+		ID:    "spec",
+		Title: "Speculative decoding (draft-k-verify, batch-1 serving)",
+		Note: fmt.Sprintf("%s, %d requests, prompts %d-%d, %d decode tokens, GOMAXPROCS=%d; baseline = same server and target engine decoding plainly",
+			modelName, requests, minP, maxP, newTok, runtime.GOMAXPROCS(0)),
+		Columns: []string{"Target+Draft", "k", "tok/s", "Base tok/s", "Accept", "Acc/pass", "Speedup", "Identical"},
+	}
+	var rows []map[string]any
+	for _, p := range pairs {
+		target, draft := canon(p.target), canon(p.draft)
+		run := func(specK int, tracer *obs.Tracer) (serve.LoadReport, serve.Snapshot, *serve.Server) {
+			cfg := serve.Config{
+				Model: m, Engines: engines, DefaultScheme: target,
+				MaxBatch: 1, PrefillChunk: 16,
+				Tracer: tracer,
+			}
+			if specK > 0 {
+				cfg.SpecDraftSpec = draft
+				cfg.SpecDraftK = specK
+			}
+			srv, err := serve.New(cfg)
+			if err != nil {
+				panic(err)
+			}
+			srv.Start()
+			rep := serve.RunLoad(srv, serve.LoadConfig{Trace: trace, Clients: 1, Scheme: target})
+			snap := srv.Metrics().Snapshot()
+			srv.Stop()
+			if rep.Failed > 0 {
+				panic(fmt.Sprintf("spec bench: %d requests failed", rep.Failed))
+			}
+			return rep, snap, srv
+		}
+		base, _, _ := run(0, nil)
+		tracer := o.scenarioTracer()
+		rep, snap, srv := run(p.k, tracer)
+		if snap.SpecPasses == 0 {
+			panic(fmt.Sprintf("spec bench: %s+%s never speculated", target, draft))
+		}
+		identical := true
+		for i := range base.Outputs {
+			if len(base.Outputs[i]) != len(rep.Outputs[i]) {
+				identical = false
+				break
+			}
+			for j := range base.Outputs[i] {
+				if base.Outputs[i][j] != rep.Outputs[i][j] {
+					identical = false
+					break
+				}
+			}
+		}
+		rowName := fmt.Sprintf("spec-decode/%s+%s", target, draft)
+		writeServeArtifacts(o.ArtifactDir, rowName, tracer, srv)
+		r := specBenchResult{
+			Scheme: rowName, Batch: 1,
+			Target: target, Draft: draft, DraftK: p.k,
+			TokensPerSec: rep.TokensPerSec,
+			LatencyP50Ms: rep.LatencyP50Ms, TTFTP50Ms: rep.TTFTP50Ms,
+			SpecPasses:        snap.SpecPasses,
+			AcceptanceRate:    snap.DraftAcceptanceRate,
+			AcceptedPerPass:   float64(snap.DraftAcceptedTokens) / float64(snap.SpecPasses),
+			BaselineTokPerSec: base.TokensPerSec,
+			SpeedupVsFusedB1:  rep.TokensPerSec / base.TokensPerSec,
+			BitIdentical:      identical,
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%s+%s", target, draft), fmt.Sprintf("%d", p.k),
+			fmt.Sprintf("%.1f", r.TokensPerSec),
+			fmt.Sprintf("%.1f", r.BaselineTokPerSec),
+			fmt.Sprintf("%.2f", r.AcceptanceRate),
+			fmt.Sprintf("%.2f", r.AcceptedPerPass),
+			FormatX(r.SpeedupVsFusedB1),
+			fmt.Sprintf("%v", r.BitIdentical),
+		})
+		if blob, err := json.Marshal(r); err == nil {
+			var row map[string]any
+			if json.Unmarshal(blob, &row) == nil {
+				rows = append(rows, row)
+			}
+		}
+	}
+	if err := RewriteServeBench(ServeBenchFile, func(scheme string) bool {
+		return strings.HasPrefix(scheme, "spec-decode/")
+	}, rows); err != nil {
+		fmt.Fprintf(os.Stderr, "spec bench: %v\n", err)
+	}
+	return t
+}

@@ -7,22 +7,9 @@ import (
 
 	"tender/internal/engine"
 	"tender/internal/model"
-	"tender/internal/tensor"
+	"tender/internal/model/identtest"
 	"tender/internal/workload"
 )
-
-// servingEngines builds one engine per registry scheme with the Serving
-// option, the configuration fused decode targets.
-func servingEngines(t *testing.T, m *model.Model, names []string) map[string]model.Engine {
-	t.Helper()
-	engines, err := engine.BuildEngines(m, names, engine.BuildOptions{
-		Bits: 8, Streams: 2, StreamLen: 32, Serving: true,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return engines
-}
 
 // prefill builds n sessions with deterministic prompts of differing
 // lengths (so per-session position offsets differ) and returns the
@@ -40,110 +27,37 @@ func prefill(t *testing.T, m *model.Model, eng model.Engine, n int, seed uint64)
 	return sessions, last
 }
 
-// TestFusedStepBitIdenticalEveryScheme is the fused-decode invariant: for
-// every registry scheme whose engine admits fusion, BatchStepper.Step
-// produces logits bit-identical to stepping each session alone through
-// Session.Append — including after a batch member finishes mid-decode.
-// Row-dependent engines must be rejected by NewBatchStepper instead.
-func TestFusedStepBitIdenticalEveryScheme(t *testing.T) {
+// TestFusedStepBitIdentical is the fused-decode invariant: for every
+// registry scheme whose engine admits fusion, BatchStepper.Step produces
+// logits bit-identical to stepping each session alone through
+// Session.Append — greedy and sampled, including after batch members
+// finish mid-decode (the harness staggers emission budgets).
+func TestFusedStepBitIdentical(t *testing.T) {
 	m := model.New(model.TinyConfig())
 	names := append(engine.SchemeNames(), "tender:int", "uniform:gran=tensor", "uniform:gran=row")
-	engines := servingEngines(t, m, names)
-	for _, name := range names {
-		key, err := engine.Canonical(name)
-		if err != nil {
-			t.Fatal(err)
+	fusable := make([]string, 0, len(names))
+	for _, n := range names {
+		if n != "olive" { // row-dependent: covered by TestOliveRejectsFusedDecode
+			fusable = append(fusable, n)
 		}
-		eng := engines[key]
-		t.Run(name, func(t *testing.T) {
-			bs, err := m.NewBatchStepper(eng)
-			if name == "olive" {
-				// OliVe's cross-row pair encoding is row-dependent; fusing
-				// it would change tokens, so it must be refused.
-				if err == nil {
-					t.Fatal("olive must not admit fused decode")
-				}
-				return
-			}
-			if err != nil {
-				t.Fatalf("NewBatchStepper: %v", err)
-			}
-			const batch = 4
-			fused, fusedLast := prefill(t, m, eng, batch, 11)
-			seq, seqLast := prefill(t, m, eng, batch, 11)
-			for i := range fusedLast {
-				if fusedLast[i] != seqLast[i] {
-					t.Fatalf("prefill diverged before the experiment started")
-				}
-			}
-			live := make([]int, batch) // indices of still-active members
-			for i := range live {
-				live[i] = i
-			}
-			for step := 0; step < 6; step++ {
-				if step == 3 {
-					// A member finishes mid-decode: the group shrinks, the
-					// survivors' outputs must not move.
-					live = append(live[:1], live[2:]...)
-				}
-				group := make([]*model.Session, len(live))
-				toks := make([]int, len(live))
-				for gi, i := range live {
-					group[gi] = fused[i]
-					toks[gi] = fusedLast[i]
-				}
-				logits := bs.Step(group, toks)
-				for gi, i := range live {
-					ref := seq[i].Append([]int{seqLast[i]})
-					frow := logits.Row(gi)
-					rrow := ref.Row(0)
-					for c := range rrow {
-						if frow[c] != rrow[c] {
-							t.Fatalf("step %d session %d: fused logit[%d]=%v != sequential %v",
-								step, i, c, frow[c], rrow[c])
-						}
-					}
-					fusedLast[i] = model.Greedy(frow)
-					seqLast[i] = model.Greedy(rrow)
-					if fusedLast[i] != seqLast[i] {
-						t.Fatalf("step %d session %d: tokens diverged", step, i)
-					}
-				}
-			}
-		})
 	}
+	identtest.Matrix{
+		Model:   m,
+		Engines: identtest.Engines(t, m, names),
+		Schemes: fusable,
+		Temps:   []float64{0, 0.7},
+		Paths:   []identtest.Path{{Label: "fused", D: identtest.FusedDecode}},
+	}.Run(t)
 }
 
-// TestFusedStepSampledBitIdentical repeats the invariant under temperature
-// sampling: identical logits and identical per-session RNG streams yield
-// identical tokens.
-func TestFusedStepSampledBitIdentical(t *testing.T) {
+// TestOliveRejectsFusedDecode: OliVe's cross-row pair encoding is
+// row-dependent; fusing it would change tokens, so NewBatchStepper must
+// refuse the engine instead.
+func TestOliveRejectsFusedDecode(t *testing.T) {
 	m := model.New(model.TinyConfig())
-	engines := servingEngines(t, m, []string{"tender"})
-	eng := engines["tender"]
-	bs, err := m.NewBatchStepper(eng)
-	if err != nil {
-		t.Fatal(err)
-	}
-	const batch = 3
-	fused, fusedLast := prefill(t, m, eng, batch, 23)
-	seq, seqLast := prefill(t, m, eng, batch, 23)
-	frng := make([]*tensor.RNG, batch)
-	srng := make([]*tensor.RNG, batch)
-	for i := range frng {
-		frng[i] = tensor.NewRNG(100 + uint64(i))
-		srng[i] = tensor.NewRNG(100 + uint64(i))
-	}
-	for step := 0; step < 5; step++ {
-		logits := bs.Step(fused, fusedLast)
-		for i := range fused {
-			fusedLast[i] = model.Sample(logits.Row(i), 0.7, frng[i].Float64())
-			ref := seq[i].Append([]int{seqLast[i]})
-			seqLast[i] = model.Sample(ref.Row(0), 0.7, srng[i].Float64())
-			if fusedLast[i] != seqLast[i] {
-				t.Fatalf("step %d session %d: sampled tokens diverged", step, i)
-			}
-		}
+	engines := identtest.Engines(t, m, []string{"olive"})
+	if _, err := m.NewBatchStepper(engines["olive"]); err == nil {
+		t.Fatal("olive must not admit fused decode")
 	}
 }
 
@@ -152,7 +66,7 @@ func TestFusedStepSampledBitIdentical(t *testing.T) {
 // must still match the sequential reference.
 func TestFusedSteppersConcurrentOnSharedEngine(t *testing.T) {
 	m := model.New(model.TinyConfig())
-	engines := servingEngines(t, m, []string{"smoothquant"})
+	engines := identtest.Engines(t, m, []string{"smoothquant"})
 	eng := engines["smoothquant"]
 	ref := func(seed uint64) []int {
 		sess, last := prefill(t, m, eng, 2, seed)
@@ -195,23 +109,14 @@ func TestFusedSteppersConcurrentOnSharedEngine(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
-	for g := range want {
-		if len(got[g]) != len(want[g]) {
-			t.Fatalf("group %d: %d tokens, want %d", g, len(got[g]), len(want[g]))
-		}
-		for i := range want[g] {
-			if got[g][i] != want[g][i] {
-				t.Fatalf("group %d token %d differs under concurrency", g, i)
-			}
-		}
-	}
+	identtest.Equal(t, "concurrent steppers", identtest.Output{Tokens: got}, identtest.Output{Tokens: want})
 }
 
 // TestBatchStepperRejectsMismatchedSessions: sessions bound to another
 // engine must be refused loudly, not silently mis-served.
 func TestBatchStepperRejectsMismatchedSessions(t *testing.T) {
 	m := model.New(model.TinyConfig())
-	engines := servingEngines(t, m, []string{"fp32", "fp16"})
+	engines := identtest.Engines(t, m, []string{"fp32", "fp16"})
 	bs, err := m.NewBatchStepper(engines["fp32"])
 	if err != nil {
 		t.Fatal(err)

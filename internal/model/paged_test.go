@@ -6,6 +6,7 @@ import (
 
 	"tender/internal/engine"
 	"tender/internal/model"
+	"tender/internal/model/identtest"
 	"tender/internal/tensor"
 	"tender/internal/workload"
 )
@@ -17,96 +18,48 @@ func pagedFactory(m *model.Model, pageRows int) (*tensor.BlockPool, func() model
 	return pool, func() model.KVStore { return tensor.NewPagedRows(pool, 0) }
 }
 
-// TestPagedSessionBitIdenticalEveryScheme is the KVStore equivalence
-// invariant: for every registry scheme, a paged session produces logits
-// bit-identical to a contiguous session at every step, for prompt lengths
-// straddling page boundaries (page−1, page, page+1, multi-page) and a
-// decode run crossing several more pages.
-func TestPagedSessionBitIdenticalEveryScheme(t *testing.T) {
+// TestPagedBitIdentical is the KVStore equivalence invariant: for every
+// registry scheme, paged sessions produce logits bit-identical to
+// contiguous sessions — per request and through the fused batched path —
+// for prompt lengths straddling page boundaries (page−1, page, page+1,
+// multi-page) and decode runs crossing several more pages. The paged
+// decoders also assert the pool drains after ReleaseKV.
+func TestPagedBitIdentical(t *testing.T) {
 	const pageRows = 8
 	m := model.New(model.TinyConfig())
 	names := append(engine.SchemeNames(), "tender:int", "uniform:gran=tensor")
-	engines := servingEngines(t, m, names)
-	for _, name := range names {
-		key, err := engine.Canonical(name)
-		if err != nil {
-			t.Fatal(err)
+	prompts := make([][]int, 0, 4)
+	for _, plen := range []int{pageRows - 1, pageRows, pageRows + 1, 2*pageRows + 3} {
+		prompts = append(prompts, workload.TokenStream(workload.Wiki, 31+uint64(plen), plen, m.Cfg.Vocab))
+	}
+	fusable := make([]string, 0, len(names))
+	for _, n := range names {
+		if n != "olive" {
+			fusable = append(fusable, n)
 		}
-		eng := engines[key]
-		t.Run(name, func(t *testing.T) {
-			for _, plen := range []int{pageRows - 1, pageRows, pageRows + 1, 2*pageRows + 3} {
-				prompt := workload.TokenStream(workload.Wiki, 31+uint64(plen), plen, m.Cfg.Vocab)
-				ref := m.NewSession(eng, 0)
-				pool, newKV := pagedFactory(m, pageRows)
-				paged := m.NewSessionWithKV(eng, newKV)
-				lr, lp := ref.Append(prompt), paged.Append(prompt)
-				if d := tensor.MaxAbsDiff(lr, lp); d != 0 {
-					t.Fatalf("prompt %d: prefill logits differ by %g", plen, d)
-				}
-				tok := model.Greedy(lr.Row(lr.Rows - 1))
-				for step := 0; step < pageRows+2; step++ {
-					lr, lp = ref.Append([]int{tok}), paged.Append([]int{tok})
-					if d := tensor.MaxAbsDiff(lr, lp); d != 0 {
-						t.Fatalf("prompt %d step %d: decode logits differ by %g", plen, step, d)
-					}
-					tok = model.Greedy(lr.Row(0))
-				}
-				paged.ReleaseKV()
-				if got := pool.InUse(); got != 0 {
-					t.Fatalf("prompt %d: %d pages leaked after ReleaseKV", plen, got)
-				}
-			}
-		})
 	}
-}
-
-// TestPagedFusedStepBitIdentical repeats the equivalence for the fused
-// batched path: a BatchStepper over paged sessions must match one over
-// contiguous sessions token for token while the caches cross pages.
-func TestPagedFusedStepBitIdentical(t *testing.T) {
-	const pageRows = 8
-	m := model.New(model.TinyConfig())
-	engines := servingEngines(t, m, []string{"fp32", "tender", "smoothquant"})
-	for name, eng := range engines {
-		t.Run(name, func(t *testing.T) {
-			bs, err := m.NewBatchStepper(eng)
-			if err != nil {
-				t.Fatal(err)
-			}
-			const batch = 3
-			_, newKV := pagedFactory(m, pageRows)
-			pagedSess := make([]*model.Session, batch)
-			contSess := make([]*model.Session, batch)
-			pLast := make([]int, batch)
-			cLast := make([]int, batch)
-			for i := range pagedSess {
-				// Prompt lengths chosen to land before, on and after a
-				// page boundary across the batch.
-				prompt := workload.TokenStream(workload.Wiki, 7+uint64(i), pageRows-1+i, m.Cfg.Vocab)
-				pagedSess[i] = m.NewSessionWithKV(eng, newKV)
-				contSess[i] = m.NewSession(eng, 0)
-				lp := pagedSess[i].Append(prompt)
-				lc := contSess[i].Append(prompt)
-				pLast[i] = model.Greedy(lp.Row(lp.Rows - 1))
-				cLast[i] = model.Greedy(lc.Row(lc.Rows - 1))
-			}
-			for step := 0; step < 2*pageRows; step++ {
-				lp := bs.Step(pagedSess, pLast)
-				for i := range pagedSess {
-					ref := contSess[i].Append([]int{cLast[i]})
-					prow, rrow := lp.Row(i), ref.Row(0)
-					for c := range rrow {
-						if prow[c] != rrow[c] {
-							t.Fatalf("step %d session %d logit %d: paged %v != contiguous %v",
-								step, i, c, prow[c], rrow[c])
-						}
-					}
-					pLast[i] = model.Greedy(prow)
-					cLast[i] = model.Greedy(rrow)
-				}
-			}
-		})
-	}
+	engines := identtest.Engines(t, m, names)
+	identtest.Matrix{
+		Model: m, Engines: engines,
+		Schemes: fusable,
+		Prompts: prompts,
+		// Decode past another page boundary on every request.
+		NewTokens: []int{pageRows + 2, pageRows + 2, pageRows + 2, pageRows + 2},
+		Paths: []identtest.Path{
+			{Label: "paged", D: identtest.PagedDecode(pageRows)},
+			{Label: "paged-fused", D: identtest.PagedFusedDecode(pageRows)},
+		},
+	}.Run(t)
+	// Olive cannot fuse but its paged sessions must still match.
+	identtest.Matrix{
+		Model: m, Engines: engines,
+		Schemes:   []string{"olive"},
+		Prompts:   prompts,
+		NewTokens: []int{pageRows + 2, pageRows + 2, pageRows + 2, pageRows + 2},
+		Paths: []identtest.Path{
+			{Label: "paged", D: identtest.PagedDecode(pageRows)},
+		},
+	}.Run(t)
 }
 
 // TestPagedResumeBitIdentical validates the preemption recipe at the model
@@ -117,7 +70,7 @@ func TestPagedFusedStepBitIdentical(t *testing.T) {
 func TestPagedResumeBitIdentical(t *testing.T) {
 	const pageRows = 8
 	m := model.New(model.TinyConfig())
-	engines := servingEngines(t, m, []string{"tender"})
+	engines := identtest.Engines(t, m, []string{"tender"})
 	eng := engines["tender"]
 	prompt := workload.TokenStream(workload.PTB, 3, pageRows+3, m.Cfg.Vocab)
 	const total, cut = 12, 5
@@ -158,11 +111,8 @@ func TestPagedResumeBitIdentical(t *testing.T) {
 	for len(out) < total {
 		out = append(out, model.Greedy(sess.Append([]int{out[len(out)-1]}).Row(0)))
 	}
-	for i := range want {
-		if out[i] != want[i] {
-			t.Fatalf("token %d: resumed %d != uninterrupted %d", i, out[i], want[i])
-		}
-	}
+	identtest.Equal(t, "resumed decode",
+		identtest.Output{Tokens: [][]int{out}}, identtest.Output{Tokens: [][]int{want}})
 }
 
 // TestSessionNoMaxSeqPrealloc is the lazy-allocation regression guard:

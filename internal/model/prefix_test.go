@@ -5,6 +5,7 @@ import (
 
 	"tender/internal/engine"
 	"tender/internal/model"
+	"tender/internal/model/identtest"
 	"tender/internal/tensor"
 	"tender/internal/workload"
 )
@@ -86,7 +87,7 @@ func TestPrefixMountBitIdenticalEveryScheme(t *testing.T) {
 	const pageRows = 8
 	m := model.New(model.TinyConfig())
 	names := append(engine.SchemeNames(), "tender:int", "uniform:gran=tensor")
-	engines := servingEngines(t, m, names)
+	engines := identtest.Engines(t, m, names)
 	for _, name := range names {
 		key, err := engine.Canonical(name)
 		if err != nil {

@@ -1,0 +1,204 @@
+package model
+
+import (
+	"fmt"
+
+	"tender/internal/tensor"
+)
+
+// SpecDecoder runs draft-k-verify speculative decoding over two decode
+// sessions: a cheap drafter proposes k candidate tokens autoregressively
+// from its own KV cache, then one fused forward pass of the expensive
+// target scores all candidates at once (k+1 stacked rows through the same
+// Session.Append the prefill path uses). The longest prefix of candidates
+// agreeing with the target's own choices is accepted, plus the bonus
+// token the last verified row yields for free, and both sessions roll
+// their KV caches back past the first rejection (Session.TruncateTo).
+//
+// The acceptance rule makes the output bit-identical to decoding with the
+// target alone, for greedy and for seeded sampling: at every verified
+// position the emitted token is computed from the target's logits exactly
+// as a plain decode step would — Greedy argmax, or Sample with the next
+// u from the caller's RNG stream, drawn once per emitted token in
+// emission order — and a candidate is accepted only when it equals that
+// choice. The drafter therefore decides how many tokens each pass
+// emits (1 to k+1), never which tokens. Drafting itself is always greedy
+// on the drafter's logits, so the request's RNG stream is untouched by
+// proposals that may be thrown away.
+//
+// Target and drafter may run different engines over the same model (the
+// registry's cheap low-bit specs drafting for an expensive reference
+// spec) or entirely different models, as long as the vocabularies match.
+// Bit-identity additionally requires the TARGET engine's stacked
+// multi-row Append to equal sequential single-row Appends — i.e. every
+// weight matmul row-independent, the same Model.PrefixShareable audit
+// fused decode and the prefix cache rely on. Row-coupled encodings
+// (OliVe's outlier-victim pairing) fail it: they may still speculate,
+// but the verified stream can diverge from plain decode, so the serving
+// scheduler gates its spec path on that audit. The drafter needs no such
+// property — it only proposes. A SpecDecoder is owned by one request and
+// is not safe for concurrent use, like the sessions it wraps.
+type SpecDecoder struct {
+	target *Session
+	draft  *Session
+}
+
+// NewSpecDecoder wraps a target and a drafter session. Both must hold the
+// same token content (same Len) — typically both freshly prefilled with
+// the same prompt — and share a vocabulary.
+func NewSpecDecoder(target, draft *Session) *SpecDecoder {
+	if target.m.Cfg.Vocab != draft.m.Cfg.Vocab {
+		panic(fmt.Sprintf("model: SpecDecoder vocab mismatch (target %d, draft %d)",
+			target.m.Cfg.Vocab, draft.m.Cfg.Vocab))
+	}
+	if target.Len() != draft.Len() {
+		panic(fmt.Sprintf("model: SpecDecoder sessions out of sync (target %d, draft %d positions)",
+			target.Len(), draft.Len()))
+	}
+	return &SpecDecoder{target: target, draft: draft}
+}
+
+// SpecResult reports one draft-k-verify pass.
+type SpecResult struct {
+	// Proposed is the number of candidate tokens the drafter put forward
+	// (the pass's k).
+	Proposed int
+	// Accepted is how many of them the target's own choices confirmed.
+	Accepted int
+	// Tokens are the emitted tokens, in order: the accepted candidates,
+	// then either the target's correction at the first rejection or — when
+	// every candidate was accepted — the bonus token from the last verify
+	// row. Always 1 to Proposed+1 tokens.
+	Tokens []int
+}
+
+// Step runs one draft-k-verify pass. last is the most recently emitted
+// token, not yet appended to either session (the same convention as a
+// plain decode step: the session holds prompt plus every emitted token
+// except the newest). temp and rng choose the target's sampling rule:
+// temp <= 0 is greedy and rng may be nil; otherwise one rng.Float64() is
+// drawn per emitted token. The pass appends at most k+1 positions to
+// each session before rolling back, so callers bound k to stay within
+// MaxSeq and their KV reservation (len(Tokens) new positions survive).
+func (d *SpecDecoder) Step(last, k int, temp float64, rng *tensor.RNG) SpecResult {
+	if k < 1 {
+		panic(fmt.Sprintf("model: SpecDecoder.Step k=%d", k))
+	}
+	if d.target.Len() != d.draft.Len() {
+		panic(fmt.Sprintf("model: SpecDecoder sessions out of sync (target %d, draft %d positions)",
+			d.target.Len(), d.draft.Len()))
+	}
+	return d.Verify(last, d.Draft(last, k), temp, rng)
+}
+
+// Draft proposes k candidates autoregressively from the drafter's KV:
+// append last, greedily pick the next token from each logits row, and
+// append it in turn. Every candidate ends up in the drafter's cache so a
+// fully accepted pass needs no drafter catch-up; Verify truncates the
+// rejected tail. Exposed separately from Step so callers can time the
+// draft and verify phases independently; Draft then Verify with the same
+// last is exactly Step.
+func (d *SpecDecoder) Draft(last, k int) []int {
+	cands := make([]int, k)
+	row := d.draft.Append([]int{last}).Row(0)
+	for i := 0; i < k; i++ {
+		cands[i] = Greedy(row)
+		row = d.draft.Append([]int{cands[i]}).Row(0)
+	}
+	return cands
+}
+
+// Verify scores last plus every candidate in one fused target pass and
+// applies the acceptance rule. Row i of the stacked logits is the
+// target's distribution after candidate i (row 0: after last), so the
+// choice computed from row i either confirms candidate i+1 or replaces
+// it. Both sessions are truncated back to exactly the surviving content:
+// prompt + emitted tokens except the newest. The candidates must already
+// sit in the drafter's cache — Draft leaves them there; tests calling
+// Verify with handcrafted candidates append them to the drafter first.
+func (d *SpecDecoder) Verify(last int, cands []int, temp float64, rng *tensor.RNG) SpecResult {
+	k := len(cands)
+	base := d.target.Len()
+	if got, want := d.draft.Len(), base+k+1; got != want {
+		panic(fmt.Sprintf("model: SpecDecoder.Verify drafter holds %d positions, want %d (last + %d candidates past the target's %d)",
+			got, want, k, base))
+	}
+	stacked := make([]int, 0, k+1)
+	stacked = append(stacked, last)
+	stacked = append(stacked, cands...)
+	logits := d.target.Append(stacked)
+	res := SpecResult{Proposed: k}
+	for i := 0; i <= k; i++ {
+		var tok int
+		if temp > 0 {
+			tok = Sample(logits.Row(i), temp, rng.Float64())
+		} else {
+			tok = Greedy(logits.Row(i))
+		}
+		res.Tokens = append(res.Tokens, tok)
+		if i == k || tok != cands[i] {
+			break
+		}
+		res.Accepted++
+	}
+	keep := base + len(res.Tokens)
+	d.target.TruncateTo(keep)
+	d.draft.TruncateTo(keep)
+	return res
+}
+
+// SpecStats accumulates pass statistics over a full generation.
+type SpecStats struct {
+	Passes   int // draft-k-verify passes run
+	Proposed int // candidate tokens drafted
+	Accepted int // candidates confirmed by the target
+}
+
+// AcceptanceRate is Accepted/Proposed (0 when nothing was proposed).
+func (s SpecStats) AcceptanceRate() float64 {
+	if s.Proposed == 0 {
+		return 0
+	}
+	return float64(s.Accepted) / float64(s.Proposed)
+}
+
+// SpecDecode generates maxNew tokens from prompt by draft-k-verify over
+// two freshly created, empty sessions: the full speculative counterpart
+// of a plain prefill-then-decode loop, with bit-identical output. The
+// first token comes from the target's prefill logits exactly as in plain
+// decode; each subsequent pass drafts up to k candidates (clamped so the
+// KV peak never exceeds plain decode's prompt+maxNew-1 positions) and
+// emits every target-confirmed token. temp <= 0 decodes greedily and rng
+// may be nil; otherwise rng supplies one draw per emitted token.
+func SpecDecode(target, draft *Session, prompt []int, maxNew, k int, temp float64, rng *tensor.RNG) ([]int, SpecStats) {
+	var stats SpecStats
+	if maxNew <= 0 {
+		return nil, stats
+	}
+	d := NewSpecDecoder(target, draft)
+	tlog := target.Append(prompt)
+	draft.Append(prompt)
+	choose := func(row []float64) int {
+		if temp > 0 {
+			return Sample(row, temp, rng.Float64())
+		}
+		return Greedy(row)
+	}
+	out := make([]int, 0, maxNew)
+	out = append(out, choose(tlog.Row(len(prompt)-1)))
+	for len(out) < maxNew {
+		last := out[len(out)-1]
+		kk := min(k, maxNew-len(out)-1)
+		if kk < 1 {
+			// One token to go: a plain target step beats draft+verify.
+			out = append(out, choose(target.Append([]int{last}).Row(0)))
+			continue
+		}
+		r := d.Step(last, kk, temp, rng)
+		stats.Passes++
+		stats.Proposed += r.Proposed
+		stats.Accepted += r.Accepted
+		out = append(out, r.Tokens...)
+	}
+	return out, stats
+}

@@ -1,0 +1,242 @@
+package model_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tender/internal/model"
+	"tender/internal/model/identtest"
+	"tender/internal/tensor"
+	"tender/internal/workload"
+)
+
+// TestSpecDecodeBitIdentical is the speculative-decoding invariant: for
+// every row-independent target scheme, SpecDecode with a cheap low-bit
+// drafter emits exactly the tokens of plain per-request decode — greedy
+// and sampled, at every draft depth k ∈ {1, 2, 4, 8}. The drafter's
+// proposals shape only how many tokens each pass emits; a wrong k or a
+// terrible drafter may slow decoding down but can never change a token.
+func TestSpecDecodeBitIdentical(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	const draftSpec = "tender:bits=4,int"
+	targets := []string{"fp32", "fp16", "tender", "uniform"}
+	engines := identtest.Engines(t, m, append([]string{draftSpec}, targets...))
+	draft := engines[identtest.Canon(t, draftSpec)]
+	var paths []identtest.Path
+	for _, k := range []int{1, 2, 4, 8} {
+		paths = append(paths, identtest.Path{
+			Label: fmt.Sprintf("spec-k=%d", k), D: identtest.SpecPath(draft, k),
+		})
+	}
+	identtest.Matrix{
+		Model: m, Engines: engines, Schemes: targets,
+		Temps:  []float64{0, 0.7},
+		MaxNew: 8,
+		Paths:  paths,
+	}.Run(t)
+}
+
+// TestSpecSelfDraftFullAcceptance: an engine drafting for itself proposes
+// exactly what the target would choose, so greedy speculation must accept
+// every candidate — the acceptance accounting's upper anchor.
+func TestSpecSelfDraftFullAcceptance(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	eng := model.Exact{}
+	prompt := workload.TokenStream(workload.Wiki, 11, 7, m.Cfg.Vocab)
+	ts := m.NewSession(eng, 0)
+	ds := m.NewSession(eng, 0)
+	out, stats := model.SpecDecode(ts, ds, prompt, 12, 4, 0, nil)
+	if len(out) != 12 {
+		t.Fatalf("emitted %d tokens, want 12", len(out))
+	}
+	if stats.Proposed == 0 || stats.Accepted != stats.Proposed {
+		t.Fatalf("self-draft accepted %d of %d proposals, want all", stats.Accepted, stats.Proposed)
+	}
+	if r := stats.AcceptanceRate(); r != 1 {
+		t.Fatalf("acceptance rate %g, want 1", r)
+	}
+}
+
+// TestSpecVerifyRejectionPositions drives Verify with handcrafted
+// candidate lists so the first rejection lands at position 0, mid-list,
+// k−1, and nowhere (full acceptance). Each pass must emit exactly the
+// plain-decode continuation up to and including the correction (or the
+// bonus token), report the matching Accepted count, roll both KV caches
+// back to precisely the surviving content, and leave the decoder able to
+// continue bit-identically via Step.
+func TestSpecVerifyRejectionPositions(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	eng := model.Exact{}
+	prompt := workload.TokenStream(workload.Wiki, 5, 9, m.Cfg.Vocab)
+	const k = 4
+
+	// Plain greedy continuation: last is the prefill token, expect[i] the
+	// i-th token after it. Long enough to check a post-pass Step too.
+	ref := m.NewSession(eng, 0)
+	logits := ref.Append(prompt)
+	last := model.Greedy(logits.Row(logits.Rows - 1))
+	expect := make([]int, k+4)
+	cur := last
+	for i := range expect {
+		cur = model.Greedy(ref.Append([]int{cur}).Row(0))
+		expect[i] = cur
+	}
+	ref.ReleaseKV()
+
+	for _, rej := range []int{0, k / 2, k - 1, k} {
+		name := fmt.Sprintf("reject-at-%d", rej)
+		if rej == k {
+			name = "accept-all"
+		}
+		t.Run(name, func(t *testing.T) {
+			ts := m.NewSession(eng, 0)
+			ds := m.NewSession(eng, 0)
+			ts.Append(prompt)
+			ds.Append(prompt)
+			d := model.NewSpecDecoder(ts, ds)
+			cands := make([]int, k)
+			copy(cands, expect[:k])
+			if rej < k {
+				cands[rej] = (expect[rej] + 1) % m.Cfg.Vocab // force the rejection
+			}
+			// Verify's contract: the candidates already sit in the drafter's
+			// KV (Draft leaves them there; handcrafted ones go in by hand).
+			ds.Append(append([]int{last}, cands...))
+			base := ts.Len()
+			r := d.Verify(last, cands, 0, nil)
+
+			if r.Proposed != k || r.Accepted != rej {
+				t.Fatalf("accepted %d of %d, want %d", r.Accepted, r.Proposed, rej)
+			}
+			want := expect[:rej+1] // accepted prefix + correction, or +bonus
+			if len(r.Tokens) != len(want) {
+				t.Fatalf("emitted %d tokens %v, want %d %v", len(r.Tokens), r.Tokens, len(want), want)
+			}
+			for i := range want {
+				if r.Tokens[i] != want[i] {
+					t.Fatalf("token %d: got %d, want %d", i, r.Tokens[i], want[i])
+				}
+			}
+			// KV rollback: both sessions hold exactly the surviving content —
+			// prompt + every emitted token except the newest.
+			if keep := base + len(r.Tokens); ts.Len() != keep || ds.Len() != keep {
+				t.Fatalf("post-pass KV target=%d draft=%d, want both %d", ts.Len(), ds.Len(), keep)
+			}
+			// The decoder continues bit-identically from the rolled-back state.
+			r2 := d.Step(expect[rej], 2, 0, nil)
+			for i, tok := range r2.Tokens {
+				if tok != expect[rej+1+i] {
+					t.Fatalf("continuation token %d: got %d, want %d", i, tok, expect[rej+1+i])
+				}
+			}
+			ts.ReleaseKV()
+			ds.ReleaseKV()
+		})
+	}
+}
+
+// TestSpecDecodePagedRollbackNoLeak: speculation over paged KV sessions
+// truncates both caches every pass (often mid-page, sometimes exactly on
+// a page boundary); after a full generation with real rejections and
+// ReleaseKV, the pool must be drained — rolled-back pages cannot leak.
+func TestSpecDecodePagedRollbackNoLeak(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	engines := identtest.Engines(t, m, []string{"fp32", "tender:bits=4,int"})
+	target := engines[identtest.Canon(t, "fp32")]
+	draft := engines[identtest.Canon(t, "tender:bits=4,int")]
+	prompt := workload.TokenStream(workload.Wiki, 3, 9, m.Cfg.Vocab)
+
+	plainTS := m.NewSession(target, 0)
+	want := make([]int, 0, 14)
+	logits := plainTS.Append(prompt)
+	want = append(want, model.Greedy(logits.Row(logits.Rows-1)))
+	for len(want) < 14 {
+		want = append(want, model.Greedy(plainTS.Append([]int{want[len(want)-1]}).Row(0)))
+	}
+	plainTS.ReleaseKV()
+
+	pool := tensor.NewBlockPool(m.Cfg.DModel, 4, 0)
+	newKV := func() model.KVStore { return tensor.NewPagedRows(pool, 0) }
+	ts := m.NewSessionWithKV(target, newKV)
+	ds := m.NewSessionWithKV(draft, newKV)
+	out, stats := model.SpecDecode(ts, ds, prompt, 14, 4, 0, nil)
+	identtest.Equal(t, "paged spec decode",
+		identtest.Output{Tokens: [][]int{out}}, identtest.Output{Tokens: [][]int{want}})
+	if stats.Passes == 0 {
+		t.Fatal("speculative path never ran a pass")
+	}
+	ts.ReleaseKV()
+	ds.ReleaseKV()
+	if n := pool.InUse(); n != 0 {
+		t.Fatalf("%d pages still held after speculative decode released its KV", n)
+	}
+}
+
+// TestSpecDecoderGuards pins the constructor and per-pass invariants:
+// mismatched vocabularies, out-of-sync sessions, k < 1, and Verify called
+// without the candidates in the drafter's cache must all panic loudly
+// instead of silently corrupting the verified stream.
+func TestSpecDecoderGuards(t *testing.T) {
+	m := model.New(model.TinyConfig())
+	eng := model.Exact{}
+	prompt := []int{1, 2, 3}
+	mustPanic := func(t *testing.T, substr string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("expected panic mentioning %q", substr)
+			}
+			if !strings.Contains(fmt.Sprint(r), substr) {
+				t.Fatalf("panic %v does not mention %q", r, substr)
+			}
+		}()
+		f()
+	}
+
+	t.Run("vocab-mismatch", func(t *testing.T) {
+		cfg := model.TinyConfig()
+		cfg.Vocab = 32
+		cfg.Name = "tiny-vocab32"
+		m2 := model.New(cfg)
+		ts := m.NewSession(eng, 0)
+		ds := m2.NewSession(eng, 0)
+		mustPanic(t, "vocab mismatch", func() { model.NewSpecDecoder(ts, ds) })
+	})
+
+	t.Run("construct-out-of-sync", func(t *testing.T) {
+		ts := m.NewSession(eng, 0)
+		ds := m.NewSession(eng, 0)
+		ts.Append(prompt)
+		mustPanic(t, "out of sync", func() { model.NewSpecDecoder(ts, ds) })
+	})
+
+	t.Run("step-k-below-one", func(t *testing.T) {
+		ts := m.NewSession(eng, 0)
+		ds := m.NewSession(eng, 0)
+		ts.Append(prompt)
+		ds.Append(prompt)
+		d := model.NewSpecDecoder(ts, ds)
+		mustPanic(t, "k=0", func() { d.Step(1, 0, 0, nil) })
+	})
+
+	t.Run("step-out-of-sync", func(t *testing.T) {
+		ts := m.NewSession(eng, 0)
+		ds := m.NewSession(eng, 0)
+		ts.Append(prompt)
+		ds.Append(prompt)
+		d := model.NewSpecDecoder(ts, ds)
+		ds.Append([]int{4}) // desynchronize after construction
+		mustPanic(t, "out of sync", func() { d.Step(1, 2, 0, nil) })
+	})
+
+	t.Run("verify-candidates-not-drafted", func(t *testing.T) {
+		ts := m.NewSession(eng, 0)
+		ds := m.NewSession(eng, 0)
+		ts.Append(prompt)
+		ds.Append(prompt)
+		d := model.NewSpecDecoder(ts, ds)
+		mustPanic(t, "drafter holds", func() { d.Verify(1, []int{2, 3}, 0, nil) })
+	})
+}

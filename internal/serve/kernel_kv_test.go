@@ -5,6 +5,7 @@ import (
 
 	"tender/internal/engine"
 	"tender/internal/model"
+	"tender/internal/model/identtest"
 	"tender/internal/tensor"
 )
 
@@ -37,17 +38,8 @@ func TestKVDtypeFusedMatchesPerRequest(t *testing.T) {
 				}
 				fused, snap := run(false)
 				plain, _ := run(true)
-				for i := range trace {
-					if len(fused[i]) != len(plain[i]) {
-						t.Fatalf("request %d: %d vs %d tokens", i, len(fused[i]), len(plain[i]))
-					}
-					for j := range plain[i] {
-						if fused[i][j] != plain[i][j] {
-							t.Fatalf("request %d token %d: fused %d != per-request %d under %s",
-								i, j, fused[i][j], plain[i][j], dtype)
-						}
-					}
-				}
+				identtest.Equal(t, "fused vs per-request under "+dtype,
+					identtest.Output{Tokens: fused}, identtest.Output{Tokens: plain})
 				if snap.FusedDecodeTokens == 0 {
 					t.Fatal("fused path never engaged")
 				}
@@ -135,16 +127,8 @@ func TestKernelBlockedServingBitIdentical(t *testing.T) {
 	if rep.Failed != 0 {
 		t.Fatalf("%d requests failed", rep.Failed)
 	}
-	for i := range trace {
-		if len(rep.Outputs[i]) != len(ref[i]) {
-			t.Fatalf("request %d: %d vs %d tokens", i, len(rep.Outputs[i]), len(ref[i]))
-		}
-		for j := range ref[i] {
-			if rep.Outputs[i][j] != ref[i][j] {
-				t.Fatalf("request %d token %d: blocked %d != naive reference %d", i, j, rep.Outputs[i][j], ref[i][j])
-			}
-		}
-	}
+	identtest.Equal(t, "blocked kernel vs naive reference",
+		identtest.Output{Tokens: rep.Outputs}, identtest.Output{Tokens: ref})
 	if srv.Metrics().Snapshot().FusedDecodeTokens == 0 {
 		t.Fatal("fused path never engaged for tender:int,kernel=blocked")
 	}

@@ -126,19 +126,25 @@ func (s *Server) reserveKV(a *activeReq, need int) {
 
 // releaseKV returns a's pages to the pool (the refcounts keep any shared
 // prefix pages alive for their other holders), unpins its prefix entry,
-// and returns its reservation to the budget.
+// drops its drafter session, and returns its reservation to the budget.
 func (s *Server) releaseKV(a *activeReq) {
 	if a.sess != nil {
 		a.sess.ReleaseKV()
 		a.sess = nil
+	}
+	if a.draft != nil {
+		a.draft.ReleaseKV()
+		a.draft = nil
+		a.specDec = nil
 	}
 	if a.entry != nil {
 		s.prefixCaches[a.scheme].Release(a.entry)
 		a.entry = nil
 	}
 	a.kvBase = 0
-	s.kvFree += a.kvHeld
+	s.kvFree += a.kvHeld + a.draftHeld
 	a.kvHeld = 0
+	a.draftHeld = 0
 }
 
 // newSession mounts a session on the server's KV layout: paged stores
@@ -518,6 +524,33 @@ func (s *Server) runIteration(batch []*activeReq) {
 	if traced {
 		iterStart = time.Now()
 	}
+	// Speculative routing happens first, on the scheduler goroutine: at low
+	// occupancy every decode-ready request that fits a drafter reservation
+	// takes a draft-k-verify pass instead of a one-token step; the rest of
+	// the batch (and every request when the batch is deep) keeps the fused
+	// or per-request path. Reservation must precede the steps because it
+	// moves kvFree, which only this goroutine touches.
+	specs := s.specReqs[:0]
+	for _, a := range batch {
+		a.specK = 0
+	}
+	if s.cfg.SpecDraftSpec != "" && len(batch) <= s.specOccupancyLimit() {
+		for _, a := range batch {
+			if !s.specEligible(a) {
+				continue
+			}
+			k := min(s.cfg.SpecDraftK, a.maxNew-len(a.out)-1)
+			if !s.specReserve(a, k) {
+				continue // budget too tight for a drafter: decode plain
+			}
+			a.specK = k
+			specs = append(specs, a)
+		}
+	}
+	s.specReqs = specs
+	for _, a := range specs {
+		s.stepSpec(a, a.specK)
+	}
 	solo := batch
 	if !s.cfg.DisableFusedDecode {
 		var groups []*decodeGroup
@@ -525,6 +558,15 @@ func (s *Server) runIteration(batch []*activeReq) {
 		for _, g := range groups {
 			s.stepFused(g)
 		}
+	} else if len(specs) > 0 {
+		rest := s.solo[:0]
+		for _, a := range batch {
+			if a.specK == 0 {
+				rest = append(rest, a)
+			}
+		}
+		s.solo = rest
+		solo = rest
 	}
 	workers := s.cfg.Workers
 	if workers > len(solo) {
@@ -573,8 +615,8 @@ func (s *Server) runIteration(batch []*activeReq) {
 			prefill += int64(a.lastStepPrefill)
 		}
 		if a.lastStepDecoded {
-			decode++
-			perScheme[a.scheme]++
+			decode += int64(a.lastStepEmitted)
+			perScheme[a.scheme] += int64(a.lastStepEmitted)
 			if a.lastStepFused {
 				fused++
 			}
@@ -595,6 +637,10 @@ func (s *Server) runIteration(batch []*activeReq) {
 				s.tracer.Record(obs.KindPrefillEnd, a.p.id, s.iter, int64(a.consumed), 0)
 			}
 		}
+		if a.lastStepSpec {
+			s.tracer.Record(obs.KindDraft, a.p.id, s.iter, int64(a.lastSpecProposed), a.lastSpecDraftNS)
+			s.tracer.Record(obs.KindVerify, a.p.id, s.iter, int64(a.lastSpecAccepted), a.lastSpecVerifyNS)
+		}
 		if a.lastStepDecoded {
 			var f int64
 			if a.lastStepFused {
@@ -608,7 +654,7 @@ func (s *Server) runIteration(batch []*activeReq) {
 	}
 	var liveRows int64
 	for _, a := range batch {
-		liveRows += int64(a.kvHeld)
+		liveRows += int64(a.kvHeld + a.draftHeld)
 	}
 	s.liveKVRows.Store(liveRows)
 	var kvOcc int64
@@ -618,7 +664,7 @@ func (s *Server) runIteration(batch []*activeReq) {
 		kvOcc = int64(s.kvPool.InUse()) * int64(s.cfg.KVPageRows) / int64(2*s.cfg.Model.Cfg.Layers)
 	} else {
 		for _, a := range batch {
-			kvOcc += int64(a.kvHeld)
+			kvOcc += int64(a.kvHeld + a.draftHeld)
 		}
 	}
 	s.metrics.iteration(len(batch), prefill, decode, fused, perScheme, kvOcc)
@@ -659,6 +705,9 @@ func (s *Server) partition(batch []*activeReq) ([]*decodeGroup, []*activeReq) {
 	var groups []*decodeGroup
 	solo := s.solo[:0]
 	for _, a := range batch {
+		if a.specK > 0 {
+			continue // this iteration's step already ran as a spec pass
+		}
 		if a.consumed < len(a.seq) {
 			solo = append(solo, a)
 			continue
@@ -721,6 +770,8 @@ func (s *Server) stepFused(g *decodeGroup) {
 		a.lastStepPrefill = 0
 		a.lastStepDecoded = false
 		a.lastStepFused = false
+		a.lastStepSpec = false
+		a.lastStepEmitted = 0
 		sessions = append(sessions, a.sess)
 		tokens = append(tokens, a.out[len(a.out)-1])
 	}
@@ -737,6 +788,134 @@ func (s *Server) stepFused(g *decodeGroup) {
 	}
 	s.fusedSessions = sessions
 	s.fusedTokens = tokens
+}
+
+// specOccupancyLimit is the batch depth up to which speculation pays:
+// with few active requests the fused pass has little cross-request work
+// to amortize, so spending the drafter's cheap forward passes to emit
+// several target tokens per iteration wins. Deeper batches already keep
+// the target busy and fall back to plain fused decode.
+func (s *Server) specOccupancyLimit() int {
+	if lim := s.cfg.MaxBatch / 4; lim > 1 {
+		return lim
+	}
+	return 1
+}
+
+// specEligible reports whether a can take a draft-k-verify pass this
+// iteration: decode-ready with at least two tokens still to emit (the
+// last token is always a plain step — a pass needs k >= 1 headroom),
+// not itself running on the draft spec, and on a target engine whose
+// stacked verify pass is bit-identical to sequential decode steps.
+func (s *Server) specEligible(a *activeReq) bool {
+	return a.consumed == len(a.seq) &&
+		len(a.out) > 0 &&
+		a.maxNew-len(a.out) >= 2 &&
+		a.scheme != s.cfg.SpecDraftSpec &&
+		s.specTargetOK(a.eng)
+}
+
+// specTargetOK reports whether eng may serve as a speculation target.
+// The verify pass scores k+1 stacked rows in one Append, so bit-identity
+// with plain decode needs every weight matmul to treat rows
+// independently — the same audit the prefix cache and fused decode rely
+// on; row-coupled encodings (OliVe's outlier-victim pairing) fail it and
+// decode plain. Cached per engine; scheduler goroutine only.
+func (s *Server) specTargetOK(eng model.Engine) bool {
+	ok, seen := s.specOK[eng]
+	if !seen {
+		ok = s.cfg.Model.PrefixShareable(eng)
+		s.specOK[eng] = ok
+	}
+	return ok
+}
+
+// specReserve charges the KV budget for one draft-k-verify pass: the
+// target's transient growth to Len+k+1 rows (the stacked verify pass,
+// rolled back past the first rejection) and the drafter's matching
+// footprint — its whole session on first use. Speculation is
+// opportunistic: when the budget cannot fund the drafter even after
+// reclaiming cached prefixes, the request silently decodes plain rather
+// than preempting anyone.
+func (s *Server) specReserve(a *activeReq, k int) bool {
+	if s.cfg.KVBudgetRows == 0 {
+		return true
+	}
+	tneed := s.heldCap(a.sess.Len()+k+1) - a.kvBase - a.kvHeld
+	if tneed < 0 {
+		tneed = 0
+	}
+	dlen := a.sess.Len()
+	if a.draft != nil {
+		dlen = a.draft.Len()
+	}
+	dneed := s.heldCap(dlen+k+1) - a.draftHeld
+	if dneed < 0 {
+		dneed = 0
+	}
+	need := tneed + dneed
+	if !s.kvFits(need) {
+		s.reclaimKV(need)
+	}
+	if !s.kvFits(need) {
+		return false
+	}
+	s.kvFree -= need
+	a.kvHeld += tneed
+	a.draftHeld += dneed
+	return true
+}
+
+// stepSpec advances one request by a draft-k-verify pass on the scheduler
+// goroutine, with the same panic isolation as stepOne: the drafter
+// proposes k candidates from its own KV session (created lazily here,
+// prefilled with exactly the target session's content), one fused target
+// pass verifies them, and every target-confirmed token — 1 to k+1 of
+// them — is emitted in this single iteration. Tokens are bit-identical
+// to plain decode by the SpecDecoder acceptance rule, which draws from
+// the request's RNG stream exactly as emit would.
+func (s *Server) stepSpec(a *activeReq, k int) {
+	defer func() {
+		if r := recover(); r != nil {
+			a.failed = fmt.Errorf("%w: speculative step panicked: %v", ErrInternal, r)
+		}
+	}()
+	a.lastStepPrefill = 0
+	a.lastStepDecoded = false
+	a.lastStepFused = false
+	a.lastStepSpec = false
+	a.lastStepEmitted = 0
+	if s.cfg.Chaos.StepPanic() {
+		panic("chaos: injected step panic")
+	}
+	if a.draft == nil {
+		// Lazy drafter: the prompt plus every emitted token but the newest,
+		// matching the target session's content position for position.
+		content := make([]int, 0, len(a.p.req.Prompt)+len(a.out)-1)
+		content = append(content, a.p.req.Prompt...)
+		content = append(content, a.out[:len(a.out)-1]...)
+		draft := s.newSession(s.cfg.Engines[s.cfg.SpecDraftSpec],
+			len(content)+a.maxNew-len(a.out)+1, nil)
+		draft.Append(content)
+		a.draft = draft
+		a.specDec = model.NewSpecDecoder(a.sess, draft)
+	}
+	last := a.out[len(a.out)-1]
+	t0 := time.Now()
+	cands := a.specDec.Draft(last, k)
+	draftD := time.Since(t0)
+	t1 := time.Now()
+	r := a.specDec.Verify(last, cands, a.p.req.Temperature, a.rng)
+	verifyD := time.Since(t1)
+	for _, tok := range r.Tokens {
+		a.push(tok)
+	}
+	a.lastStepSpec = true
+	a.lastSpecProposed = r.Proposed
+	a.lastSpecAccepted = r.Accepted
+	a.lastSpecDraftNS = int64(draftD)
+	a.lastSpecVerifyNS = int64(verifyD)
+	s.metrics.specPass(r.Proposed, r.Accepted)
 }
 
 // fusedStepChecked runs one fused forward pass with panic isolation.
@@ -774,6 +953,8 @@ func (s *Server) stepReq(a *activeReq) {
 	a.lastStepPrefill = 0
 	a.lastStepDecoded = false
 	a.lastStepFused = false
+	a.lastStepSpec = false
+	a.lastStepEmitted = 0
 	if a.consumed < len(a.seq) {
 		chunk := len(a.seq) - a.consumed
 		if chunk > s.cfg.PrefillChunk {
@@ -796,17 +977,23 @@ func (s *Server) stepReq(a *activeReq) {
 
 // emit appends the next token chosen from a logits row.
 func (a *activeReq) emit(row []float64) {
-	var tok int
 	if a.p.req.Temperature > 0 {
-		tok = model.Sample(row, a.p.req.Temperature, a.rng.Float64())
+		a.push(model.Sample(row, a.p.req.Temperature, a.rng.Float64()))
 	} else {
-		tok = model.Greedy(row)
+		a.push(model.Greedy(row))
 	}
+}
+
+// push appends one already-chosen token. Speculative passes push the
+// verify pass's accepted tokens directly — the choice was already made
+// from the target's logits (and RNG stream) inside model.SpecDecoder.
+func (a *activeReq) push(tok int) {
 	if len(a.out) == 0 {
 		a.firstTok = time.Now()
 	}
 	a.out = append(a.out, tok)
 	a.lastStepDecoded = true
+	a.lastStepEmitted++
 }
 
 // retire delivers results for requests that reached their token budget,

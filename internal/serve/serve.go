@@ -146,6 +146,29 @@ type Config struct {
 	// Fused decode is bit-identical to the per-request path, so this is a
 	// performance toggle, not a correctness one.
 	DisableFusedDecode bool
+	// SpecDraftSpec, when non-empty, enables speculative draft-k-verify
+	// decoding: it names the hosted engine (a key of Engines) that drafts
+	// candidate tokens for decode steps. At low batch occupancy (at most
+	// MaxBatch/4 active requests) a decode-ready request is routed through
+	// model.SpecDecoder — the drafter proposes up to SpecDraftK tokens
+	// autoregressively from its own KV session, one fused target pass
+	// verifies them all, and the longest target-confirmed prefix (plus the
+	// free bonus token) is emitted in a single iteration. Deeper batches
+	// fall back to the fused batched path, where cross-request fusion
+	// already amortizes the per-pass cost speculation exists to beat.
+	// Outputs are bit-identical to non-speculative decoding, greedy and
+	// sampled: every emitted token is the target's own choice, drawn from
+	// the request's RNG stream in emission order — the drafter only decides
+	// how many tokens an iteration emits, never which. Drafter KV sessions
+	// are charged against KVBudgetRows like any other; when the budget is
+	// too tight for the drafter, the request silently decodes plain.
+	// Requests already running on the draft spec are never speculated.
+	SpecDraftSpec string
+	// SpecDraftK bounds the candidate tokens drafted per pass (default 4).
+	// Each pass transiently appends k+1 positions to both sessions before
+	// rolling back past the first rejection, and k is clamped per pass so
+	// the target's KV peak never exceeds plain decode's.
+	SpecDraftK int
 	// KVBudgetRows caps the total KV positions held by all active
 	// sessions (0 = unlimited). One position is one row of keys and one
 	// of values in every layer; the scheduler admits new requests only
@@ -279,6 +302,17 @@ func (c *Config) fill() error {
 				c.KVBudgetRows, c.Model.Cfg.MaxSeq)
 		}
 	}
+	if c.SpecDraftK < 0 {
+		return fmt.Errorf("serve: negative SpecDraftK %d", c.SpecDraftK)
+	}
+	if c.SpecDraftSpec != "" {
+		if _, ok := c.Engines[c.SpecDraftSpec]; !ok {
+			return fmt.Errorf("serve: draft scheme %q not hosted", c.SpecDraftSpec)
+		}
+		if c.SpecDraftK == 0 {
+			c.SpecDraftK = 4
+		}
+	}
 	if c.BrownoutQueueWait < 0 {
 		return fmt.Errorf("serve: negative BrownoutQueueWait %v", c.BrownoutQueueWait)
 	}
@@ -340,7 +374,9 @@ type Server struct {
 	// popped-but-not-yet-admitted request, and preempted requests
 	// waiting to resume.
 	steppers      map[model.Engine]*model.BatchStepper
+	specOK        map[model.Engine]bool
 	solo          []*activeReq
+	specReqs      []*activeReq
 	fusedSessions []*model.Session
 	fusedTokens   []int
 	kvFree        int
@@ -398,6 +434,16 @@ type activeReq struct {
 	// kvHeld is the page-rounded KV row capacity reserved for this
 	// request out of Config.KVBudgetRows (0 when no budget is set).
 	kvHeld int
+	// Speculative-decode state: the drafter session, created lazily the
+	// first time the scheduler routes this request through the spec path
+	// and dropped with the rest of the KV on preempt/retire; the decoder
+	// pairing it with sess; the budget rows reserved for the drafter
+	// (charged like kvHeld, released together); and the candidate count
+	// the current iteration reserved for (0 = not speculating).
+	draft     *model.Session
+	specDec   *model.SpecDecoder
+	draftHeld int
+	specK     int
 	// entry is the pinned prefix-cache entry the session mounted (nil on a
 	// miss or with the cache off); kvBase is the page-aligned floor of its
 	// covered rows — positions charged to the cache, not to this request.
@@ -416,10 +462,17 @@ type activeReq struct {
 	preemptedFor       time.Duration
 	prefillStartTraced bool
 	// Per-iteration accounting, read by the scheduler after the worker
-	// pool joins.
-	lastStepPrefill int
-	lastStepDecoded bool
-	lastStepFused   bool
+	// pool joins. lastStepEmitted counts the tokens the step emitted —
+	// 1 for a plain or fused decode, up to specK+1 for a speculative pass.
+	lastStepPrefill  int
+	lastStepDecoded  bool
+	lastStepFused    bool
+	lastStepEmitted  int
+	lastStepSpec     bool
+	lastSpecProposed int
+	lastSpecAccepted int
+	lastSpecDraftNS  int64
+	lastSpecVerifyNS int64
 	// failed records a recovered step panic (wrapped in ErrInternal); the
 	// scheduler retires the request with it after the worker pool joins.
 	failed error
@@ -435,6 +488,7 @@ func New(cfg Config) (*Server, error) {
 		stop:     make(chan struct{}),
 		tracer:   cfg.Tracer,
 		steppers: make(map[model.Engine]*model.BatchStepper),
+		specOK:   make(map[model.Engine]bool),
 		kvFree:   cfg.KVBudgetRows,
 	}
 	if !cfg.ContiguousKV {

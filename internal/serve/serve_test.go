@@ -10,6 +10,7 @@ import (
 
 	"tender/internal/engine"
 	"tender/internal/model"
+	"tender/internal/model/identtest"
 	"tender/internal/workload"
 )
 
@@ -37,10 +38,54 @@ func startServer(t *testing.T, cfg Config) *Server {
 	return srv
 }
 
+// caseTrace converts a harness case into the load generator's shape.
+func caseTrace(c identtest.Case) []workload.RequestSpec {
+	trace := make([]workload.RequestSpec, len(c.Prompts))
+	for i := range trace {
+		trace[i] = workload.RequestSpec{Prompt: c.Prompts[i], NewTokens: c.NewTokens[i]}
+	}
+	return trace
+}
+
+// unbatchedRef is the serving suites' harness reference: the unbatched
+// single-threaded decode path (which shares the server's per-request RNG
+// derivation, unlike the model-level reference).
+func unbatchedRef(t *testing.T, c identtest.Case) identtest.Output {
+	return identtest.Output{Tokens: DecodeUnbatched(c.Model, c.Engine, caseTrace(c), c.Temp, c.SeedBase)}
+}
+
+// servePath runs a case's requests through a live server. mut customizes
+// the config (nil = the default batched scheduler shape); check runs
+// against the server after the load drains.
+func servePath(engines map[string]model.Engine, mut func(*Config), check func(*testing.T, *Server)) identtest.Decoder {
+	return func(t *testing.T, c identtest.Case) identtest.Output {
+		cfg := Config{
+			Model: c.Model, Engines: engines, DefaultScheme: c.Scheme,
+			MaxBatch: 4, Workers: 4, PrefillChunk: 3,
+		}
+		if mut != nil {
+			mut(&cfg)
+		}
+		srv := startServer(t, cfg)
+		rep := RunLoad(srv, LoadConfig{
+			Trace: caseTrace(c), Clients: 4, Scheme: c.Scheme,
+			Temperature: c.Temp, SeedBase: c.SeedBase,
+		})
+		if rep.Failed != 0 {
+			t.Fatalf("%d requests failed", rep.Failed)
+		}
+		if check != nil {
+			check(t, srv)
+		}
+		return identtest.Output{Tokens: rep.Outputs}
+	}
+}
+
 // TestBatchedBitIdenticalEveryScheme is the core serving invariant: for
 // every hosted scheme, the continuous-batching scheduler (batch ≥ 4,
 // parallel workers) produces exactly the tokens of the unbatched
-// single-threaded decode path.
+// single-threaded decode path — greedy and sampled (the per-request
+// seeded RNG makes sampled outputs batch-stable).
 func TestBatchedBitIdenticalEveryScheme(t *testing.T) {
 	m := model.New(model.TinyConfig())
 	// Every canonical registry scheme plus the spec'd variants the old
@@ -50,32 +95,31 @@ func TestBatchedBitIdenticalEveryScheme(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	trace := tinyTrace(m, 6, 99)
-	for _, name := range names {
-		name := name
-		t.Run(name, func(t *testing.T) {
-			ref := DecodeUnbatched(m, engines[name], trace, 0, 7)
-			srv := startServer(t, Config{
-				Model: m, Engines: engines, DefaultScheme: name,
-				MaxBatch: 4, Workers: 4, PrefillChunk: 3,
-			})
-			rep := RunLoad(srv, LoadConfig{Trace: trace, Clients: 4, Scheme: name, SeedBase: 7})
-			if rep.Failed != 0 {
-				t.Fatalf("%d requests failed", rep.Failed)
-			}
-			for i := range trace {
-				if len(rep.Outputs[i]) != len(ref[i]) {
-					t.Fatalf("request %d: got %d tokens, want %d", i, len(rep.Outputs[i]), len(ref[i]))
-				}
-				for j := range ref[i] {
-					if rep.Outputs[i][j] != ref[i][j] {
-						t.Fatalf("request %d token %d: batched %d != unbatched %d",
-							i, j, rep.Outputs[i][j], ref[i][j])
-					}
-				}
-			}
-		})
+	chunkStable := make([]string, 0, len(names))
+	for _, n := range names {
+		if n != "olive" {
+			chunkStable = append(chunkStable, n)
+		}
 	}
+	identtest.Matrix{
+		Model: m, Engines: engines, Schemes: chunkStable,
+		Temps: []float64{0, 0.8}, SeedBase: 7,
+		Reference: unbatchedRef,
+		Paths:     []identtest.Path{{Label: "batched", D: servePath(engines, nil, nil)}},
+	}.Run(t)
+	// OliVe's cross-row pair encoding is not chunk-stable: a chunked
+	// prefill quantizes different row groups than the reference's one-shot
+	// prompt Append, so its logits (and sampled tokens) legitimately
+	// diverge under PrefillChunk < prompt length. Serve it with one-shot
+	// prefill to pin down the scheduler-vs-unbatched invariant alone.
+	identtest.Matrix{
+		Model: m, Engines: engines, Schemes: []string{"olive"},
+		Temps: []float64{0, 0.8}, SeedBase: 7,
+		Reference: unbatchedRef,
+		Paths: []identtest.Path{{Label: "batched", D: servePath(engines, func(cfg *Config) {
+			cfg.PrefillChunk = 32 // ≥ every prompt in the trace: one-shot
+		}, nil)}},
+	}.Run(t)
 }
 
 // TestFusedMatchesPerRequestPath: the fused scheduler and the
@@ -107,13 +151,8 @@ func TestFusedMatchesPerRequestPath(t *testing.T) {
 			}
 			fused, fusedSnap := run(false)
 			plain, plainSnap := run(true)
-			for i := range trace {
-				for j := range plain[i] {
-					if fused[i][j] != plain[i][j] {
-						t.Fatalf("request %d token %d: fused %d != per-request %d", i, j, fused[i][j], plain[i][j])
-					}
-				}
-			}
+			identtest.Equal(t, "fused vs per-request",
+				identtest.Output{Tokens: fused}, identtest.Output{Tokens: plain})
 			if plainSnap.FusedDecodeTokens != 0 {
 				t.Fatalf("per-request run recorded %d fused tokens", plainSnap.FusedDecodeTokens)
 			}
@@ -163,16 +202,8 @@ func TestMixedSchemeBatchesFused(t *testing.T) {
 	}
 	for si, name := range names {
 		ref := DecodeUnbatched(m, engines[name], trace, 0, 9)
-		for i := range trace {
-			if len(outputs[si][i]) != len(ref[i]) {
-				t.Fatalf("%s request %d: %d tokens, want %d", name, i, len(outputs[si][i]), len(ref[i]))
-			}
-			for j := range ref[i] {
-				if outputs[si][i][j] != ref[i][j] {
-					t.Fatalf("%s request %d token %d differs in mixed-scheme batch", name, i, j)
-				}
-			}
-		}
+		identtest.Equal(t, name+" in mixed-scheme batch",
+			identtest.Output{Tokens: outputs[si]}, identtest.Output{Tokens: ref})
 	}
 	if snap := srv.Metrics().Snapshot(); snap.FusedDecodeTokens == 0 {
 		t.Fatal("mixed-scheme load never used the fused path")
@@ -207,41 +238,11 @@ func TestConcurrentServersShareEngines(t *testing.T) {
 				t.Errorf("%d requests failed", rep.Failed)
 				return
 			}
-			for i := range trace {
-				for j := range ref[i] {
-					if rep.Outputs[i][j] != ref[i][j] {
-						t.Errorf("request %d token %d differs across concurrent servers", i, j)
-						return
-					}
-				}
-			}
+			identtest.Equal(t, "concurrent servers",
+				identtest.Output{Tokens: rep.Outputs}, identtest.Output{Tokens: ref})
 		}()
 	}
 	wg.Wait()
-}
-
-// TestSampledDecodeBitIdentical repeats the invariant for temperature
-// sampling: the per-request seeded RNG makes sampled outputs batch-stable.
-func TestSampledDecodeBitIdentical(t *testing.T) {
-	m := model.New(model.TinyConfig())
-	engines, err := buildEngines(m, []string{"tender"}, engine.BuildOptions{Bits: 4, Streams: 2, StreamLen: 32})
-	if err != nil {
-		t.Fatal(err)
-	}
-	trace := tinyTrace(m, 5, 123)
-	ref := DecodeUnbatched(m, engines["tender"], trace, 0.8, 55)
-	srv := startServer(t, Config{Model: m, Engines: engines, MaxBatch: 5, Workers: 4})
-	rep := RunLoad(srv, LoadConfig{Trace: trace, Clients: 5, Temperature: 0.8, SeedBase: 55})
-	if rep.Failed != 0 {
-		t.Fatalf("%d requests failed", rep.Failed)
-	}
-	for i := range trace {
-		for j := range ref[i] {
-			if rep.Outputs[i][j] != ref[i][j] {
-				t.Fatalf("request %d token %d differs under sampling", i, j)
-			}
-		}
-	}
 }
 
 // TestDeterministicAcrossCPUs: the full serving path (scheduler + worker
@@ -444,11 +445,8 @@ func TestPrefillChunking(t *testing.T) {
 	if rep.Failed != 0 {
 		t.Fatal("request failed")
 	}
-	for j := range ref[0] {
-		if rep.Outputs[0][j] != ref[0][j] {
-			t.Fatalf("token %d differs under chunked prefill", j)
-		}
-	}
+	identtest.Equal(t, "chunked prefill",
+		identtest.Output{Tokens: rep.Outputs}, identtest.Output{Tokens: ref})
 	if rep.PrefillTokens != 30 {
 		t.Fatalf("prefill tokens %d, want 30", rep.PrefillTokens)
 	}
@@ -479,11 +477,8 @@ func TestLongCalibrationBitIdentical(t *testing.T) {
 	if rep.Failed != 0 {
 		t.Fatal("request failed")
 	}
-	for j := range ref[0] {
-		if rep.Outputs[0][j] != ref[0][j] {
-			t.Fatalf("token %d: chunked prefill %d != one-shot %d", j, rep.Outputs[0][j], ref[0][j])
-		}
-	}
+	identtest.Equal(t, "long-calibration chunked prefill",
+		identtest.Output{Tokens: rep.Outputs}, identtest.Output{Tokens: ref})
 }
 
 // TestStopRaces: requests racing with Stop never hang — they resolve with

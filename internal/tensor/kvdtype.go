@@ -1,6 +1,9 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // KVDtype selects the on-page storage format of a BlockPool's KV rows.
 // The compute path is float64 everywhere — compressed dtypes decode rows
@@ -100,22 +103,37 @@ func encodeInt8Row(dst []int8, row []float64) float64 {
 	}
 	scale := mx / 127
 	inv := 127 / mx
+	if math.IsInf(inv, 0) {
+		// mx below ~7e-307 overflows 127/mx, and converting the resulting
+		// ±Inf to int is implementation-defined (found by fuzzing: codes
+		// could flip sign). |v| <= mx keeps v/mx in [-1, 1], so divide on
+		// this never-hot path instead.
+		for i, v := range row {
+			dst[i] = roundClampInt8(v / mx * 127)
+		}
+		return scale
+	}
 	for i, v := range row {
-		q := v * inv
-		if q >= 0 {
-			q += 0.5
-		} else {
-			q -= 0.5
-		}
-		c := int32(q)
-		if c > 127 {
-			c = 127
-		} else if c < -127 {
-			c = -127
-		}
-		dst[i] = int8(c)
+		dst[i] = roundClampInt8(v * inv)
 	}
 	return scale
+}
+
+// roundClampInt8 rounds half away from zero and clamps to the symmetric
+// int8 code range.
+func roundClampInt8(q float64) int8 {
+	if q >= 0 {
+		q += 0.5
+	} else {
+		q -= 0.5
+	}
+	c := int32(q)
+	if c > 127 {
+		c = 127
+	} else if c < -127 {
+		c = -127
+	}
+	return int8(c)
 }
 
 // decodeInt8Row expands one row of codes with its scale into dst.

@@ -391,6 +391,38 @@ func (p *PagedRows) decodedPage(pg int) []float64 {
 	return p.scratch
 }
 
+// TruncateTo discards every row at index rows and beyond, keeping the
+// first rows rows — the rollback primitive for speculative decoding,
+// where rejected draft positions must leave the KV cache as if they were
+// never appended. Pages left with no readable rows drop their reference
+// back to the pool immediately (balanced alloc/free counters, no leak);
+// a page left partially filled is kept and overwritten by later appends.
+// Truncation may not cut into a mounted shared prefix: those rows belong
+// to other holders and a store never un-mounts part of one.
+func (p *PagedRows) TruncateTo(rows int) {
+	if rows < 0 || rows > p.rows {
+		panic(fmt.Sprintf("tensor: PagedRows.TruncateTo(%d) of a %d-row store", rows, p.rows))
+	}
+	r := p.pool.pageRows
+	floor := p.shared * r
+	if floor > p.rows {
+		floor = p.rows // a partial last mounted page: only no-op cuts there
+	}
+	if rows < floor {
+		panic(fmt.Sprintf("tensor: PagedRows.TruncateTo(%d) into a %d-row mounted prefix", rows, floor))
+	}
+	need := (rows + r - 1) / r
+	for i := need; i < len(p.pages); i++ {
+		p.pool.Release(p.pages[i])
+		p.pages[i] = nil
+	}
+	p.pages = p.pages[:need]
+	if p.scratchPg >= need {
+		p.scratchPg = -1 // the cached decode belonged to a released page
+	}
+	p.rows = rows
+}
+
 // Release empties the store, dropping its reference on every page —
 // private pages return to the pool, shared ones survive as long as any
 // other holder keeps them. The store is reusable afterwards (appends

@@ -1,0 +1,144 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+func fillRow(cols int, seed float64) []float64 {
+	row := make([]float64, cols)
+	for i := range row {
+		row[i] = seed + float64(i)*0.25
+	}
+	return row
+}
+
+// TestPagedRowsTruncateTo sweeps the rollback primitive across every cut
+// point of a multi-page store — mid-page, exactly on a page boundary, a
+// no-op cut, and down to empty — for every pool dtype. After each cut the
+// surviving rows must read back unchanged, the page count must match the
+// ceiling of the surviving rows (trailing pages returned immediately), a
+// re-append must overwrite the vacated positions, and a final Release must
+// drain the pool with balanced alloc/free counters — the zero-leak bound
+// speculative decoding depends on every pass.
+func TestPagedRowsTruncateTo(t *testing.T) {
+	const cols, pageRows, total = 6, 4, 11 // 3 pages, last one partial
+	for _, dtype := range []KVDtype{KVF64, KVF16, KVInt8} {
+		// Cut points: mid-page (9, 5), exact page boundaries (8, 4), the
+		// no-op full length, and empty.
+		for _, keep := range []int{total, 9, 8, 5, 4, 0} {
+			t.Run(fmt.Sprintf("%s/keep=%d", dtype, keep), func(t *testing.T) {
+				pool := NewBlockPoolDtype(cols, pageRows, 0, dtype)
+				p := NewPagedRows(pool, 0)
+				want := make([][]float64, total)
+				for r := 0; r < total; r++ {
+					p.AppendRow(fillRow(cols, float64(r)))
+					// The store's own read-back is the reference: compressed
+					// dtypes are lossy, but truncation must never change what
+					// a surviving row decodes to.
+					want[r] = append([]float64(nil), p.Row(r)...)
+				}
+
+				p.TruncateTo(keep)
+				if p.Rows() != keep {
+					t.Fatalf("Rows() = %d after TruncateTo(%d)", p.Rows(), keep)
+				}
+				wantPages := (keep + pageRows - 1) / pageRows
+				if pool.InUse() != wantPages {
+					t.Fatalf("%d pages in use after TruncateTo(%d), want %d", pool.InUse(), keep, wantPages)
+				}
+				for r := 0; r < keep; r++ {
+					for c, v := range p.Row(r) {
+						if v != want[r][c] {
+							t.Fatalf("row %d col %d: %g after truncation, want %g", r, c, v, want[r][c])
+						}
+					}
+				}
+
+				// Appends after the cut must overwrite the vacated positions
+				// and read back as if the discarded rows never existed.
+				p.AppendRow(fillRow(cols, 100))
+				got := append([]float64(nil), p.Row(keep)...)
+				fresh := NewPagedRows(pool, 0)
+				fresh.AppendRow(fillRow(cols, 100))
+				for c, v := range fresh.Row(0) {
+					if got[c] != v {
+						t.Fatalf("re-appended row col %d: %g, want %g", c, got[c], v)
+					}
+				}
+				fresh.Release()
+
+				p.Release()
+				if n := pool.InUse(); n != 0 {
+					t.Fatalf("%d pages still held after Release", n)
+				}
+				allocs, frees := pool.Counters()
+				if allocs != frees {
+					t.Fatalf("unbalanced pool counters: %d allocs, %d frees", allocs, frees)
+				}
+			})
+		}
+	}
+}
+
+// TestPagedRowsTruncateToSharedPrefix: truncation may cut appended rows
+// back to a mounted prefix's edge but never into the prefix itself —
+// those pages belong to other holders.
+func TestPagedRowsTruncateToSharedPrefix(t *testing.T) {
+	const cols, pageRows = 4, 4
+	pool := NewBlockPool(cols, pageRows, 0)
+	owner := NewPagedRows(pool, 0)
+	for r := 0; r < 8; r++ { // two full pages
+		owner.AppendRow(fillRow(cols, float64(r)))
+	}
+	shared := owner.SharePages(8)
+
+	p := NewPagedRows(pool, 0)
+	p.MountShared(shared, 8)
+	p.AppendRow(fillRow(cols, 50))
+	p.AppendRow(fillRow(cols, 51))
+	p.TruncateTo(8) // drop the private tail, keep the whole prefix
+	if p.Rows() != 8 {
+		t.Fatalf("Rows() = %d, want the mounted 8", p.Rows())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("TruncateTo into a mounted prefix must panic")
+			}
+		}()
+		p.TruncateTo(7)
+	}()
+	p.Release()
+	for _, pg := range shared {
+		pool.Release(pg)
+	}
+	owner.Release()
+	if n := pool.InUse(); n != 0 {
+		t.Fatalf("%d pages still held after all holders released", n)
+	}
+}
+
+// TestPagedRowsTruncateToInvalidatesScratch: under a compressed dtype the
+// store caches one decoded page; truncating that page away and appending
+// different rows must never serve the stale decode.
+func TestPagedRowsTruncateToInvalidatesScratch(t *testing.T) {
+	const cols, pageRows = 4, 4
+	pool := NewBlockPoolDtype(cols, pageRows, 0, KVF16)
+	p := NewPagedRows(pool, 0)
+	for r := 0; r < 6; r++ {
+		p.AppendRow(fillRow(cols, float64(r)))
+	}
+	_ = p.Row(5) // cache page 1's decode
+	p.TruncateTo(4)
+	p.AppendRow(fillRow(cols, 200))
+	got := p.Row(4)
+	want := F16FromBits(F16Bits(200))
+	if got[0] != want {
+		t.Fatalf("row 4 col 0 reads %g after truncate+append, want %g (stale scratch?)", got[0], want)
+	}
+	p.Release()
+	if n := pool.InUse(); n != 0 {
+		t.Fatalf("%d pages still held after Release", n)
+	}
+}
